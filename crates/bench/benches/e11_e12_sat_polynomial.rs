@@ -1,0 +1,82 @@
+//! E11 — the SAT encoding of Section 4.1.3: the intersection generator must
+//! refuse (not poly-related) on CNF encodings, otherwise it would decide SAT.
+//! E12 — the Section 5 extension to polynomial constraints: balls and
+//! ellipsoids are observable through the same membership-oracle machinery.
+
+use std::sync::Arc;
+
+use cdb_bench::{experiment_criterion, rng};
+use cdb_geometry::ball::unit_ball_volume;
+use cdb_geometry::Ellipsoid;
+use cdb_linalg::Vector;
+use cdb_sampler::{ConvexBody, DfkSampler, GeneratorParams, IntersectionGenerator, RelationVolumeEstimator};
+use cdb_workloads::sat;
+use criterion::{black_box, Criterion};
+
+fn e11_sat_encoding(c: &mut Criterion) {
+    let params = GeneratorParams::fast();
+    let mut group = c.benchmark_group("e11_sat_encoding");
+    for n_vars in [3usize, 5] {
+        let mut r = rng(1100 + n_vars as u64);
+        let cnf = sat::random_k_cnf(n_vars, 2 * n_vars, 3.min(n_vars), &mut r);
+        let satisfiable = cnf.brute_force_satisfiable();
+        let relations = sat::cnf_relations(&cnf);
+        let mut generator = IntersectionGenerator::new(&relations, params).expect("clauses are observable");
+        let estimate = generator.estimate_volume(&mut r);
+        eprintln!(
+            "[E11] n={n_vars} clauses={}: satisfiable={satisfiable} estimate={estimate:?} acceptance={:.4}",
+            cnf.clauses.len(),
+            generator.acceptance_rate()
+        );
+        group.bench_function(format!("cnf_intersection_n{n_vars}"), |b| {
+            b.iter(|| black_box(generator.estimate_volume(&mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn e12_polynomial_constraints(c: &mut Criterion) {
+    let params = GeneratorParams::fast();
+    let mut group = c.benchmark_group("e12_polynomial");
+    for d in [2usize, 4, 6] {
+        let mut r = rng(1200 + d as u64);
+        // A ball (degree-2 polynomial constraint) through the generic oracle.
+        let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).expect("unit ball");
+        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 1.0, 1.0);
+        let sampler = DfkSampler::new(body, params, &mut r);
+        let estimate = sampler.estimate_volume_median(3, &mut r);
+        let exact = unit_ball_volume(d);
+        eprintln!(
+            "[E12] ball d={d}: exact={exact:.4} estimate={estimate:.4} rel_err={:.3}",
+            (estimate - exact).abs() / exact
+        );
+        group.bench_function(format!("ball_volume_d{d}"), |b| {
+            b.iter(|| black_box(sampler.estimate_volume(&mut r)))
+        });
+
+        // An axis-aligned ellipsoid with exact volume.
+        let semi_axes: Vec<f64> = (0..d).map(|i| 0.5 + 0.25 * i as f64).collect();
+        let ellipsoid = Ellipsoid::axis_aligned(Vector::zeros(d), &semi_axes).expect("ellipsoid");
+        let exact_e = ellipsoid.volume();
+        let r_inf = semi_axes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let r_sup = semi_axes.iter().cloned().fold(0.0f64, f64::max);
+        let body_e = ConvexBody::from_oracle(Arc::new(ellipsoid), Vector::zeros(d), r_inf, r_sup);
+        let sampler_e = DfkSampler::new(body_e, params, &mut r);
+        let estimate_e = sampler_e.estimate_volume_median(3, &mut r);
+        eprintln!(
+            "[E12] ellipsoid d={d}: exact={exact_e:.4} estimate={estimate_e:.4} rel_err={:.3}",
+            (estimate_e - exact_e).abs() / exact_e
+        );
+        group.bench_function(format!("ellipsoid_sample_d{d}"), |b| {
+            b.iter(|| black_box(sampler_e.sample(&mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = experiment_criterion();
+    e11_sat_encoding(&mut criterion);
+    e12_polynomial_constraints(&mut criterion);
+    criterion.final_summary();
+}

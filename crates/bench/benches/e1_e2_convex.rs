@@ -1,0 +1,81 @@
+//! E1 — convex well-bounded relations are observable (DFK theorem, Section 2):
+//! generator + volume estimator accuracy across body families and dimensions.
+//! E2 — naive bounding-box rejection vs the DFK estimator: the acceptance rate
+//! of rejection sampling collapses exponentially with the dimension
+//! (the paper's introductory argument).
+
+use std::sync::Arc;
+
+use cdb_bench::{experiment_criterion, rng};
+use cdb_geometry::ball::{ball_to_cube_ratio, unit_ball_volume};
+use cdb_geometry::Ellipsoid;
+use cdb_linalg::Vector;
+use cdb_sampler::{ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator};
+use cdb_workloads::polytopes;
+use criterion::{black_box, Criterion};
+
+fn e1_convex_observability(c: &mut Criterion) {
+    let params = GeneratorParams::fast();
+    let mut group = c.benchmark_group("e1_convex_observable");
+    for d in [2usize, 4, 6] {
+        let bodies: Vec<(&str, cdb_constraint::GeneralizedTuple, f64)> = vec![
+            ("hypercube", polytopes::hypercube(d, 1.0), polytopes::hypercube_volume(d, 1.0)),
+            ("simplex", polytopes::standard_simplex(d), polytopes::simplex_volume(d)),
+        ];
+        for (name, tuple, exact) in bodies {
+            let mut r = rng(100 + d as u64);
+            let body = ConvexBody::from_tuple(&tuple).expect("workload bodies are well-bounded");
+            let sampler = DfkSampler::new(body, params, &mut r);
+            let estimate = sampler.estimate_volume_median(3, &mut r);
+            eprintln!(
+                "[E1] d={d} {name}: exact={exact:.4} estimate={estimate:.4} rel_err={:.3}",
+                (estimate - exact).abs() / exact
+            );
+            group.bench_function(format!("{name}_d{d}_sample"), |b| {
+                b.iter(|| black_box(sampler.sample(&mut r)))
+            });
+            group.bench_function(format!("{name}_d{d}_volume"), |b| {
+                b.iter(|| black_box(sampler.estimate_volume(&mut r)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn e2_rejection_vs_dfk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_rejection_vs_dfk");
+    for d in [2usize, 6, 10] {
+        let mut r = rng(200 + d as u64);
+        let exact = unit_ball_volume(d);
+        let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).expect("unit ball");
+        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 1.0, 1.0);
+
+        let dfk = DfkSampler::new(body.clone(), GeneratorParams::fast(), &mut r);
+        let dfk_estimate = dfk.estimate_volume(&mut r);
+
+        let mut rejection = RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
+        rejection.set_volume_trials(5_000);
+        let rejection_estimate = rejection.estimate_volume(&mut r).unwrap_or(0.0);
+        eprintln!(
+            "[E2] d={d}: exact={exact:.5} dfk={dfk_estimate:.5} rejection={rejection_estimate:.5} \
+             rejection_acceptance={:.6} theoretical={:.6}",
+            rejection.acceptance_rate(),
+            ball_to_cube_ratio(d)
+        );
+
+        group.bench_function(format!("dfk_volume_d{d}"), |b| {
+            b.iter(|| black_box(dfk.estimate_volume(&mut r)))
+        });
+        group.bench_function(format!("rejection_volume_d{d}"), |b| {
+            b.iter(|| black_box(rejection.estimate_volume(&mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = experiment_criterion();
+    e1_convex_observability(&mut criterion);
+    e2_rejection_vs_dfk(&mut criterion);
+    criterion.final_summary();
+}

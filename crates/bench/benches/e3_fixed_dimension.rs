@@ -1,0 +1,50 @@
+//! E3 — the fixed-dimension algorithms of Section 3 (Theorem 3.1): exact
+//! volume and cube-decomposition sampling are cheap for fixed dimension but
+//! their cost grows exponentially with the dimension, which is the paper's
+//! motivation for the randomized approach.
+
+use cdb_bench::{experiment_criterion, rng};
+use cdb_constraint::GeneralizedRelation;
+use cdb_sampler::{FixedDimSampler, RelationGenerator};
+use cdb_workloads::polytopes;
+use criterion::{black_box, Criterion};
+
+fn e3_fixed_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_fixed_dimension");
+    for d in [2usize, 3, 4] {
+        let relation = GeneralizedRelation::from_tuple(polytopes::hypercube(d, 1.0))
+            .union(&GeneralizedRelation::from_tuple(polytopes::standard_simplex(d)));
+        // Grid step chosen so the cell count stays around 10^4-10^5 per dimension.
+        let gamma = match d {
+            2 => 0.02,
+            3 => 0.08,
+            _ => 0.2,
+        };
+        let sampler = FixedDimSampler::new(&relation, gamma).expect("bounded relation");
+        eprintln!(
+            "[E3] d={d} gamma={gamma}: cells={} grid_volume={:.4} exact_volume={:.4}",
+            sampler.cell_count(),
+            sampler.grid_volume(),
+            sampler.exact_volume()
+        );
+        group.bench_function(format!("decompose_d{d}"), |b| {
+            b.iter(|| black_box(FixedDimSampler::new(&relation, gamma)))
+        });
+        group.bench_function(format!("exact_volume_d{d}"), |b| {
+            let s = sampler.clone();
+            b.iter(|| black_box(s.exact_volume()))
+        });
+        group.bench_function(format!("sample_d{d}"), |b| {
+            let mut s = sampler.clone();
+            let mut r = rng(300 + d as u64);
+            b.iter(|| black_box(s.sample(&mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = experiment_criterion();
+    e3_fixed_dimension(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,99 @@
+//! E4 — the union generator / estimator (Algorithm 1, Theorems 4.1–4.2 and
+//! Corollary 4.2 for m-ary unions), on overlapping boxes and GIS layers.
+//! E5 — the intersection generator (Proposition 4.1): accuracy and the
+//! collapse of the acceptance rate as the overlap shrinks.
+//! E6 — the difference generator (Proposition 4.2).
+
+use cdb_bench::{experiment_criterion, rng};
+use cdb_constraint::GeneralizedRelation;
+use cdb_geometry::volume::union_volume;
+use cdb_sampler::{
+    DifferenceGenerator, GeneratorParams, IntersectionGenerator, RelationGenerator,
+    RelationVolumeEstimator, UnionGenerator,
+};
+use cdb_workloads::gis;
+use criterion::{black_box, Criterion};
+
+fn e4_union(c: &mut Criterion) {
+    let params = GeneratorParams::fast();
+    let mut group = c.benchmark_group("e4_union");
+    for m in [2usize, 4, 8] {
+        // m unit boxes, each shifted by 0.5: heavily overlapping union.
+        let mut relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        for i in 1..m {
+            let s = 0.5 * i as f64;
+            relation = relation.union(&GeneralizedRelation::from_box_f64(&[s, 0.0], &[s + 1.0, 1.0]));
+        }
+        let exact = union_volume(&relation.to_polytopes());
+        let mut generator = UnionGenerator::new(&relation, params).expect("observable union");
+        let mut r = rng(400 + m as u64);
+        let estimate = generator.estimate_volume(&mut r).expect("estimation succeeds");
+        eprintln!("[E4] m={m}: exact={exact:.4} estimate={estimate:.4} rel_err={:.3}", (estimate - exact).abs() / exact);
+        group.bench_function(format!("union_volume_m{m}"), |b| {
+            b.iter(|| black_box(generator.estimate_volume(&mut r)))
+        });
+        group.bench_function(format!("union_sample_m{m}"), |b| {
+            b.iter(|| black_box(generator.sample(&mut r)))
+        });
+    }
+    // A GIS layer as the realistic workload.
+    let mut r = rng(444);
+    let layer = gis::parcels(&gis::GisLayerSpec::default(), &mut r);
+    let mut generator = UnionGenerator::new(&layer.relation, params).expect("observable layer");
+    let estimate = generator.estimate_volume(&mut r).expect("estimation succeeds");
+    eprintln!("[E4] gis parcels: exact={:.4} estimate={estimate:.4}", layer.exact_area);
+    group.bench_function("union_volume_gis", |b| {
+        b.iter(|| black_box(generator.estimate_volume(&mut r)))
+    });
+    group.finish();
+}
+
+fn e5_intersection(c: &mut Criterion) {
+    let params = GeneratorParams::fast();
+    let mut group = c.benchmark_group("e5_intersection");
+    // Overlap fraction rho controls poly-relatedness.
+    for (label, rho) in [("half", 0.5), ("tenth", 0.1), ("thousandth", 1e-3)] {
+        let a = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        let b_rel = GeneralizedRelation::from_box_f64(&[1.0 - rho, 0.0], &[2.0 - rho, 1.0]);
+        let mut generator = IntersectionGenerator::new(&[a, b_rel], params).expect("observable operands");
+        let mut r = rng(500);
+        let estimate = generator.estimate_volume(&mut r);
+        eprintln!(
+            "[E5] overlap={label} ({rho}): exact={rho:.4} estimate={estimate:?} acceptance={:.4}",
+            generator.acceptance_rate()
+        );
+        group.bench_function(format!("intersection_volume_{label}"), |b| {
+            b.iter(|| black_box(generator.estimate_volume(&mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn e6_difference(c: &mut Criterion) {
+    let params = GeneratorParams::fast();
+    let mut group = c.benchmark_group("e6_difference");
+    for (label, cut) in [("quarter", 0.25), ("half", 0.5), ("ninety_percent", 0.9)] {
+        let s1 = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        let s2 = GeneralizedRelation::from_box_f64(&[1.0 - cut, 0.0], &[2.0, 1.0]);
+        let exact = 1.0 - cut;
+        let mut generator = DifferenceGenerator::new(&s1, &s2, params).expect("observable minuend");
+        let mut r = rng(600);
+        let estimate = generator.estimate_volume(&mut r);
+        eprintln!(
+            "[E6] cut={label}: exact={exact:.4} estimate={estimate:?} acceptance={:.4}",
+            generator.acceptance_rate()
+        );
+        group.bench_function(format!("difference_volume_{label}"), |b| {
+            b.iter(|| black_box(generator.estimate_volume(&mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = experiment_criterion();
+    e4_union(&mut criterion);
+    e5_intersection(&mut criterion);
+    e6_difference(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,90 @@
+//! E9 — Proposition 4.3: estimating a projection query by sampling +
+//! low-dimensional convex hull (Algorithm 3) vs the symbolic Fourier–Motzkin
+//! elimination, as the number of eliminated variables grows.
+//!
+//! The paper's claim is asymptotic (`O(2^{e/2}·poly(d+e))` vs `O(2^{2^k})`);
+//! the bench reports the measured crossover shape on rotated boxes, where
+//! Fourier–Motzkin's intermediate constraint growth is visible.
+
+use cdb_bench::{experiment_criterion, rng};
+use cdb_constraint::{qe, Atom, GeneralizedRelation, GeneralizedTuple, LinTerm};
+use cdb_geometry::volume::{symmetric_difference_volume, union_volume};
+use cdb_reconstruct::ProjectionQueryEstimator;
+use cdb_sampler::GeneratorParams;
+use criterion::{black_box, Criterion};
+
+/// A (2+k)-dimensional "rotated slab stack": the box `[0,2]×[0,1]` in the
+/// first two coordinates, with every extra coordinate constrained between
+/// coordinate differences, so eliminating it produces constraint growth.
+fn stacked_body(extra: usize) -> GeneralizedTuple {
+    let d = 2 + extra;
+    let mut atoms = Vec::new();
+    // Base box.
+    let mut c = vec![0i64; d];
+    c[0] = -1;
+    atoms.push(Atom::le_from_ints(&c, 0));
+    c = vec![0i64; d];
+    c[0] = 1;
+    atoms.push(Atom::le_from_ints(&c, -2));
+    c = vec![0i64; d];
+    c[1] = -1;
+    atoms.push(Atom::le_from_ints(&c, 0));
+    c = vec![0i64; d];
+    c[1] = 1;
+    atoms.push(Atom::le_from_ints(&c, -1));
+    // Each extra coordinate z_i satisfies  x0 - x1 - 1 <= z_i <= x0 + x1 + 1.
+    for i in 2..d {
+        let mut lo = vec![0i64; d];
+        lo[0] = 1;
+        lo[1] = -1;
+        lo[i] = -1;
+        atoms.push(Atom::new(LinTerm::from_ints(&lo, -1), cdb_constraint::CompOp::Le));
+        let mut hi = vec![0i64; d];
+        hi[0] = -1;
+        hi[1] = -1;
+        hi[i] = 1;
+        atoms.push(Atom::new(LinTerm::from_ints(&hi, -1), cdb_constraint::CompOp::Le));
+    }
+    GeneralizedTuple::new(d, atoms)
+}
+
+fn e9_query_speedup(c: &mut Criterion) {
+    let params = GeneratorParams::fast();
+    let estimator = ProjectionQueryEstimator::new(params, 0.25, 0.25);
+    let mut group = c.benchmark_group("e9_projection_query");
+    for eliminated in [1usize, 2, 3] {
+        let tuple = stacked_body(eliminated);
+        let keep = [0usize, 1];
+        let mut r = rng(900 + eliminated as u64);
+
+        // Symbolic baseline: Fourier–Motzkin projection of the tuple.
+        let symbolic = qe::project_tuple(&tuple, &keep);
+        let symbolic_rel = GeneralizedRelation::from_tuple(symbolic);
+        let exact_area = union_volume(&symbolic_rel.to_polytopes());
+
+        // Sampling estimator (Algorithm 3).
+        let hull = estimator
+            .estimate(&tuple, &keep, Some(200), &mut r)
+            .expect("projection is observable");
+        let sd = symmetric_difference_volume(&symbolic_rel.to_polytopes(), &[hull]);
+        eprintln!(
+            "[E9] eliminated={eliminated}: exact_area={exact_area:.4} symmetric_difference={sd:.4} \
+             ({:.2}% of exact)",
+            100.0 * sd / exact_area
+        );
+
+        group.bench_function(format!("fourier_motzkin_k{eliminated}"), |b| {
+            b.iter(|| black_box(qe::project_tuple(&tuple, &keep)))
+        });
+        group.bench_function(format!("sampling_reconstruction_k{eliminated}"), |b| {
+            b.iter(|| black_box(estimator.estimate(&tuple, &keep, Some(200), &mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = experiment_criterion();
+    e9_query_speedup(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,257 @@
+//! Atomic linear constraints `term ⋈ 0`.
+
+use cdb_geometry::Halfspace;
+use cdb_num::Rational;
+use std::fmt;
+
+use crate::term::LinTerm;
+
+/// Comparison operator of an atomic constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompOp {
+    /// `term < 0`
+    Lt,
+    /// `term ≤ 0`
+    Le,
+    /// `term = 0`
+    Eq,
+    /// `term ≥ 0`
+    Ge,
+    /// `term > 0`
+    Gt,
+}
+
+impl CompOp {
+    /// The operator for the negated atom.
+    pub fn negate(self) -> CompOp {
+        match self {
+            CompOp::Lt => CompOp::Ge,
+            CompOp::Le => CompOp::Gt,
+            CompOp::Eq => CompOp::Eq, // handled specially (disjunction) by Formula::negate
+            CompOp::Ge => CompOp::Lt,
+            CompOp::Gt => CompOp::Le,
+        }
+    }
+
+    /// Is the comparison strict?
+    pub fn is_strict(self) -> bool {
+        matches!(self, CompOp::Lt | CompOp::Gt)
+    }
+}
+
+/// An atomic constraint `term ⋈ 0` over the structure `Rlin`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    term: LinTerm,
+    op: CompOp,
+}
+
+impl Atom {
+    /// Creates the atom `term ⋈ 0`.
+    pub fn new(term: LinTerm, op: CompOp) -> Self {
+        Atom { term, op }
+    }
+
+    /// Convenience: the constraint `coeffs·x + c ≤ 0` from integers.
+    pub fn le_from_ints(coeffs: &[i64], constant: i64) -> Self {
+        Atom::new(LinTerm::from_ints(coeffs, constant), CompOp::Le)
+    }
+
+    /// Convenience: the box constraint `lo ≤ x_i ≤ hi` as a pair of atoms.
+    pub fn bounds(arity: usize, var: usize, lo: Rational, hi: Rational) -> (Atom, Atom) {
+        let x = LinTerm::var(arity, var);
+        (
+            // lo - x <= 0
+            Atom::new(LinTerm::constant(arity, lo).sub(&x), CompOp::Le),
+            // x - hi <= 0
+            Atom::new(x.sub(&LinTerm::constant(arity, hi)), CompOp::Le),
+        )
+    }
+
+    /// The left-hand-side term.
+    pub fn term(&self) -> &LinTerm {
+        &self.term
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CompOp {
+        self.op
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.term.arity()
+    }
+
+    /// Exact satisfaction test at a rational point.
+    pub fn satisfied(&self, point: &[Rational]) -> bool {
+        let v = self.term.eval(point);
+        match self.op {
+            CompOp::Lt => v.is_negative(),
+            CompOp::Le => !v.is_positive(),
+            CompOp::Eq => v.is_zero(),
+            CompOp::Ge => !v.is_negative(),
+            CompOp::Gt => v.is_positive(),
+        }
+    }
+
+    /// Floating-point satisfaction test with tolerance (strictness is ignored
+    /// because it is measure-irrelevant at the sampling layer).
+    pub fn satisfied_f64(&self, point: &[f64], tol: f64) -> bool {
+        let v = self.term.eval_f64(point);
+        match self.op {
+            CompOp::Lt | CompOp::Le => v <= tol,
+            CompOp::Eq => v.abs() <= tol,
+            CompOp::Ge | CompOp::Gt => v >= -tol,
+        }
+    }
+
+    /// Normalizes the atom so the operator is `≤`, `<` or `=` (flipping the
+    /// term for `≥` / `>`), with integer, gcd-reduced coefficients.
+    pub fn normalized(&self) -> Atom {
+        let (term, op) = match self.op {
+            CompOp::Ge => (self.term.neg(), CompOp::Le),
+            CompOp::Gt => (self.term.neg(), CompOp::Lt),
+            op => (self.term.clone(), op),
+        };
+        Atom { term: term.normalized(), op }
+    }
+
+    /// The closed halfspace `{x : term ≤ 0}` (strictness dropped), or `None`
+    /// for equality atoms, which are not full-dimensional.
+    ///
+    /// The rational coefficients are converted to `f64` as they are (only the
+    /// sign is flipped for `≥`/`>` atoms); no integer renormalization is
+    /// applied, so dyadic bounds coming from [`Rational::from_f64`] keep their
+    /// numeric scale instead of exploding into astronomically large integers.
+    pub fn to_halfspace(&self) -> Option<Halfspace> {
+        let term = match self.op {
+            CompOp::Eq => return None,
+            CompOp::Ge | CompOp::Gt => self.term.neg(),
+            CompOp::Le | CompOp::Lt => self.term.clone(),
+        };
+        let coeffs: Vec<f64> = term.coeffs().iter().map(|c| c.to_f64()).collect();
+        let offset = -term.constant_part().to_f64();
+        Some(Halfspace::from_slice(&coeffs, offset))
+    }
+
+    /// Both halfspaces of an equality atom (`term ≤ 0` and `−term ≤ 0`).
+    pub fn equality_halfspaces(&self) -> Option<(Halfspace, Halfspace)> {
+        if self.op != CompOp::Eq {
+            return None;
+        }
+        let a = Atom::new(self.term.clone(), CompOp::Le).to_halfspace()?;
+        let b = Atom::new(self.term.neg(), CompOp::Le).to_halfspace()?;
+        Some((a, b))
+    }
+
+    /// Remaps the atom's variables into a larger arity.
+    pub fn remap(&self, new_arity: usize, mapping: &[usize]) -> Atom {
+        Atom { term: self.term.remap(new_arity, mapping), op: self.op }
+    }
+
+    /// Restricts the atom to the first `new_arity` variables (`None` when the
+    /// atom mentions a dropped variable).
+    pub fn restrict(&self, new_arity: usize) -> Option<Atom> {
+        Some(Atom { term: self.term.restrict(new_arity)?, op: self.op })
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Eq => "=",
+            CompOp::Ge => ">=",
+            CompOp::Gt => ">",
+        };
+        write!(f, "{} {op} 0", self.term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn satisfaction_exact_and_float() {
+        // x - 1 <= 0, i.e. x <= 1.
+        let a = Atom::le_from_ints(&[1], -1);
+        assert!(a.satisfied(&[r(1)]));
+        assert!(a.satisfied(&[r(0)]));
+        assert!(!a.satisfied(&[r(2)]));
+        assert!(a.satisfied_f64(&[0.999], 1e-9));
+        assert!(!a.satisfied_f64(&[1.1], 1e-9));
+
+        // Strictness matters for exact evaluation.
+        let strict = Atom::new(LinTerm::from_ints(&[1], -1), CompOp::Lt);
+        assert!(!strict.satisfied(&[r(1)]));
+        assert!(strict.satisfied(&[Rational::from_ratio(999, 1000)]));
+
+        let eq = Atom::new(LinTerm::from_ints(&[1, -1], 0), CompOp::Eq);
+        assert!(eq.satisfied(&[r(2), r(2)]));
+        assert!(!eq.satisfied(&[r(2), r(3)]));
+    }
+
+    #[test]
+    fn negation_operator_table() {
+        assert_eq!(CompOp::Le.negate(), CompOp::Gt);
+        assert_eq!(CompOp::Lt.negate(), CompOp::Ge);
+        assert_eq!(CompOp::Ge.negate(), CompOp::Lt);
+        assert_eq!(CompOp::Gt.negate(), CompOp::Le);
+        assert!(CompOp::Lt.is_strict());
+        assert!(!CompOp::Le.is_strict());
+    }
+
+    #[test]
+    fn normalization_flips_ge() {
+        // x >= 2 normalizes to -(x - 2) = 2 - x ... stored as -x + 2 <= 0.
+        let a = Atom::new(LinTerm::from_ints(&[1], -2), CompOp::Ge);
+        let n = a.normalized();
+        assert_eq!(n.op(), CompOp::Le);
+        assert_eq!(n.term(), &LinTerm::from_ints(&[-1], 2));
+        // Same satisfied set.
+        for p in [[1.0], [2.0], [3.0]] {
+            assert_eq!(a.satisfied_f64(&p, 1e-9), n.satisfied_f64(&p, 1e-9));
+        }
+    }
+
+    #[test]
+    fn halfspace_conversion() {
+        // 2x + y - 4 <= 0 becomes the halfspace 2x + y <= 4.
+        let a = Atom::le_from_ints(&[2, 1], -4);
+        let h = a.to_halfspace().unwrap();
+        assert_eq!(h.normal().as_slice(), &[2.0, 1.0]);
+        assert_eq!(h.offset(), 4.0);
+        // A >= atom flips.
+        let g = Atom::new(LinTerm::from_ints(&[1, 0], 0), CompOp::Ge);
+        let hg = g.to_halfspace().unwrap();
+        assert_eq!(hg.normal().as_slice(), &[-1.0, 0.0]);
+        // Equality has no single halfspace but a pair.
+        let eq = Atom::new(LinTerm::from_ints(&[1, -1], 0), CompOp::Eq);
+        assert!(eq.to_halfspace().is_none());
+        let (h1, h2) = eq.equality_halfspaces().unwrap();
+        assert_eq!(h1.normal().as_slice(), &[1.0, -1.0]);
+        assert_eq!(h2.normal().as_slice(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn bounds_helper() {
+        let (lo, hi) = Atom::bounds(2, 1, r(0), r(3));
+        assert!(lo.satisfied(&[r(100), r(0)]));
+        assert!(!lo.satisfied(&[r(0), r(-1)]));
+        assert!(hi.satisfied(&[r(0), r(3)]));
+        assert!(!hi.satisfied(&[r(0), r(4)]));
+    }
+
+    #[test]
+    fn display_format() {
+        let a = Atom::le_from_ints(&[1, -1], 2);
+        assert_eq!(a.to_string(), "1*x0 - 1*x1 + 2 <= 0");
+    }
+}

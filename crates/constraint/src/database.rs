@@ -1,0 +1,276 @@
+//! Schemas, database instances and FO+LIN query evaluation.
+
+use std::collections::BTreeMap;
+
+use crate::formula::Formula;
+use crate::relation::GeneralizedRelation;
+use crate::ConstraintError;
+
+/// A relational database schema: relation names with their arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<String, usize>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds (or overwrites) a relation name with its arity.
+    pub fn add_relation(&mut self, name: impl Into<String>, arity: usize) -> &mut Self {
+        self.relations.insert(name.into(), arity);
+        self
+    }
+
+    /// The arity of a relation, if declared.
+    pub fn arity_of(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).copied()
+    }
+
+    /// Iterates over the declared relations.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.relations.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Returns `true` when no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+/// A finitely representable database instance: one generalized relation per
+/// schema name.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    schema: Schema,
+    instances: BTreeMap<String, GeneralizedRelation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts a relation instance, declaring it in the schema.
+    pub fn insert(&mut self, name: impl Into<String>, relation: GeneralizedRelation) -> &mut Self {
+        let name = name.into();
+        self.schema.add_relation(name.clone(), relation.arity());
+        self.instances.insert(name, relation);
+        self
+    }
+
+    /// The schema of the database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Looks up a relation instance.
+    pub fn relation(&self, name: &str) -> Option<&GeneralizedRelation> {
+        self.instances.get(name)
+    }
+
+    /// Total description size of the instance.
+    pub fn description_size(&self) -> usize {
+        self.instances.values().map(|r| r.description_size()).sum()
+    }
+
+    /// Replaces every relation atom `R(x_{i_1}, …, x_{i_k})` of a query
+    /// formula by the stored definition of `R`, remapped onto the listed
+    /// variables. The result is a relation-free formula.
+    pub fn resolve(&self, query: &Formula) -> Result<Formula, ConstraintError> {
+        match query {
+            Formula::True | Formula::False | Formula::Atom(_) => Ok(query.clone()),
+            Formula::Rel(name, vars) => {
+                let rel = self
+                    .instances
+                    .get(name)
+                    .ok_or_else(|| ConstraintError::UnknownRelation(name.clone()))?;
+                if rel.arity() != vars.len() {
+                    return Err(ConstraintError::ArityMismatch {
+                        relation: name.clone(),
+                        expected: rel.arity(),
+                        found: vars.len(),
+                    });
+                }
+                let ambient = vars.iter().map(|v| v + 1).max().unwrap_or(0);
+                let disjuncts = rel
+                    .tuples()
+                    .iter()
+                    .map(|t| {
+                        Formula::and(
+                            t.atoms()
+                                .iter()
+                                .map(|a| Formula::Atom(a.remap(ambient, vars)))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Ok(Formula::or(disjuncts))
+            }
+            Formula::And(fs) => Ok(Formula::and(
+                fs.iter().map(|f| self.resolve(f)).collect::<Result<Vec<_>, _>>()?,
+            )),
+            Formula::Or(fs) => Ok(Formula::or(
+                fs.iter().map(|f| self.resolve(f)).collect::<Result<Vec<_>, _>>()?,
+            )),
+            Formula::Not(f) => Ok(Formula::not(self.resolve(f)?)),
+            Formula::Exists(vars, f) => Ok(Formula::exists(vars.clone(), self.resolve(f)?)),
+        }
+    }
+
+    /// Evaluates an FO+LIN query whose free variables are `x_0, …,
+    /// x_{output_arity−1}` (quantified variables must use indices at or above
+    /// `output_arity`), returning the result as a generalized relation.
+    ///
+    /// This is the fully symbolic evaluation path (resolution + Fourier–
+    /// Motzkin + DNF) — the baseline whose cost the paper's approximate
+    /// evaluation avoids.
+    pub fn evaluate(&self, query: &Formula, output_arity: usize) -> Result<GeneralizedRelation, ConstraintError> {
+        let resolved = self.resolve(query)?;
+        GeneralizedRelation::from_formula(output_arity, &resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::tuple::GeneralizedTuple;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        // R = [0,2] x [0,1], S = [1,3] x [0,1] (2-dimensional strips).
+        db.insert("R", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]));
+        db.insert("S", GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[3.0, 1.0]));
+        // Line = the 1-dimensional interval [0, 10].
+        db.insert("Line", GeneralizedRelation::from_box_f64(&[0.0], &[10.0]));
+        db
+    }
+
+    #[test]
+    fn schema_bookkeeping() {
+        let db = sample_db();
+        assert_eq!(db.schema().arity_of("R"), Some(2));
+        assert_eq!(db.schema().arity_of("Line"), Some(1));
+        assert_eq!(db.schema().arity_of("Missing"), None);
+        assert_eq!(db.schema().len(), 3);
+        assert!(!db.schema().is_empty());
+        assert!(db.description_size() > 0);
+        assert!(db.relation("R").is_some());
+        assert!(db.relation("Missing").is_none());
+    }
+
+    #[test]
+    fn conjunction_query() {
+        let db = sample_db();
+        // Q(x, y) = R(x, y) and S(x, y)  — the strip overlap [1,2] x [0,1].
+        let q = Formula::and(vec![Formula::rel("R", vec![0, 1]), Formula::rel("S", vec![0, 1])]);
+        let out = db.evaluate(&q, 2).unwrap();
+        assert!(out.contains_f64(&[1.5, 0.5]));
+        assert!(!out.contains_f64(&[0.5, 0.5]));
+        assert!(!out.contains_f64(&[2.5, 0.5]));
+    }
+
+    #[test]
+    fn join_style_query_with_quantifier() {
+        let db = sample_db();
+        // Q(x, y) = exists z. R(x, z) and S(z, y)
+        // R(x,z): x in [0,2], z in [0,1]; S(z,y): z in [1,3], y in [0,1].
+        // The shared z must be in [1,1] -> feasible, so Q = [0,2] x [0,1].
+        let q = Formula::exists(
+            vec![2],
+            Formula::and(vec![Formula::rel("R", vec![0, 2]), Formula::rel("S", vec![2, 1])]),
+        );
+        let out = db.evaluate(&q, 2).unwrap();
+        assert!(out.contains_f64(&[1.0, 0.5]));
+        assert!(out.contains_f64(&[0.1, 0.9]));
+        assert!(!out.contains_f64(&[2.5, 0.5]));
+        assert!(!out.contains_f64(&[1.0, 1.5]));
+    }
+
+    #[test]
+    fn union_and_negation_query() {
+        let db = sample_db();
+        // Q(x, y) = R(x, y) and not S(x, y)  — the part of R left of x = 1.
+        let q = Formula::and(vec![
+            Formula::rel("R", vec![0, 1]),
+            Formula::not(Formula::rel("S", vec![0, 1])),
+        ]);
+        let out = db.evaluate(&q, 2).unwrap();
+        assert!(out.contains_f64(&[0.5, 0.5]));
+        assert!(!out.contains_f64(&[1.5, 0.5]));
+    }
+
+    #[test]
+    fn variable_permutation_in_relation_atoms() {
+        let db = sample_db();
+        // Q(x, y) = R(y, x): swaps the roles of the coordinates.
+        let q = Formula::rel("R", vec![1, 0]);
+        let out = db.evaluate(&q, 2).unwrap();
+        // R = [0,2] x [0,1], so R(y,x) holds iff y in [0,2] and x in [0,1].
+        assert!(out.contains_f64(&[0.5, 1.8]));
+        assert!(!out.contains_f64(&[1.8, 0.5]));
+    }
+
+    #[test]
+    fn error_cases() {
+        let db = sample_db();
+        let unknown = Formula::rel("Missing", vec![0]);
+        assert!(matches!(
+            db.evaluate(&unknown, 1),
+            Err(ConstraintError::UnknownRelation(_))
+        ));
+        let wrong_arity = Formula::rel("R", vec![0]);
+        assert!(matches!(
+            db.evaluate(&wrong_arity, 1),
+            Err(ConstraintError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn query_mixing_relations_and_linear_atoms() {
+        let db = sample_db();
+        // Q(x) = exists y. R(x, y) and x >= 1  -> x in [1, 2].
+        let q = Formula::exists(
+            vec![1],
+            Formula::and(vec![
+                Formula::rel("R", vec![0, 1]),
+                Formula::Atom(Atom::new(
+                    crate::term::LinTerm::from_ints(&[-1, 0], 1),
+                    crate::atom::CompOp::Le,
+                )),
+            ]),
+        );
+        let out = db.evaluate(&q, 1).unwrap();
+        assert!(out.contains_f64(&[1.5]));
+        assert!(!out.contains_f64(&[0.5]));
+        assert!(!out.contains_f64(&[2.5]));
+    }
+
+    #[test]
+    fn multi_tuple_instances_resolve_to_unions() {
+        let mut db = Database::new();
+        let two_boxes = GeneralizedRelation::from_tuples(
+            1,
+            vec![
+                GeneralizedTuple::from_box_f64(&[0.0], &[1.0]),
+                GeneralizedTuple::from_box_f64(&[5.0], &[6.0]),
+            ],
+        );
+        db.insert("U", two_boxes);
+        let q = Formula::rel("U", vec![0]);
+        let out = db.evaluate(&q, 1).unwrap();
+        assert_eq!(out.tuples().len(), 2);
+        assert!(out.contains_f64(&[0.5]));
+        assert!(out.contains_f64(&[5.5]));
+        assert!(!out.contains_f64(&[3.0]));
+    }
+}

@@ -1,0 +1,459 @@
+//! First-order formulas over the linear structure and a database schema
+//! (`FO + LIN`).
+
+use std::fmt;
+
+use cdb_num::Rational;
+
+use crate::atom::{Atom, CompOp};
+use crate::ConstraintError;
+
+/// A formula of `FO + LIN`. Variables are identified by their index in the
+/// ambient arity; relation atoms refer to schema relations by name and list
+/// the variable indices they are applied to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Formula {
+    /// The always-true formula.
+    True,
+    /// The always-false formula.
+    False,
+    /// A linear constraint atom.
+    Atom(Atom),
+    /// A relation atom `R(x_{i_1}, …, x_{i_k})`.
+    Rel(String, Vec<usize>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification over the listed variables.
+    Exists(Vec<usize>, Box<Formula>),
+}
+
+impl Formula {
+    /// Wraps an atom.
+    pub fn atom(a: Atom) -> Formula {
+        Formula::Atom(a)
+    }
+
+    /// A relation atom.
+    pub fn rel(name: impl Into<String>, vars: Vec<usize>) -> Formula {
+        Formula::Rel(name.into(), vars)
+    }
+
+    /// Conjunction of a list of formulas (empty list is `True`).
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.into_iter().next().expect("len checked"),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// Disjunction of a list of formulas (empty list is `False`).
+    pub fn or(parts: Vec<Formula>) -> Formula {
+        match parts.len() {
+            0 => Formula::False,
+            1 => parts.into_iter().next().expect("len checked"),
+            _ => Formula::Or(parts),
+        }
+    }
+
+    /// Negation.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Existential quantification.
+    pub fn exists(vars: Vec<usize>, f: Formula) -> Formula {
+        if vars.is_empty() {
+            f
+        } else {
+            Formula::Exists(vars, Box::new(f))
+        }
+    }
+
+    /// Returns `true` when the formula contains no relation atoms.
+    pub fn is_relation_free(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => true,
+            Formula::Rel(..) => false,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.is_relation_free()),
+            Formula::Not(f) => f.is_relation_free(),
+            Formula::Exists(_, f) => f.is_relation_free(),
+        }
+    }
+
+    /// Returns `true` when the formula contains no quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Rel(..) => true,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.is_quantifier_free()),
+            Formula::Not(f) => f.is_quantifier_free(),
+            Formula::Exists(..) => false,
+        }
+    }
+
+    /// Returns `true` when every relation atom occurs under an even number of
+    /// negations and no universal quantifier is present — the *positive
+    /// existential* fragment of Theorem 4.4.
+    pub fn is_existential_positive(&self) -> bool {
+        fn walk(f: &Formula, negated: bool) -> bool {
+            match f {
+                Formula::True | Formula::False | Formula::Atom(_) => true,
+                Formula::Rel(..) => !negated,
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|g| walk(g, negated)),
+                Formula::Not(g) => walk(g, !negated),
+                Formula::Exists(_, g) => !negated && walk(g, negated),
+            }
+        }
+        walk(self, false)
+    }
+
+    /// The largest variable index mentioned, plus one (a lower bound on the
+    /// ambient arity).
+    pub fn min_arity(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 0,
+            Formula::Atom(a) => a.arity(),
+            Formula::Rel(_, vars) => vars.iter().map(|v| v + 1).max().unwrap_or(0),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(|f| f.min_arity()).max().unwrap_or(0),
+            Formula::Not(f) => f.min_arity(),
+            Formula::Exists(vars, f) => {
+                f.min_arity().max(vars.iter().map(|v| v + 1).max().unwrap_or(0))
+            }
+        }
+    }
+
+    /// Exact evaluation at a rational point; fails on relation atoms.
+    pub fn eval(&self, point: &[Rational]) -> Result<bool, ConstraintError> {
+        match self {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Atom(a) => Ok(a.satisfied(point)),
+            Formula::Rel(name, _) => Err(ConstraintError::UnknownRelation(name.clone())),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.eval(point)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.eval(point)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Not(f) => Ok(!f.eval(point)?),
+            Formula::Exists(..) => Err(ConstraintError::UnsupportedConstruct(
+                "cannot evaluate a quantified formula pointwise; eliminate quantifiers first".into(),
+            )),
+        }
+    }
+
+    /// Floating-point evaluation with tolerance; fails on relation atoms and
+    /// quantifiers.
+    pub fn eval_f64(&self, point: &[f64], tol: f64) -> Result<bool, ConstraintError> {
+        match self {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Atom(a) => Ok(a.satisfied_f64(point, tol)),
+            Formula::Rel(name, _) => Err(ConstraintError::UnknownRelation(name.clone())),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.eval_f64(point, tol)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.eval_f64(point, tol)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Not(f) => Ok(!f.eval_f64(point, tol)?),
+            Formula::Exists(..) => Err(ConstraintError::UnsupportedConstruct(
+                "cannot evaluate a quantified formula pointwise; eliminate quantifiers first".into(),
+            )),
+        }
+    }
+
+    /// Negation normal form of a quantifier-free, relation-free formula:
+    /// negations are pushed to the atoms and eliminated there (a negated
+    /// equality becomes a disjunction of strict inequalities).
+    pub fn to_nnf(&self) -> Result<Formula, ConstraintError> {
+        fn nnf(f: &Formula, negated: bool) -> Result<Formula, ConstraintError> {
+            match f {
+                Formula::True => Ok(if negated { Formula::False } else { Formula::True }),
+                Formula::False => Ok(if negated { Formula::True } else { Formula::False }),
+                Formula::Atom(a) => {
+                    if !negated {
+                        return Ok(Formula::Atom(a.clone()));
+                    }
+                    match a.op() {
+                        CompOp::Eq => Ok(Formula::Or(vec![
+                            Formula::Atom(Atom::new(a.term().clone(), CompOp::Lt)),
+                            Formula::Atom(Atom::new(a.term().clone(), CompOp::Gt)),
+                        ])),
+                        op => Ok(Formula::Atom(Atom::new(a.term().clone(), op.negate()))),
+                    }
+                }
+                Formula::Rel(name, _) => Err(ConstraintError::UnknownRelation(name.clone())),
+                Formula::And(fs) => {
+                    let parts = fs.iter().map(|g| nnf(g, negated)).collect::<Result<Vec<_>, _>>()?;
+                    Ok(if negated { Formula::or(parts) } else { Formula::and(parts) })
+                }
+                Formula::Or(fs) => {
+                    let parts = fs.iter().map(|g| nnf(g, negated)).collect::<Result<Vec<_>, _>>()?;
+                    Ok(if negated { Formula::and(parts) } else { Formula::or(parts) })
+                }
+                Formula::Not(g) => nnf(g, !negated),
+                Formula::Exists(..) => Err(ConstraintError::UnsupportedConstruct(
+                    "NNF is defined on quantifier-free formulas here".into(),
+                )),
+            }
+        }
+        nnf(self, false)
+    }
+
+    /// Disjunctive normal form of a quantifier-free, relation-free formula:
+    /// a list of conjunctions of atoms. `None` entries never occur; an empty
+    /// outer list means `False`, a conjunction with no atoms means `True`.
+    pub fn to_dnf(&self) -> Result<Vec<Vec<Atom>>, ConstraintError> {
+        let nnf = self.to_nnf()?;
+        fn dnf(f: &Formula) -> Vec<Vec<Atom>> {
+            match f {
+                Formula::True => vec![Vec::new()],
+                Formula::False => Vec::new(),
+                Formula::Atom(a) => vec![vec![a.clone()]],
+                Formula::Or(fs) => fs.iter().flat_map(dnf).collect(),
+                Formula::And(fs) => {
+                    let mut acc: Vec<Vec<Atom>> = vec![Vec::new()];
+                    for g in fs {
+                        let parts = dnf(g);
+                        let mut next = Vec::with_capacity(acc.len() * parts.len());
+                        for left in &acc {
+                            for right in &parts {
+                                let mut combined = left.clone();
+                                combined.extend(right.iter().cloned());
+                                next.push(combined);
+                            }
+                        }
+                        acc = next;
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                    acc
+                }
+                // NNF output contains no Not/Exists/Rel.
+                _ => unreachable!("unexpected connective after NNF"),
+            }
+        }
+        Ok(dnf(&nnf))
+    }
+
+    /// Collects the relation names used by the formula.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        fn walk(f: &Formula, names: &mut Vec<String>) {
+            match f {
+                Formula::Rel(name, _) => {
+                    if !names.contains(name) {
+                        names.push(name.clone());
+                    }
+                }
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| walk(g, names)),
+                Formula::Not(g) | Formula::Exists(_, g) => walk(g, names),
+                _ => {}
+            }
+        }
+        walk(self, &mut names);
+        names
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "({a})"),
+            Formula::Rel(name, vars) => {
+                write!(f, "{name}(")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "x{v}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(g) => write!(f, "not {g}"),
+            Formula::Exists(vars, g) => {
+                write!(f, "exists ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "x{v}")?;
+                }
+                write!(f, ". {g}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LinTerm;
+
+    fn x_le(arity: usize, var: usize, bound: i64) -> Formula {
+        Formula::Atom(Atom::new(
+            LinTerm::var(arity, var).sub(&LinTerm::constant(arity, Rational::from_int(bound))),
+            CompOp::Le,
+        ))
+    }
+
+    fn x_ge(arity: usize, var: usize, bound: i64) -> Formula {
+        Formula::Atom(Atom::new(
+            LinTerm::var(arity, var).sub(&LinTerm::constant(arity, Rational::from_int(bound))),
+            CompOp::Ge,
+        ))
+    }
+
+    #[test]
+    fn boolean_evaluation() {
+        let f = Formula::and(vec![x_ge(2, 0, 0), x_le(2, 0, 1), x_le(2, 1, 2)]);
+        assert!(f.eval_f64(&[0.5, 1.0], 1e-9).unwrap());
+        assert!(!f.eval_f64(&[1.5, 1.0], 1e-9).unwrap());
+        let g = Formula::or(vec![f.clone(), x_ge(2, 1, 10)]);
+        assert!(g.eval_f64(&[5.0, 11.0], 1e-9).unwrap());
+        assert!(!g.eval_f64(&[5.0, 5.0], 1e-9).unwrap());
+        let n = Formula::not(g);
+        assert!(n.eval_f64(&[5.0, 5.0], 1e-9).unwrap());
+        assert!(Formula::True.eval(&[]).unwrap());
+        assert!(!Formula::False.eval(&[]).unwrap());
+    }
+
+    #[test]
+    fn exact_evaluation_respects_strictness() {
+        let strict = Formula::Atom(Atom::new(LinTerm::from_ints(&[1], -1), CompOp::Lt));
+        assert!(!strict.eval(&[Rational::from_int(1)]).unwrap());
+        let non_strict = Formula::Atom(Atom::new(LinTerm::from_ints(&[1], -1), CompOp::Le));
+        assert!(non_strict.eval(&[Rational::from_int(1)]).unwrap());
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_atoms() {
+        let f = Formula::not(Formula::and(vec![x_le(1, 0, 1), x_ge(1, 0, 0)]));
+        let nnf = f.to_nnf().unwrap();
+        // The NNF contains no Not nodes.
+        fn has_not(f: &Formula) -> bool {
+            match f {
+                Formula::Not(_) => true,
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().any(has_not),
+                _ => false,
+            }
+        }
+        assert!(!has_not(&nnf));
+        // Semantics preserved at sample points.
+        for p in [[-1.0], [0.5], [2.0]] {
+            assert_eq!(
+                f.eval_f64(&p, 1e-9).unwrap(),
+                nnf.eval_f64(&p, 1e-9).unwrap(),
+                "at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negated_equality_splits() {
+        let eq = Formula::Atom(Atom::new(LinTerm::from_ints(&[1, -1], 0), CompOp::Eq));
+        let neg = Formula::not(eq).to_nnf().unwrap();
+        assert!(matches!(neg, Formula::Or(_)));
+        assert!(neg.eval(&[Rational::from_int(1), Rational::from_int(2)]).unwrap());
+        assert!(!neg.eval(&[Rational::from_int(2), Rational::from_int(2)]).unwrap());
+    }
+
+    #[test]
+    fn dnf_preserves_semantics() {
+        // (x <= 1 or x >= 3) and not (x <= 0)
+        let f = Formula::and(vec![
+            Formula::or(vec![x_le(1, 0, 1), x_ge(1, 0, 3)]),
+            Formula::not(x_le(1, 0, 0)),
+        ]);
+        let dnf = f.to_dnf().unwrap();
+        assert!(dnf.len() >= 2);
+        for p in [[-1.0], [0.5], [2.0], [3.5]] {
+            let direct = f.eval_f64(&p, 1e-9).unwrap();
+            let via_dnf = dnf
+                .iter()
+                .any(|conj| conj.iter().all(|a| a.satisfied_f64(&p, 1e-9)));
+            assert_eq!(direct, via_dnf, "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn fragments_and_metadata() {
+        let f = Formula::exists(
+            vec![2],
+            Formula::and(vec![Formula::rel("R", vec![0, 2]), Formula::rel("S", vec![2, 1])]),
+        );
+        assert!(f.is_existential_positive());
+        assert!(!f.is_quantifier_free());
+        assert!(!f.is_relation_free());
+        assert_eq!(f.min_arity(), 3);
+        assert_eq!(f.relation_names(), vec!["R".to_string(), "S".to_string()]);
+
+        let neg_rel = Formula::not(Formula::rel("R", vec![0]));
+        assert!(!neg_rel.is_existential_positive());
+
+        let qf = Formula::and(vec![x_le(2, 0, 1)]);
+        assert!(qf.is_quantifier_free() && qf.is_relation_free());
+    }
+
+    #[test]
+    fn quantified_formula_cannot_be_evaluated_pointwise() {
+        let f = Formula::exists(vec![0], x_le(1, 0, 1));
+        assert!(f.eval_f64(&[0.0], 1e-9).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        let f = Formula::exists(vec![1], Formula::and(vec![x_le(2, 0, 1), Formula::rel("R", vec![0, 1])]));
+        let s = f.to_string();
+        assert!(s.contains("exists x1"));
+        assert!(s.contains("R(x0, x1)"));
+    }
+}

@@ -1,0 +1,361 @@
+//! A small text syntax for FO+LIN formulas.
+//!
+//! The grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula  := or
+//! or       := and ("or" and)*
+//! and      := unary ("and" unary)*
+//! unary    := "not" unary | "exists" varlist "." formula | primary
+//! primary  := "(" formula ")" | "true" | "false" | relatom | linatom
+//! relatom  := NAME "(" varlist ")"
+//! linatom  := linexpr CMP linexpr          CMP ∈ { <=, <, >=, >, = }
+//! linexpr  := ["-"] linterm (("+"|"-") linterm)*
+//! linterm  := NUMBER ["*" VAR] | VAR
+//! varlist  := VAR ("," VAR)*
+//! VAR      := "x" INTEGER        NUMBER := INTEGER | INTEGER "/" INTEGER | DECIMAL
+//! ```
+//!
+//! Example: `exists x2. (R(x0, x2) and x0 + 2*x1 <= 3) or not (x1 > 1/2)`.
+
+use cdb_num::Rational;
+
+use crate::atom::{Atom, CompOp};
+use crate::formula::Formula;
+use crate::term::LinTerm;
+
+/// Error produced when parsing a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input at which the problem was detected.
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula, using `arity` as the ambient number of variables (every
+/// `x<i>` must satisfy `i < arity`).
+pub fn parse_formula(input: &str, arity: usize) -> Result<Formula, ParseError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0, arity };
+    let f = p.parse_or()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    arity: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_string(), position: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_word(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut end = start;
+        while end < self.input.len() && (self.input[end].is_ascii_alphanumeric() || self.input[end] == b'_') {
+            end += 1;
+        }
+        if end == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.input[start..end]).into_owned())
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        let before = self.pos;
+        self.skip_ws();
+        if let Some(w) = self.peek_word() {
+            if w == word {
+                self.skip_ws();
+                self.pos += word.len();
+                return true;
+            }
+        }
+        self.pos = before;
+        false
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(sym.as_bytes()) {
+            self.pos += sym.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat_word("or") {
+            parts.push(self.parse_and()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.eat_word("and") {
+            parts.push(self.parse_unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat_word("not") {
+            return Ok(Formula::not(self.parse_unary()?));
+        }
+        if self.eat_word("exists") {
+            let vars = self.parse_varlist()?;
+            if !self.eat_symbol(".") {
+                return Err(self.error("expected '.' after the quantified variables"));
+            }
+            // The quantifier scopes as far to the right as possible.
+            return Ok(Formula::exists(vars, self.parse_or()?));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        if self.eat_symbol("(") {
+            let f = self.parse_or()?;
+            if !self.eat_symbol(")") {
+                return Err(self.error("expected ')'"));
+            }
+            return Ok(f);
+        }
+        if self.eat_word("true") {
+            return Ok(Formula::True);
+        }
+        if self.eat_word("false") {
+            return Ok(Formula::False);
+        }
+        // Relation atom: a name that is not a variable, followed by '('.
+        let save = self.pos;
+        if let Some(word) = self.peek_word() {
+            if !is_variable(&word) && !word.chars().next().unwrap_or('0').is_ascii_digit() {
+                self.skip_ws();
+                self.pos += word.len();
+                if self.eat_symbol("(") {
+                    let vars = self.parse_varlist()?;
+                    if !self.eat_symbol(")") {
+                        return Err(self.error("expected ')' after relation arguments"));
+                    }
+                    return Ok(Formula::rel(word, vars));
+                }
+                self.pos = save;
+            }
+        }
+        // Otherwise: a linear comparison.
+        let lhs = self.parse_linexpr()?;
+        let op = self.parse_cmp()?;
+        let rhs = self.parse_linexpr()?;
+        let term = lhs.sub(&rhs);
+        Ok(Formula::Atom(Atom::new(term, op)))
+    }
+
+    fn parse_cmp(&mut self) -> Result<CompOp, ParseError> {
+        self.skip_ws();
+        for (sym, op) in [
+            ("<=", CompOp::Le),
+            (">=", CompOp::Ge),
+            ("<", CompOp::Lt),
+            (">", CompOp::Gt),
+            ("=", CompOp::Eq),
+        ] {
+            if self.eat_symbol(sym) {
+                return Ok(op);
+            }
+        }
+        Err(self.error("expected a comparison operator (<=, <, >=, >, =)"))
+    }
+
+    fn parse_varlist(&mut self) -> Result<Vec<usize>, ParseError> {
+        let mut vars = vec![self.parse_var()?];
+        while self.eat_symbol(",") {
+            vars.push(self.parse_var()?);
+        }
+        Ok(vars)
+    }
+
+    fn parse_var(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let word = self.peek_word().ok_or_else(|| self.error("expected a variable"))?;
+        if !is_variable(&word) {
+            return Err(self.error("expected a variable of the form x<index>"));
+        }
+        let idx: usize = word[1..]
+            .parse()
+            .map_err(|_| self.error("invalid variable index"))?;
+        if idx >= self.arity {
+            return Err(self.error(&format!("variable x{idx} exceeds the declared arity {}", self.arity)));
+        }
+        self.skip_ws();
+        self.pos += word.len();
+        Ok(idx)
+    }
+
+    fn parse_number(&mut self) -> Result<Rational, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut end = start;
+        while end < self.input.len()
+            && (self.input[end].is_ascii_digit() || self.input[end] == b'.' || self.input[end] == b'/')
+        {
+            end += 1;
+        }
+        if end == start {
+            return Err(self.error("expected a number"));
+        }
+        let text = String::from_utf8_lossy(&self.input[start..end]).into_owned();
+        let value = Rational::from_decimal(&text).ok_or_else(|| self.error("invalid number"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn parse_linexpr(&mut self) -> Result<LinTerm, ParseError> {
+        self.skip_ws();
+        let mut negate_first = false;
+        if self.eat_symbol("-") {
+            negate_first = true;
+        }
+        let mut acc = self.parse_linterm()?;
+        if negate_first {
+            acc = acc.neg();
+        }
+        loop {
+            self.skip_ws();
+            if self.eat_symbol("+") {
+                acc = acc.add(&self.parse_linterm()?);
+            } else if self.peek_is_minus_term() && self.eat_symbol("-") {
+                acc = acc.sub(&self.parse_linterm()?);
+            } else {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// A '-' continues the linear expression only when followed by a number or
+    /// a variable (so `x0 <= -1` parses the sign as part of the number).
+    fn peek_is_minus_term(&mut self) -> bool {
+        self.skip_ws();
+        self.input.get(self.pos) == Some(&b'-')
+    }
+
+    fn parse_linterm(&mut self) -> Result<LinTerm, ParseError> {
+        self.skip_ws();
+        // A term is NUMBER [* VAR] or VAR.
+        if let Some(word) = self.peek_word() {
+            if is_variable(&word) {
+                let idx = self.parse_var()?;
+                return Ok(LinTerm::var(self.arity, idx));
+            }
+        }
+        let coeff = self.parse_number()?;
+        if self.eat_symbol("*") {
+            let idx = self.parse_var()?;
+            return Ok(LinTerm::var(self.arity, idx).scale(&coeff));
+        }
+        Ok(LinTerm::constant(self.arity, coeff))
+    }
+}
+
+fn is_variable(word: &str) -> bool {
+    word.len() >= 2 && word.starts_with('x') && word[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_inequalities() {
+        let f = parse_formula("x0 + 2*x1 <= 3", 2).unwrap();
+        assert!(f.eval_f64(&[1.0, 1.0], 1e-9).unwrap());
+        assert!(!f.eval_f64(&[2.0, 1.0], 1e-9).unwrap());
+        let g = parse_formula("x0 >= 1/2", 1).unwrap();
+        assert!(g.eval_f64(&[0.75], 1e-9).unwrap());
+        assert!(!g.eval_f64(&[0.25], 1e-9).unwrap());
+        let h = parse_formula("x0 <= -1", 1).unwrap();
+        assert!(h.eval_f64(&[-2.0], 1e-9).unwrap());
+        assert!(!h.eval_f64(&[0.0], 1e-9).unwrap());
+    }
+
+    #[test]
+    fn parse_boolean_structure() {
+        let f = parse_formula("(x0 >= 0 and x0 <= 1) or not (x1 > 1/2)", 2).unwrap();
+        assert!(f.eval_f64(&[0.5, 0.9], 1e-9).unwrap());   // first disjunct
+        assert!(f.eval_f64(&[5.0, 0.25], 1e-9).unwrap());  // second disjunct
+        assert!(!f.eval_f64(&[5.0, 0.9], 1e-9).unwrap());  // neither
+    }
+
+    #[test]
+    fn parse_quantifiers_and_relations() {
+        let f = parse_formula("exists x2. R(x0, x2) and S(x2, x1)", 3).unwrap();
+        assert!(matches!(f, Formula::Exists(_, _)));
+        assert_eq!(f.relation_names(), vec!["R".to_string(), "S".to_string()]);
+        assert!(f.is_existential_positive());
+    }
+
+    #[test]
+    fn parse_decimals_and_subtraction() {
+        let f = parse_formula("0.5*x0 - x1 <= 1.25", 2).unwrap();
+        assert!(f.eval_f64(&[2.0, 0.0], 1e-9).unwrap());
+        assert!(!f.eval_f64(&[3.0, -0.5], 1e-9).unwrap());
+    }
+
+    #[test]
+    fn parse_true_false_and_equality() {
+        assert_eq!(parse_formula("true", 0).unwrap(), Formula::True);
+        assert_eq!(parse_formula("false", 0).unwrap(), Formula::False);
+        let eq = parse_formula("x0 = x1", 2).unwrap();
+        assert!(eq.eval_f64(&[1.0, 1.0], 1e-9).unwrap());
+        assert!(!eq.eval_f64(&[1.0, 2.0], 1e-9).unwrap());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_formula("x0 +", 1).is_err());
+        assert!(parse_formula("x0 <= 1 extra", 1).is_err());
+        assert!(parse_formula("x5 <= 1", 2).is_err());
+        assert!(parse_formula("exists x1 x0 <= 1", 2).is_err());
+        assert!(parse_formula("(x0 <= 1", 1).is_err());
+        assert!(parse_formula("R(x0", 1).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_relation() {
+        use crate::relation::GeneralizedRelation;
+        let f = parse_formula("(x0 >= 0 and x0 <= 1 and x1 >= 0 and x1 <= 1) or (x0 >= 2 and x0 <= 3 and x1 >= 0 and x1 <= 1)", 2).unwrap();
+        let r = GeneralizedRelation::from_formula(2, &f).unwrap();
+        assert_eq!(r.tuples().len(), 2);
+        assert!(r.contains_f64(&[0.5, 0.5]));
+        assert!(r.contains_f64(&[2.5, 0.5]));
+        assert!(!r.contains_f64(&[1.5, 0.5]));
+    }
+}

@@ -1,0 +1,272 @@
+//! Polynomial constraints (the FO+POLY extension of Section 5).
+//!
+//! The paper's concluding section observes that the Dyer–Frieze–Kannan
+//! generator only needs a *membership oracle* for a convex body, so convex
+//! sets defined by polynomial constraints are observable through exactly the
+//! same machinery. This module provides that oracle layer: multivariate
+//! polynomial constraints evaluated in floating point, and convex bodies
+//! assembled from them. Convexity itself is the caller's responsibility (as
+//! in the paper, which notes that a conjunction of polynomial constraints
+//! need not be convex).
+
+use std::fmt;
+
+/// A monomial `coeff · Π x_i^{e_i}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Monomial {
+    /// Coefficient.
+    pub coeff: f64,
+    /// One exponent per variable.
+    pub exponents: Vec<u32>,
+}
+
+impl Monomial {
+    /// Creates a monomial.
+    pub fn new(coeff: f64, exponents: Vec<u32>) -> Self {
+        Monomial { coeff, exponents }
+    }
+
+    /// Evaluates the monomial at a point.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.exponents.len(), "arity mismatch");
+        let mut v = self.coeff;
+        for (x, &e) in point.iter().zip(&self.exponents) {
+            if e > 0 {
+                v *= x.powi(e as i32);
+            }
+        }
+        v
+    }
+
+    /// Total degree of the monomial.
+    pub fn degree(&self) -> u32 {
+        self.exponents.iter().sum()
+    }
+}
+
+/// A polynomial constraint `Σ monomials ≤ 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolyConstraint {
+    monomials: Vec<Monomial>,
+    arity: usize,
+}
+
+impl PolyConstraint {
+    /// Creates the constraint `Σ monomials ≤ 0`.
+    pub fn new(arity: usize, monomials: Vec<Monomial>) -> Self {
+        for m in &monomials {
+            assert_eq!(m.exponents.len(), arity, "monomial arity mismatch");
+        }
+        PolyConstraint { monomials, arity }
+    }
+
+    /// The constraint `‖x − c‖² ≤ r²`, i.e. a Euclidean ball.
+    pub fn ball(center: &[f64], r: f64) -> Self {
+        let d = center.len();
+        let mut monomials = Vec::new();
+        for i in 0..d {
+            let mut sq = vec![0u32; d];
+            sq[i] = 2;
+            monomials.push(Monomial::new(1.0, sq));
+            let mut lin = vec![0u32; d];
+            lin[i] = 1;
+            monomials.push(Monomial::new(-2.0 * center[i], lin));
+        }
+        let constant: f64 = center.iter().map(|c| c * c).sum::<f64>() - r * r;
+        monomials.push(Monomial::new(constant, vec![0; d]));
+        PolyConstraint { monomials, arity: d }
+    }
+
+    /// The axis-aligned ellipsoid constraint `Σ ((x_i − c_i)/a_i)² ≤ 1`.
+    pub fn axis_ellipsoid(center: &[f64], semi_axes: &[f64]) -> Self {
+        assert_eq!(center.len(), semi_axes.len());
+        let d = center.len();
+        let mut monomials = Vec::new();
+        for i in 0..d {
+            let w = 1.0 / (semi_axes[i] * semi_axes[i]);
+            let mut sq = vec![0u32; d];
+            sq[i] = 2;
+            monomials.push(Monomial::new(w, sq));
+            let mut lin = vec![0u32; d];
+            lin[i] = 1;
+            monomials.push(Monomial::new(-2.0 * center[i] * w, lin));
+        }
+        let constant: f64 = center
+            .iter()
+            .zip(semi_axes)
+            .map(|(c, a)| (c * c) / (a * a))
+            .sum::<f64>()
+            - 1.0;
+        monomials.push(Monomial::new(constant, vec![0; d]));
+        PolyConstraint { monomials, arity: d }
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The monomials of the left-hand side.
+    pub fn monomials(&self) -> &[Monomial] {
+        &self.monomials
+    }
+
+    /// Total degree of the constraint.
+    pub fn degree(&self) -> u32 {
+        self.monomials.iter().map(|m| m.degree()).max().unwrap_or(0)
+    }
+
+    /// Evaluates the left-hand side at a point.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        self.monomials.iter().map(|m| m.eval(point)).sum()
+    }
+
+    /// Membership test with tolerance.
+    pub fn satisfied(&self, point: &[f64], tol: f64) -> bool {
+        self.eval(point) <= tol
+    }
+}
+
+impl fmt::Display for PolyConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.monomials.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", m.coeff)?;
+            for (j, &e) in m.exponents.iter().enumerate() {
+                if e == 1 {
+                    write!(f, "*x{j}")?;
+                } else if e > 1 {
+                    write!(f, "*x{j}^{e}")?;
+                }
+            }
+        }
+        write!(f, " <= 0")
+    }
+}
+
+/// A body defined by a conjunction of polynomial constraints, used as a
+/// membership oracle by the samplers. Convexity is asserted by the caller
+/// (`assume_convex`), mirroring the paper's requirement that the oracle
+/// describes a convex set.
+#[derive(Clone, Debug)]
+pub struct PolyBody {
+    arity: usize,
+    constraints: Vec<PolyConstraint>,
+    assume_convex: bool,
+}
+
+impl PolyBody {
+    /// Creates a body from constraints; `assume_convex` records the caller's
+    /// promise that the intersection is convex.
+    pub fn new(arity: usize, constraints: Vec<PolyConstraint>, assume_convex: bool) -> Self {
+        for c in &constraints {
+            assert_eq!(c.arity(), arity, "constraint arity mismatch");
+        }
+        PolyBody { arity, constraints, assume_convex }
+    }
+
+    /// A Euclidean ball.
+    pub fn ball(center: &[f64], r: f64) -> Self {
+        PolyBody::new(center.len(), vec![PolyConstraint::ball(center, r)], true)
+    }
+
+    /// An axis-aligned ellipsoid.
+    pub fn ellipsoid(center: &[f64], semi_axes: &[f64]) -> Self {
+        PolyBody::new(
+            center.len(),
+            vec![PolyConstraint::axis_ellipsoid(center, semi_axes)],
+            true,
+        )
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[PolyConstraint] {
+        &self.constraints
+    }
+
+    /// Whether the caller asserted convexity.
+    pub fn is_assumed_convex(&self) -> bool {
+        self.assume_convex
+    }
+
+    /// Membership test (the oracle handed to the samplers).
+    pub fn contains(&self, point: &[f64], tol: f64) -> bool {
+        self.constraints.iter().all(|c| c.satisfied(point, tol))
+    }
+
+    /// Intersection with another body over the same variables.
+    pub fn intersect(&self, other: &PolyBody) -> PolyBody {
+        assert_eq!(self.arity, other.arity);
+        let mut constraints = self.constraints.clone();
+        constraints.extend(other.constraints.iter().cloned());
+        PolyBody {
+            arity: self.arity,
+            constraints,
+            assume_convex: self.assume_convex && other.assume_convex,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ball_membership() {
+        let b = PolyBody::ball(&[0.0, 0.0], 1.0);
+        assert!(b.contains(&[0.5, 0.5], 0.0));
+        assert!(!b.contains(&[0.9, 0.9], 0.0));
+        assert!(b.contains(&[1.0, 0.0], 1e-9));
+        let shifted = PolyBody::ball(&[3.0, -1.0], 0.5);
+        assert!(shifted.contains(&[3.2, -1.1], 0.0));
+        assert!(!shifted.contains(&[0.0, 0.0], 0.0));
+    }
+
+    #[test]
+    fn ellipsoid_membership() {
+        let e = PolyBody::ellipsoid(&[0.0, 0.0], &[2.0, 0.5]);
+        assert!(e.contains(&[1.9, 0.0], 0.0));
+        assert!(!e.contains(&[0.0, 0.6], 0.0));
+        assert!(e.is_assumed_convex());
+        assert_eq!(e.arity(), 2);
+    }
+
+    #[test]
+    fn intersection_of_balls_is_a_lens() {
+        let a = PolyBody::ball(&[0.0, 0.0], 1.0);
+        let b = PolyBody::ball(&[1.0, 0.0], 1.0);
+        let lens = a.intersect(&b);
+        assert!(lens.contains(&[0.5, 0.0], 0.0));
+        assert!(!lens.contains(&[-0.5, 0.0], 0.0));
+        assert!(!lens.contains(&[1.5, 0.0], 0.0));
+        assert!(lens.is_assumed_convex());
+        assert_eq!(lens.constraints().len(), 2);
+    }
+
+    #[test]
+    fn constraint_evaluation_and_degree() {
+        // x^2 + y^2 - 1 <= 0.
+        let c = PolyConstraint::ball(&[0.0, 0.0], 1.0);
+        assert!((c.eval(&[1.0, 0.0]) - 0.0).abs() < 1e-12);
+        assert!(c.eval(&[2.0, 0.0]) > 0.0);
+        assert_eq!(c.degree(), 2);
+        assert_eq!(c.arity(), 2);
+        let display = c.to_string();
+        assert!(display.contains("<= 0"));
+    }
+
+    #[test]
+    fn monomial_evaluation() {
+        // 3 x0^2 x1 at (2, 5) = 3*4*5 = 60.
+        let m = Monomial::new(3.0, vec![2, 1]);
+        assert!((m.eval(&[2.0, 5.0]) - 60.0).abs() < 1e-12);
+        assert_eq!(m.degree(), 3);
+    }
+}

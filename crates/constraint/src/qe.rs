@@ -1,0 +1,355 @@
+//! Quantifier elimination by Fourier–Motzkin.
+//!
+//! `Rlin` admits elimination of quantifiers (Section 2 of the paper); the
+//! classical procedure is Fourier–Motzkin, whose output size is doubly
+//! exponential in the number of eliminated variables — exactly the cost the
+//! paper's sampling-based projection (Algorithm 2) is designed to avoid. The
+//! implementation here is exact (rational arithmetic) and doubles as the
+//! symbolic baseline of experiment E9.
+
+use cdb_num::Rational;
+
+use crate::atom::{Atom, CompOp};
+use crate::formula::Formula;
+use crate::tuple::GeneralizedTuple;
+use crate::ConstraintError;
+
+/// Eliminates the variable `var` from a conjunction of atoms, producing an
+/// equivalent conjunction over the remaining variables (the eliminated
+/// variable keeps its slot with a zero coefficient).
+pub fn eliminate_variable(atoms: &[Atom], var: usize) -> Vec<Atom> {
+    // Prefer substitution through an equality that mentions the variable.
+    if let Some(pos) = atoms
+        .iter()
+        .position(|a| a.op() == CompOp::Eq && !a.term().coeff(var).is_zero())
+    {
+        let eq = atoms[pos].normalized();
+        let a_coeff = eq.term().coeff(var).clone();
+        // a x + r = 0  =>  x = -(r)/a ; as a term: replacement = -(t - a x)/a.
+        let mut rest = eq.term().clone();
+        rest = rest.sub(&crate::term::LinTerm::var(rest.arity(), var).scale(&a_coeff));
+        let replacement = rest.scale(&(-Rational::one() / a_coeff));
+        return atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pos)
+            .map(|(_, a)| Atom::new(a.term().substitute(var, &replacement), a.op()).normalized())
+            .collect();
+    }
+
+    let mut kept: Vec<Atom> = Vec::new();
+    let mut uppers: Vec<Atom> = Vec::new(); // coefficient of var > 0 (after Le/Lt normalization)
+    let mut lowers: Vec<Atom> = Vec::new(); // coefficient of var < 0
+    for a in atoms {
+        let n = a.normalized();
+        let c = n.term().coeff(var);
+        if c.is_zero() {
+            kept.push(n);
+        } else if c.is_positive() {
+            uppers.push(n);
+        } else {
+            lowers.push(n);
+        }
+    }
+    // Combine every (lower, upper) pair with the positive combination that
+    // cancels the variable:  a_u · lower + (−a_l) · upper.
+    for lo in &lowers {
+        let a_l = lo.term().coeff(var).clone();
+        for up in &uppers {
+            let a_u = up.term().coeff(var).clone();
+            let combined = lo.term().scale(&a_u).add(&up.term().scale(&-a_l.clone()));
+            debug_assert!(combined.coeff(var).is_zero(), "variable must cancel");
+            let op = if lo.op() == CompOp::Lt || up.op() == CompOp::Lt {
+                CompOp::Lt
+            } else {
+                CompOp::Le
+            };
+            let atom = Atom::new(combined, op).normalized();
+            // Constant atoms are either trivially true (dropped) or falsify
+            // the whole conjunction (kept so emptiness is still visible).
+            if atom.term().is_constant() {
+                let c = atom.term().constant_part();
+                let holds = match atom.op() {
+                    CompOp::Lt => c.is_negative(),
+                    CompOp::Le => !c.is_positive(),
+                    _ => c.is_zero(),
+                };
+                if holds {
+                    continue;
+                }
+            }
+            kept.push(atom);
+        }
+    }
+    kept
+}
+
+/// Eliminates several variables in sequence.
+pub fn eliminate_variables(atoms: &[Atom], vars: &[usize]) -> Vec<Atom> {
+    let mut current = atoms.to_vec();
+    for &v in vars {
+        current = eliminate_variable(&current, v);
+    }
+    current
+}
+
+/// Removes atoms that are implied by the remaining ones (exact LP
+/// certificates on the closure) as well as duplicates. This keeps the
+/// doubly-exponential growth of repeated eliminations in check.
+pub fn prune_redundant(atoms: &[Atom], arity: usize) -> Vec<Atom> {
+    use cdb_lp::{LpOutcome, LpProblem};
+    // Deduplicate syntactically first (after normalization).
+    let mut unique: Vec<Atom> = Vec::new();
+    for a in atoms {
+        let n = a.normalized();
+        if !unique.contains(&n) {
+            unique.push(n);
+        }
+    }
+    if unique.len() <= 1 {
+        return unique;
+    }
+    let mut kept: Vec<Atom> = Vec::new();
+    for i in 0..unique.len() {
+        // unique[i] is redundant iff maximizing its left-hand side subject to
+        // all *other* (kept or not-yet-processed) constraints cannot exceed 0.
+        let mut lp: LpProblem<Rational> = LpProblem::new(arity);
+        for (j, other) in unique.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if other.op() == CompOp::Eq {
+                lp.add_eq(other.term().coeffs().to_vec(), -other.term().constant_part().clone());
+            } else {
+                lp.add_le(other.term().coeffs().to_vec(), -other.term().constant_part().clone());
+            }
+        }
+        let candidate = &unique[i];
+        if candidate.op() == CompOp::Eq {
+            kept.push(candidate.clone());
+            continue;
+        }
+        let redundant = match lp.maximize(candidate.term().coeffs().to_vec()) {
+            LpOutcome::Optimal { value, .. } => value <= -candidate.term().constant_part().clone(),
+            _ => false,
+        };
+        if !redundant {
+            kept.push(candidate.clone());
+        }
+    }
+    if kept.is_empty() {
+        // Everything was mutually implied; keep one representative.
+        kept.push(unique[0].clone());
+    }
+    kept
+}
+
+/// Projects a generalized tuple onto the listed coordinates (in order),
+/// eliminating every other variable and re-indexing the result.
+pub fn project_tuple(tuple: &GeneralizedTuple, keep: &[usize]) -> GeneralizedTuple {
+    let arity = tuple.arity();
+    for &k in keep {
+        assert!(k < arity, "projection coordinate out of range");
+    }
+    let eliminate: Vec<usize> = (0..arity).filter(|i| !keep.contains(i)).collect();
+    let reduced = eliminate_variables(tuple.atoms(), &eliminate);
+    let reduced = prune_redundant(&reduced, arity);
+    // Re-index: old coordinate keep[j] becomes new coordinate j.
+    let new_arity = keep.len();
+    let mut mapping = vec![0usize; arity];
+    for (j, &k) in keep.iter().enumerate() {
+        mapping[k] = j;
+    }
+    let atoms = reduced
+        .iter()
+        .map(|a| {
+            // All surviving coefficients are on kept coordinates.
+            for (i, c) in a.term().coeffs().iter().enumerate() {
+                if !c.is_zero() {
+                    debug_assert!(keep.contains(&i), "eliminated variable survived");
+                }
+            }
+            a.remap(new_arity, &mapping)
+        })
+        .collect();
+    GeneralizedTuple::new(new_arity, atoms)
+}
+
+/// Eliminates every quantifier from a relation-free formula, producing an
+/// equivalent quantifier-free formula (in DNF shape).
+pub fn eliminate_quantifiers(formula: &Formula) -> Result<Formula, ConstraintError> {
+    match formula {
+        Formula::True | Formula::False | Formula::Atom(_) => Ok(formula.clone()),
+        Formula::Rel(name, _) => Err(ConstraintError::UnknownRelation(name.clone())),
+        Formula::And(fs) => Ok(Formula::and(
+            fs.iter().map(eliminate_quantifiers).collect::<Result<Vec<_>, _>>()?,
+        )),
+        Formula::Or(fs) => Ok(Formula::or(
+            fs.iter().map(eliminate_quantifiers).collect::<Result<Vec<_>, _>>()?,
+        )),
+        Formula::Not(f) => Ok(Formula::not(eliminate_quantifiers(f)?)),
+        Formula::Exists(vars, body) => {
+            let inner = eliminate_quantifiers(body)?;
+            let arity = inner.min_arity().max(vars.iter().map(|v| v + 1).max().unwrap_or(0));
+            let dnf = inner.to_dnf()?;
+            let mut disjuncts = Vec::with_capacity(dnf.len());
+            for conj in dnf {
+                // Pad the atoms to a common arity before elimination.
+                let padded: Vec<Atom> = conj
+                    .iter()
+                    .map(|a| {
+                        let mapping: Vec<usize> = (0..a.arity()).collect();
+                        a.remap(arity, &mapping)
+                    })
+                    .collect();
+                let eliminated = eliminate_variables(&padded, vars);
+                let pruned = prune_redundant(&eliminated, arity);
+                disjuncts.push(Formula::and(pruned.into_iter().map(Formula::Atom).collect()));
+            }
+            Ok(Formula::or(disjuncts))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LinTerm;
+
+    fn le(coeffs: &[i64], c: i64) -> Atom {
+        Atom::le_from_ints(coeffs, c)
+    }
+
+    #[test]
+    fn eliminate_from_triangle() {
+        // 0 <= y, y <= x, x <= 1  — eliminate y: expect 0 <= x (and x <= 1 kept).
+        let atoms = vec![
+            le(&[0, -1], 0),  // -y <= 0
+            le(&[-1, 1], 0),  // y - x <= 0
+            le(&[1, 0], -1),  // x - 1 <= 0
+        ];
+        let out = eliminate_variable(&atoms, 1);
+        // Every surviving atom only mentions x.
+        for a in &out {
+            assert!(a.term().coeff(1).is_zero());
+        }
+        // Semantics: exists y. triangle(x,y)  <=>  0 <= x <= 1.
+        for x in [-0.5, 0.0, 0.5, 1.0, 1.5] {
+            let expected = (0.0..=1.0).contains(&x);
+            let got = out.iter().all(|a| a.satisfied_f64(&[x, 123.0], 1e-9));
+            assert_eq!(got, expected, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn elimination_via_equality_substitution() {
+        // x = 2y and 0 <= x <= 4; eliminate x: 0 <= 2y <= 4.
+        let atoms = vec![
+            Atom::new(LinTerm::from_ints(&[1, -2], 0), CompOp::Eq),
+            le(&[-1, 0], 0),
+            le(&[1, 0], -4),
+        ];
+        let out = eliminate_variable(&atoms, 0);
+        for y in [-1.0, 0.0, 1.0, 2.0, 3.0] {
+            let expected = (0.0..=2.0).contains(&y);
+            let got = out.iter().all(|a| a.satisfied_f64(&[99.0, y], 1e-9));
+            assert_eq!(got, expected, "y = {y}");
+        }
+    }
+
+    #[test]
+    fn infeasible_conjunction_stays_infeasible() {
+        // x <= 0 and x >= 1; eliminating x must leave a contradictory constant atom.
+        let atoms = vec![le(&[1], 0), le(&[-1], 1)];
+        let out = eliminate_variable(&atoms, 0);
+        assert!(!out.is_empty());
+        let t = GeneralizedTuple::new(1, out);
+        assert!(t.closure_is_empty());
+    }
+
+    #[test]
+    fn strictness_propagates() {
+        // x < y and y <= 1  =>  x < 1.
+        let atoms = vec![
+            Atom::new(LinTerm::from_ints(&[1, -1], 0), CompOp::Lt),
+            le(&[0, 1], -1),
+        ];
+        let out = eliminate_variable(&atoms, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].op(), CompOp::Lt);
+    }
+
+    #[test]
+    fn projection_of_a_square_is_an_interval() {
+        let square = GeneralizedTuple::from_box_f64(&[0.0, 2.0], &[1.0, 3.0]);
+        let proj = project_tuple(&square, &[1]);
+        assert_eq!(proj.arity(), 1);
+        assert!(proj.satisfied_f64(&[2.5], 1e-9));
+        assert!(!proj.satisfied_f64(&[1.0], 1e-9));
+        assert!(!proj.satisfied_f64(&[3.5], 1e-9));
+    }
+
+    #[test]
+    fn projection_of_rotated_triangle() {
+        // Triangle with vertices (0,0), (1,1), (2,0): y <= x, y <= 2 - x, y >= 0.
+        let atoms = vec![
+            le(&[-1, 1], 0),  // y - x <= 0
+            le(&[1, 1], -2),  // x + y - 2 <= 0
+            le(&[0, -1], 0),  // -y <= 0
+        ];
+        let tri = GeneralizedTuple::new(2, atoms);
+        // Projection onto x is [0, 2].
+        let px = project_tuple(&tri, &[0]);
+        for (x, expected) in [(-0.5, false), (0.0, true), (1.0, true), (2.0, true), (2.5, false)] {
+            assert_eq!(px.satisfied_f64(&[x], 1e-9), expected, "x = {x}");
+        }
+        // Projection onto y is [0, 1].
+        let py = project_tuple(&tri, &[1]);
+        for (y, expected) in [(-0.5, false), (0.0, true), (0.5, true), (1.0, true), (1.5, false)] {
+            assert_eq!(py.satisfied_f64(&[y], 1e-9), expected, "y = {y}");
+        }
+    }
+
+    #[test]
+    fn redundancy_pruning_shrinks_output() {
+        // x <= 1, x <= 2, x <= 3 and a duplicate.
+        let atoms = vec![le(&[1], -1), le(&[1], -2), le(&[1], -3), le(&[1], -1)];
+        let pruned = prune_redundant(&atoms, 1);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned[0].satisfied_f64(&[0.9], 1e-9));
+        assert!(!pruned[0].satisfied_f64(&[1.1], 1e-9));
+    }
+
+    #[test]
+    fn quantifier_elimination_on_formula() {
+        // exists y. (0 <= y and y <= x and x <= 1) — the projection of the triangle.
+        let tri = Formula::and(vec![
+            Formula::Atom(le(&[0, -1], 0)),
+            Formula::Atom(le(&[-1, 1], 0)),
+            Formula::Atom(le(&[1, 0], -1)),
+        ]);
+        let q = Formula::exists(vec![1], tri);
+        let qf = eliminate_quantifiers(&q).unwrap();
+        assert!(qf.is_quantifier_free());
+        for x in [-0.5f64, 0.0, 0.7, 1.0, 1.2] {
+            let expected = (0.0..=1.0).contains(&x);
+            assert_eq!(qf.eval_f64(&[x, 0.0], 1e-9).unwrap(), expected, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        // exists z. exists y. (x <= y and y <= z and z <= 5)  <=>  x <= 5.
+        let chain = Formula::and(vec![
+            Formula::Atom(le(&[1, -1, 0], 0)),
+            Formula::Atom(le(&[0, 1, -1], 0)),
+            Formula::Atom(le(&[0, 0, 1], -5)),
+        ]);
+        let q = Formula::exists(vec![2], Formula::exists(vec![1], chain));
+        let qf = eliminate_quantifiers(&q).unwrap();
+        for x in [-10.0, 0.0, 5.0, 6.0] {
+            let expected = x <= 5.0;
+            assert_eq!(qf.eval_f64(&[x, 0.0, 0.0], 1e-9).unwrap(), expected, "x = {x}");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Linear terms `Σ a_i x_i + c` with exact rational coefficients.
+
+use cdb_num::Rational;
+use std::fmt;
+
+/// A linear term over the variables `x_0, …, x_{arity−1}` with exact rational
+/// coefficients: `coeffs·x + constant`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LinTerm {
+    coeffs: Vec<Rational>,
+    constant: Rational,
+}
+
+impl LinTerm {
+    /// The zero term in the given arity.
+    pub fn zero(arity: usize) -> Self {
+        LinTerm { coeffs: vec![Rational::zero(); arity], constant: Rational::zero() }
+    }
+
+    /// The constant term `c`.
+    pub fn constant(arity: usize, c: Rational) -> Self {
+        LinTerm { coeffs: vec![Rational::zero(); arity], constant: c }
+    }
+
+    /// The single variable `x_i`.
+    pub fn var(arity: usize, i: usize) -> Self {
+        assert!(i < arity, "variable index out of range");
+        let mut coeffs = vec![Rational::zero(); arity];
+        coeffs[i] = Rational::one();
+        LinTerm { coeffs, constant: Rational::zero() }
+    }
+
+    /// Builds a term from explicit coefficients and constant.
+    pub fn new(coeffs: Vec<Rational>, constant: Rational) -> Self {
+        LinTerm { coeffs, constant }
+    }
+
+    /// Builds a term from integer coefficients and constant (convenience).
+    pub fn from_ints(coeffs: &[i64], constant: i64) -> Self {
+        LinTerm {
+            coeffs: coeffs.iter().map(|&c| Rational::from_int(c)).collect(),
+            constant: Rational::from_int(constant),
+        }
+    }
+
+    /// Number of variables the term ranges over.
+    pub fn arity(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of `x_i`.
+    pub fn coeff(&self, i: usize) -> &Rational {
+        &self.coeffs[i]
+    }
+
+    /// All coefficients.
+    pub fn coeffs(&self) -> &[Rational] {
+        &self.coeffs
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> &Rational {
+        &self.constant
+    }
+
+    /// Returns `true` when every coefficient is zero (the term is constant).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|c| c.is_zero())
+    }
+
+    /// Sum of two terms of the same arity.
+    pub fn add(&self, other: &LinTerm) -> LinTerm {
+        assert_eq!(self.arity(), other.arity(), "term arity mismatch");
+        LinTerm {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+            constant: &self.constant + &other.constant,
+        }
+    }
+
+    /// Difference of two terms.
+    pub fn sub(&self, other: &LinTerm) -> LinTerm {
+        self.add(&other.scale(&Rational::from_int(-1)))
+    }
+
+    /// Scales the term by a rational factor.
+    pub fn scale(&self, factor: &Rational) -> LinTerm {
+        LinTerm {
+            coeffs: self.coeffs.iter().map(|c| c * factor).collect(),
+            constant: &self.constant * factor,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> LinTerm {
+        self.scale(&Rational::from_int(-1))
+    }
+
+    /// Exact evaluation at a rational point.
+    pub fn eval(&self, point: &[Rational]) -> Rational {
+        assert_eq!(point.len(), self.arity(), "evaluation point arity mismatch");
+        let mut acc = self.constant.clone();
+        for (c, x) in self.coeffs.iter().zip(point) {
+            if !c.is_zero() {
+                acc += &(c * x);
+            }
+        }
+        acc
+    }
+
+    /// Floating-point evaluation.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.arity(), "evaluation point arity mismatch");
+        let mut acc = self.constant.to_f64();
+        for (c, x) in self.coeffs.iter().zip(point) {
+            acc += c.to_f64() * x;
+        }
+        acc
+    }
+
+    /// Substitutes `x_i := replacement` (a term of the same arity whose own
+    /// coefficient on `x_i` must be zero) and returns the resulting term.
+    pub fn substitute(&self, i: usize, replacement: &LinTerm) -> LinTerm {
+        assert!(replacement.coeff(i).is_zero(), "substitution must eliminate the variable");
+        let ci = self.coeffs[i].clone();
+        if ci.is_zero() {
+            return self.clone();
+        }
+        let mut without = self.clone();
+        without.coeffs[i] = Rational::zero();
+        without.add(&replacement.scale(&ci))
+    }
+
+    /// Extends the term to a larger arity, mapping variable `i` to
+    /// `mapping[i]` in the new space.
+    pub fn remap(&self, new_arity: usize, mapping: &[usize]) -> LinTerm {
+        assert_eq!(mapping.len(), self.arity(), "mapping length mismatch");
+        let mut coeffs = vec![Rational::zero(); new_arity];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if !c.is_zero() {
+                let target = mapping[i];
+                assert!(target < new_arity, "mapping target out of range");
+                coeffs[target] = &coeffs[target] + c;
+            }
+        }
+        LinTerm { coeffs, constant: self.constant.clone() }
+    }
+
+    /// Restricts the term to the first `new_arity` variables. Returns `None`
+    /// when the term has a non-zero coefficient on a dropped variable.
+    pub fn restrict(&self, new_arity: usize) -> Option<LinTerm> {
+        if self.coeffs[new_arity.min(self.arity())..].iter().any(|c| !c.is_zero()) {
+            return None;
+        }
+        let mut coeffs = self.coeffs[..new_arity.min(self.arity())].to_vec();
+        coeffs.resize(new_arity, Rational::zero());
+        Some(LinTerm { coeffs, constant: self.constant.clone() })
+    }
+
+    /// Normalizes the term by clearing denominators and dividing by the gcd
+    /// of the integer coefficients, preserving the sign. The zero set and the
+    /// sign of the term at every point are unchanged.
+    pub fn normalized(&self) -> LinTerm {
+        use cdb_num::{BigInt, BigUint};
+        // Common denominator.
+        let mut den = BigUint::one();
+        for c in self.coeffs.iter().chain(std::iter::once(&self.constant)) {
+            den = cdb_num::lcm(&den, c.denom().magnitude());
+        }
+        let den_r = Rational::from(BigInt::from(den));
+        let scaled = self.scale(&den_r);
+        // Gcd of numerators.
+        let mut g = BigUint::zero();
+        for c in scaled.coeffs.iter().chain(std::iter::once(&scaled.constant)) {
+            g = cdb_num::gcd(&g, c.numer().magnitude());
+        }
+        if g.is_zero() || g.is_one() {
+            return scaled;
+        }
+        let g_r = Rational::new(BigInt::one(), BigInt::from(g));
+        scaled.scale(&g_r)
+    }
+}
+
+impl fmt::Display for LinTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if first {
+                write!(f, "{c}*x{i}")?;
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}*x{i}", c.abs())?;
+            } else {
+                write!(f, " + {c}*x{i}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if !self.constant.is_zero() {
+            if self.constant.is_negative() {
+                write!(f, " - {}", self.constant.abs())?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn construction_and_evaluation() {
+        let t = LinTerm::from_ints(&[2, -3], 1); // 2x - 3y + 1
+        assert_eq!(t.eval(&[r(1, 1), r(1, 1)]), r(0, 1));
+        assert_eq!(t.eval(&[r(1, 2), r(0, 1)]), r(2, 1));
+        assert!((t.eval_f64(&[0.5, 0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(t.arity(), 2);
+        assert!(!t.is_constant());
+        assert!(LinTerm::constant(3, r(5, 1)).is_constant());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = LinTerm::from_ints(&[1, 2], 3);
+        let b = LinTerm::from_ints(&[-1, 1], 1);
+        assert_eq!(a.add(&b), LinTerm::from_ints(&[0, 3], 4));
+        assert_eq!(a.sub(&b), LinTerm::from_ints(&[2, 1], 2));
+        assert_eq!(a.neg(), LinTerm::from_ints(&[-1, -2], -3));
+        assert_eq!(a.scale(&r(1, 2)), LinTerm::new(vec![r(1, 2), r(1, 1)], r(3, 2)));
+    }
+
+    #[test]
+    fn substitution_eliminates_variable() {
+        // t = 2x + y + 1; substitute x := 3y - 2  -> 7y - 3.
+        let t = LinTerm::from_ints(&[2, 1], 1);
+        let replacement = LinTerm::from_ints(&[0, 3], -2);
+        let s = t.substitute(0, &replacement);
+        assert_eq!(s, LinTerm::from_ints(&[0, 7], -3));
+        // Substituting into a term that does not mention x is a no-op.
+        let u = LinTerm::from_ints(&[0, 5], 2);
+        assert_eq!(u.substitute(0, &replacement), u);
+    }
+
+    #[test]
+    fn remapping_into_larger_arity() {
+        let t = LinTerm::from_ints(&[1, 2], 5);
+        let r = t.remap(4, &[3, 1]);
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.coeff(3), &Rational::from_int(1));
+        assert_eq!(r.coeff(1), &Rational::from_int(2));
+        assert_eq!(r.coeff(0), &Rational::zero());
+        assert_eq!(r.constant_part(), &Rational::from_int(5));
+    }
+
+    #[test]
+    fn normalization_clears_denominators() {
+        let t = LinTerm::new(vec![r(1, 2), r(3, 4)], r(-5, 4));
+        let n = t.normalized();
+        assert_eq!(n, LinTerm::from_ints(&[2, 3], -5));
+        // Sign at sample points is preserved.
+        for p in [[0.0, 0.0], [1.0, 1.0], [2.0, -1.0]] {
+            assert_eq!(t.eval_f64(&p) > 0.0, n.eval_f64(&p) > 0.0);
+        }
+        let g = LinTerm::from_ints(&[4, 8], 12).normalized();
+        assert_eq!(g, LinTerm::from_ints(&[1, 2], 3));
+        assert_eq!(LinTerm::zero(2).normalized(), LinTerm::zero(2));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = LinTerm::from_ints(&[1, -2], 3);
+        assert_eq!(t.to_string(), "1*x0 - 2*x1 + 3");
+        assert_eq!(LinTerm::constant(2, r(-1, 2)).to_string(), "-1/2");
+    }
+}

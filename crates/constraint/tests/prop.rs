@@ -1,0 +1,109 @@
+//! Property-based tests for the symbolic layer: DNF conversion and
+//! Fourier–Motzkin elimination preserve semantics.
+
+use cdb_constraint::{qe, Atom, CompOp, Formula, GeneralizedRelation, GeneralizedTuple, LinTerm};
+use proptest::prelude::*;
+
+/// Strategy producing random atoms over `arity` variables with small integer
+/// coefficients.
+fn atom(arity: usize) -> impl Strategy<Value = Atom> {
+    (
+        proptest::collection::vec(-3i64..=3, arity),
+        -4i64..=4,
+        prop_oneof![Just(CompOp::Le), Just(CompOp::Lt), Just(CompOp::Ge), Just(CompOp::Gt)],
+    )
+        .prop_map(move |(coeffs, c, op)| Atom::new(LinTerm::from_ints(&coeffs, c), op))
+}
+
+/// A small random quantifier-free formula over `arity` variables.
+fn formula(arity: usize) -> impl Strategy<Value = Formula> {
+    let leaf = atom(arity).prop_map(Formula::Atom);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dnf_preserves_membership(f in formula(2), pts in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 8)) {
+        let dnf = f.to_dnf().unwrap();
+        for (x, y) in pts {
+            let p = [x, y];
+            let direct = f.eval_f64(&p, 1e-9).unwrap();
+            let via_dnf = dnf.iter().any(|conj| conj.iter().all(|a| a.satisfied_f64(&p, 1e-9)));
+            prop_assert_eq!(direct, via_dnf, "point {:?}", p);
+        }
+    }
+
+    #[test]
+    fn relation_roundtrip_preserves_membership(f in formula(2), pts in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 8)) {
+        let rel = GeneralizedRelation::from_formula(2, &f).unwrap();
+        for (x, y) in pts {
+            let p = [x, y];
+            // Skip points that sit within tolerance of some atom's boundary:
+            // the relation drops tuples with empty closure, which can flip
+            // membership exactly on measure-zero boundaries.
+            let near_boundary = rel.tuples().iter().flat_map(|t| t.atoms()).chain(
+                std::iter::once(&Atom::le_from_ints(&[0, 0], 1)) // dummy, never near
+            ).any(|a| a.term().eval_f64(&p).abs() < 1e-6);
+            if near_boundary {
+                continue;
+            }
+            let direct = f.eval_f64(&p, 0.0).unwrap();
+            prop_assert_eq!(direct, rel.contains_f64(&p), "point {:?}", p);
+        }
+    }
+
+    #[test]
+    fn fourier_motzkin_projection_is_sound_and_complete(
+        atoms in proptest::collection::vec(atom(3), 1..6),
+        pts in proptest::collection::vec((-4.0f64..4.0, -4.0f64..4.0), 6),
+        zs in proptest::collection::vec(-4.0f64..4.0, 12),
+    ) {
+        let tuple = GeneralizedTuple::new(3, atoms);
+        let projected = qe::project_tuple(&tuple, &[0, 1]);
+        for (x, y) in pts {
+            // Soundness of the witness direction: if some z makes (x,y,z)
+            // satisfy the tuple, then (x,y) is in the projection.
+            let witnessed = zs.iter().any(|&z| tuple.satisfied_f64(&[x, y, z], 1e-9));
+            if witnessed {
+                prop_assert!(projected.satisfied_f64(&[x, y], 1e-6), "missing witness at ({x}, {y})");
+            }
+            // Conversely, if (x,y) is strictly outside the projection, no z can work.
+            if !projected.satisfied_f64(&[x, y], 1e-6) {
+                for &z in &zs {
+                    prop_assert!(!tuple.satisfied_f64(&[x, y, z], 1e-9), "spurious exclusion at ({x}, {y}, {z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_preserves_feasibility(atoms in proptest::collection::vec(atom(3), 1..6)) {
+        // If the conjunction has a feasible closure, so does its projection,
+        // and vice versa (Fourier–Motzkin is an equivalence).
+        let tuple = GeneralizedTuple::new(3, atoms);
+        let eliminated = qe::eliminate_variables(tuple.atoms(), &[2]);
+        let reduced = GeneralizedTuple::new(3, eliminated);
+        prop_assert_eq!(tuple.closure_is_empty(), reduced.closure_is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection_membership(lo1 in -3.0f64..0.0, hi1 in 0.5f64..3.0, lo2 in -3.0f64..0.0, hi2 in 0.5f64..3.0, pts in proptest::collection::vec((-4.0f64..4.0, -4.0f64..4.0), 10)) {
+        let a = GeneralizedRelation::from_box_f64(&[lo1, lo1], &[hi1, hi1]);
+        let b = GeneralizedRelation::from_box_f64(&[lo2, lo2], &[hi2, hi2]);
+        let u = a.union(&b);
+        let i = a.intersection(&b);
+        for (x, y) in pts {
+            let p = [x, y];
+            prop_assert_eq!(u.contains_f64(&p), a.contains_f64(&p) || b.contains_f64(&p));
+            prop_assert_eq!(i.contains_f64(&p), a.contains_f64(&p) && b.contains_f64(&p));
+        }
+    }
+}

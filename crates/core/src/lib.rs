@@ -1,0 +1,252 @@
+//! High-level API for approximate query evaluation in spatial constraint
+//! databases — the user-facing surface of the reproduction.
+//!
+//! A [`SpatialDatabase`] owns a set of generalized relations and exposes the
+//! paper's three capabilities:
+//!
+//! * [`SpatialDatabase::approx_generate`] — an almost-uniform sample from a
+//!   stored relation (Definition 2.2, built on Algorithm 1);
+//! * [`SpatialDatabase::approx_volume`] — an `(ε, δ)`-volume estimate
+//!   (Definition 2.1, Theorem 4.2);
+//! * [`SpatialDatabase::approx_query`] — an `(ε, δ)`-estimation of the result
+//!   *set* of a positive existential FO+LIN query (Theorem 4.4), returned as
+//!   a generalized relation built from convex hulls of samples;
+//! * [`SpatialDatabase::evaluate_exact`] — the fully symbolic baseline
+//!   (resolution + Fourier–Motzkin + DNF).
+//!
+//! # Example
+//!
+//! ```
+//! use cdb_core::SpatialDatabase;
+//! use cdb_constraint::{parse_formula, GeneralizedRelation};
+//! use cdb_sampler::GeneratorParams;
+//! use rand::SeedableRng;
+//!
+//! let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+//! db.insert("Zone", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]));
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let point = db.approx_generate("Zone", &mut rng).unwrap();
+//! assert!(db.relation("Zone").unwrap().contains_f64(&point));
+//!
+//! let volume = db.approx_volume("Zone", &mut rng).unwrap();
+//! assert!((volume - 2.0).abs() < 0.8);
+//!
+//! let query = parse_formula("Zone(x0, x1) and x0 <= 1", 2).unwrap();
+//! let result = db.evaluate_exact(&query, 2).unwrap();
+//! assert!(result.contains_f64(&[0.5, 0.5]));
+//! assert!(!result.contains_f64(&[1.5, 0.5]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+use cdb_constraint::{ConstraintError, Database, Formula, GeneralizedRelation};
+use cdb_reconstruct::{PositiveQueryEstimator, ReconstructionError};
+use cdb_sampler::compose::ObservabilityError;
+use cdb_sampler::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, UnionGenerator};
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug)]
+pub enum SpatialDbError {
+    /// The named relation is not stored in the database.
+    UnknownRelation(String),
+    /// The relation is not observable (Section 4 conditions violated).
+    NotObservable(ObservabilityError),
+    /// The generator failed (probability ≤ δ per attempt).
+    GenerationFailed,
+    /// The query could not be estimated.
+    Reconstruction(ReconstructionError),
+    /// The symbolic evaluation failed.
+    Symbolic(ConstraintError),
+}
+
+impl std::fmt::Display for SpatialDbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpatialDbError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            SpatialDbError::NotObservable(e) => write!(f, "relation is not observable: {e}"),
+            SpatialDbError::GenerationFailed => write!(f, "the generator failed to produce a point"),
+            SpatialDbError::Reconstruction(e) => write!(f, "query estimation failed: {e}"),
+            SpatialDbError::Symbolic(e) => write!(f, "symbolic evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpatialDbError {}
+
+/// A spatial constraint database with approximate evaluation capabilities.
+#[derive(Debug, Default)]
+pub struct SpatialDatabase {
+    database: Database,
+    params: GeneratorParams,
+    eps: f64,
+    delta: f64,
+}
+
+impl SpatialDatabase {
+    /// Creates an empty database with default generator parameters.
+    pub fn new() -> Self {
+        SpatialDatabase {
+            database: Database::new(),
+            params: GeneratorParams::default(),
+            eps: 0.2,
+            delta: 0.1,
+        }
+    }
+
+    /// Creates an empty database with explicit generator parameters.
+    pub fn with_params(params: GeneratorParams) -> Self {
+        SpatialDatabase { database: Database::new(), params, eps: params.eps, delta: params.delta }
+    }
+
+    /// Inserts (or replaces) a relation.
+    pub fn insert(&mut self, name: impl Into<String>, relation: GeneralizedRelation) -> &mut Self {
+        self.database.insert(name, relation);
+        self
+    }
+
+    /// The underlying symbolic database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Looks up a stored relation.
+    pub fn relation(&self, name: &str) -> Option<&GeneralizedRelation> {
+        self.database.relation(name)
+    }
+
+    /// The generator parameters in use.
+    pub fn params(&self) -> &GeneratorParams {
+        &self.params
+    }
+
+    fn union_generator(&self, name: &str) -> Result<UnionGenerator, SpatialDbError> {
+        let relation = self
+            .database
+            .relation(name)
+            .ok_or_else(|| SpatialDbError::UnknownRelation(name.to_string()))?;
+        UnionGenerator::new(relation, self.params).map_err(SpatialDbError::NotObservable)
+    }
+
+    /// Draws one almost-uniform point from the named relation.
+    pub fn approx_generate<R: Rng + ?Sized>(&self, name: &str, rng: &mut R) -> Result<Vec<f64>, SpatialDbError> {
+        let mut generator = self.union_generator(name)?;
+        generator.sample(rng).ok_or(SpatialDbError::GenerationFailed)
+    }
+
+    /// Draws `n` almost-uniform points from the named relation (failed draws
+    /// are skipped).
+    pub fn approx_generate_many<R: Rng + ?Sized>(
+        &self,
+        name: &str,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Vec<f64>>, SpatialDbError> {
+        let mut generator = self.union_generator(name)?;
+        Ok(generator.sample_many(n, rng))
+    }
+
+    /// Estimates the volume of the named relation.
+    pub fn approx_volume<R: Rng + ?Sized>(&self, name: &str, rng: &mut R) -> Result<f64, SpatialDbError> {
+        let mut generator = self.union_generator(name)?;
+        generator.estimate_volume(rng).ok_or(SpatialDbError::GenerationFailed)
+    }
+
+    /// Estimates the result set of a positive existential query (free
+    /// variables `x_0 … x_{output_arity−1}`) as a generalized relation.
+    pub fn approx_query<R: Rng + ?Sized>(
+        &self,
+        query: &Formula,
+        output_arity: usize,
+        rng: &mut R,
+    ) -> Result<GeneralizedRelation, SpatialDbError> {
+        let estimator = PositiveQueryEstimator::new(self.params, self.eps, self.delta);
+        estimator
+            .estimate(&self.database, query, output_arity, rng)
+            .map_err(SpatialDbError::Reconstruction)
+    }
+
+    /// Evaluates a query exactly through the symbolic pipeline (resolution,
+    /// Fourier–Motzkin, DNF) — the baseline the approximate path avoids.
+    pub fn evaluate_exact(&self, query: &Formula, output_arity: usize) -> Result<GeneralizedRelation, SpatialDbError> {
+        self.database.evaluate(query, output_arity).map_err(SpatialDbError::Symbolic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_constraint::parse_formula;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_db() -> SpatialDatabase {
+        let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+        db.insert("R", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]));
+        db.insert(
+            "U",
+            GeneralizedRelation::from_box_f64(&[0.0], &[1.0])
+                .union(&GeneralizedRelation::from_box_f64(&[3.0], &[4.0])),
+        );
+        db
+    }
+
+    #[test]
+    fn generate_and_volume() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(201);
+        let p = db.approx_generate("R", &mut rng).unwrap();
+        assert!(db.relation("R").unwrap().contains_f64(&p));
+        let v = db.approx_volume("R", &mut rng).unwrap();
+        assert!((v - 2.0).abs() < 0.7, "volume {v}");
+        let many = db.approx_generate_many("U", 100, &mut rng).unwrap();
+        assert!(many.len() > 80);
+        for p in &many {
+            assert!(db.relation("U").unwrap().contains_f64(p));
+        }
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(202);
+        assert!(matches!(
+            db.approx_generate("Missing", &mut rng),
+            Err(SpatialDbError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn exact_and_approximate_query_agree_roughly() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(203);
+        // Q(x0) = exists x1. R(x0, x1): the interval [0, 2].
+        let q = parse_formula("exists x1. R(x0, x1)", 2).unwrap();
+        let exact = db.evaluate_exact(&q, 1).unwrap();
+        assert!(exact.contains_f64(&[1.0]));
+        assert!(!exact.contains_f64(&[2.5]));
+        let approx = db.approx_query(&q, 1, &mut rng).unwrap();
+        // The approximation covers the middle of the interval and does not
+        // wildly overshoot.
+        assert!(approx.contains_f64(&[1.0]));
+        assert!(!approx.contains_f64(&[3.0]));
+    }
+
+    #[test]
+    fn non_observable_relation_is_reported() {
+        let mut db = SpatialDatabase::new();
+        use cdb_constraint::{Atom, GeneralizedTuple};
+        db.insert(
+            "Half",
+            GeneralizedRelation::from_tuple(GeneralizedTuple::new(1, vec![Atom::le_from_ints(&[1], 0)])),
+        );
+        let mut rng = StdRng::seed_from_u64(204);
+        assert!(matches!(
+            db.approx_volume("Half", &mut rng),
+            Err(SpatialDbError::NotObservable(_))
+        ));
+    }
+}

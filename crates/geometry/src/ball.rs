@@ -1,0 +1,63 @@
+//! Euclidean ball volumes.
+//!
+//! The paper's motivating example for why naive rejection sampling fails
+//! (Section 1) is the vanishing ratio between the volume of the unit ball and
+//! the unit cube as the dimension grows; these helpers provide the exact
+//! values used by the estimator tests and by experiment E2.
+
+/// Volume of the unit ball in dimension `d`.
+///
+/// Uses the recurrence `V_d = V_{d-2} · 2π / d` with `V_0 = 1`, `V_1 = 2`,
+/// which avoids computing Γ at half-integers explicitly.
+pub fn unit_ball_volume(d: usize) -> f64 {
+    match d {
+        0 => 1.0,
+        1 => 2.0,
+        _ => unit_ball_volume(d - 2) * 2.0 * std::f64::consts::PI / d as f64,
+    }
+}
+
+/// Volume of the ball of radius `r` in dimension `d`.
+pub fn ball_volume(d: usize, r: f64) -> f64 {
+    unit_ball_volume(d) * r.powi(d as i32)
+}
+
+/// Ratio `vol(B_d) / vol([-1,1]^d)` — the acceptance probability of naive
+/// rejection sampling of the unit ball from its bounding cube.
+pub fn ball_to_cube_ratio(d: usize) -> f64 {
+    unit_ball_volume(d) / 2f64.powi(d as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn known_unit_ball_volumes() {
+        assert!((unit_ball_volume(1) - 2.0).abs() < 1e-12);
+        assert!((unit_ball_volume(2) - PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.0 * PI / 3.0).abs() < 1e-12);
+        assert!((unit_ball_volume(4) - PI * PI / 2.0).abs() < 1e-12);
+        assert!((unit_ball_volume(5) - 8.0 * PI * PI / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_scaling() {
+        assert!((ball_volume(2, 2.0) - 4.0 * PI).abs() < 1e-12);
+        assert!((ball_volume(3, 0.5) - 4.0 * PI / 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_decays_exponentially() {
+        // The paper: an exponential number of trials is necessary to hit a
+        // d-dimensional sphere from the unit cube.
+        let mut prev = f64::INFINITY;
+        for d in 1..=14 {
+            let r = ball_to_cube_ratio(d);
+            assert!(r < prev, "ratio must decrease with dimension");
+            prev = r;
+        }
+        assert!(ball_to_cube_ratio(14) < 1e-4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Ellipsoids `{ x : (x − c)ᵀ A (x − c) ≤ 1 }` with `A` symmetric positive
+//! definite.
+//!
+//! Ellipsoids play two roles in the reproduction: they are the simplest
+//! *polynomial*-constraint convex bodies for the Section 5 extension (the
+//! Dyer–Frieze–Kannan machinery only needs a membership oracle), and they are
+//! the shape implicitly produced by the rounding step of the sampler.
+
+use cdb_linalg::{Cholesky, Matrix, Vector};
+
+use crate::ball::unit_ball_volume;
+
+/// An ellipsoid in H-like form `{ x : (x − c)ᵀ A (x − c) ≤ 1 }`.
+#[derive(Clone, Debug)]
+pub struct Ellipsoid {
+    center: Vector,
+    shape: Matrix,
+    chol: Cholesky,
+}
+
+impl Ellipsoid {
+    /// Builds an ellipsoid from its center and SPD shape matrix `A`.
+    /// Returns `None` when `A` is not positive definite.
+    pub fn new(center: Vector, shape: Matrix) -> Option<Self> {
+        if shape.rows() != center.dim() || !shape.is_square() {
+            return None;
+        }
+        let chol = shape.cholesky().ok()?;
+        Some(Ellipsoid { center, shape, chol })
+    }
+
+    /// The ball of radius `r` centered at `center`.
+    pub fn ball(center: Vector, r: f64) -> Option<Self> {
+        if r <= 0.0 {
+            return None;
+        }
+        let d = center.dim();
+        Ellipsoid::new(center, Matrix::identity(d).scale(1.0 / (r * r)))
+    }
+
+    /// An axis-aligned ellipsoid with the given semi-axis lengths.
+    pub fn axis_aligned(center: Vector, semi_axes: &[f64]) -> Option<Self> {
+        if semi_axes.len() != center.dim() || semi_axes.iter().any(|&a| a <= 0.0) {
+            return None;
+        }
+        let diag: Vec<f64> = semi_axes.iter().map(|a| 1.0 / (a * a)).collect();
+        Ellipsoid::new(center, Matrix::diagonal(&diag))
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.center.dim()
+    }
+
+    /// The center `c`.
+    pub fn center(&self) -> &Vector {
+        &self.center
+    }
+
+    /// The shape matrix `A`.
+    pub fn shape(&self) -> &Matrix {
+        &self.shape
+    }
+
+    /// Quadratic form value `(x − c)ᵀ A (x − c)`.
+    pub fn quadratic(&self, x: &Vector) -> f64 {
+        let diff = x - &self.center;
+        self.shape.mul_vector(&diff).dot(&diff)
+    }
+
+    /// Membership test with tolerance.
+    pub fn contains(&self, x: &Vector, tol: f64) -> bool {
+        self.quadratic(x) <= 1.0 + tol
+    }
+
+    /// Exact volume: `vol(B_d) / sqrt(det A)`.
+    pub fn volume(&self) -> f64 {
+        unit_ball_volume(self.dim()) / self.chol.determinant().sqrt()
+    }
+
+    /// An axis-aligned bounding box of the ellipsoid.
+    ///
+    /// The half-width along coordinate `i` is `sqrt((A⁻¹)_{ii})`.
+    pub fn bounding_box(&self) -> (Vector, Vector) {
+        let d = self.dim();
+        let inv = self
+            .shape
+            .inverse()
+            .expect("SPD shape matrix is invertible");
+        let mut lo = Vector::zeros(d);
+        let mut hi = Vector::zeros(d);
+        for i in 0..d {
+            let w = inv[(i, i)].max(0.0).sqrt();
+            lo[i] = self.center[i] - w;
+            hi[i] = self.center[i] + w;
+        }
+        (lo, hi)
+    }
+
+    /// Largest ball radius around the center that stays inside the ellipsoid
+    /// (`1 / sqrt(λ_max(A))`, bounded below here via the Cholesky factor's
+    /// largest row norm — a valid lower bound that is tight for axis-aligned
+    /// shapes).
+    pub fn inner_radius_lower_bound(&self) -> f64 {
+        let l = self.chol.factor();
+        let d = self.dim();
+        let mut max_row_norm: f64 = 0.0;
+        for i in 0..d {
+            let mut s = 0.0;
+            for j in 0..d {
+                s += l[(i, j)] * l[(i, j)];
+            }
+            max_row_norm = max_row_norm.max(s.sqrt());
+        }
+        1.0 / max_row_norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn unit_ball_membership_and_volume() {
+        let b = Ellipsoid::ball(Vector::zeros(2), 1.0).unwrap();
+        assert!(b.contains(&Vector::from(vec![0.5, 0.5]), 0.0));
+        assert!(!b.contains(&Vector::from(vec![0.9, 0.9]), 0.0));
+        assert!((b.volume() - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axis_aligned_volume() {
+        // Semi-axes 2 and 3: area = 6π.
+        let e = Ellipsoid::axis_aligned(Vector::zeros(2), &[2.0, 3.0]).unwrap();
+        assert!((e.volume() - 6.0 * PI).abs() < 1e-9);
+        assert!(e.contains(&Vector::from(vec![1.9, 0.0]), 0.0));
+        assert!(!e.contains(&Vector::from(vec![2.1, 0.0]), 0.0));
+        assert!(e.contains(&Vector::from(vec![0.0, 2.9]), 0.0));
+    }
+
+    #[test]
+    fn shifted_ball() {
+        let b = Ellipsoid::ball(Vector::from(vec![10.0, -5.0]), 0.5).unwrap();
+        assert!(b.contains(&Vector::from(vec![10.2, -5.1]), 0.0));
+        assert!(!b.contains(&Vector::from(vec![9.0, -5.0]), 0.0));
+        assert!((b.volume() - PI * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_box_contains_ellipsoid_extremes() {
+        let e = Ellipsoid::axis_aligned(Vector::from(vec![1.0, 2.0]), &[0.5, 3.0]).unwrap();
+        let (lo, hi) = e.bounding_box();
+        assert!((lo[0] - 0.5).abs() < 1e-9 && (hi[0] - 1.5).abs() < 1e-9);
+        assert!((lo[1] + 1.0).abs() < 1e-9 && (hi[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_constructions_rejected() {
+        assert!(Ellipsoid::ball(Vector::zeros(2), 0.0).is_none());
+        assert!(Ellipsoid::axis_aligned(Vector::zeros(2), &[1.0]).is_none());
+        assert!(Ellipsoid::axis_aligned(Vector::zeros(2), &[1.0, -1.0]).is_none());
+        let indefinite = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(Ellipsoid::new(Vector::zeros(2), indefinite).is_none());
+    }
+
+    #[test]
+    fn inner_radius_bound_is_safe() {
+        let e = Ellipsoid::axis_aligned(Vector::zeros(3), &[0.5, 1.0, 2.0]).unwrap();
+        let r = e.inner_radius_lower_bound();
+        assert!(r > 0.0 && r <= 0.5 + 1e-9);
+        // A ball of radius r around the center is inside the ellipsoid.
+        for i in 0..3 {
+            let mut p = Vector::zeros(3);
+            p[i] = r * 0.999;
+            assert!(e.contains(&p, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! γ-grids (Definition 2.2 of the paper).
+//!
+//! A grid of step `p` is the set of points of `R^d` whose coordinates are
+//! integer multiples of `p`. The graph induced on a relation `S` has the grid
+//! points inside `S` as vertices and pairs at distance `p` as edges; the
+//! paper's generators walk on (or count) this graph. The step is chosen so
+//! that `|V| · p^d` approximates the volume of `S` with ratio `1 + γ`.
+
+use cdb_linalg::Vector;
+
+/// An axis-aligned grid of step `p` in dimension `d`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GammaGrid {
+    dim: usize,
+    step: f64,
+}
+
+impl GammaGrid {
+    /// Creates a grid with an explicit step.
+    pub fn new(dim: usize, step: f64) -> Self {
+        assert!(step > 0.0, "grid step must be positive");
+        GammaGrid { dim, step }
+    }
+
+    /// The step recommended by the paper for a well-rounded body in dimension
+    /// `d`: `p = Θ(γ / d^{3/2})`, scaled by the body's inner radius so that
+    /// the grid resolves the inscribed ball.
+    pub fn for_well_bounded(dim: usize, gamma: f64, r_inf: f64) -> Self {
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+        let step = (gamma * r_inf / (dim as f64).powf(1.5)).max(1e-9);
+        GammaGrid { dim, step }
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The grid step `p`.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The volume of one grid cell, `p^d`.
+    pub fn cell_volume(&self) -> f64 {
+        self.step.powi(self.dim as i32)
+    }
+
+    /// Snaps a point to the nearest grid point.
+    pub fn snap(&self, x: &Vector) -> Vector {
+        assert_eq!(x.dim(), self.dim);
+        Vector::from(
+            x.iter()
+                .map(|v| (v / self.step).round() * self.step)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Integer coordinates of the grid point nearest to `x`.
+    pub fn index_of(&self, x: &Vector) -> Vec<i64> {
+        x.iter().map(|v| (v / self.step).round() as i64).collect()
+    }
+
+    /// The grid point with the given integer coordinates.
+    pub fn point_at(&self, idx: &[i64]) -> Vector {
+        assert_eq!(idx.len(), self.dim);
+        Vector::from(idx.iter().map(|&i| i as f64 * self.step).collect::<Vec<_>>())
+    }
+
+    /// Returns `true` when `x` lies on the grid (up to a relative tolerance).
+    pub fn is_grid_point(&self, x: &Vector, tol: f64) -> bool {
+        x.iter().all(|v| {
+            let r = (v / self.step).round();
+            (v - r * self.step).abs() <= tol * self.step.max(1.0)
+        })
+    }
+
+    /// The `2d` axis neighbors of a grid point (given by integer coordinates).
+    pub fn neighbors(&self, idx: &[i64]) -> Vec<Vec<i64>> {
+        let mut out = Vec::with_capacity(2 * self.dim);
+        for i in 0..self.dim {
+            for delta in [-1i64, 1] {
+                let mut n = idx.to_vec();
+                n[i] += delta;
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// Number of grid points in the axis-aligned box `[lo, hi]` (inclusive),
+    /// as a floating-point count (it can exceed `u64` in high dimension).
+    pub fn count_in_box(&self, lo: &Vector, hi: &Vector) -> f64 {
+        assert_eq!(lo.dim(), self.dim);
+        assert_eq!(hi.dim(), self.dim);
+        let mut count = 1.0;
+        for i in 0..self.dim {
+            let a = (lo[i] / self.step).ceil() as i64;
+            let b = (hi[i] / self.step).floor() as i64;
+            if b < a {
+                return 0.0;
+            }
+            count *= (b - a + 1) as f64;
+        }
+        count
+    }
+
+    /// Enumerates the integer coordinates of all grid points in the box
+    /// `[lo, hi]`, provided their number does not exceed `max_points`
+    /// (returns `None` otherwise). Intended for the fixed-dimension
+    /// algorithms of Section 3, where the count is polynomial.
+    pub fn enumerate_in_box(
+        &self,
+        lo: &Vector,
+        hi: &Vector,
+        max_points: usize,
+    ) -> Option<Vec<Vec<i64>>> {
+        let total = self.count_in_box(lo, hi);
+        if total > max_points as f64 {
+            return None;
+        }
+        let mut ranges = Vec::with_capacity(self.dim);
+        for i in 0..self.dim {
+            let a = (lo[i] / self.step).ceil() as i64;
+            let b = (hi[i] / self.step).floor() as i64;
+            if b < a {
+                return Some(Vec::new());
+            }
+            ranges.push((a, b));
+        }
+        let mut out = Vec::with_capacity(total as usize);
+        let mut current: Vec<i64> = ranges.iter().map(|&(a, _)| a).collect();
+        loop {
+            out.push(current.clone());
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == self.dim {
+                    return Some(out);
+                }
+                current[i] += 1;
+                if current[i] <= ranges[i].1 {
+                    break;
+                }
+                current[i] = ranges[i].0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapping_and_indexing() {
+        let g = GammaGrid::new(2, 0.5);
+        let p = Vector::from(vec![1.26, -0.74]);
+        let s = g.snap(&p);
+        assert_eq!(s.as_slice(), &[1.5, -0.5]);
+        assert_eq!(g.index_of(&p), vec![3, -1]);
+        assert_eq!(g.point_at(&[3, -1]).as_slice(), &[1.5, -0.5]);
+        assert!(g.is_grid_point(&s, 1e-9));
+        assert!(!g.is_grid_point(&p, 1e-9));
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one_step() {
+        let g = GammaGrid::new(3, 0.25);
+        let ns = g.neighbors(&[0, 0, 0]);
+        assert_eq!(ns.len(), 6);
+        for n in ns {
+            let p = g.point_at(&n);
+            assert!((p.norm() - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counting_in_boxes() {
+        let g = GammaGrid::new(2, 1.0);
+        let lo = Vector::from(vec![0.0, 0.0]);
+        let hi = Vector::from(vec![2.0, 3.0]);
+        assert_eq!(g.count_in_box(&lo, &hi), 12.0); // 3 x 4 lattice points
+        let empty = g.count_in_box(&Vector::from(vec![0.4, 0.0]), &Vector::from(vec![0.6, 1.0]));
+        assert_eq!(empty, 0.0);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let g = GammaGrid::new(2, 0.5);
+        let lo = Vector::from(vec![-0.5, 0.0]);
+        let hi = Vector::from(vec![0.5, 1.0]);
+        let pts = g.enumerate_in_box(&lo, &hi, 1000).unwrap();
+        assert_eq!(pts.len() as f64, g.count_in_box(&lo, &hi));
+        for idx in &pts {
+            let p = g.point_at(idx);
+            assert!(p[0] >= -0.5 - 1e-9 && p[0] <= 0.5 + 1e-9);
+            assert!(p[1] >= -1e-9 && p[1] <= 1.0 + 1e-9);
+        }
+        // A limit that is too small aborts the enumeration.
+        assert!(g.enumerate_in_box(&lo, &hi, 2).is_none());
+    }
+
+    #[test]
+    fn grid_step_respects_gamma_and_dimension() {
+        let coarse = GammaGrid::for_well_bounded(2, 0.5, 1.0);
+        let fine = GammaGrid::for_well_bounded(2, 0.05, 1.0);
+        assert!(fine.step() < coarse.step());
+        let high_dim = GammaGrid::for_well_bounded(16, 0.5, 1.0);
+        assert!(high_dim.step() < coarse.step());
+        // |V| p^d approximates the volume of a box: count * cell_volume close to vol.
+        let g = GammaGrid::new(2, 0.01);
+        let lo = Vector::from(vec![0.0, 0.0]);
+        let hi = Vector::from(vec![1.0, 2.0]);
+        let approx = g.count_in_box(&lo, &hi) * g.cell_volume();
+        assert!((approx - 2.0).abs() / 2.0 < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_rejected() {
+        let _ = GammaGrid::new(2, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Closed halfspaces `a·x ≤ b`.
+
+use cdb_linalg::Vector;
+
+/// A closed halfspace `{ x : normal·x ≤ offset }`.
+///
+/// The paper works with open halfspaces (strict inequalities); for every
+/// measure-related purpose (volume, sampling, membership up to a grid step)
+/// the boundary has measure zero, so the closed representation is used
+/// throughout the geometric layer. The symbolic layer in `cdb-constraint`
+/// keeps track of strictness where it matters (emptiness of lower-dimensional
+/// sets).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Halfspace {
+    normal: Vector,
+    offset: f64,
+}
+
+impl Halfspace {
+    /// Creates the halfspace `normal·x ≤ offset`.
+    pub fn new(normal: Vector, offset: f64) -> Self {
+        Halfspace { normal, offset }
+    }
+
+    /// Creates the halfspace from slices.
+    pub fn from_slice(normal: &[f64], offset: f64) -> Self {
+        Halfspace { normal: Vector::from(normal), offset }
+    }
+
+    /// The axis-aligned upper bound `x_i ≤ b` in dimension `dim`.
+    pub fn upper_bound(dim: usize, coord: usize, b: f64) -> Self {
+        Halfspace { normal: Vector::basis(dim, coord), offset: b }
+    }
+
+    /// The axis-aligned lower bound `x_i ≥ b` in dimension `dim`
+    /// (stored as `−x_i ≤ −b`).
+    pub fn lower_bound(dim: usize, coord: usize, b: f64) -> Self {
+        Halfspace { normal: -&Vector::basis(dim, coord), offset: -b }
+    }
+
+    /// The outward normal `a`.
+    pub fn normal(&self) -> &Vector {
+        &self.normal
+    }
+
+    /// The offset `b`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.normal.dim()
+    }
+
+    /// Signed slack `offset − normal·x`: non-negative inside, negative outside.
+    pub fn slack(&self, x: &Vector) -> f64 {
+        self.offset - self.normal.dot(x)
+    }
+
+    /// Membership test with tolerance.
+    pub fn contains(&self, x: &Vector, tol: f64) -> bool {
+        self.slack(x) >= -tol
+    }
+
+    /// Euclidean norm of the normal vector.
+    pub fn normal_norm(&self) -> f64 {
+        self.normal.norm()
+    }
+
+    /// Signed Euclidean distance from `x` to the bounding hyperplane
+    /// (positive inside the halfspace). Returns `None` for a degenerate
+    /// (zero-normal) halfspace.
+    pub fn signed_distance(&self, x: &Vector) -> Option<f64> {
+        let n = self.normal_norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self.slack(x) / n)
+        }
+    }
+
+    /// Returns a scaled copy with a unit normal (`None` if the normal is zero).
+    pub fn normalized(&self) -> Option<Halfspace> {
+        let n = self.normal_norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(Halfspace { normal: self.normal.scale(1.0 / n), offset: self.offset / n })
+        }
+    }
+
+    /// The complementary halfspace `normal·x ≥ offset`, i.e. `−normal·x ≤ −offset`.
+    pub fn complement(&self) -> Halfspace {
+        Halfspace { normal: -&self.normal, offset: -self.offset }
+    }
+
+    /// Translates the halfspace by `t` (the set moves by `t`).
+    pub fn translate(&self, t: &Vector) -> Halfspace {
+        Halfspace { normal: self.normal.clone(), offset: self.offset + self.normal.dot(t) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_and_slack() {
+        let h = Halfspace::from_slice(&[1.0, 1.0], 1.0);
+        assert!(h.contains(&Vector::from(vec![0.2, 0.3]), 1e-9));
+        assert!(!h.contains(&Vector::from(vec![0.8, 0.8]), 1e-9));
+        assert!((h.slack(&Vector::from(vec![0.25, 0.25])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_bounds() {
+        let up = Halfspace::upper_bound(3, 1, 2.0);
+        let lo = Halfspace::lower_bound(3, 1, -1.0);
+        let p = Vector::from(vec![100.0, 0.5, -100.0]);
+        assert!(up.contains(&p, 0.0));
+        assert!(lo.contains(&p, 0.0));
+        let q = Vector::from(vec![0.0, -2.0, 0.0]);
+        assert!(!lo.contains(&q, 0.0));
+    }
+
+    #[test]
+    fn signed_distance_and_normalization() {
+        let h = Halfspace::from_slice(&[3.0, 4.0], 5.0);
+        let origin = Vector::zeros(2);
+        assert!((h.signed_distance(&origin).unwrap() - 1.0).abs() < 1e-12);
+        let n = h.normalized().unwrap();
+        assert!((n.normal_norm() - 1.0).abs() < 1e-12);
+        assert!((n.offset() - 1.0).abs() < 1e-12);
+        let degenerate = Halfspace::from_slice(&[0.0, 0.0], 1.0);
+        assert!(degenerate.signed_distance(&origin).is_none());
+        assert!(degenerate.normalized().is_none());
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let h = Halfspace::from_slice(&[1.0], 0.0);
+        let c = h.complement();
+        let inside = Vector::from(vec![-1.0]);
+        let outside = Vector::from(vec![1.0]);
+        assert!(h.contains(&inside, 0.0) && !h.contains(&outside, 1e-9) == c.contains(&outside, 0.0));
+    }
+
+    #[test]
+    fn translation_moves_the_set() {
+        let h = Halfspace::from_slice(&[1.0, 0.0], 1.0);
+        let t = Vector::from(vec![2.0, 0.0]);
+        let moved = h.translate(&t);
+        assert!(moved.contains(&Vector::from(vec![2.5, 0.0]), 0.0));
+        assert!(!moved.contains(&Vector::from(vec![3.5, 0.0]), 1e-9));
+    }
+}

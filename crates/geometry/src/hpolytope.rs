@@ -1,0 +1,464 @@
+//! Convex polyhedra in H-representation (finite intersections of halfspaces).
+
+use cdb_linalg::{AffineMap, Matrix, Vector};
+use cdb_lp::{LpOutcome, LpProblem};
+
+use crate::{Halfspace, GEOM_EPS};
+
+/// Certificate that a convex relation is *well-bounded* in the sense of the
+/// paper (Section 2): it contains a ball of radius `r_inf` and is contained
+/// in a ball of radius `r_sup`, both centered at `center`.
+#[derive(Clone, Debug)]
+pub struct WellBounded {
+    /// Center of both certificate balls (the Chebyshev center).
+    pub center: Vector,
+    /// Radius of the inscribed ball.
+    pub r_inf: f64,
+    /// Radius of the enclosing ball.
+    pub r_sup: f64,
+}
+
+impl WellBounded {
+    /// The "roundness" ratio `r_sup / r_inf` that controls the mixing time of
+    /// the Dyer–Frieze–Kannan walk before rounding.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.r_sup / self.r_inf
+    }
+}
+
+/// A convex polyhedron `{ x ∈ R^d : a_i·x ≤ b_i }` given by its defining
+/// halfspaces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HPolytope {
+    dim: usize,
+    halfspaces: Vec<Halfspace>,
+}
+
+impl HPolytope {
+    /// Creates a polytope from a list of halfspaces (possibly empty, meaning
+    /// the whole space).
+    pub fn new(dim: usize, halfspaces: Vec<Halfspace>) -> Self {
+        for h in &halfspaces {
+            assert_eq!(h.dim(), dim, "halfspace dimension mismatch");
+        }
+        HPolytope { dim, halfspaces }
+    }
+
+    /// The whole space `R^dim`.
+    pub fn whole_space(dim: usize) -> Self {
+        HPolytope { dim, halfspaces: Vec::new() }
+    }
+
+    /// The axis-aligned box `[lo_i, hi_i]` in each coordinate.
+    pub fn axis_box(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "box bounds dimension mismatch");
+        let dim = lo.len();
+        let mut hs = Vec::with_capacity(2 * dim);
+        for i in 0..dim {
+            hs.push(Halfspace::upper_bound(dim, i, hi[i]));
+            hs.push(Halfspace::lower_bound(dim, i, lo[i]));
+        }
+        HPolytope { dim, halfspaces: hs }
+    }
+
+    /// The hypercube `[-half, half]^dim`.
+    pub fn hypercube(dim: usize, half: f64) -> Self {
+        HPolytope::axis_box(&vec![-half; dim], &vec![half; dim])
+    }
+
+    /// The standard simplex `{ x ≥ 0, Σ x_i ≤ 1 }`.
+    pub fn standard_simplex(dim: usize) -> Self {
+        let mut hs = Vec::with_capacity(dim + 1);
+        for i in 0..dim {
+            hs.push(Halfspace::lower_bound(dim, i, 0.0));
+        }
+        hs.push(Halfspace::from_slice(&vec![1.0; dim], 1.0));
+        HPolytope { dim, halfspaces: hs }
+    }
+
+    /// The cross-polytope `{ Σ |x_i| ≤ r }` (2^dim facets — keep `dim` small).
+    pub fn cross_polytope(dim: usize, r: f64) -> Self {
+        let mut hs = Vec::with_capacity(1 << dim);
+        for mask in 0..(1u32 << dim) {
+            let normal: Vec<f64> = (0..dim)
+                .map(|i| if mask >> i & 1 == 1 { -1.0 } else { 1.0 })
+                .collect();
+            hs.push(Halfspace::from_slice(&normal, r));
+        }
+        HPolytope { dim, halfspaces: hs }
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The defining halfspaces.
+    pub fn halfspaces(&self) -> &[Halfspace] {
+        &self.halfspaces
+    }
+
+    /// Number of defining halfspaces.
+    pub fn n_constraints(&self) -> usize {
+        self.halfspaces.len()
+    }
+
+    /// Adds one halfspace in place.
+    pub fn push(&mut self, h: Halfspace) {
+        assert_eq!(h.dim(), self.dim, "halfspace dimension mismatch");
+        self.halfspaces.push(h);
+    }
+
+    /// Membership test with tolerance.
+    pub fn contains(&self, x: &Vector, tol: f64) -> bool {
+        self.halfspaces.iter().all(|h| h.contains(x, tol))
+    }
+
+    /// Membership test on a slice.
+    pub fn contains_slice(&self, x: &[f64], tol: f64) -> bool {
+        self.contains(&Vector::from(x), tol)
+    }
+
+    /// Intersection with another polytope over the same space.
+    pub fn intersect(&self, other: &HPolytope) -> HPolytope {
+        assert_eq!(self.dim, other.dim, "intersection dimension mismatch");
+        let mut hs = self.halfspaces.clone();
+        hs.extend(other.halfspaces.iter().cloned());
+        HPolytope { dim: self.dim, halfspaces: hs }
+    }
+
+    /// Translates the polytope by `t`.
+    pub fn translate(&self, t: &Vector) -> HPolytope {
+        HPolytope {
+            dim: self.dim,
+            halfspaces: self.halfspaces.iter().map(|h| h.translate(t)).collect(),
+        }
+    }
+
+    /// Image under an invertible affine map `y = M x + t`:
+    /// `{ y : A M⁻¹ y ≤ b + A M⁻¹ t }`.
+    pub fn affine_image(&self, map: &AffineMap) -> HPolytope {
+        assert_eq!(map.dim(), self.dim, "affine map dimension mismatch");
+        let inv = map.inverted();
+        let halfspaces = self
+            .halfspaces
+            .iter()
+            .map(|h| {
+                // a·x ≤ b with x = M⁻¹(y − t)  ⇒  (M⁻ᵀ a)·y ≤ b + a·M⁻¹ t.
+                let new_normal = inv.linear().transpose().mul_vector(h.normal());
+                let shift = h.normal().dot(&inv.linear().mul_vector(map.translation_part()));
+                Halfspace::new(new_normal, h.offset() + shift)
+            })
+            .collect();
+        HPolytope { dim: self.dim, halfspaces }
+    }
+
+    /// Builds an LP over this polytope's constraints.
+    fn lp(&self) -> LpProblem<f64> {
+        let mut lp = LpProblem::new(self.dim);
+        for h in &self.halfspaces {
+            lp.add_le(h.normal().as_slice().to_vec(), h.offset());
+        }
+        lp
+    }
+
+    /// Returns `true` when the polytope has no point at all.
+    pub fn is_empty(&self) -> bool {
+        self.lp().feasible_point().is_none()
+    }
+
+    /// Any feasible point, if one exists.
+    pub fn feasible_point(&self) -> Option<Vector> {
+        self.lp().feasible_point().map(Vector::from)
+    }
+
+    /// The support value `max { dir·x : x ∈ P }`, or `None` when the polytope
+    /// is empty or unbounded in that direction.
+    pub fn support(&self, dir: &Vector) -> Option<f64> {
+        match self.lp().maximize(dir.as_slice().to_vec()) {
+            LpOutcome::Optimal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Chebyshev ball: the center and radius of a largest inscribed ball.
+    /// Returns `None` when the polytope is empty or the radius is unbounded
+    /// (the polytope contains arbitrarily large balls).
+    pub fn chebyshev_ball(&self) -> Option<(Vector, f64)> {
+        if self.halfspaces.is_empty() {
+            return None;
+        }
+        // Variables (x, r): maximize r subject to a_i·x + ||a_i|| r ≤ b_i, r ≥ 0.
+        let mut lp = LpProblem::new(self.dim + 1);
+        let mut obj = vec![0.0; self.dim + 1];
+        obj[self.dim] = 1.0;
+        lp.set_objective(obj);
+        for h in &self.halfspaces {
+            let mut row = h.normal().as_slice().to_vec();
+            row.push(h.normal_norm());
+            lp.add_le(row, h.offset());
+        }
+        let mut r_nonneg = vec![0.0; self.dim + 1];
+        r_nonneg[self.dim] = 1.0;
+        lp.add_ge(r_nonneg, 0.0);
+        match lp.solve() {
+            LpOutcome::Optimal { point, value } => {
+                if value < 0.0 {
+                    return None;
+                }
+                Some((Vector::from(&point[..self.dim]), value))
+            }
+            _ => None,
+        }
+    }
+
+    /// Axis-aligned bounding box, or `None` if the polytope is empty or
+    /// unbounded.
+    pub fn bounding_box(&self) -> Option<(Vector, Vector)> {
+        let mut lo = Vector::zeros(self.dim);
+        let mut hi = Vector::zeros(self.dim);
+        let lp = self.lp();
+        for j in 0..self.dim {
+            let mut dir = vec![0.0; self.dim];
+            dir[j] = 1.0;
+            match lp.maximize(dir.clone()) {
+                LpOutcome::Optimal { value, .. } => hi[j] = value,
+                _ => return None,
+            }
+            match lp.minimize(dir) {
+                LpOutcome::Optimal { value, .. } => lo[j] = value,
+                _ => return None,
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Returns `true` when the polytope is non-empty and bounded.
+    pub fn is_bounded_nonempty(&self) -> bool {
+        self.bounding_box().is_some()
+    }
+
+    /// Well-boundedness certificate (Section 2 of the paper): the Chebyshev
+    /// center together with the inscribed radius and an enclosing radius.
+    /// Returns `None` for empty, lower-dimensional or unbounded polytopes.
+    pub fn well_bounded(&self) -> Option<WellBounded> {
+        let (center, r_inf) = self.chebyshev_ball()?;
+        if r_inf <= GEOM_EPS {
+            return None;
+        }
+        let (lo, hi) = self.bounding_box()?;
+        let mut r_sup: f64 = 0.0;
+        for j in 0..self.dim {
+            let extent = (hi[j] - center[j]).abs().max((center[j] - lo[j]).abs());
+            r_sup += extent * extent;
+        }
+        Some(WellBounded { center, r_inf, r_sup: r_sup.sqrt() })
+    }
+
+    /// Enumerates the vertices of a bounded polytope by intersecting every
+    /// subset of `dim` bounding hyperplanes and keeping the feasible,
+    /// non-degenerate solutions. Exponential in `dim` by nature — intended
+    /// for the small dimensions where exact geometry is required (Section 3
+    /// of the paper and reconstruction quality measurements).
+    pub fn vertices(&self) -> Vec<Vector> {
+        let d = self.dim;
+        let m = self.halfspaces.len();
+        if m < d {
+            return Vec::new();
+        }
+        let mut verts: Vec<Vector> = Vec::new();
+        let mut combo: Vec<usize> = (0..d).collect();
+        loop {
+            // Solve the d×d system formed by the selected hyperplanes.
+            let mut rows = Vec::with_capacity(d);
+            let mut rhs = Vector::zeros(d);
+            for (k, &i) in combo.iter().enumerate() {
+                rows.push(self.halfspaces[i].normal().as_slice().to_vec());
+                rhs[k] = self.halfspaces[i].offset();
+            }
+            let a = Matrix::from_rows(&rows);
+            if let Ok(x) = a.solve(&rhs) {
+                if x.is_finite() && self.contains(&x, 1e-6) {
+                    let is_new = verts.iter().all(|v| v.distance(&x) > 1e-6);
+                    if is_new {
+                        verts.push(x);
+                    }
+                }
+            }
+            // Advance to the next d-combination of {0, …, m−1}.
+            let mut i = d;
+            loop {
+                if i == 0 {
+                    return verts;
+                }
+                i -= 1;
+                if combo[i] != i + m - d {
+                    combo[i] += 1;
+                    for j in (i + 1)..d {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Removes halfspaces that are redundant (implied by the others), using
+    /// one LP per constraint. Keeps the polytope's point set unchanged.
+    pub fn without_redundant(&self) -> HPolytope {
+        let mut kept: Vec<Halfspace> = Vec::with_capacity(self.halfspaces.len());
+        for (i, h) in self.halfspaces.iter().enumerate() {
+            // h is redundant iff max a·x over the other constraints is ≤ b.
+            let mut lp = LpProblem::new(self.dim);
+            for (j, other) in self.halfspaces.iter().enumerate() {
+                if i != j {
+                    lp.add_le(other.normal().as_slice().to_vec(), other.offset());
+                }
+            }
+            let redundant = match lp.maximize(h.normal().as_slice().to_vec()) {
+                LpOutcome::Optimal { value, .. } => value <= h.offset() + GEOM_EPS,
+                _ => false,
+            };
+            if !redundant {
+                kept.push(h.clone());
+            }
+        }
+        if kept.is_empty() && !self.halfspaces.is_empty() {
+            // Everything was mutually redundant (e.g. duplicated constraints);
+            // keep one to preserve the set.
+            kept.push(self.halfspaces[0].clone());
+        }
+        HPolytope { dim: self.dim, halfspaces: kept }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_membership_and_bounds() {
+        let b = HPolytope::axis_box(&[-1.0, 0.0], &[1.0, 2.0]);
+        assert!(b.contains_slice(&[0.0, 1.0], 0.0));
+        assert!(!b.contains_slice(&[0.0, 2.5], 1e-9));
+        let (lo, hi) = b.bounding_box().unwrap();
+        assert_eq!(lo.as_slice(), &[-1.0, 0.0]);
+        assert_eq!(hi.as_slice(), &[1.0, 2.0]);
+        assert!(b.is_bounded_nonempty());
+    }
+
+    #[test]
+    fn chebyshev_ball_of_box_and_simplex() {
+        let b = HPolytope::axis_box(&[0.0, 0.0], &[2.0, 4.0]);
+        let (c, r) = b.chebyshev_ball().unwrap();
+        assert!((r - 1.0).abs() < 1e-6);
+        assert!((c[0] - 1.0).abs() < 1e-6);
+        let s = HPolytope::standard_simplex(2);
+        let (_, rs) = s.chebyshev_ball().unwrap();
+        // Inradius of the right triangle with legs 1: (a+b-c)/2 = (2-sqrt2)/2.
+        assert!((rs - (2.0 - 2f64.sqrt()) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn emptiness_detection() {
+        let mut p = HPolytope::axis_box(&[0.0], &[1.0]);
+        assert!(!p.is_empty());
+        p.push(Halfspace::lower_bound(1, 0, 2.0));
+        assert!(p.is_empty());
+        assert!(p.feasible_point().is_none());
+        assert!(p.well_bounded().is_none());
+    }
+
+    #[test]
+    fn unbounded_polytope_has_no_bounding_box() {
+        let half_plane = HPolytope::new(2, vec![Halfspace::from_slice(&[1.0, 0.0], 0.0)]);
+        assert!(half_plane.bounding_box().is_none());
+        assert!(half_plane.chebyshev_ball().is_none());
+        assert!(!half_plane.is_empty());
+        assert!(HPolytope::whole_space(2).chebyshev_ball().is_none());
+    }
+
+    #[test]
+    fn vertices_of_square_and_simplex() {
+        let sq = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let mut vs = sq.vertices();
+        assert_eq!(vs.len(), 4);
+        vs.sort_by(|a, b| (a[0], a[1]).partial_cmp(&(b[0], b[1])).unwrap());
+        assert!((vs[0][0] - 0.0).abs() < 1e-9 && (vs[3][1] - 1.0).abs() < 1e-9);
+
+        let simplex = HPolytope::standard_simplex(3);
+        assert_eq!(simplex.vertices().len(), 4);
+    }
+
+    #[test]
+    fn cross_polytope_vertices() {
+        let cp = HPolytope::cross_polytope(3, 1.0);
+        let vs = cp.vertices();
+        // The octahedron has 6 vertices (±e_i).
+        assert_eq!(vs.len(), 6);
+        for v in &vs {
+            assert!((v.norm() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn intersection_and_translation() {
+        let a = HPolytope::axis_box(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = HPolytope::axis_box(&[1.0, 1.0], &[3.0, 3.0]);
+        let i = a.intersect(&b);
+        assert!(i.contains_slice(&[1.5, 1.5], 0.0));
+        assert!(!i.contains_slice(&[0.5, 0.5], 1e-9));
+        let t = a.translate(&Vector::from(vec![10.0, 0.0]));
+        assert!(t.contains_slice(&[11.0, 1.0], 0.0));
+        assert!(!t.contains_slice(&[1.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn affine_image_of_box() {
+        let b = HPolytope::hypercube(2, 1.0);
+        let map = AffineMap::new(
+            Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 0.5]]),
+            Vector::from(vec![1.0, 1.0]),
+        )
+        .unwrap();
+        let img = b.affine_image(&map);
+        // The image is [-1,3] x [0.5,1.5].
+        assert!(img.contains_slice(&[2.9, 1.4], 1e-9));
+        assert!(!img.contains_slice(&[3.1, 1.0], 1e-9));
+        assert!(!img.contains_slice(&[0.0, 0.4], 1e-9));
+        let (lo, hi) = img.bounding_box().unwrap();
+        assert!((lo[0] + 1.0).abs() < 1e-6 && (hi[0] - 3.0).abs() < 1e-6);
+        assert!((lo[1] - 0.5).abs() < 1e-6 && (hi[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn well_bounded_certificate() {
+        let b = HPolytope::axis_box(&[0.0, 0.0, 0.0], &[2.0, 2.0, 2.0]);
+        let wb = b.well_bounded().unwrap();
+        assert!((wb.r_inf - 1.0).abs() < 1e-6);
+        assert!((wb.r_sup - 3f64.sqrt()).abs() < 1e-6);
+        assert!(wb.aspect_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn redundancy_removal() {
+        let mut p = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+        p.push(Halfspace::from_slice(&[1.0, 1.0], 10.0)); // implied by the box
+        p.push(Halfspace::upper_bound(2, 0, 5.0)); // also implied
+        let r = p.without_redundant();
+        assert_eq!(r.n_constraints(), 4);
+        // The point set is unchanged.
+        for probe in [[0.5, 0.5], [1.5, 0.5], [-0.1, 0.2]] {
+            assert_eq!(p.contains_slice(&probe, 0.0), r.contains_slice(&probe, 0.0));
+        }
+    }
+
+    #[test]
+    fn support_function() {
+        let b = HPolytope::hypercube(2, 1.0);
+        assert!((b.support(&Vector::from(vec![1.0, 1.0])).unwrap() - 2.0).abs() < 1e-6);
+        assert!((b.support(&Vector::from(vec![-1.0, 0.0])).unwrap() - 1.0).abs() < 1e-6);
+        let half_plane = HPolytope::new(2, vec![Halfspace::from_slice(&[1.0, 0.0], 0.0)]);
+        assert!(half_plane.support(&Vector::from(vec![-1.0, 0.0])).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Invertible affine maps `x ↦ A x + b`.
+//!
+//! The Dyer–Frieze–Kannan generator first applies an affine transformation
+//! that makes the convex body "well-rounded"; points are sampled in the
+//! transformed space and mapped back through the inverse, and volumes are
+//! rescaled by `|det A|`.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// An invertible affine transformation `x ↦ A x + b` with a cached inverse.
+#[derive(Clone, Debug)]
+pub struct AffineMap {
+    forward: Matrix,
+    inverse: Matrix,
+    offset: Vector,
+    det_abs: f64,
+}
+
+impl AffineMap {
+    /// The identity map in dimension `dim`.
+    pub fn identity(dim: usize) -> Self {
+        AffineMap {
+            forward: Matrix::identity(dim),
+            inverse: Matrix::identity(dim),
+            offset: Vector::zeros(dim),
+            det_abs: 1.0,
+        }
+    }
+
+    /// Builds the map `x ↦ A x + b`; fails when `A` is singular.
+    pub fn new(a: Matrix, b: Vector) -> Result<Self, LinalgError> {
+        if a.rows() != b.dim() {
+            return Err(LinalgError::DimensionMismatch { expected: a.rows(), found: b.dim() });
+        }
+        let inverse = a.inverse()?;
+        let det_abs = a.determinant().abs();
+        Ok(AffineMap { forward: a, inverse, offset: b, det_abs })
+    }
+
+    /// A pure translation.
+    pub fn translation(b: Vector) -> Self {
+        let dim = b.dim();
+        AffineMap {
+            forward: Matrix::identity(dim),
+            inverse: Matrix::identity(dim),
+            offset: b,
+            det_abs: 1.0,
+        }
+    }
+
+    /// A uniform scaling around the origin (`s != 0`).
+    pub fn scaling(dim: usize, s: f64) -> Self {
+        assert!(s != 0.0, "zero scaling is not invertible");
+        AffineMap {
+            forward: Matrix::identity(dim).scale(s),
+            inverse: Matrix::identity(dim).scale(1.0 / s),
+            offset: Vector::zeros(dim),
+            det_abs: s.abs().powi(dim as i32),
+        }
+    }
+
+    /// The space dimension the map acts on.
+    pub fn dim(&self) -> usize {
+        self.offset.dim()
+    }
+
+    /// The linear part `A`.
+    pub fn linear(&self) -> &Matrix {
+        &self.forward
+    }
+
+    /// The translation part `b`.
+    pub fn translation_part(&self) -> &Vector {
+        &self.offset
+    }
+
+    /// Absolute value of the determinant of the linear part; volumes are
+    /// multiplied by this factor under the map.
+    pub fn det_abs(&self) -> f64 {
+        self.det_abs
+    }
+
+    /// Applies the map: `A x + b`.
+    pub fn apply(&self, x: &Vector) -> Vector {
+        &self.forward.mul_vector(x) + &self.offset
+    }
+
+    /// Applies the inverse map: `A⁻¹ (y − b)`.
+    pub fn apply_inverse(&self, y: &Vector) -> Vector {
+        self.inverse.mul_vector(&(y - &self.offset))
+    }
+
+    /// Composition `self ∘ other` (first `other`, then `self`).
+    pub fn compose(&self, other: &AffineMap) -> AffineMap {
+        AffineMap {
+            forward: self.forward.mul_matrix(&other.forward),
+            inverse: other.inverse.mul_matrix(&self.inverse),
+            offset: &self.forward.mul_vector(&other.offset) + &self.offset,
+            det_abs: self.det_abs * other.det_abs,
+        }
+    }
+
+    /// The inverse map.
+    pub fn inverted(&self) -> AffineMap {
+        AffineMap {
+            forward: self.inverse.clone(),
+            inverse: self.forward.clone(),
+            offset: -&self.inverse.mul_vector(&self.offset),
+            det_abs: 1.0 / self.det_abs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let id = AffineMap::identity(3);
+        let v = Vector::from(vec![1.0, -2.0, 0.5]);
+        assert_eq!(id.apply(&v).as_slice(), v.as_slice());
+        assert_eq!(id.det_abs(), 1.0);
+    }
+
+    #[test]
+    fn apply_and_inverse_roundtrip() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 3.0]]);
+        let map = AffineMap::new(a, Vector::from(vec![1.0, -1.0])).unwrap();
+        let v = Vector::from(vec![0.3, 0.9]);
+        let w = map.apply_inverse(&map.apply(&v));
+        for i in 0..2 {
+            assert!((w[i] - v[i]).abs() < 1e-12);
+        }
+        assert!((map.det_abs() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_linear_part_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(AffineMap::new(a, Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let m1 = AffineMap::new(
+            Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0]]),
+            Vector::from(vec![1.0, 0.0]),
+        )
+        .unwrap();
+        let m2 = AffineMap::new(
+            Matrix::from_rows(&[vec![0.0, -1.0], vec![1.0, 0.0]]),
+            Vector::from(vec![0.0, 2.0]),
+        )
+        .unwrap();
+        let comp = m1.compose(&m2);
+        let v = Vector::from(vec![0.7, -0.4]);
+        let direct = m1.apply(&m2.apply(&v));
+        let composed = comp.apply(&v);
+        for i in 0..2 {
+            assert!((direct[i] - composed[i]).abs() < 1e-12);
+        }
+        assert!((comp.det_abs() - m1.det_abs() * m2.det_abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_map() {
+        let m = AffineMap::scaling(2, 4.0).compose(&AffineMap::translation(Vector::from(vec![1.0, 2.0])));
+        let inv = m.inverted();
+        let v = Vector::from(vec![-0.2, 0.8]);
+        let w = inv.apply(&m.apply(&v));
+        for i in 0..2 {
+            assert!((w[i] - v[i]).abs() < 1e-12);
+        }
+        assert!((inv.det_abs() - 1.0 / m.det_abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_determinant() {
+        let m = AffineMap::scaling(3, 2.0);
+        assert!((m.det_abs() - 8.0).abs() < 1e-12);
+        let m = AffineMap::scaling(2, -3.0);
+        assert!((m.det_abs() - 9.0).abs() < 1e-12);
+    }
+}

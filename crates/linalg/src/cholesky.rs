@@ -1,0 +1,165 @@
+//! Cholesky factorization of symmetric positive definite matrices.
+//!
+//! The rounding step of the Dyer–Frieze–Kannan sampler whitens the body with
+//! the inverse square root of an estimated covariance matrix; the Cholesky
+//! factor is exactly that square root.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive definite matrix.
+    pub fn new(a: &Matrix) -> Result<Cholesky, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch { expected: a.rows(), found: a.cols() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Determinant of the original matrix (product of squared diagonal
+    /// entries of `L`).
+    pub fn determinant(&self) -> f64 {
+        let n = self.l.rows();
+        let mut det = 1.0;
+        for i in 0..n {
+            det *= self.l[(i, i)] * self.l[(i, i)];
+        }
+        det
+    }
+
+    /// Solves `A x = b` using the factorization.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.l.rows();
+        if b.dim() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: b.dim() });
+        }
+        // Forward substitution L y = b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * y[j];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution Lᵀ x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.l[(j, i)] * x[j];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Applies `L` to a vector (`y = L v`), mapping the unit ball to the
+    /// ellipsoid described by the original covariance matrix.
+    pub fn apply(&self, v: &Vector) -> Vector {
+        self.l.mul_vector(v)
+    }
+
+    /// Solves `L y = v` (inverse of [`Cholesky::apply`]), whitening a vector.
+    pub fn apply_inverse(&self, v: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.l.rows();
+        if v.dim() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: v.dim() });
+        }
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = v[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * y[j];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.5],
+            vec![0.6, 1.5, 3.0],
+        ]);
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let back = l.mul_matrix(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_rows(&[vec![6.0, 2.0], vec![2.0, 4.0]]);
+        let b = Vector::from(vec![1.0, -1.0]);
+        let x1 = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x2 = a.solve(&b).unwrap();
+        for i in 0..2 {
+            assert!((x1[i] - x2[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinant_matches() {
+        let a = Matrix::from_rows(&[vec![6.0, 2.0], vec![2.0, 4.0]]);
+        assert!((Cholesky::new(&a).unwrap().determinant() - a.determinant()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite)));
+        let b = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0]]);
+        assert!(Cholesky::new(&b).is_err());
+    }
+
+    #[test]
+    fn apply_and_inverse_roundtrip() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let v = Vector::from(vec![0.7, -1.2]);
+        let w = ch.apply_inverse(&ch.apply(&v)).unwrap();
+        for i in 0..2 {
+            assert!((w[i] - v[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Dense linear algebra for the spatial constraint database workspace.
+//!
+//! The samplers, the rounding procedure of the Dyer–Frieze–Kannan generator
+//! and the geometric layer all need a small, dependency-free dense linear
+//! algebra kit: vectors, matrices, LU and Cholesky factorizations, linear
+//! solves, determinants and affine maps. Dimensions in this workspace are
+//! modest (the paper's point is precisely that the *symbolic* algorithms blow
+//! up with dimension, not the numeric kernels), so simple `Vec<f64>`-backed
+//! row-major storage is the right trade-off.
+//!
+//! # Example
+//!
+//! ```
+//! use cdb_linalg::{Matrix, Vector};
+//!
+//! let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+//! let b = Vector::from(vec![1.0, 2.0]);
+//! let x = a.solve(&b).unwrap();
+//! let back = a.mul_vector(&x);
+//! assert!((back[0] - 1.0).abs() < 1e-12 && (back[1] - 2.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod affine;
+mod cholesky;
+mod lu;
+mod matrix;
+mod vector;
+
+pub use affine::AffineMap;
+pub use cholesky::Cholesky;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Numerical tolerance used by the factorizations when deciding whether a
+/// pivot is effectively zero.
+pub const EPSILON: f64 = 1e-10;
+
+/// Errors produced by the linear algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (or numerically singular) and the requested
+    /// operation needs an invertible matrix.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension that was provided.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

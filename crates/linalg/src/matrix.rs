@@ -1,0 +1,374 @@
+//! Dense row-major floating-point matrices.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{Cholesky, LinalgError, Lu, Vector};
+
+/// A dense `f64` matrix stored in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices; all rows must have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer has wrong length");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn column(&self, j: usize) -> Vector {
+        Vector::from((0..self.rows).map(|i| self[(i, j)]).collect::<Vec<_>>())
+    }
+
+    /// Copy of row `i` as a [`Vector`].
+    pub fn row_vector(&self, i: usize) -> Vector {
+        Vector::from(self.row(i))
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vector(&self, v: &Vector) -> Vector {
+        assert_eq!(self.cols, v.dim(), "matrix-vector dimension mismatch");
+        let mut out = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            out[i] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Matrix–matrix product.
+    pub fn mul_matrix(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matrix-matrix dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// LU factorization with partial pivoting.
+    pub fn lu(&self) -> Result<Lu, LinalgError> {
+        Lu::new(self)
+    }
+
+    /// Cholesky factorization of a symmetric positive definite matrix.
+    pub fn cholesky(&self) -> Result<Cholesky, LinalgError> {
+        Cholesky::new(self)
+    }
+
+    /// Solves `A x = b` via LU.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        self.lu()?.solve(b)
+    }
+
+    /// Determinant via LU.
+    pub fn determinant(&self) -> f64 {
+        match self.lu() {
+            Ok(lu) => lu.determinant(),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Inverse via LU.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let lu = self.lu()?;
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        for j in 0..n {
+            let col = lu.solve(&Vector::basis(n, j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Outer product `u vᵀ`.
+    pub fn outer(u: &Vector, v: &Vector) -> Matrix {
+        let mut m = Matrix::zeros(u.dim(), v.dim());
+        for i in 0..u.dim() {
+            for j in 0..v.dim() {
+                m[(i, j)] = u[i] * v[j];
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Sample covariance matrix of a set of points (rows of the input are
+    /// ignored; points are given as vectors). Returns `None` when fewer than
+    /// two points are supplied.
+    pub fn covariance(points: &[Vector]) -> Option<Matrix> {
+        if points.len() < 2 {
+            return None;
+        }
+        let d = points[0].dim();
+        let n = points.len() as f64;
+        let mut mean = Vector::zeros(d);
+        for p in points {
+            mean += p;
+        }
+        mean = mean.scale(1.0 / n);
+        let mut cov = Matrix::zeros(d, d);
+        for p in points {
+            let c = p - &mean;
+            for i in 0..d {
+                for j in 0..d {
+                    cov[(i, j)] += c[i] * c[j];
+                }
+            }
+        }
+        Some(cov.scale(1.0 / (n - 1.0)))
+    }
+
+    /// Mean of a set of points.
+    pub fn mean(points: &[Vector]) -> Option<Vector> {
+        if points.is_empty() {
+            return None;
+        }
+        let d = points[0].dim();
+        let mut mean = Vector::zeros(d);
+        for p in points {
+            mean += p;
+        }
+        Some(mean.scale(1.0 / points.len() as f64))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.mul_matrix(rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_diagonal() {
+        let id = Matrix::identity(3);
+        let v = Vector::from(vec![1.0, 2.0, 3.0]);
+        assert_eq!(id.mul_vector(&v).as_slice(), v.as_slice());
+        let d = Matrix::diagonal(&[2.0, 3.0]);
+        assert_eq!(d.mul_vector(&Vector::from(vec![1.0, 1.0])).as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn multiplication_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let c = a.mul_matrix(&b);
+        assert_eq!(c.row(0), &[2.0, 1.0]);
+        assert_eq!(c.row(1), &[4.0, 3.0]);
+        let t = a.transpose();
+        assert_eq!(t.row(0), &[1.0, 3.0]);
+        assert_eq!(t.column(0).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_and_inverse() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 4.0]]);
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x = a.solve(&b).unwrap();
+        let back = a.mul_vector(&x);
+        for i in 0..3 {
+            assert!((back[i] - b[i]).abs() < 1e-10);
+        }
+        let inv = a.inverse().unwrap();
+        let prod = a.mul_matrix(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!((a.determinant() + 2.0).abs() < 1e-12);
+        assert!((Matrix::identity(4).determinant() - 1.0).abs() < 1e-12);
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(singular.determinant().abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_axis_aligned_cloud() {
+        let pts: Vec<Vector> = vec![
+            Vector::from(vec![0.0, 0.0]),
+            Vector::from(vec![2.0, 0.0]),
+            Vector::from(vec![0.0, 4.0]),
+            Vector::from(vec![2.0, 4.0]),
+        ];
+        let cov = Matrix::covariance(&pts).unwrap();
+        // x values {0,2} have variance 4/3; y values {0,4} variance 16/3.
+        assert!((cov[(0, 0)] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 16.0 / 3.0).abs() < 1e-12);
+        assert!(cov[(0, 1)].abs() < 1e-12);
+        assert!(Matrix::covariance(&pts[..1]).is_none());
+        assert_eq!(Matrix::mean(&pts).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = Vector::from(vec![1.0, 2.0]);
+        let v = Vector::from(vec![3.0, 4.0, 5.0]);
+        let m = Matrix::outer(&u, &v);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn inverse_of_singular_fails() {
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(singular.inverse().is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Dense floating-point vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense `f64` vector.
+#[derive(Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        Vector { data: vec![0.0; dim] }
+    }
+
+    /// Creates a vector with all entries equal to `value`.
+    pub fn filled(dim: usize, value: f64) -> Self {
+        Vector { data: vec![value; dim] }
+    }
+
+    /// Creates the `i`-th standard basis vector in dimension `dim`.
+    pub fn basis(dim: usize, i: usize) -> Self {
+        assert!(i < dim, "basis index out of range");
+        let mut v = Vector::zeros(dim);
+        v[i] = 1.0;
+        v
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &f64> {
+        self.data.iter()
+    }
+
+    /// Dot product with another vector of the same dimension.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dot product dimension mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_squared(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Infinity norm (largest absolute component).
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Euclidean distance to another vector.
+    pub fn distance(&self, other: &Vector) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Scales the vector by a scalar, returning a new vector.
+    pub fn scale(&self, s: f64) -> Vector {
+        Vector { data: self.data.iter().map(|v| v * s).collect() }
+    }
+
+    /// Returns the unit vector in the same direction; `None` for (near) zero
+    /// vectors.
+    pub fn normalized(&self) -> Option<Vector> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self.scale(1.0 / n))
+        }
+    }
+
+    /// Componentwise `self + t * dir`.
+    pub fn add_scaled(&self, dir: &Vector, t: f64) -> Vector {
+        assert_eq!(self.dim(), dir.dim());
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&dir.data)
+                .map(|(a, b)| a + t * b)
+                .collect(),
+        }
+    }
+
+    /// Projection of the vector onto the coordinates listed in `coords`
+    /// (in the given order).
+    pub fn project(&self, coords: &[usize]) -> Vector {
+        Vector { data: coords.iter().map(|&i| self.data[i]).collect() }
+    }
+
+    /// Returns `true` if all components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(data: &[f64]) -> Self {
+        Vector { data: data.to_vec() }
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.dim(), rhs.dim());
+        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect() }
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.dim(), rhs.dim());
+        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect() }
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.dim(), rhs.dim());
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.dim(), rhs.dim());
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, s: f64) -> Vector {
+        self.scale(s)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector({:?})", self.data)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let z = Vector::zeros(3);
+        assert_eq!(z.dim(), 3);
+        assert_eq!(z.norm(), 0.0);
+        let e1 = Vector::basis(3, 1);
+        assert_eq!(e1.as_slice(), &[0.0, 1.0, 0.0]);
+        let f = Vector::filled(2, 2.5);
+        assert_eq!(f.as_slice(), &[2.5, 2.5]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from(vec![3.0, 4.0]);
+        let b = Vector::from(vec![1.0, 2.0]);
+        assert_eq!(a.dot(&b), 11.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_squared(), 25.0);
+        assert_eq!(a.norm_inf(), 4.0);
+        assert!((a.distance(&b) - (4.0f64 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![3.0, -1.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 1.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        assert_eq!(a.add_scaled(&b, 2.0).as_slice(), &[7.0, 0.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 1.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalization_and_projection() {
+        let a = Vector::from(vec![3.0, 0.0, 4.0]);
+        let n = a.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!(Vector::zeros(3).normalized().is_none());
+        assert_eq!(a.project(&[2, 0]).as_slice(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let _ = Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the dense linear algebra kernels.
+
+use cdb_linalg::{AffineMap, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy producing well-conditioned square matrices: diagonally dominant
+/// with bounded entries, so LU and inverse are numerically stable.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::from_flat(n, n, vals);
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            m[(i, i)] = row_sum + 1.0 + m[(i, i)].abs();
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0f64..10.0, n).prop_map(Vector::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solve_roundtrip_3(a in dominant_matrix(3), b in vector(3)) {
+        let x = a.solve(&b).unwrap();
+        let back = a.mul_vector(&x);
+        for i in 0..3 {
+            prop_assert!((back[i] - b[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip_6(a in dominant_matrix(6), b in vector(6)) {
+        let x = a.solve(&b).unwrap();
+        let back = a.mul_vector(&x);
+        for i in 0..6 {
+            prop_assert!((back[i] - b[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in dominant_matrix(4)) {
+        let inv = a.inverse().unwrap();
+        let left = inv.mul_matrix(&a);
+        let right = a.mul_matrix(&inv);
+        for i in 0..4 {
+            for j in 0..4 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((left[(i, j)] - e).abs() < 1e-6);
+                prop_assert!((right[(i, j)] - e).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_is_multiplicative(a in dominant_matrix(3), b in dominant_matrix(3)) {
+        let dab = a.mul_matrix(&b).determinant();
+        let dadb = a.determinant() * b.determinant();
+        prop_assert!((dab - dadb).abs() <= 1e-6 * dadb.abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in dominant_matrix(5)) {
+        let t = a.transpose().transpose();
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert_eq!(t[(i, j)], a[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(a in dominant_matrix(4)) {
+        // A Aᵀ + I is symmetric positive definite.
+        let spd = &a.mul_matrix(&a.transpose()) + &Matrix::identity(4);
+        let ch = spd.cholesky().unwrap();
+        let l = ch.factor();
+        let back = l.mul_matrix(&l.transpose());
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((back[(i, j)] - spd[(i, j)]).abs() < 1e-6 * spd[(i, j)].abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn affine_roundtrip(a in dominant_matrix(3), b in vector(3), x in vector(3)) {
+        let map = AffineMap::new(a, b).unwrap();
+        let y = map.apply(&x);
+        let back = map.apply_inverse(&y);
+        for i in 0..3 {
+            prop_assert!((back[i] - x[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dot_product_cauchy_schwarz(u in vector(5), v in vector(5)) {
+        prop_assert!(u.dot(&v).abs() <= u.norm() * v.norm() + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(u in vector(5), v in vector(5)) {
+        prop_assert!((&u + &v).norm() <= u.norm() + v.norm() + 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! Linear programming for the spatial constraint database workspace.
+//!
+//! The geometric layer needs linear programming for three jobs:
+//!
+//! * deciding whether a generalized tuple (a conjunction of linear
+//!   constraints, i.e. an H-polyhedron) is empty,
+//! * computing certificates of well-boundedness — the Chebyshev ball gives
+//!   the inner radius `r_inf`, support optimization gives the outer radius
+//!   `r_sup` required by Definition 2.2 of the paper, and
+//! * pruning redundant constraints produced by Fourier–Motzkin elimination.
+//!
+//! The solver is a dense two-phase primal simplex with Bland's anti-cycling
+//! rule, generic over the scalar type: [`f64`] for the samplers and
+//! [`cdb_num::Rational`] when the constraint layer needs exact emptiness or
+//! redundancy certificates.
+//!
+//! # Example
+//!
+//! ```
+//! use cdb_lp::{LpProblem, LpOutcome};
+//!
+//! // maximize x + y  subject to  x <= 2, y <= 3, x + y <= 4, x,y free.
+//! let mut lp = LpProblem::new(2);
+//! lp.set_objective(vec![1.0, 1.0]);
+//! lp.add_le(vec![1.0, 0.0], 2.0);
+//! lp.add_le(vec![0.0, 1.0], 3.0);
+//! lp.add_le(vec![1.0, 1.0], 4.0);
+//! match lp.solve() {
+//!     LpOutcome::Optimal { value, .. } => assert!((value - 4.0).abs() < 1e-9),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod scalar;
+mod simplex;
+
+pub use problem::{LpOutcome, LpProblem};
+pub use scalar::LpScalar;
+pub use simplex::{SimplexOutcome, SimplexSolver};
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use cdb_num::Rational;
+
+    #[test]
+    fn exact_rational_lp() {
+        // maximize x subject to 3x <= 1 has the exact optimum 1/3.
+        let mut lp: LpProblem<Rational> = LpProblem::new(1);
+        lp.set_objective(vec![Rational::from_int(1)]);
+        lp.add_le(vec![Rational::from_int(3)], Rational::from_int(1));
+        lp.add_le(vec![Rational::from_int(-1)], Rational::from_int(0)); // x >= 0
+        match lp.solve() {
+            LpOutcome::Optimal { value, point } => {
+                assert_eq!(value, Rational::from_ratio(1, 3));
+                assert_eq!(point[0], Rational::from_ratio(1, 3));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! User-facing LP problems over free (unrestricted-sign) variables.
+
+use crate::scalar::LpScalar;
+use crate::simplex::{SimplexOutcome, SimplexSolver};
+
+/// Kind of a linear constraint in an [`LpProblem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConstraintKind {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+}
+
+/// Outcome of solving an [`LpProblem`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome<T> {
+    /// A maximizer was found.
+    Optimal {
+        /// The maximizing point (one coordinate per original variable).
+        point: Vec<T>,
+        /// The maximum objective value.
+        value: T,
+    },
+    /// The constraints are inconsistent.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The solver hit its pivot cap.
+    IterationLimit,
+}
+
+impl<T> LpOutcome<T> {
+    /// Returns `true` when the constraints admit at least one point.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, LpOutcome::Optimal { .. } | LpOutcome::Unbounded)
+    }
+}
+
+/// A linear program `maximize c·x  subject to  a_i·x ≤ b_i / a_i·x = b_i`
+/// over *free* variables `x ∈ R^n`.
+///
+/// This is the natural shape for constraint database work: generalized tuples
+/// are conjunctions of inequalities over unconstrained real variables. The
+/// problem is converted internally to standard form (variable splitting plus
+/// slack variables) and handed to the two-phase [`SimplexSolver`].
+#[derive(Clone, Debug)]
+pub struct LpProblem<T> {
+    n_vars: usize,
+    objective: Vec<T>,
+    rows: Vec<(Vec<T>, T, ConstraintKind)>,
+    max_pivots: usize,
+}
+
+impl<T: LpScalar> LpProblem<T> {
+    /// Creates an empty problem over `n_vars` free variables with a zero
+    /// objective (useful for pure feasibility questions).
+    pub fn new(n_vars: usize) -> Self {
+        LpProblem {
+            n_vars,
+            objective: vec![T::zero(); n_vars],
+            rows: Vec::new(),
+            max_pivots: 10_000,
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the maximization objective `c`.
+    pub fn set_objective(&mut self, c: Vec<T>) {
+        assert_eq!(c.len(), self.n_vars, "objective arity mismatch");
+        self.objective = c;
+    }
+
+    /// Overrides the pivot cap (defaults to 10 000 per phase).
+    pub fn set_max_pivots(&mut self, cap: usize) {
+        self.max_pivots = cap;
+    }
+
+    /// Adds the constraint `a·x ≤ b`.
+    pub fn add_le(&mut self, a: Vec<T>, b: T) {
+        assert_eq!(a.len(), self.n_vars, "constraint arity mismatch");
+        self.rows.push((a, b, ConstraintKind::Le));
+    }
+
+    /// Adds the constraint `a·x ≥ b` (stored as `−a·x ≤ −b`).
+    pub fn add_ge(&mut self, a: Vec<T>, b: T) {
+        let neg: Vec<T> = a.iter().map(|v| v.neg()).collect();
+        self.add_le(neg, b.neg());
+    }
+
+    /// Adds the constraint `a·x = b`.
+    pub fn add_eq(&mut self, a: Vec<T>, b: T) {
+        assert_eq!(a.len(), self.n_vars, "constraint arity mismatch");
+        self.rows.push((a, b, ConstraintKind::Eq));
+    }
+
+    /// Solves the problem.
+    pub fn solve(&self) -> LpOutcome<T> {
+        let n = self.n_vars;
+        let m = self.rows.len();
+        let n_slack = self.rows.iter().filter(|r| r.2 == ConstraintKind::Le).count();
+        let n_std = 2 * n + n_slack;
+
+        let mut a_std: Vec<Vec<T>> = Vec::with_capacity(m);
+        let mut b_std: Vec<T> = Vec::with_capacity(m);
+        let mut slack_idx = 0;
+        for (a, b, kind) in &self.rows {
+            let mut row = Vec::with_capacity(n_std);
+            for j in 0..n {
+                row.push(a[j].clone());
+            }
+            for j in 0..n {
+                row.push(a[j].neg());
+            }
+            for s in 0..n_slack {
+                let v = if *kind == ConstraintKind::Le && s == slack_idx {
+                    T::one()
+                } else {
+                    T::zero()
+                };
+                row.push(v);
+            }
+            if *kind == ConstraintKind::Le {
+                slack_idx += 1;
+            }
+            a_std.push(row);
+            b_std.push(b.clone());
+        }
+
+        // maximize c·x  ==  minimize −c·(x⁺ − x⁻).
+        let mut c_std = Vec::with_capacity(n_std);
+        for j in 0..n {
+            c_std.push(self.objective[j].neg());
+        }
+        for j in 0..n {
+            c_std.push(self.objective[j].clone());
+        }
+        for _ in 0..n_slack {
+            c_std.push(T::zero());
+        }
+
+        match SimplexSolver::solve_standard(&a_std, &b_std, &c_std, self.max_pivots) {
+            SimplexOutcome::Optimal { point, value } => {
+                let mut x = Vec::with_capacity(n);
+                for j in 0..n {
+                    x.push(point[j].sub(&point[n + j]));
+                }
+                LpOutcome::Optimal { point: x, value: value.neg() }
+            }
+            SimplexOutcome::Infeasible => LpOutcome::Infeasible,
+            SimplexOutcome::Unbounded => LpOutcome::Unbounded,
+            SimplexOutcome::IterationLimit => LpOutcome::IterationLimit,
+        }
+    }
+
+    /// Returns any feasible point of the constraint system, ignoring the
+    /// objective, or `None` when the system is empty.
+    pub fn feasible_point(&self) -> Option<Vec<T>> {
+        let mut probe = self.clone();
+        probe.objective = vec![T::zero(); self.n_vars];
+        match probe.solve() {
+            LpOutcome::Optimal { point, .. } => Some(point),
+            _ => None,
+        }
+    }
+
+    /// Maximizes `c·x` over the current constraints without mutating the
+    /// stored objective.
+    pub fn maximize(&self, c: Vec<T>) -> LpOutcome<T> {
+        let mut probe = self.clone();
+        probe.set_objective(c);
+        probe.solve()
+    }
+
+    /// Minimizes `c·x` over the current constraints.
+    pub fn minimize(&self, c: Vec<T>) -> LpOutcome<T> {
+        let neg: Vec<T> = c.iter().map(|v| v.neg()).collect();
+        match self.maximize(neg) {
+            LpOutcome::Optimal { point, value } => LpOutcome::Optimal { point, value: value.neg() },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_num::Rational;
+
+    #[test]
+    fn maximize_over_triangle() {
+        // Triangle x >= 0, y >= 0, x + y <= 1; maximize x + 2y -> 2 at (0,1).
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(vec![1.0, 2.0]);
+        lp.add_ge(vec![1.0, 0.0], 0.0);
+        lp.add_ge(vec![0.0, 1.0], 0.0);
+        lp.add_le(vec![1.0, 1.0], 1.0);
+        match lp.solve() {
+            LpOutcome::Optimal { point, value } => {
+                assert!((value - 2.0).abs() < 1e-9);
+                assert!(point[0].abs() < 1e-9 && (point[1] - 1.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_variables_can_be_negative() {
+        // maximize -x subject to x >= -3  -> optimum 3 at x = -3.
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(vec![-1.0]);
+        lp.add_ge(vec![1.0], -3.0);
+        match lp.solve() {
+            LpOutcome::Optimal { point, value } => {
+                assert!((point[0] + 3.0).abs() < 1e-9);
+                assert!((value - 3.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_system() {
+        let mut lp = LpProblem::new(1);
+        lp.add_le(vec![1.0], 0.0);
+        lp.add_ge(vec![1.0], 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+        assert!(lp.feasible_point().is_none());
+        assert!(!lp.solve().is_feasible());
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(vec![1.0, 0.0]);
+        lp.add_ge(vec![1.0, 0.0], 0.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+        assert!(lp.solve().is_feasible());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // maximize y s.t. x + y = 1, x >= 0, y <= 5 -> y = 1 at x = 0.
+        let mut lp = LpProblem::new(2);
+        lp.set_objective(vec![0.0, 1.0]);
+        lp.add_eq(vec![1.0, 1.0], 1.0);
+        lp.add_ge(vec![1.0, 0.0], 0.0);
+        lp.add_le(vec![0.0, 1.0], 5.0);
+        match lp.solve() {
+            LpOutcome::Optimal { point, value } => {
+                assert!((value - 1.0).abs() < 1e-9);
+                assert!((point[0] + point[1] - 1.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feasible_point_satisfies_constraints() {
+        let mut lp = LpProblem::new(3);
+        lp.add_le(vec![1.0, 1.0, 1.0], 1.0);
+        lp.add_ge(vec![1.0, 0.0, 0.0], -2.0);
+        lp.add_le(vec![0.0, 1.0, -1.0], 0.5);
+        let p = lp.feasible_point().unwrap();
+        assert!(p[0] + p[1] + p[2] <= 1.0 + 1e-9);
+        assert!(p[0] >= -2.0 - 1e-9);
+        assert!(p[1] - p[2] <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn minimize_and_maximize_helpers() {
+        let mut lp = LpProblem::new(1);
+        lp.add_le(vec![1.0], 4.0);
+        lp.add_ge(vec![1.0], -1.0);
+        match lp.maximize(vec![1.0]) {
+            LpOutcome::Optimal { value, .. } => assert!((value - 4.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        match lp.minimize(vec![1.0]) {
+            LpOutcome::Optimal { value, .. } => assert!((value + 1.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_rational_vertex() {
+        // maximize x + y s.t. 2x + y <= 1, x + 3y <= 1, x,y >= 0.
+        // Optimum at the intersection (2/5, 1/5) with value 3/5.
+        let mut lp: LpProblem<Rational> = LpProblem::new(2);
+        let r = Rational::from_ratio;
+        lp.set_objective(vec![r(1, 1), r(1, 1)]);
+        lp.add_le(vec![r(2, 1), r(1, 1)], r(1, 1));
+        lp.add_le(vec![r(1, 1), r(3, 1)], r(1, 1));
+        lp.add_ge(vec![r(1, 1), r(0, 1)], r(0, 1));
+        lp.add_ge(vec![r(0, 1), r(1, 1)], r(0, 1));
+        match lp.solve() {
+            LpOutcome::Optimal { point, value } => {
+                assert_eq!(point[0], r(2, 5));
+                assert_eq!(point[1], r(1, 5));
+                assert_eq!(value, r(3, 5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The scalar abstraction the simplex solver is generic over.
+
+use cdb_num::Rational;
+
+/// Arithmetic required by the simplex solver.
+///
+/// Two implementations are provided: `f64` (fast, used by the samplers) and
+/// [`Rational`] (exact, used by the symbolic constraint layer for emptiness
+/// and redundancy certificates). The `*_tol` predicates absorb the difference
+/// between exact and floating-point pivoting: the rational implementation
+/// compares exactly, the float implementation uses a small tolerance.
+pub trait LpScalar: Clone + PartialOrd + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Construction from a small integer.
+    fn from_i64(v: i64) -> Self;
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Subtraction.
+    fn sub(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Division (callers guarantee the divisor is non-zero under `is_zero_tol`).
+    fn div(&self, other: &Self) -> Self;
+    /// Negation.
+    fn neg(&self) -> Self;
+    /// Is this value zero up to the pivoting tolerance?
+    fn is_zero_tol(&self) -> bool;
+    /// Lossy conversion used for reporting.
+    fn to_f64(&self) -> f64;
+
+    /// Is this value strictly positive beyond the tolerance?
+    fn is_positive_tol(&self) -> bool {
+        !self.is_zero_tol() && *self > Self::zero()
+    }
+
+    /// Is this value strictly negative beyond the tolerance?
+    fn is_negative_tol(&self) -> bool {
+        !self.is_zero_tol() && *self < Self::zero()
+    }
+
+    /// Absolute value.
+    fn abs(&self) -> Self {
+        if *self < Self::zero() {
+            self.neg()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+/// Pivot tolerance for the floating-point instantiation.
+pub(crate) const F64_TOL: f64 = 1e-9;
+
+impl LpScalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero_tol(&self) -> bool {
+        self.abs() < F64_TOL
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl LpScalar for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn from_i64(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero_tol(&self) -> bool {
+        self.is_zero()
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_tolerance_behaviour() {
+        assert!(1e-12f64.is_zero_tol());
+        assert!(!1e-6f64.is_zero_tol());
+        assert!(1e-6f64.is_positive_tol());
+        assert!((-1e-6f64).is_negative_tol());
+        assert!(!(1e-12f64).is_positive_tol());
+        assert_eq!(LpScalar::abs(&-3.0f64), 3.0);
+    }
+
+    #[test]
+    fn rational_is_exact() {
+        let tiny = Rational::from_ratio(1, 1_000_000_000_000);
+        assert!(!tiny.is_zero_tol());
+        assert!(tiny.is_positive_tol());
+        assert!(Rational::zero().is_zero_tol());
+        assert_eq!(LpScalar::abs(&Rational::from_ratio(-2, 3)), Rational::from_ratio(2, 3));
+    }
+
+    #[test]
+    fn arithmetic_dispatch() {
+        assert_eq!(LpScalar::add(&2.0f64, &3.0), 5.0);
+        assert_eq!(
+            LpScalar::mul(&Rational::from_ratio(1, 2), &Rational::from_ratio(2, 3)),
+            Rational::from_ratio(1, 3)
+        );
+        assert_eq!(<f64 as LpScalar>::from_i64(-4), -4.0);
+        assert_eq!(<Rational as LpScalar>::from_i64(-4), Rational::from_int(-4));
+    }
+}

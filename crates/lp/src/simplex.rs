@@ -1,0 +1,370 @@
+//! A dense two-phase primal simplex on the standard form
+//! `min c·y  s.t.  A y = b,  y ≥ 0`.
+//!
+//! The solver keeps a full tableau (including the objective row) and pivots
+//! with Bland's rule, which guarantees termination even on degenerate
+//! problems at the cost of a few extra pivots — a good trade-off at the
+//! problem sizes produced by the constraint layer.
+
+use crate::scalar::LpScalar;
+
+/// Result of a simplex run on a standard-form problem.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimplexOutcome<T> {
+    /// An optimal basic feasible solution was found.
+    Optimal {
+        /// The optimal point `y` (length = number of standard-form variables).
+        point: Vec<T>,
+        /// The optimal objective value `c·y`.
+        value: T,
+    },
+    /// The constraint system `A y = b, y ≥ 0` has no solution.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The pivot limit was exceeded (should not happen with Bland's rule; kept
+    /// as a defensive outcome instead of looping forever on numerical noise).
+    IterationLimit,
+}
+
+/// Dense tableau simplex solver.
+#[derive(Debug)]
+pub struct SimplexSolver<T> {
+    /// `(m+1) × (n_total+1)` tableau; the last row is the objective row and
+    /// the last column is the right-hand side.
+    table: Vec<Vec<T>>,
+    /// Index of the basic variable of each constraint row.
+    basis: Vec<usize>,
+    /// Number of structural (non-artificial) variables.
+    n_struct: usize,
+    /// Number of constraint rows.
+    m: usize,
+    /// Maximum number of pivots per phase.
+    max_pivots: usize,
+}
+
+impl<T: LpScalar> SimplexSolver<T> {
+    /// Solves `min c·y  s.t.  A y = b, y ≥ 0`.
+    ///
+    /// `a` is row-major with `m` rows of length `n`; `b` has length `m`; `c`
+    /// has length `n`. Rows with negative right-hand sides are negated
+    /// automatically.
+    pub fn solve_standard(a: &[Vec<T>], b: &[T], c: &[T], max_pivots: usize) -> SimplexOutcome<T> {
+        let m = a.len();
+        let n = c.len();
+        for row in a {
+            assert_eq!(row.len(), n, "constraint row has wrong arity");
+        }
+        assert_eq!(b.len(), m, "rhs has wrong length");
+
+        if m == 0 {
+            // No constraints: optimum is 0 at the origin unless some cost is
+            // negative, in which case the problem is unbounded below.
+            if c.iter().any(|cj| cj.is_negative_tol()) {
+                return SimplexOutcome::Unbounded;
+            }
+            return SimplexOutcome::Optimal { point: vec![T::zero(); n], value: T::zero() };
+        }
+
+        // Build the phase-1 tableau with one artificial variable per row.
+        let n_total = n + m;
+        let mut table: Vec<Vec<T>> = Vec::with_capacity(m + 1);
+        for i in 0..m {
+            let mut row: Vec<T> = Vec::with_capacity(n_total + 1);
+            let flip = b[i].is_negative_tol();
+            for j in 0..n {
+                let v = if flip { a[i][j].neg() } else { a[i][j].clone() };
+                row.push(v);
+            }
+            for k in 0..m {
+                row.push(if k == i { T::one() } else { T::zero() });
+            }
+            row.push(if flip { b[i].neg() } else { b[i].clone() });
+            table.push(row);
+        }
+        // Phase-1 objective row: minimize the sum of artificials. With the
+        // artificial basis, the reduced cost of column j is -sum_i a_ij and
+        // the objective value is -sum_i b_i.
+        let mut obj: Vec<T> = vec![T::zero(); n_total + 1];
+        for j in 0..=n_total {
+            let mut s = T::zero();
+            for row in table.iter().take(m) {
+                s = s.add(&row[j]);
+            }
+            obj[j] = s.neg();
+        }
+        // Artificial columns have cost 1, so their reduced cost is 1 - 1 = 0.
+        for (k, slot) in obj.iter_mut().enumerate().take(n_total).skip(n) {
+            let _ = k;
+            *slot = T::zero();
+        }
+        table.push(obj);
+
+        let mut solver = SimplexSolver {
+            table,
+            basis: (n..n_total).collect(),
+            n_struct: n,
+            m,
+            max_pivots,
+        };
+
+        // Phase 1: allow every column to enter.
+        match solver.run(n_total) {
+            PhaseEnd::Optimal => {}
+            PhaseEnd::Unbounded => return SimplexOutcome::Infeasible,
+            PhaseEnd::IterationLimit => return SimplexOutcome::IterationLimit,
+        }
+        let phase1_value = solver.table[solver.m][n_total].neg();
+        if phase1_value.is_positive_tol() {
+            return SimplexOutcome::Infeasible;
+        }
+        solver.drive_out_artificials();
+
+        // Phase 2: rebuild the objective row from the true costs and restrict
+        // entering variables to the structural columns.
+        for j in 0..=n_total {
+            solver.table[solver.m][j] = if j < n { c[j].clone() } else { T::zero() };
+        }
+        for i in 0..solver.m {
+            let bi = solver.basis[i];
+            let cost = if bi < n { c[bi].clone() } else { T::zero() };
+            if cost.is_zero_tol() {
+                continue;
+            }
+            for j in 0..=n_total {
+                let delta = cost.mul(&solver.table[i][j]);
+                solver.table[solver.m][j] = solver.table[solver.m][j].sub(&delta);
+            }
+        }
+        match solver.run(n) {
+            PhaseEnd::Optimal => {}
+            PhaseEnd::Unbounded => return SimplexOutcome::Unbounded,
+            PhaseEnd::IterationLimit => return SimplexOutcome::IterationLimit,
+        }
+
+        // Extract the solution.
+        let mut point = vec![T::zero(); n];
+        for i in 0..solver.m {
+            let bi = solver.basis[i];
+            if bi < n {
+                point[bi] = solver.table[i][n_total].clone();
+            }
+        }
+        let mut value = T::zero();
+        for j in 0..n {
+            value = value.add(&c[j].mul(&point[j]));
+        }
+        SimplexOutcome::Optimal { point, value }
+    }
+
+    /// Runs simplex pivots until optimality, unboundedness or the pivot cap,
+    /// allowing only the first `allowed_cols` columns to enter the basis.
+    fn run(&mut self, allowed_cols: usize) -> PhaseEnd {
+        let rhs = self.table[0].len() - 1;
+        for _ in 0..self.max_pivots {
+            // Bland's rule: smallest-index column with a negative reduced cost.
+            let mut entering = None;
+            for j in 0..allowed_cols {
+                if self.table[self.m][j].is_negative_tol() {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = entering else {
+                return PhaseEnd::Optimal;
+            };
+            // Ratio test with Bland's tie-break on the basis index.
+            let mut leaving: Option<(usize, T)> = None;
+            for i in 0..self.m {
+                if self.table[i][j].is_positive_tol() {
+                    let ratio = self.table[i][rhs].div(&self.table[i][j]);
+                    let better = match &leaving {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li])
+                        }
+                    };
+                    if better {
+                        leaving = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((i, _)) = leaving else {
+                return PhaseEnd::Unbounded;
+            };
+            self.pivot(i, j);
+        }
+        PhaseEnd::IterationLimit
+    }
+
+    /// Pivots on `(row, col)`: normalizes the pivot row and eliminates the
+    /// pivot column from every other row including the objective row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.table[0].len();
+        let pivot = self.table[row][col].clone();
+        for j in 0..width {
+            self.table[row][j] = self.table[row][j].div(&pivot);
+        }
+        for i in 0..=self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.table[i][col].clone();
+            if factor.is_zero_tol() {
+                continue;
+            }
+            for j in 0..width {
+                let delta = factor.mul(&self.table[row][j]);
+                self.table[i][j] = self.table[i][j].sub(&delta);
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivots artificial variables out of the basis wherever a
+    /// structural column with a non-zero coefficient exists. Rows where no
+    /// such column exists are redundant constraints; their artificial stays
+    /// basic at value zero and is simply never allowed to re-enter.
+    fn drive_out_artificials(&mut self) {
+        for i in 0..self.m {
+            if self.basis[i] < self.n_struct {
+                continue;
+            }
+            let mut pivot_col = None;
+            for j in 0..self.n_struct {
+                if !self.table[i][j].is_zero_tol() {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = pivot_col {
+                self.pivot(i, j);
+            }
+        }
+    }
+}
+
+/// Internal phase result.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_num::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn simple_standard_form() {
+        // min -x1 - 2 x2 s.t. x1 + x2 + s1 = 4, x1 + s2 = 3, x >= 0.
+        let a = vec![
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![4.0, 3.0];
+        let c = vec![-1.0, -2.0, 0.0, 0.0];
+        match SimplexSolver::solve_standard(&a, &b, &c, 100) {
+            SimplexOutcome::Optimal { point, value } => {
+                assert!((value + 8.0).abs() < 1e-9);
+                assert!((point[1] - 4.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x1 = 1 and x1 = 2 simultaneously.
+        let a = vec![vec![1.0], vec![1.0]];
+        let b = vec![1.0, 2.0];
+        let c = vec![0.0];
+        assert_eq!(
+            SimplexSolver::solve_standard(&a, &b, &c, 100),
+            SimplexOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x1 s.t. x1 - x2 = 0 (x1 can grow with x2).
+        let a = vec![vec![1.0, -1.0]];
+        let b = vec![0.0];
+        let c = vec![-1.0, 0.0];
+        assert_eq!(
+            SimplexSolver::solve_standard(&a, &b, &c, 100),
+            SimplexOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn handles_negative_rhs() {
+        // -x1 = -5  <=>  x1 = 5.
+        let a = vec![vec![-1.0, 0.0]];
+        let b = vec![-5.0];
+        let c = vec![1.0, 0.0];
+        match SimplexSolver::solve_standard(&a, &b, &c, 100) {
+            SimplexOutcome::Optimal { point, value } => {
+                assert!((point[0] - 5.0).abs() < 1e-9);
+                assert!((value - 5.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_rows_are_tolerated() {
+        // The same constraint twice.
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![2.0, 2.0, 1.0];
+        let c = vec![-1.0, -1.0];
+        match SimplexSolver::solve_standard(&a, &b, &c, 100) {
+            SimplexOutcome::Optimal { value, .. } => assert!((value + 2.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_rational_pivoting() {
+        // min -x s.t. 3x + s = 1 -> x = 1/3 exactly.
+        let a = vec![vec![r(3, 1), r(1, 1)]];
+        let b = vec![r(1, 1)];
+        let c = vec![r(-1, 1), r(0, 1)];
+        match SimplexSolver::solve_standard(&a, &b, &c, 100) {
+            SimplexOutcome::Optimal { point, value } => {
+                assert_eq!(point[0], r(1, 3));
+                assert_eq!(value, r(-1, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_constraints() {
+        let outcome = SimplexSolver::solve_standard(&[], &[], &[1.0, 2.0], 10);
+        assert!(matches!(outcome, SimplexOutcome::Optimal { .. }));
+        let outcome = SimplexSolver::solve_standard(&[], &[], &[-1.0], 10);
+        assert_eq!(outcome, SimplexOutcome::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate corner: multiple constraints active at the optimum.
+        let a = vec![
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![1.0, 1.0, 2.0];
+        let c = vec![-1.0, -1.0, 0.0, 0.0, 0.0];
+        match SimplexSolver::solve_standard(&a, &b, &c, 1000) {
+            SimplexOutcome::Optimal { value, .. } => assert!((value + 2.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

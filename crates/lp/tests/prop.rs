@@ -1,0 +1,126 @@
+//! Property-based tests for the simplex solver.
+//!
+//! The key invariants:
+//! * systems constructed around a known witness point are always reported
+//!   feasible, and the returned feasible point satisfies every constraint;
+//! * the reported optimum is at least the objective value of the witness;
+//! * the optimum of a maximization over a box equals the obvious closed form;
+//! * the exact rational solver agrees with the floating-point solver.
+
+use cdb_lp::{LpOutcome, LpProblem};
+use cdb_num::Rational;
+use proptest::prelude::*;
+
+/// A random constraint system in `dim` variables that is guaranteed to
+/// contain the witness point, together with that witness.
+fn feasible_system(dim: usize) -> impl Strategy<Value = (Vec<(Vec<f64>, f64)>, Vec<f64>)> {
+    let witness = proptest::collection::vec(-5.0f64..5.0, dim);
+    let normals = proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, dim), 1..12);
+    let margins = proptest::collection::vec(0.01f64..4.0, 1..12);
+    (witness, normals, margins).prop_map(|(w, normals, margins)| {
+        let rows: Vec<(Vec<f64>, f64)> = normals
+            .into_iter()
+            .zip(margins.into_iter().cycle())
+            .map(|(a, m)| {
+                let b = a.iter().zip(&w).map(|(ai, wi)| ai * wi).sum::<f64>() + m;
+                (a, b)
+            })
+            .collect();
+        (rows, w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn witness_systems_are_feasible((rows, witness) in feasible_system(3)) {
+        let mut lp = LpProblem::new(3);
+        for (a, b) in &rows {
+            lp.add_le(a.clone(), *b);
+        }
+        let p = lp.feasible_point().expect("system with witness must be feasible");
+        for (a, b) in &rows {
+            let lhs: f64 = a.iter().zip(&p).map(|(ai, pi)| ai * pi).sum();
+            prop_assert!(lhs <= b + 1e-6, "violated constraint: {lhs} > {b}");
+        }
+        prop_assert_eq!(p.len(), witness.len());
+    }
+
+    #[test]
+    fn optimum_dominates_witness((rows, witness) in feasible_system(3), c in proptest::collection::vec(-2.0f64..2.0, 3)) {
+        let mut lp = LpProblem::new(3);
+        lp.set_objective(c.clone());
+        for (a, b) in &rows {
+            lp.add_le(a.clone(), *b);
+        }
+        let witness_value: f64 = c.iter().zip(&witness).map(|(ci, wi)| ci * wi).sum();
+        match lp.solve() {
+            LpOutcome::Optimal { value, point } => {
+                prop_assert!(value >= witness_value - 1e-6);
+                for (a, b) in &rows {
+                    let lhs: f64 = a.iter().zip(&point).map(|(ai, pi)| ai * pi).sum();
+                    prop_assert!(lhs <= b + 1e-6);
+                }
+            }
+            LpOutcome::Unbounded => { /* also dominates the witness */ }
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    #[test]
+    fn box_maximization_closed_form(lo in proptest::collection::vec(-5.0f64..0.0, 4), width in proptest::collection::vec(0.1f64..5.0, 4), c in proptest::collection::vec(-3.0f64..3.0, 4)) {
+        let hi: Vec<f64> = lo.iter().zip(&width).map(|(l, w)| l + w).collect();
+        let mut lp = LpProblem::new(4);
+        lp.set_objective(c.clone());
+        for j in 0..4 {
+            let mut row = vec![0.0; 4];
+            row[j] = 1.0;
+            lp.add_le(row.clone(), hi[j]);
+            row[j] = -1.0;
+            lp.add_le(row, -lo[j]);
+        }
+        let expected: f64 = (0..4).map(|j| if c[j] >= 0.0 { c[j] * hi[j] } else { c[j] * lo[j] }).sum();
+        match lp.solve() {
+            LpOutcome::Optimal { value, .. } => prop_assert!((value - expected).abs() < 1e-6),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    #[test]
+    fn exact_matches_float(coeffs in proptest::collection::vec(-4i64..=4, 6), rhs in proptest::collection::vec(1i64..=8, 3)) {
+        // maximize x + y over three random half-planes that all contain the origin
+        // in their interior (rhs > 0), plus a bounding box.
+        let mut f = LpProblem::new(2);
+        let mut q: LpProblem<Rational> = LpProblem::new(2);
+        f.set_objective(vec![1.0, 1.0]);
+        q.set_objective(vec![Rational::from_int(1), Rational::from_int(1)]);
+        for i in 0..3 {
+            let (a0, a1, b) = (coeffs[2 * i], coeffs[2 * i + 1], rhs[i]);
+            f.add_le(vec![a0 as f64, a1 as f64], b as f64);
+            q.add_le(vec![Rational::from_int(a0), Rational::from_int(a1)], Rational::from_int(b));
+        }
+        for j in 0..2 {
+            let mut row = vec![0.0, 0.0];
+            row[j] = 1.0;
+            f.add_le(row.clone(), 10.0);
+            row[j] = -1.0;
+            f.add_le(row, 10.0);
+            let mut qrow = vec![Rational::zero(), Rational::zero()];
+            qrow[j] = Rational::from_int(1);
+            q.add_le(qrow.clone(), Rational::from_int(10));
+            qrow[j] = Rational::from_int(-1);
+            qrow[(j + 1) % 2] = Rational::zero();
+            q.add_le(qrow, Rational::from_int(10));
+        }
+        let fv = match f.solve() {
+            LpOutcome::Optimal { value, .. } => value,
+            other => { prop_assert!(false, "float LP not optimal: {:?}", other); return Ok(()); }
+        };
+        let qv = match q.solve() {
+            LpOutcome::Optimal { value, .. } => value.to_f64(),
+            other => { prop_assert!(false, "exact LP not optimal: {:?}", other); return Ok(()); }
+        };
+        prop_assert!((fv - qv).abs() < 1e-6, "float {fv} vs exact {qv}");
+    }
+}

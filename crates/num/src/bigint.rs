@@ -1,0 +1,494 @@
+//! Signed arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+use crate::biguint::BigUint;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Flips the sign (zero stays zero).
+    pub fn neg(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// Multiplies two signs.
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Positive, Sign::Positive) | (Sign::Negative, Sign::Negative) => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+}
+
+/// A signed arbitrary-precision integer in sign–magnitude representation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// The value `-1`.
+    pub fn neg_one() -> Self {
+        BigInt { sign: Sign::Negative, mag: BigUint::one() }
+    }
+
+    /// Builds a value from a sign and magnitude (normalizing zero).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "non-zero magnitude with zero sign");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign of this value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value) of this value.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Returns `true` if this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if this value is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.mag.is_one()
+    }
+
+    /// Returns `true` if this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Returns `true` if this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_sign_mag(
+            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            self.mag.clone(),
+        )
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            Sign::Zero => 0.0,
+            Sign::Positive => m,
+        }
+    }
+
+    /// Conversion to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if m <= i64::MAX as u128 {
+                    Some(m as i64)
+                } else {
+                    None
+                }
+            }
+            Sign::Negative => {
+                if m <= i64::MAX as u128 + 1 {
+                    Some((m as i128).wrapping_neg() as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Conversion to `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => (m <= i128::MAX as u128).then_some(m as i128),
+            Sign::Negative => {
+                if m <= i128::MAX as u128 + 1 {
+                    Some((m as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Euclidean-style `(quotient, remainder)` with truncation toward zero
+    /// (matching Rust's `/` and `%` on machine integers).
+    pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
+        assert!(!rhs.is_zero(), "division by zero");
+        let (q_mag, r_mag) = self.mag.div_rem(&rhs.mag);
+        let q_sign = if q_mag.is_zero() { Sign::Zero } else { self.sign.mul(rhs.sign) };
+        let r_sign = if r_mag.is_zero() { Sign::Zero } else { self.sign };
+        (
+            BigInt::from_sign_mag(q_sign, q_mag),
+            BigInt::from_sign_mag(r_sign, r_mag),
+        )
+    }
+
+    /// Greatest common divisor, always non-negative.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let g = self.mag.gcd(&other.mag);
+        BigInt::from_sign_mag(if g.is_zero() { Sign::Zero } else { Sign::Positive }, g)
+    }
+
+    /// Raises this value to a small power.
+    pub fn pow(&self, exp: u32) -> BigInt {
+        let mag = self.mag.pow(exp);
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else if self.sign == Sign::Negative && exp % 2 == 1 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        if exp == 0 {
+            return BigInt::one();
+        }
+        BigInt::from_sign_mag(sign, mag)
+    }
+
+    /// Parses a decimal string with an optional leading `-`.
+    pub fn from_decimal(s: &str) -> Option<Self> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Negative, rest),
+            None => (Sign::Positive, s),
+        };
+        let mag = BigUint::from_decimal(digits)?;
+        if mag.is_zero() {
+            Some(BigInt::zero())
+        } else {
+            Some(BigInt::from_sign_mag(sign, mag))
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(Sign::Positive, BigUint::from(v as u64)),
+            Ordering::Less => {
+                BigInt::from_sign_mag(Sign::Negative, BigUint::from((v as i128).unsigned_abs() as u64))
+            }
+        }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(Sign::Positive, BigUint::from(v))
+        }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(Sign::Positive, BigUint::from(v as u128)),
+            Ordering::Less => BigInt::from_sign_mag(Sign::Negative, BigUint::from(v.unsigned_abs())),
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(Sign::Positive, mag)
+        }
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Negative, Sign::Negative) => other.mag.cmp_mag(&self.mag),
+            (Sign::Negative, _) => Ordering::Less,
+            (Sign::Zero, Sign::Negative) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.mag.cmp_mag(&other.mag),
+            (Sign::Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.neg(), mag: self.mag.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.neg(), mag: self.mag }
+    }
+}
+
+fn add_impl(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::Zero, _) => b.clone(),
+        (_, Sign::Zero) => a.clone(),
+        (sa, sb) if sa == sb => BigInt::from_sign_mag(sa, a.mag.add_mag(&b.mag)),
+        (sa, _) => match a.mag.cmp_mag(&b.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(sa, a.mag.sub_mag(&b.mag)),
+            Ordering::Less => BigInt::from_sign_mag(sa.neg(), b.mag.sub_mag(&a.mag)),
+        },
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        add_impl(self, rhs)
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        add_impl(&self, &rhs)
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = add_impl(self, rhs);
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        add_impl(self, &(-rhs))
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        add_impl(&self, &(-rhs))
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = add_impl(self, &(-rhs));
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = self.sign.mul(rhs.sign);
+        if sign == Sign::Zero {
+            return BigInt::zero();
+        }
+        BigInt::from_sign_mag(sign, self.mag.mul_mag(&rhs.mag))
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div for BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: BigInt) -> BigInt {
+        self.div_rem(&rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: BigInt) -> BigInt {
+        self.div_rem(&rhs).1
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn construction_and_sign() {
+        assert!(b(0).is_zero());
+        assert!(b(5).is_positive());
+        assert!(b(-5).is_negative());
+        assert_eq!(b(-5).abs(), b(5));
+        assert_eq!(BigInt::neg_one(), b(-1));
+    }
+
+    #[test]
+    fn signed_addition_all_sign_combinations() {
+        for x in [-7i128, -3, 0, 4, 9] {
+            for y in [-8i128, -2, 0, 5, 11] {
+                assert_eq!(&b(x) + &b(y), b(x + y), "{x}+{y}");
+                assert_eq!(&b(x) - &b(y), b(x - y), "{x}-{y}");
+                assert_eq!(&b(x) * &b(y), b(x * y), "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_division_truncates_toward_zero() {
+        for x in [-17i128, -5, 0, 5, 17] {
+            for y in [-4i128, -3, 3, 4] {
+                let (q, r) = b(x).div_rem(&b(y));
+                assert_eq!(q, b(x / y), "{x}/{y}");
+                assert_eq!(r, b(x % y), "{x}%{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_crosses_signs() {
+        assert!(b(-10) < b(-2));
+        assert!(b(-2) < b(0));
+        assert!(b(0) < b(3));
+        assert!(b(3) < b(10));
+        let huge = BigInt::from_decimal("1234567890123456789012345678901234567890123").unwrap();
+        assert!(b(i128::MAX) < huge);
+        assert!(-&huge < b(i128::MIN));
+        assert!(-&huge < b(0));
+    }
+
+    #[test]
+    fn pow_and_gcd() {
+        assert_eq!(b(-2).pow(3), b(-8));
+        assert_eq!(b(-2).pow(4), b(16));
+        assert_eq!(b(0).pow(0), b(1));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(-7)), b(7));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(b(-42).to_i64(), Some(-42));
+        assert_eq!(b(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(b(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(b(-42).to_f64(), -42.0);
+        assert_eq!(b(1234).to_i128(), Some(1234));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "-1", "-987654321098765432109876543210", "42"] {
+            assert_eq!(BigInt::from_decimal(s).unwrap().to_string(), s);
+        }
+        assert_eq!(BigInt::from_decimal("-0").unwrap(), BigInt::zero());
+        assert!(BigInt::from_decimal("--3").is_none());
+    }
+}

@@ -1,0 +1,595 @@
+//! Unsigned arbitrary-precision integers.
+//!
+//! [`BigUint`] stores its magnitude as little-endian `u64` limbs with the
+//! invariant that the most significant limb is non-zero (the number zero is
+//! the empty limb vector). All arithmetic is implemented with plain
+//! schoolbook algorithms plus a single-limb fast path for division; the
+//! coefficient sizes produced by quantifier elimination on database-sized
+//! constraint systems stay far below the sizes where asymptotically faster
+//! algorithms pay off.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Shl, Shr, Sub};
+
+/// An unsigned arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; empty means zero; last limb is never zero.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Returns the little-endian limbs of this value.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` if this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if this value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Returns this value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns this value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` (round-to-nearest on the top bits, may be
+    /// `f64::INFINITY` for huge values).
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => (self.limbs[1] as f64) * 2f64.powi(64) + self.limbs[0] as f64,
+            n => {
+                // Use the top 128 bits and scale by the remaining bit count.
+                let hi = self.limbs[n - 1] as f64;
+                let mid = self.limbs[n - 2] as f64;
+                let lo = self.limbs[n - 3] as f64;
+                let base = hi * 2f64.powi(128) + mid * 2f64.powi(64) + lo;
+                base * 2f64.powi(64 * (n as i32 - 3))
+            }
+        }
+    }
+
+    /// Compares two magnitudes.
+    pub fn cmp_mag(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Adds two magnitudes.
+    pub fn add_mag(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let a = long[i];
+            let b = if i < short.len() { short[i] } else { 0 };
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Subtracts `other` from `self`; panics if `other > self`.
+    pub fn sub_mag(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_mag(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = if i < other.limbs.len() { other.limbs[i] } else { 0 };
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    /// Schoolbook multiplication of two magnitudes.
+    pub fn mul_mag(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Multiplies by a single `u64`.
+    pub fn mul_u64(&self, rhs: u64) -> Self {
+        if rhs == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &a in &self.limbs {
+            let cur = (a as u128) * (rhs as u128) + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Divides by a single non-zero `u64`, returning `(quotient, remainder)`.
+    pub fn div_rem_u64(&self, rhs: u64) -> (Self, u64) {
+        assert!(rhs != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / rhs as u128) as u64;
+            rem = cur % rhs as u128;
+        }
+        (BigUint::from_limbs(out), rem as u64)
+    }
+
+    /// Left shift by `bits` bit positions.
+    pub fn shl_bits(&self, bits: u64) -> Self {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = (bits % 64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by `bits` bit positions.
+    pub fn shr_bits(&self, bits: u64) -> Self {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (bits % 64) as u32;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = if i + 1 < src.len() {
+                src[i + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Returns the bit at index `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Long division: returns `(quotient, remainder)`.
+    ///
+    /// Uses a single-limb fast path and otherwise a shift-and-subtract
+    /// schoolbook loop over the bits of the dividend. This is O(n·bits) but
+    /// completely branch-predictable and easy to verify; the sizes reached in
+    /// this workspace keep it cheap.
+    pub fn div_rem(&self, rhs: &Self) -> (Self, Self) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self.cmp_mag(rhs) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(rhs.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        let shift = self.bits() - rhs.bits();
+        let mut rem = self.clone();
+        let mut quo = BigUint::zero();
+        let mut den = rhs.shl_bits(shift);
+        let mut bit = shift as i64;
+        while bit >= 0 {
+            if rem.cmp_mag(&den) != Ordering::Less {
+                rem = rem.sub_mag(&den);
+                quo = quo.add_mag(&BigUint::one().shl_bits(bit as u64));
+            }
+            den = den.shr_bits(1);
+            bit -= 1;
+        }
+        (quo, rem)
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_q, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises this value to a small power.
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_mag(&base);
+            }
+            base = base.mul_mag(&base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Parses a non-negative decimal string.
+    pub fn from_decimal(s: &str) -> Option<Self> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = BigUint::zero();
+        for chunk in s.as_bytes().chunks(18) {
+            let part: u64 = std::str::from_utf8(chunk).ok()?.parse().ok()?;
+            let scale = 10u64.pow(chunk.len() as u32);
+            acc = acc.mul_u64(scale).add_mag(&BigUint::from(part));
+        }
+        Some(acc)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_mag(other)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeatedly divide by 10^19 (largest power of ten in a u64) and emit
+        // fixed-width groups.
+        let mut groups = Vec::new();
+        let mut cur = self.clone();
+        let base = 10u64.pow(19);
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(base);
+            groups.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, g) in groups.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&g.to_string());
+            } else {
+                s.push_str(&format!("{g:019}"));
+            }
+        }
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_mag(rhs)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        self.add_mag(&rhs)
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_mag(rhs);
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.sub_mag(rhs)
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        self.sub_mag(&rhs)
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_mag(rhs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_mag(&rhs)
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from(0u64), BigUint::zero());
+    }
+
+    #[test]
+    fn addition_with_carry() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(1u64);
+        let c = a.add_mag(&b);
+        assert_eq!(c.to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn subtraction_with_borrow() {
+        let a = BigUint::from(1u128 << 64);
+        let b = BigUint::from(1u64);
+        assert_eq!(a.sub_mag(&b).to_u128(), Some(u64::MAX as u128));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = BigUint::from(1u64).sub_mag(&BigUint::from(2u64));
+    }
+
+    #[test]
+    fn multiplication_large() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(u64::MAX);
+        let c = a.mul_mag(&b);
+        assert_eq!(c.to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn division_roundtrip_small() {
+        let a = BigUint::from(123_456_789_012_345_678u64);
+        let b = BigUint::from(97u64);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(
+            q.mul_mag(&b).add_mag(&r).to_u64(),
+            Some(123_456_789_012_345_678u64)
+        );
+        assert!(r.cmp_mag(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn division_multi_limb() {
+        let a = BigUint::from(u128::MAX).mul_mag(&BigUint::from(u64::MAX)).add_mag(&BigUint::from(12345u64));
+        let b = BigUint::from(u128::MAX / 7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul_mag(&b).add_mag(&r), a);
+        assert!(r.cmp_mag(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from(0b1011u64);
+        assert_eq!(a.shl_bits(65).shr_bits(65), a);
+        assert_eq!(a.shl_bits(3).to_u64(), Some(0b1011000));
+        assert_eq!(a.shr_bits(2).to_u64(), Some(0b10));
+        assert_eq!(a.shr_bits(100), BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        let a = BigUint::from(2u64.pow(40) * 3 * 5 * 7);
+        let b = BigUint::from(2u64.pow(20) * 3 * 11);
+        assert_eq!(a.gcd(&b).to_u64(), Some(2u64.pow(20) * 3));
+        assert_eq!(BigUint::zero().gcd(&b), b);
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(BigUint::from(3u64).pow(5).to_u64(), Some(243));
+        assert_eq!(BigUint::from(2u64).pow(0).to_u64(), Some(1));
+        let big = BigUint::from(10u64).pow(30);
+        assert_eq!(big.to_string(), "1000000000000000000000000000000");
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let cases = ["0", "1", "18446744073709551616", "340282366920938463463374607431768211455", "999999999999999999999999999999999999"];
+        for c in cases {
+            let v = BigUint::from_decimal(c).unwrap();
+            assert_eq!(v.to_string(), c);
+        }
+        assert!(BigUint::from_decimal("12a").is_none());
+        assert!(BigUint::from_decimal("").is_none());
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        let v = BigUint::from(1u128 << 100);
+        let f = v.to_f64();
+        assert!((f - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-12);
+        assert_eq!(BigUint::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = BigUint::from(0b1010u64);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(500));
+    }
+
+    #[test]
+    fn cmp_ordering() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::from(1u128 << 64);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+}

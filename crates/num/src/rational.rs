@@ -1,0 +1,494 @@
+//! Exact rational numbers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::bigint::{BigInt, Sign};
+
+/// An exact rational number, always stored in lowest terms with a strictly
+/// positive denominator.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Builds `num / den`, reducing to lowest terms. Panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.gcd(&den);
+        if !g.is_one() {
+            num = &num / &g;
+            den = &den / &g;
+        }
+        Rational { num, den }
+    }
+
+    /// Builds a rational from machine integers.
+    pub fn from_ratio(num: i64, den: i64) -> Self {
+        Rational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Builds a rational equal to an integer.
+    pub fn from_int(v: i64) -> Self {
+        Rational { num: BigInt::from(v), den: BigInt::one() }
+    }
+
+    /// Builds the closest dyadic rational to an `f64` (exact conversion of
+    /// the IEEE-754 value). Returns `None` for NaN or infinities.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Rational::zero());
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1i64 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let mantissa = bits & ((1u64 << 52) - 1);
+        let (mant, exp) = if exponent == 0 {
+            (mantissa, -1074i64)
+        } else {
+            (mantissa | (1u64 << 52), exponent - 1075)
+        };
+        let mant = BigInt::from(mant) * BigInt::from(sign);
+        let two = BigInt::from(2i64);
+        if exp >= 0 {
+            Some(Rational::new(mant * two.pow(exp as u32), BigInt::one()))
+        } else {
+            Some(Rational::new(mant, two.pow((-exp) as u32)))
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if this value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Scales the operands so the division happens on quantities representable
+    /// in double precision, keeping the relative error within a few ulps even
+    /// for very large numerators and denominators.
+    pub fn to_f64(&self) -> f64 {
+        if self.num.is_zero() {
+            return 0.0;
+        }
+        let nb = self.num.magnitude().bits() as i64;
+        let db = self.den.magnitude().bits() as i64;
+        // Bring both operands below 2^900 to avoid infinities, preserving the ratio.
+        let shift = (nb.max(db) - 900).max(0) as u64;
+        let n = if shift > 0 { self.num.magnitude().shr_bits(shift) } else { self.num.magnitude().clone() };
+        let d = if shift > 0 { self.den.magnitude().shr_bits(shift) } else { self.den.magnitude().clone() };
+        let mut v = n.to_f64() / d.to_f64();
+        if self.num.is_negative() {
+            v = -v;
+        }
+        v
+    }
+
+    /// Integer floor of the value.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_zero() || !self.num.is_negative() {
+            q
+        } else {
+            q - BigInt::one()
+        }
+    }
+
+    /// Integer ceiling of the value.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_zero() || self.num.is_negative() {
+            q
+        } else {
+            q + BigInt::one()
+        }
+    }
+
+    /// Raises to a (possibly negative) integer power.
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::one();
+        }
+        if exp > 0 {
+            Rational::new(self.num.pow(exp as u32), self.den.pow(exp as u32))
+        } else {
+            assert!(!self.is_zero(), "zero to a negative power");
+            Rational::new(self.den.pow((-exp) as u32), self.num.pow((-exp) as u32))
+        }
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other { self } else { other }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other { self } else { other }
+    }
+
+    /// Parses `"a"`, `"-a"`, `"a/b"` or `"-a/b"` decimal forms.
+    pub fn from_decimal(s: &str) -> Option<Self> {
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let num = BigInt::from_decimal(n.trim())?;
+                let den = BigInt::from_decimal(d.trim())?;
+                if den.is_zero() {
+                    None
+                } else {
+                    Some(Rational::new(num, den))
+                }
+            }
+            None => {
+                // Also accept a decimal point: "1.25" -> 125/100.
+                if let Some((int_part, frac_part)) = s.split_once('.') {
+                    let digits = format!("{int_part}{frac_part}");
+                    let num = BigInt::from_decimal(digits.trim())?;
+                    let den = BigInt::from(10i64).pow(frac_part.len() as u32);
+                    Some(Rational::new(num, den))
+                } else {
+                    Some(Rational { num: BigInt::from_decimal(s.trim())?, den: BigInt::one() })
+                }
+            }
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl Hash for Rational {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num.hash(state);
+        self.den.hash(state);
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        Rational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        &self / &rhs
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(6, 3).to_string(), "2");
+        assert_eq!(r(-5, 10).to_string(), "-1/2");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(BigInt::one(), BigInt::zero());
+    }
+
+    #[test]
+    fn field_operations_match_f64() {
+        let cases = [(1, 2), (-3, 4), (7, 5), (-11, 13), (0, 1)];
+        for (an, ad) in cases {
+            for (bn, bd) in cases {
+                let a = r(an, ad);
+                let b = r(bn, bd);
+                let fa = an as f64 / ad as f64;
+                let fb = bn as f64 / bd as f64;
+                assert!(((&a + &b).to_f64() - (fa + fb)).abs() < 1e-12);
+                assert!(((&a - &b).to_f64() - (fa - fb)).abs() < 1e-12);
+                assert!(((&a * &b).to_f64() - (fa * fb)).abs() < 1e-12);
+                if !b.is_zero() {
+                    assert!(((&a / &b).to_f64() - (fa / fb)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 3) > r(3, 5));
+        assert_eq!(r(4, 6).cmp(&r(2, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(6, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(6, 2).ceil(), BigInt::from(3i64));
+    }
+
+    #[test]
+    fn powers_and_recip() {
+        assert_eq!(r(2, 3).pow(2), r(4, 9));
+        assert_eq!(r(2, 3).pow(-2), r(9, 4));
+        assert_eq!(r(2, 3).pow(0), Rational::one());
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics() {
+        assert_eq!(Rational::from_f64(0.5).unwrap(), r(1, 2));
+        assert_eq!(Rational::from_f64(-0.75).unwrap(), r(-3, 4));
+        assert_eq!(Rational::from_f64(3.0).unwrap(), r(3, 1));
+        assert_eq!(Rational::from_f64(0.0).unwrap(), Rational::zero());
+        assert!(Rational::from_f64(f64::NAN).is_none());
+        assert!(Rational::from_f64(f64::INFINITY).is_none());
+        // Round trip: from_f64 followed by to_f64 is the identity on finite floats.
+        for v in [0.1, -123.456, 1e-30, 1e30, std::f64::consts::PI] {
+            assert_eq!(Rational::from_f64(v).unwrap().to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(Rational::from_decimal("3/4").unwrap(), r(3, 4));
+        assert_eq!(Rational::from_decimal("-3/4").unwrap(), r(-3, 4));
+        assert_eq!(Rational::from_decimal("5").unwrap(), r(5, 1));
+        assert_eq!(Rational::from_decimal("1.25").unwrap(), r(5, 4));
+        assert_eq!(Rational::from_decimal("-0.5").unwrap(), r(-1, 2));
+        assert!(Rational::from_decimal("1/0").is_none());
+        assert!(Rational::from_decimal("abc").is_none());
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+        assert_eq!(r(-5, 2).abs(), r(5, 2));
+    }
+
+    #[test]
+    fn large_coefficient_growth() {
+        // Simulates Fourier-Motzkin style growth: repeated a = a*b + c.
+        let mut a = r(3, 7);
+        let b = r(-11, 13);
+        let c = r(17, 19);
+        for _ in 0..200 {
+            a = &(&a * &b) + &c;
+        }
+        // The limit of the fixed point iteration is c / (1 - b) = (17/19)/(24/13);
+        // |b| < 1 so after 200 iterations the distance is below 1e-14.
+        let limit = &c / &(&Rational::one() - &b);
+        assert!((a.to_f64() - limit.to_f64()).abs() < 1e-9);
+    }
+}

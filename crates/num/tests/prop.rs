@@ -1,0 +1,122 @@
+//! Property-based tests for `cdb-num`: the ring/field axioms and agreement
+//! with 128-bit machine arithmetic on values that fit.
+
+use cdb_num::{BigInt, BigUint, Rational};
+use proptest::prelude::*;
+
+fn bigint_strategy() -> impl Strategy<Value = (i128, BigInt)> {
+    any::<i64>().prop_map(|v| (v as i128, BigInt::from(v)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn biguint_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let x = BigUint::from(a) + BigUint::from(b);
+        prop_assert_eq!(x.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let x = BigUint::from(a) * BigUint::from(b);
+        prop_assert_eq!(x.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(a in any::<u128>(), s in 0u64..200) {
+        let v = BigUint::from(a);
+        prop_assert_eq!(v.shl_bits(s).shr_bits(s), v);
+    }
+
+    #[test]
+    fn biguint_display_parse_roundtrip(a in any::<u128>()) {
+        let v = BigUint::from(a);
+        prop_assert_eq!(BigUint::from_decimal(&v.to_string()), Some(v));
+    }
+
+    #[test]
+    fn bigint_ring_axioms((_ai, a) in bigint_strategy(), (_bi, b) in bigint_strategy(), (_ci, c) in bigint_strategy()) {
+        // Commutativity and associativity of + and *.
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        // Distributivity.
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // Additive inverse.
+        prop_assert_eq!(&a + &(-&a), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_matches_i128((ai, a) in bigint_strategy(), (bi, b) in bigint_strategy()) {
+        prop_assert_eq!((&a + &b).to_i128(), Some(ai + bi));
+        prop_assert_eq!((&a - &b).to_i128(), Some(ai - bi));
+        prop_assert_eq!((&a * &b).to_i128(), Some(ai * bi));
+        if bi != 0 {
+            prop_assert_eq!((&a / &b).to_i128(), Some(ai / bi));
+            prop_assert_eq!((&a % &b).to_i128(), Some(ai % bi));
+        }
+        prop_assert_eq!(a.cmp(&b), ai.cmp(&bi));
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both((ai, a) in bigint_strategy(), (bi, b) in bigint_strategy()) {
+        let g = a.gcd(&b);
+        if ai != 0 || bi != 0 {
+            prop_assert!(!g.is_zero());
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(g.is_zero());
+        }
+    }
+
+    #[test]
+    fn rational_field_axioms(an in -1000i64..1000, ad in 1i64..1000, bn in -1000i64..1000, bd in 1i64..1000, cn in -1000i64..1000, cd in 1i64..1000) {
+        let a = Rational::from_ratio(an, ad);
+        let b = Rational::from_ratio(bn, bd);
+        let c = Rational::from_ratio(cn, cd);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_ordering_matches_f64(an in -10_000i64..10_000, ad in 1i64..10_000, bn in -10_000i64..10_000, bd in 1i64..10_000) {
+        let a = Rational::from_ratio(an, ad);
+        let b = Rational::from_ratio(bn, bd);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a > b, fa > fb);
+        }
+    }
+
+    #[test]
+    fn rational_f64_roundtrip(v in -1.0e12f64..1.0e12) {
+        let r = Rational::from_f64(v).unwrap();
+        prop_assert_eq!(r.to_f64(), v);
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(an in -10_000i64..10_000, ad in 1i64..100) {
+        let a = Rational::from_ratio(an, ad);
+        let fl = Rational::from(a.floor());
+        let ce = Rational::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!((&ce - &fl) <= Rational::one());
+    }
+}

@@ -1,0 +1,53 @@
+//! The composed generators of Section 4 of the paper: union, intersection,
+//! difference and projection of observable relations.
+
+pub mod difference;
+pub mod intersection;
+pub mod projection;
+pub mod union;
+
+/// Why a relation (or a combination of relations) could not be handled by the
+/// composed generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObservabilityError {
+    /// The relation has no full-dimensional tuple at all.
+    Empty,
+    /// Tuple `index` of the relation is not well-bounded (unbounded or
+    /// lower-dimensional), so the Dyer–Frieze–Kannan generator cannot be
+    /// applied to it.
+    NotWellBounded {
+        /// Index of the offending tuple.
+        index: usize,
+    },
+    /// The poly-related condition of Proposition 4.1 / 4.2 appears to be
+    /// violated: the acceptance rate of the rejection step fell below the
+    /// given threshold, so no efficient generator exists under the paper's
+    /// sufficient condition.
+    NotPolyRelated {
+        /// Observed acceptance rate.
+        acceptance: f64,
+    },
+    /// The projection generator needs a convex (single-tuple) relation.
+    NotConvex,
+    /// Invalid generator parameters.
+    InvalidParams(String),
+}
+
+impl std::fmt::Display for ObservabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObservabilityError::Empty => write!(f, "relation has no full-dimensional tuple"),
+            ObservabilityError::NotWellBounded { index } => {
+                write!(f, "tuple {index} is not well-bounded")
+            }
+            ObservabilityError::NotPolyRelated { acceptance } => write!(
+                f,
+                "acceptance rate {acceptance:.2e} too low: the sets do not appear to be poly-related"
+            ),
+            ObservabilityError::NotConvex => write!(f, "the projection generator needs a convex relation"),
+            ObservabilityError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ObservabilityError {}

@@ -1,0 +1,313 @@
+//! Algorithm 2 of the paper: the almost-uniform generator for the projection
+//! of a convex relation, and the associated volume estimator (Theorem 4.3).
+//!
+//! As Figure 1 of the paper illustrates, simply projecting uniform samples of
+//! `S` is *not* uniform on the projection `T`: a point `y ∈ T` is hit with
+//! probability proportional to the volume of the cylinder (fiber)
+//! `H_S(y) = S ∩ {x : proj_I(x) = y}`. Algorithm 2 compensates by accepting
+//! `y` with probability `1/ĥ`, where `ĥ` is the (estimated) number of γ-grid
+//! points in the cylinder.
+
+use rand::Rng;
+
+use cdb_constraint::GeneralizedTuple;
+use cdb_geometry::{volume::polytope_volume, GammaGrid, Halfspace, HPolytope};
+
+use crate::compose::ObservabilityError;
+use crate::dfk::DfkSampler;
+use crate::oracle::ConvexBody;
+use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+
+/// Generator and volume estimator for the projection `T = proj_I(S)` of a
+/// convex relation `S` onto the coordinates `I`.
+#[derive(Debug)]
+pub struct ProjectionGenerator {
+    tuple: GeneralizedTuple,
+    polytope: HPolytope,
+    keep: Vec<usize>,
+    fiber_coords: Vec<usize>,
+    sampler: DfkSampler,
+    grid: GammaGrid,
+    params: GeneratorParams,
+    attempts: u64,
+    accepted: u64,
+}
+
+impl ProjectionGenerator {
+    /// Builds the generator for `proj_keep(tuple)`. The tuple must be a
+    /// well-bounded convex relation (a single generalized tuple), and `keep`
+    /// must list distinct coordinates.
+    pub fn new<R: Rng + ?Sized>(
+        tuple: &GeneralizedTuple,
+        keep: &[usize],
+        params: GeneratorParams,
+        rng: &mut R,
+    ) -> Result<Self, ObservabilityError> {
+        params.validate().map_err(ObservabilityError::InvalidParams)?;
+        let d = tuple.arity();
+        let mut sorted = keep.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != keep.len() || keep.iter().any(|&k| k >= d) || keep.is_empty() {
+            return Err(ObservabilityError::InvalidParams(
+                "projection coordinates must be distinct and within the arity".into(),
+            ));
+        }
+        let body = ConvexBody::from_tuple(tuple).ok_or(ObservabilityError::NotWellBounded { index: 0 })?;
+        let grid = GammaGrid::for_well_bounded(d, params.gamma, body.r_inf());
+        let sampler = DfkSampler::new(body, params, rng);
+        let fiber_coords: Vec<usize> = (0..d).filter(|i| !keep.contains(i)).collect();
+        Ok(ProjectionGenerator {
+            tuple: tuple.clone(),
+            polytope: tuple.to_hpolytope(),
+            keep: keep.to_vec(),
+            fiber_coords,
+            sampler,
+            grid,
+            params,
+            attempts: 0,
+            accepted: 0,
+        })
+    }
+
+    /// The projection coordinates `I`.
+    pub fn kept_coordinates(&self) -> &[usize] {
+        &self.keep
+    }
+
+    /// The generalized tuple being projected.
+    pub fn tuple(&self) -> &GeneralizedTuple {
+        &self.tuple
+    }
+
+    /// Observed acceptance rate of the compensation step.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.attempts as f64
+        }
+    }
+
+    /// The cylinder `H_S(y)` expressed as a polytope over the fiber
+    /// coordinates: every halfspace `a·x ≤ b` of `S` becomes
+    /// `a_F·z ≤ b − a_I·y`.
+    pub fn fiber_polytope(&self, y: &[f64]) -> HPolytope {
+        let fiber_dim = self.fiber_coords.len();
+        let halfspaces = self
+            .polytope
+            .halfspaces()
+            .iter()
+            .map(|h| {
+                let normal: Vec<f64> = self.fiber_coords.iter().map(|&i| h.normal()[i]).collect();
+                let fixed: f64 = self
+                    .keep
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| h.normal()[i] * y[j])
+                    .sum();
+                Halfspace::from_slice(&normal, h.offset() - fixed)
+            })
+            .collect();
+        HPolytope::new(fiber_dim, halfspaces)
+    }
+
+    /// The paper's `ĥ`: the (estimated) number of grid points in the cylinder
+    /// above `y`, at least 1 (the sampled point itself lies in it).
+    pub fn cylinder_weight(&self, y: &[f64]) -> f64 {
+        if self.fiber_coords.is_empty() {
+            return 1.0;
+        }
+        let fiber = self.fiber_polytope(y);
+        let vol = polytope_volume(&fiber);
+        let cell = self.grid.step().powi(self.fiber_coords.len() as i32);
+        (vol / cell).max(1.0)
+    }
+
+    /// Projects a full-dimensional point onto the kept coordinates.
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.keep.iter().map(|&i| x[i]).collect()
+    }
+
+    /// Draws a point of `S` and projects it *without* the compensation step —
+    /// the biased baseline of Figure 1, exposed for the experiments.
+    pub fn sample_uncorrected<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.project(&self.sampler.sample(rng))
+    }
+
+    /// Estimates the volume (in dimension `|I|`) of the projection `T`:
+    /// `vol(T) = vol(S) · E[1/ĥ] / p^{d−e}`.
+    pub fn estimate_projection_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.fiber_coords.is_empty() {
+            return self.sampler.estimate_volume(rng);
+        }
+        let vol_s = self.sampler.estimate_volume(rng);
+        let trials = self.params.samples_per_phase();
+        let mut sum_inv = 0.0;
+        for _ in 0..trials {
+            let x = self.sampler.sample(rng);
+            let y = self.project(&x);
+            sum_inv += 1.0 / self.cylinder_weight(&y);
+        }
+        let mean_inv = sum_inv / trials as f64;
+        let cell = self.grid.step().powi(self.fiber_coords.len() as i32);
+        vol_s * mean_inv / cell
+    }
+}
+
+impl RelationGenerator for ProjectionGenerator {
+    fn dim(&self) -> usize {
+        self.keep.len()
+    }
+
+    fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        if self.fiber_coords.is_empty() {
+            return Some(self.project(&self.sampler.sample(rng)));
+        }
+        // The success probability of one round is at least ~εγ/d³ (proof of
+        // Theorem 4.3, with the grid step p = γ·r_inf/d^{3/2} folded in);
+        // retry accordingly, with a cap.
+        let d = self.tuple.arity();
+        let rounds = ((d.pow(3) as f64 / (self.params.eps * self.params.gamma))
+            * (1.0 / self.params.delta).ln())
+        .ceil() as usize;
+        let rounds = rounds.clamp(self.params.retry_rounds(), 500_000);
+        for _ in 0..rounds {
+            let x = self.sampler.sample(rng);
+            let y = self.project(&x);
+            let h = self.cylinder_weight(&y);
+            self.attempts += 1;
+            if rng.gen_range(0.0..1.0) < 1.0 / h {
+                self.accepted += 1;
+                return Some(y);
+            }
+        }
+        None
+    }
+}
+
+impl RelationVolumeEstimator for ProjectionGenerator {
+    fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        Some(self.estimate_projection_volume(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The triangle 0 ≤ x ≤ 1, 0 ≤ y ≤ x — the canonical Figure 1 shape: its
+    /// projection onto x is [0,1], but the fibers shrink linearly to a point
+    /// at x = 0.
+    fn figure1_triangle() -> GeneralizedTuple {
+        use cdb_constraint::Atom;
+        GeneralizedTuple::new(
+            2,
+            vec![
+                Atom::le_from_ints(&[-1, 0], 0), // x >= 0
+                Atom::le_from_ints(&[1, 0], -1), // x <= 1
+                Atom::le_from_ints(&[0, -1], 0), // y >= 0
+                Atom::le_from_ints(&[-1, 1], 0), // y <= x
+            ],
+        )
+    }
+
+    fn params() -> GeneratorParams {
+        GeneratorParams { gamma: 0.05, ..GeneratorParams::fast() }
+    }
+
+    #[test]
+    fn samples_land_in_the_projection() {
+        let tri = figure1_triangle();
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut gen = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
+        let pts = gen.sample_many(200, &mut rng);
+        assert!(pts.len() > 100, "too many rejections: {}", pts.len());
+        for p in &pts {
+            assert_eq!(p.len(), 1);
+            assert!(p[0] >= -1e-6 && p[0] <= 1.0 + 1e-6, "outside projection: {p:?}");
+        }
+    }
+
+    #[test]
+    fn correction_flattens_the_figure1_bias() {
+        // Without compensation, the projected samples concentrate near x = 1
+        // (large fibers); with compensation the left and right halves are
+        // balanced.
+        let tri = figure1_triangle();
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut gen = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
+
+        let n = 400;
+        let mut biased_left = 0usize;
+        for _ in 0..n {
+            if gen.sample_uncorrected(&mut rng)[0] < 0.5 {
+                biased_left += 1;
+            }
+        }
+        let corrected = gen.sample_many(n, &mut rng);
+        let corrected_left = corrected.iter().filter(|p| p[0] < 0.5).count();
+
+        let biased_frac = biased_left as f64 / n as f64;
+        let corrected_frac = corrected_left as f64 / corrected.len() as f64;
+        // Uniform-on-triangle puts only 1/4 of the mass at x < 1/2.
+        assert!(biased_frac < 0.35, "uncorrected fraction {biased_frac}");
+        assert!((corrected_frac - 0.5).abs() < 0.12, "corrected fraction {corrected_frac}");
+    }
+
+    #[test]
+    fn fiber_polytope_matches_geometry() {
+        let tri = figure1_triangle();
+        let mut rng = StdRng::seed_from_u64(53);
+        let gen = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
+        // At x = 0.5 the fiber is the segment 0 <= y <= 0.5.
+        let fiber = gen.fiber_polytope(&[0.5]);
+        assert!(fiber.contains_slice(&[0.25], 1e-9));
+        assert!(!fiber.contains_slice(&[0.75], 1e-9));
+        assert!((polytope_volume(&fiber) - 0.5).abs() < 1e-6);
+        // The cylinder weight grows with the fiber length.
+        assert!(gen.cylinder_weight(&[0.9]) > gen.cylinder_weight(&[0.1]));
+    }
+
+    #[test]
+    fn projection_volume_of_square_and_triangle() {
+        // Projection of the unit square onto x has length 1; same for the triangle.
+        let square = GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(54);
+        let mut gen_sq = ProjectionGenerator::new(&square, &[0], params(), &mut rng).unwrap();
+        let v_sq = gen_sq.estimate_projection_volume(&mut rng);
+        assert!((v_sq - 1.0).abs() < 0.4, "square projection volume {v_sq}");
+
+        let tri = figure1_triangle();
+        let mut gen_tri = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
+        let v_tri = gen_tri.estimate_projection_volume(&mut rng);
+        assert!((v_tri - 1.0).abs() < 0.45, "triangle projection volume {v_tri}");
+    }
+
+    #[test]
+    fn projecting_onto_all_coordinates_is_the_identity() {
+        let square = GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut gen = ProjectionGenerator::new(&square, &[0, 1], params(), &mut rng).unwrap();
+        let p = gen.sample(&mut rng).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(square.satisfied_f64(&p, 1e-9));
+        let v = gen.estimate_projection_volume(&mut rng);
+        assert!((v - 1.0).abs() < 0.35);
+    }
+
+    #[test]
+    fn invalid_coordinates_are_rejected() {
+        let square = GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(56);
+        assert!(ProjectionGenerator::new(&square, &[0, 0], params(), &mut rng).is_err());
+        assert!(ProjectionGenerator::new(&square, &[5], params(), &mut rng).is_err());
+        assert!(ProjectionGenerator::new(&square, &[], params(), &mut rng).is_err());
+        // Unbounded tuples are rejected too.
+        use cdb_constraint::Atom;
+        let halfplane = GeneralizedTuple::new(2, vec![Atom::le_from_ints(&[1, 0], 0)]);
+        assert!(ProjectionGenerator::new(&halfplane, &[0], params(), &mut rng).is_err());
+    }
+}

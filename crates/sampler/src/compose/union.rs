@@ -1,0 +1,269 @@
+//! Algorithm 1 of the paper: the almost-uniform generator and volume
+//! estimator for a union of observable (convex, well-bounded) relations.
+//!
+//! The construction is the geometric analogue of the Karp–Luby #DNF
+//! estimator: a component is drawn with probability proportional to its
+//! estimated volume, a point is drawn almost uniformly inside it, and the
+//! point is kept only when the chosen component is the *first* one containing
+//! it (`j(x)` in the paper), which makes every point of the overlapping union
+//! count exactly once.
+
+use rand::Rng;
+
+use cdb_constraint::GeneralizedRelation;
+
+use crate::compose::ObservabilityError;
+use crate::dfk::DfkSampler;
+use crate::oracle::ConvexBody;
+use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+
+/// The union generator of Theorem 4.1 / Corollary 4.2 and the union volume
+/// estimator of Theorem 4.2.
+#[derive(Debug)]
+pub struct UnionGenerator {
+    relation: GeneralizedRelation,
+    bodies: Vec<ConvexBody>,
+    samplers: Vec<DfkSampler>,
+    volumes: Vec<f64>,
+    params: GeneratorParams,
+    initialized: bool,
+}
+
+impl UnionGenerator {
+    /// Builds the generator for a generalized relation (a union of generalized
+    /// tuples). Every full-dimensional tuple must be well-bounded; degenerate
+    /// (measure-zero) tuples are dropped, matching the remark in the paper
+    /// that exponentially smaller components can be treated as empty.
+    pub fn new(relation: &GeneralizedRelation, params: GeneratorParams) -> Result<Self, ObservabilityError> {
+        params.validate().map_err(ObservabilityError::InvalidParams)?;
+        // Classify every tuple: empty or measure-zero tuples are dropped (the
+        // paper's remark that exponentially smaller components can be treated
+        // as empty); unbounded tuples make the relation non-observable.
+        let mut kept = Vec::new();
+        let mut bodies = Vec::new();
+        for (i, t) in relation.tuples().iter().enumerate() {
+            if t.closure_is_empty() {
+                continue;
+            }
+            let polytope = t.to_hpolytope();
+            if polytope.bounding_box().is_none() {
+                return Err(ObservabilityError::NotWellBounded { index: i });
+            }
+            match ConvexBody::from_tuple(t) {
+                Some(b) => {
+                    kept.push(t.clone());
+                    bodies.push(b);
+                }
+                // Bounded but lower-dimensional: measure zero, drop it.
+                None => continue,
+            }
+        }
+        if kept.is_empty() {
+            return Err(ObservabilityError::Empty);
+        }
+        let pruned = GeneralizedRelation::from_tuples(relation.arity(), kept);
+        Ok(UnionGenerator {
+            relation: pruned,
+            bodies,
+            samplers: Vec::new(),
+            volumes: Vec::new(),
+            params,
+            initialized: false,
+        })
+    }
+
+    /// The relation being sampled (after pruning degenerate tuples).
+    pub fn relation(&self) -> &GeneralizedRelation {
+        &self.relation
+    }
+
+    /// Per-component volume estimates `μ̂_i` (available after the first call
+    /// to [`RelationGenerator::sample`] or
+    /// [`RelationVolumeEstimator::estimate_volume`]).
+    pub fn component_volumes(&self) -> &[f64] {
+        &self.volumes
+    }
+
+    /// Lazily builds the per-component samplers and volume estimates
+    /// (step (1) of Algorithm 1).
+    fn ensure_initialized<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.initialized {
+            return;
+        }
+        self.samplers = self
+            .bodies
+            .iter()
+            .map(|b| DfkSampler::new(b.clone(), self.params, rng))
+            .collect();
+        self.volumes = self.samplers.iter().map(|s| s.estimate_volume(rng)).collect();
+        self.initialized = true;
+    }
+
+    /// Chooses a component index with probability proportional to `μ̂_i`
+    /// (step (3) of Algorithm 1).
+    fn choose_component<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.volumes.iter().sum();
+        let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        for (i, v) in self.volumes.iter().enumerate() {
+            if target < *v {
+                return i;
+            }
+            target -= v;
+        }
+        self.volumes.len() - 1
+    }
+
+    /// Index of the first tuple containing `x` — the paper's `j(x)`.
+    fn first_index(&self, x: &[f64]) -> Option<usize> {
+        self.relation.first_containing_tuple(x, 1e-9)
+    }
+}
+
+impl RelationGenerator for UnionGenerator {
+    fn dim(&self) -> usize {
+        self.relation.arity()
+    }
+
+    fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        self.ensure_initialized(rng);
+        // Repeat k = 4 ln(1/δ) times (the proof of Theorem 4.1).
+        for _ in 0..self.params.retry_rounds() {
+            let j = self.choose_component(rng);
+            let x = self.samplers[j].sample(rng);
+            // Accept only when j is the first component containing x, so the
+            // output distribution is uniform on the union rather than on the
+            // disjoint sum of the components.
+            if self.first_index(&x) == Some(j) {
+                return Some(x);
+            }
+        }
+        None
+    }
+}
+
+impl RelationVolumeEstimator for UnionGenerator {
+    fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        self.ensure_initialized(rng);
+        let total: f64 = self.volumes.iter().sum();
+        if total <= 0.0 {
+            return Some(0.0);
+        }
+        // Karp–Luby: vol(∪ S_i) = (Σ μ_i) · Pr[j(x) = j when j ~ μ, x ~ S_j].
+        let trials = self.params.samples_per_phase();
+        let mut accepted = 0usize;
+        for _ in 0..trials {
+            let j = self.choose_component(rng);
+            let x = self.samplers[j].sample(rng);
+            if self.first_index(&x) == Some(j) {
+                accepted += 1;
+            }
+        }
+        Some(total * accepted as f64 / trials as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn boxes(spec: &[(f64, f64, f64, f64)]) -> GeneralizedRelation {
+        let mut rel: Option<GeneralizedRelation> = None;
+        for &(x0, y0, x1, y1) in spec {
+            let b = GeneralizedRelation::from_box_f64(&[x0, y0], &[x1, y1]);
+            rel = Some(match rel {
+                None => b,
+                Some(r) => r.union(&b),
+            });
+        }
+        rel.expect("non-empty spec")
+    }
+
+    #[test]
+    fn disjoint_union_volume_and_balance() {
+        // Two disjoint unit squares: volume 2, samples split evenly.
+        let rel = boxes(&[(0.0, 0.0, 1.0, 1.0), (5.0, 0.0, 6.0, 1.0)]);
+        let mut gen = UnionGenerator::new(&rel, GeneratorParams::fast()).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let vol = gen.estimate_volume(&mut rng).unwrap();
+        assert!((vol - 2.0).abs() < 0.6, "volume {vol}");
+        let pts = gen.sample_many(300, &mut rng);
+        assert!(pts.len() > 250, "too many failures");
+        let left = pts.iter().filter(|p| p[0] < 2.0).count() as f64 / pts.len() as f64;
+        assert!((left - 0.5).abs() < 0.12, "left fraction {left}");
+        for p in &pts {
+            assert!(rel.contains_f64(p));
+        }
+    }
+
+    #[test]
+    fn overlapping_union_counts_each_point_once() {
+        // [0,2]x[0,1] ∪ [1,3]x[0,1]: volume 3 (not 4).
+        let rel = boxes(&[(0.0, 0.0, 2.0, 1.0), (1.0, 0.0, 3.0, 1.0)]);
+        let mut gen = UnionGenerator::new(&rel, GeneratorParams::fast()).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let vol = gen.estimate_volume(&mut rng).unwrap();
+        assert!((vol - 3.0).abs() < 0.8, "volume {vol}");
+        // The overlap region [1,2]x[0,1] should receive about 1/3 of the samples,
+        // not the ~1/2 it would get if points were double counted.
+        let pts = gen.sample_many(600, &mut rng);
+        let overlap = pts.iter().filter(|p| p[0] >= 1.0 && p[0] <= 2.0).count() as f64 / pts.len() as f64;
+        assert!((overlap - 1.0 / 3.0).abs() < 0.12, "overlap fraction {overlap}");
+    }
+
+    #[test]
+    fn identical_components_do_not_double_count() {
+        let rel = boxes(&[(0.0, 0.0, 1.0, 1.0), (0.0, 0.0, 1.0, 1.0)]);
+        let mut gen = UnionGenerator::new(&rel, GeneratorParams::fast()).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let vol = gen.estimate_volume(&mut rng).unwrap();
+        assert!((vol - 1.0).abs() < 0.35, "volume {vol}");
+    }
+
+    #[test]
+    fn m_ary_union_is_supported() {
+        // Corollary 4.2: an unbounded number of union operands stays polynomial.
+        let spec: Vec<(f64, f64, f64, f64)> = (0..8)
+            .map(|i| (2.0 * i as f64, 0.0, 2.0 * i as f64 + 1.0, 1.0))
+            .collect();
+        let rel = boxes(&spec);
+        let mut gen = UnionGenerator::new(&rel, GeneratorParams::fast()).unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let vol = gen.estimate_volume(&mut rng).unwrap();
+        assert!((vol - 8.0).abs() < 2.0, "volume {vol}");
+        assert_eq!(gen.component_volumes().len(), 8);
+    }
+
+    #[test]
+    fn degenerate_components_are_pruned() {
+        use cdb_constraint::{Atom, CompOp, GeneralizedTuple, LinTerm};
+        let square = GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        let mut segment = GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+        segment.push(Atom::new(LinTerm::from_ints(&[1, -1], 0), CompOp::Eq));
+        let rel = GeneralizedRelation::from_tuples(2, vec![square, segment]);
+        let gen = UnionGenerator::new(&rel, GeneratorParams::fast()).unwrap();
+        assert_eq!(gen.relation().tuples().len(), 1);
+    }
+
+    #[test]
+    fn empty_relation_is_rejected() {
+        let rel = GeneralizedRelation::empty(2);
+        assert!(matches!(
+            UnionGenerator::new(&rel, GeneratorParams::fast()),
+            Err(ObservabilityError::Empty)
+        ));
+    }
+
+    #[test]
+    fn unbounded_component_is_rejected() {
+        use cdb_constraint::{Atom, GeneralizedTuple};
+        // x >= 0 only: unbounded.
+        let t = GeneralizedTuple::new(1, vec![Atom::le_from_ints(&[-1], 0)]);
+        let rel = GeneralizedRelation::from_tuple(t);
+        assert!(matches!(
+            UnionGenerator::new(&rel, GeneratorParams::fast()),
+            Err(ObservabilityError::NotWellBounded { .. })
+        ));
+    }
+}

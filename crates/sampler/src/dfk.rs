@@ -1,0 +1,261 @@
+//! The Dyer–Frieze–Kannan generator and volume estimator for a well-bounded
+//! convex body.
+//!
+//! Structure of the original algorithm (Section 2 of the paper) and of this
+//! implementation:
+//!
+//! 1. **Rounding** — an affine transformation puts the body in well-rounded
+//!    position. The paper cites the Grötschel–Lovász–Schrijver transform; we
+//!    use the practical equivalent: translate the Chebyshev center to the
+//!    origin and whiten with the Cholesky factor of an estimated covariance
+//!    matrix (see DESIGN.md, substitutions).
+//! 2. **Random walk** — almost-uniform points are produced by a rapidly
+//!    mixing walk ([`crate::walk`]); the walk length is a parameter instead
+//!    of the theoretical `O(d^19)` bound.
+//! 3. **Telescoping volume estimation** — a chain of bodies
+//!    `B(c, r_0) = K_0 ⊆ K_1 ⊆ … ⊆ K_q = K` with `K_i = K ∩ B(c, r_inf·2^{i/d})`
+//!    keeps consecutive volume ratios bounded by 2; each ratio is estimated
+//!    with a Chernoff-style sampling estimator and the product gives the
+//!    volume of `K`.
+
+use rand::Rng;
+
+use cdb_linalg::{AffineMap, Matrix};
+
+use cdb_geometry::ball::ball_volume;
+
+use crate::oracle::ConvexBody;
+use crate::params::GeneratorParams;
+use crate::walk::{walk, WalkKind};
+
+/// Almost-uniform generator and volume estimator for one well-bounded convex
+/// body (the building block every composed generator of Section 4 rests on).
+#[derive(Clone, Debug)]
+pub struct DfkSampler {
+    /// The body in its original coordinates.
+    original: ConvexBody,
+    /// The body in rounded coordinates (equal to `original` when rounding is
+    /// disabled or unnecessary).
+    rounded: ConvexBody,
+    /// Map from rounded coordinates back to original coordinates.
+    to_original: AffineMap,
+    params: GeneratorParams,
+}
+
+impl DfkSampler {
+    /// Builds a sampler for the body, performing the rounding step when
+    /// enabled and useful.
+    pub fn new<R: Rng + ?Sized>(body: ConvexBody, params: GeneratorParams, rng: &mut R) -> Self {
+        params.validate().expect("invalid generator parameters");
+        let d = body.dim();
+        let identity = AffineMap::identity(d);
+        if !params.rounding || body.aspect_ratio() < 3.0 || d < 2 {
+            return DfkSampler { rounded: body.clone(), original: body, to_original: identity, params };
+        }
+        match Self::round(&body, &params, rng) {
+            Some((rounded, to_original)) => DfkSampler { original: body, rounded, to_original, params },
+            None => DfkSampler { rounded: body.clone(), original: body, to_original: identity, params },
+        }
+    }
+
+    /// Estimates a whitening transform from walk samples and re-expresses the
+    /// body in the whitened coordinates.
+    fn round<R: Rng + ?Sized>(
+        body: &ConvexBody,
+        params: &GeneratorParams,
+        rng: &mut R,
+    ) -> Option<(ConvexBody, AffineMap)> {
+        let d = body.dim();
+        let n = (3 * d * d).max(48);
+        let steps = params.walk_steps(d);
+        let mut points = Vec::with_capacity(n);
+        let mut current = body.center().clone();
+        for _ in 0..n {
+            current = walk(body, &current, WalkKind::HitAndRun, steps, rng);
+            points.push(current.clone());
+        }
+        let mean = Matrix::mean(&points)?;
+        let cov = Matrix::covariance(&points)?;
+        // Regularize slightly so nearly-degenerate directions stay invertible.
+        let reg = &cov + &Matrix::identity(d).scale(1e-9 * (body.r_sup() * body.r_sup()).max(1e-12));
+        let chol = reg.cholesky().ok()?;
+        let to_original = AffineMap::new(chol.factor().clone(), mean.clone()).ok()?;
+        // Certificates in the rounded coordinates.
+        let center_y = to_original.apply_inverse(body.center());
+        let l_norm = chol.factor().frobenius_norm().max(1e-12);
+        let r_inf_y = (body.r_inf() / l_norm).max(1e-9);
+        let r_sup_y = points
+            .iter()
+            .map(|p| to_original.apply_inverse(p).distance(&center_y))
+            .fold(0.0f64, f64::max)
+            .max(r_inf_y)
+            * 2.0
+            + 1.0;
+        let rounded = body.with_transformed_oracle(to_original.clone(), center_y, r_inf_y, r_sup_y);
+        Some((rounded, to_original))
+    }
+
+    /// Dimension of the body.
+    pub fn dim(&self) -> usize {
+        self.original.dim()
+    }
+
+    /// The body being sampled (original coordinates).
+    pub fn body(&self) -> &ConvexBody {
+        &self.original
+    }
+
+    /// The parameters used.
+    pub fn params(&self) -> &GeneratorParams {
+        &self.params
+    }
+
+    /// Returns `true` when a non-trivial rounding transform is in place.
+    pub fn is_rounded(&self) -> bool {
+        self.to_original.det_abs() != 1.0 || self.to_original.translation_part().norm() != 0.0
+    }
+
+    /// Draws one almost-uniform point from the body (original coordinates).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let steps = self.params.walk_steps(self.dim());
+        let y = walk(&self.rounded, self.rounded.center(), self.params.walk, steps, rng);
+        self.to_original.apply(&y).into_vec()
+    }
+
+    /// Draws `n` points.
+    pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Estimates the volume of the body with the telescoping scheme; the
+    /// result approximates the true volume with ratio `1 + ε` with
+    /// probability at least `1 − δ` for sufficiently long walks.
+    pub fn estimate_volume<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let d = self.rounded.dim();
+        let r0 = self.rounded.r_inf();
+        let r_sup = self.rounded.r_sup();
+        let growth = 2f64.powf(1.0 / d as f64);
+        // Radii r_0 < r_1 < … capped at r_sup.
+        let mut radii = vec![r0];
+        let mut r = r0;
+        while r < r_sup {
+            r *= growth;
+            radii.push(r.min(r_sup));
+        }
+        let n = self.params.samples_per_phase();
+        let steps = self.params.walk_steps(d);
+        let mut volume = ball_volume(d, r0);
+        let center = self.rounded.center().clone();
+        for i in 1..radii.len() {
+            let outer = self.rounded.intersect_ball(radii[i]);
+            let inner_radius = radii[i - 1];
+            let mut inside = 0usize;
+            let mut current = center.clone();
+            for _ in 0..n {
+                current = walk(&outer, &current, self.params.walk, steps, rng);
+                if current.distance(&center) <= inner_radius {
+                    inside += 1;
+                }
+            }
+            // By convexity vol(K_{i-1}) ≥ vol(K_i)/2; clamp the estimate away
+            // from zero so one unlucky phase cannot zero out the product.
+            let fraction = (inside as f64 / n as f64).max(0.25);
+            volume /= fraction;
+        }
+        volume * self.to_original.det_abs()
+    }
+
+    /// Median of `repeats` volume estimates — the classical trick to turn an
+    /// `(ε, 1/4)`-estimator into an `(ε, δ)`-estimator with `O(ln 1/δ)`
+    /// repetitions.
+    pub fn estimate_volume_median<R: Rng + ?Sized>(&self, repeats: usize, rng: &mut R) -> f64 {
+        let mut estimates: Vec<f64> = (0..repeats.max(1)).map(|_| self.estimate_volume(rng)).collect();
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("volume estimates are finite"));
+        estimates[estimates.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::HPolytope;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler_for(p: &HPolytope, seed: u64) -> DfkSampler {
+        let body = ConvexBody::from_polytope(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        DfkSampler::new(body, GeneratorParams::fast(), &mut rng)
+    }
+
+    #[test]
+    fn samples_stay_inside() {
+        let square = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let s = sampler_for(&square, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in s.sample_many(100, &mut rng) {
+            assert!(square.contains_slice(&p, 1e-9), "escaped: {p:?}");
+        }
+    }
+
+    #[test]
+    fn square_volume_estimate() {
+        let square = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let s = sampler_for(&square, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = s.estimate_volume_median(3, &mut rng);
+        assert!((v - 1.0).abs() < 0.35, "estimated {v}");
+    }
+
+    #[test]
+    fn triangle_volume_estimate() {
+        let tri = HPolytope::standard_simplex(2);
+        let s = sampler_for(&tri, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = s.estimate_volume_median(3, &mut rng);
+        assert!((v - 0.5).abs() < 0.2, "estimated {v}");
+    }
+
+    #[test]
+    fn three_dimensional_box_volume() {
+        let b = HPolytope::axis_box(&[0.0, 0.0, 0.0], &[1.0, 2.0, 0.5]);
+        let s = sampler_for(&b, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = s.estimate_volume_median(3, &mut rng);
+        assert!((v - 1.0).abs() < 0.45, "estimated {v}");
+    }
+
+    #[test]
+    fn rounding_kicks_in_for_elongated_bodies() {
+        // A 100:1 box triggers the rounding transform.
+        let long = HPolytope::axis_box(&[0.0, 0.0], &[100.0, 1.0]);
+        let body = ConvexBody::from_polytope(&long).unwrap();
+        assert!(body.aspect_ratio() > 3.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = GeneratorParams { rounding: true, ..GeneratorParams::fast() };
+        let s = DfkSampler::new(body, params, &mut rng);
+        assert!(s.is_rounded());
+        // Samples are still inside, and the volume estimate accounts for the
+        // determinant of the rounding map.
+        let mut rng2 = StdRng::seed_from_u64(10);
+        for p in s.sample_many(50, &mut rng2) {
+            assert!(long.contains_slice(&p, 1e-6));
+        }
+        let v = s.estimate_volume_median(5, &mut rng2);
+        // The elongated case is the hardest for short walks; require the
+        // right order of magnitude (the determinant of the rounding map is
+        // accounted for) rather than a tight relative error.
+        assert!(v > 30.0 && v < 300.0, "estimated {v}");
+    }
+
+    #[test]
+    fn samples_cover_both_halves() {
+        let square = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let s = sampler_for(&square, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let pts = s.sample_many(300, &mut rng);
+        let left = pts.iter().filter(|p| p[0] < 0.5).count();
+        let frac = left as f64 / pts.len() as f64;
+        assert!((frac - 0.5).abs() < 0.12, "left fraction {frac}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Statistical diagnostics used by the tests and the experiment harness.
+//!
+//! The paper's generators come with distributional guarantees
+//! (Definition 2.2) that depend on walk lengths we deliberately do not run at
+//! their theoretical values; these helpers provide the empirical checks the
+//! experiments use instead: chi-square uniformity statistics, histograms and
+//! relative errors.
+
+/// Pearson chi-square statistic of observed counts against expected counts.
+/// Cells with non-positive expectation are skipped.
+pub fn chi_square_statistic(observed: &[usize], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "cell count mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| {
+            let diff = o as f64 - e;
+            diff * diff / e
+        })
+        .sum()
+}
+
+/// A loose upper quantile for the chi-square distribution with `k` degrees of
+/// freedom: `k + 4·sqrt(2k)` is beyond the 0.999 quantile for every `k ≥ 1`,
+/// which is what the statistical tests use as a red line.
+pub fn chi_square_loose_bound(degrees_of_freedom: usize) -> f64 {
+    let k = degrees_of_freedom.max(1) as f64;
+    k + 4.0 * (2.0 * k).sqrt()
+}
+
+/// Histogram of scalar values over `[lo, hi)` with `bins` equal cells; values
+/// outside the range are clamped into the border cells.
+pub fn histogram_1d(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo, "invalid histogram range");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in values {
+        let idx = (((v - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Chi-square statistic of a sample of scalars against the uniform
+/// distribution on `[lo, hi]`.
+pub fn uniformity_chi_square(values: &[f64], lo: f64, hi: f64, bins: usize) -> f64 {
+    let counts = histogram_1d(values, lo, hi, bins);
+    let expected = vec![values.len() as f64 / bins as f64; bins];
+    chi_square_statistic(&counts, &expected)
+}
+
+/// Relative error `|estimate − truth| / |truth|` (infinite when the truth is
+/// zero and the estimate is not).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// Does `estimate` approximate `truth` with ratio `1 + eps`, the approximation
+/// notion used throughout the paper?
+pub fn approximates_with_ratio(estimate: f64, truth: f64, eps: f64) -> bool {
+    if truth <= 0.0 || estimate <= 0.0 {
+        return truth == estimate;
+    }
+    estimate <= (1.0 + eps) * truth && estimate >= truth / (1.0 + eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chi_square_of_perfect_fit_is_zero() {
+        let observed = [10usize, 10, 10, 10];
+        let expected = [10.0, 10.0, 10.0, 10.0];
+        assert_eq!(chi_square_statistic(&observed, &expected), 0.0);
+    }
+
+    #[test]
+    fn chi_square_grows_with_imbalance() {
+        let expected = [25.0, 25.0, 25.0, 25.0];
+        let mild = chi_square_statistic(&[30, 20, 26, 24], &expected);
+        let severe = chi_square_statistic(&[70, 10, 10, 10], &expected);
+        assert!(severe > mild);
+        assert!(severe > chi_square_loose_bound(3));
+        assert!(mild < chi_square_loose_bound(3));
+    }
+
+    #[test]
+    fn uniform_samples_pass_uniformity_check() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let values: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let stat = uniformity_chi_square(&values, 0.0, 1.0, 10);
+        assert!(stat < chi_square_loose_bound(9), "stat {stat}");
+        // A strongly skewed sample fails.
+        let skewed: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0f64..1.0).powi(3)).collect();
+        let bad = uniformity_chi_square(&skewed, 0.0, 1.0, 10);
+        assert!(bad > chi_square_loose_bound(9), "stat {bad}");
+    }
+
+    #[test]
+    fn histogram_boundaries() {
+        let counts = histogram_1d(&[0.0, 0.05, 0.55, 0.95, 1.5, -0.5], 0.0, 1.0, 2);
+        assert_eq!(counts, vec![3, 3]);
+    }
+
+    #[test]
+    fn relative_error_and_ratio() {
+        assert_eq!(relative_error(1.1, 1.0), 0.10000000000000009);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+        assert!(approximates_with_ratio(1.1, 1.0, 0.2));
+        assert!(approximates_with_ratio(0.9, 1.0, 0.2));
+        assert!(!approximates_with_ratio(1.5, 1.0, 0.2));
+        assert!(!approximates_with_ratio(0.5, 1.0, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn mismatched_cells_panic() {
+        let _ = chi_square_statistic(&[1, 2], &[1.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! The fixed-dimension algorithms of Section 3 of the paper.
+//!
+//! When the dimension is a constant, everything is easy: the bounding box can
+//! be cut into `(R/γ)^d` cubes (a polynomial number for fixed `d`), the cubes
+//! inside the relation can be enumerated one membership test each, and both
+//! exact volume computation (Lemma 3.1) and uniform sampling (Lemma 3.2)
+//! follow. The same enumeration is exponential in `d`, which is exactly what
+//! experiment E3 measures.
+
+use rand::Rng;
+
+use cdb_constraint::GeneralizedRelation;
+use cdb_geometry::{volume::union_volume, GammaGrid};
+use cdb_linalg::Vector;
+
+use crate::params::{RelationGenerator, RelationVolumeEstimator};
+
+/// Cube-decomposition sampler and volume estimator for a generalized relation
+/// in fixed dimension (Theorem 3.1).
+#[derive(Debug, Clone)]
+pub struct FixedDimSampler {
+    relation: GeneralizedRelation,
+    grid: GammaGrid,
+    /// Integer grid coordinates of the cells whose center lies in the relation.
+    cells: Vec<Vec<i64>>,
+}
+
+impl FixedDimSampler {
+    /// Hard cap on the number of enumerated cells (the construction is only
+    /// meant for fixed, small dimension).
+    pub const MAX_CELLS: usize = 4_000_000;
+
+    /// Builds the sampler with cube side `gamma`. Returns `None` when the
+    /// relation is empty/unbounded or the decomposition would exceed
+    /// [`FixedDimSampler::MAX_CELLS`] cells.
+    pub fn new(relation: &GeneralizedRelation, gamma: f64) -> Option<Self> {
+        let d = relation.arity();
+        let polytopes = relation.to_polytopes();
+        if polytopes.is_empty() {
+            return None;
+        }
+        // Bounding box of the union.
+        let mut lo = Vector::filled(d, f64::INFINITY);
+        let mut hi = Vector::filled(d, f64::NEG_INFINITY);
+        for p in &polytopes {
+            let (plo, phi) = p.bounding_box()?;
+            for i in 0..d {
+                lo[i] = lo[i].min(plo[i]);
+                hi[i] = hi[i].max(phi[i]);
+            }
+        }
+        let grid = GammaGrid::new(d, gamma);
+        let candidates = grid.enumerate_in_box(&lo, &hi, Self::MAX_CELLS)?;
+        let cells: Vec<Vec<i64>> = candidates
+            .into_iter()
+            .filter(|idx| {
+                let center = grid.point_at(idx);
+                relation.contains_f64(center.as_slice())
+            })
+            .collect();
+        Some(FixedDimSampler { relation: relation.clone(), grid, cells })
+    }
+
+    /// Number of cubes whose center lies in the relation.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The grid used for the decomposition.
+    pub fn grid(&self) -> &GammaGrid {
+        &self.grid
+    }
+
+    /// Volume estimate from the cube decomposition: `#cells · γ^d`. This is
+    /// the discretized volume `|V| p^d` of Definition 2.2.
+    pub fn grid_volume(&self) -> f64 {
+        self.cells.len() as f64 * self.grid.cell_volume()
+    }
+
+    /// Exact volume via inclusion–exclusion over the convex pieces — the
+    /// substitute for the Bieri–Nef sweep-plane algorithm of Lemma 3.1 (see
+    /// DESIGN.md). Exponential in the number of pieces and in the dimension.
+    pub fn exact_volume(&self) -> f64 {
+        union_volume(&self.relation.to_polytopes())
+    }
+}
+
+impl RelationGenerator for FixedDimSampler {
+    fn dim(&self) -> usize {
+        self.relation.arity()
+    }
+
+    /// Uniform sampling (Lemma 3.2): pick a cube uniformly, then a uniform
+    /// point inside the cube.
+    fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        if self.cells.is_empty() {
+            return None;
+        }
+        let idx = &self.cells[rng.gen_range(0..self.cells.len())];
+        let center = self.grid.point_at(idx);
+        let half = self.grid.step() / 2.0;
+        Some(
+            center
+                .iter()
+                .map(|c| c + rng.gen_range(-half..half))
+                .collect(),
+        )
+    }
+}
+
+impl RelationVolumeEstimator for FixedDimSampler {
+    fn estimate_volume<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> Option<f64> {
+        Some(self.grid_volume())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_volume_approximates_box_volume() {
+        let rel = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]);
+        let s = FixedDimSampler::new(&rel, 0.05).unwrap();
+        assert!((s.grid_volume() - 2.0).abs() / 2.0 < 0.1, "grid volume {}", s.grid_volume());
+        assert!((s.exact_volume() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_volume_is_not_double_counted() {
+        let rel = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0])
+            .union(&GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[3.0, 1.0]));
+        let s = FixedDimSampler::new(&rel, 0.05).unwrap();
+        assert!((s.grid_volume() - 3.0).abs() / 3.0 < 0.1, "grid volume {}", s.grid_volume());
+        assert!((s.exact_volume() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn samples_are_inside_and_balanced() {
+        let rel = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
+            .union(&GeneralizedRelation::from_box_f64(&[4.0, 0.0], &[5.0, 1.0]));
+        let mut s = FixedDimSampler::new(&rel, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let pts = s.sample_many(600, &mut rng);
+        assert_eq!(pts.len(), 600);
+        let mut left = 0usize;
+        for p in &pts {
+            // The jittered point may stick out of the relation by at most
+            // one grid cell; its cell center is always inside.
+            let snapped = s.grid().snap(&cdb_linalg::Vector::from(p.clone()));
+            assert!(rel.contains_f64(snapped.as_slice()), "cell center escaped: {p:?}");
+            if p[0] < 2.0 {
+                left += 1;
+            }
+        }
+        let frac = left as f64 / pts.len() as f64;
+        assert!((frac - 0.5).abs() < 0.08, "left fraction {frac}");
+    }
+
+    #[test]
+    fn triangle_volume() {
+        use cdb_constraint::{Atom, GeneralizedTuple};
+        let tri = GeneralizedTuple::new(
+            2,
+            vec![
+                Atom::le_from_ints(&[-1, 0], 0),
+                Atom::le_from_ints(&[0, -1], 0),
+                Atom::le_from_ints(&[1, 1], -1),
+            ],
+        );
+        let rel = GeneralizedRelation::from_tuple(tri);
+        let s = FixedDimSampler::new(&rel, 0.02).unwrap();
+        assert!((s.grid_volume() - 0.5).abs() < 0.05, "grid volume {}", s.grid_volume());
+        assert!((s.exact_volume() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_or_empty_relations_are_rejected() {
+        use cdb_constraint::{Atom, GeneralizedTuple};
+        let empty = GeneralizedRelation::empty(2);
+        assert!(FixedDimSampler::new(&empty, 0.1).is_none());
+        let halfplane = GeneralizedRelation::from_tuple(GeneralizedTuple::new(
+            2,
+            vec![Atom::le_from_ints(&[1, 0], 0)],
+        ));
+        assert!(FixedDimSampler::new(&halfplane, 0.1).is_none());
+    }
+
+    #[test]
+    fn too_fine_a_grid_is_refused() {
+        let rel = GeneralizedRelation::from_box_f64(&[0.0, 0.0, 0.0], &[10.0, 10.0, 10.0]);
+        assert!(FixedDimSampler::new(&rel, 1e-4).is_none());
+    }
+}

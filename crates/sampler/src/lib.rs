@@ -1,0 +1,58 @@
+//! Almost-uniform generators and volume estimators for generalized relations.
+//!
+//! This crate implements the randomized core of the paper:
+//!
+//! * the Dyer–Frieze–Kannan style generator and volume estimator for a
+//!   well-bounded convex body given by a membership oracle ([`DfkSampler`]),
+//!   including rounding and the telescoping-body volume scheme;
+//! * the `(γ, ε, δ)`-generator abstraction of Definition 2.2 and the
+//!   `(ε, δ)`-volume estimator of Definition 2.1 ([`GeneratorParams`],
+//!   [`RelationGenerator`], [`RelationVolumeEstimator`]);
+//! * the composed generators of Section 4: union (Algorithm 1,
+//!   [`UnionGenerator`]), intersection ([`IntersectionGenerator`]),
+//!   difference ([`DifferenceGenerator`]) and projection (Algorithm 2,
+//!   [`ProjectionGenerator`]);
+//! * the fixed-dimension algorithms of Section 3 ([`FixedDimSampler`]);
+//! * the naive bounding-box rejection baseline ([`RejectionSampler`]) whose
+//!   exponential failure rate motivates the whole construction;
+//! * statistical diagnostics used by the experiments ([`diagnostics`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cdb_constraint::GeneralizedRelation;
+//! use cdb_sampler::{GeneratorParams, UnionGenerator, RelationGenerator, RelationVolumeEstimator};
+//! use rand::SeedableRng;
+//!
+//! let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
+//!     .union(&GeneralizedRelation::from_box_f64(&[0.5, 0.0], &[1.5, 1.0]));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut gen = UnionGenerator::new(&relation, GeneratorParams::fast()).unwrap();
+//! let p = gen.sample(&mut rng).unwrap();
+//! assert!(relation.contains_f64(&p));
+//! let vol = gen.estimate_volume(&mut rng).unwrap();
+//! assert!((vol - 1.5).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod diagnostics;
+mod dfk;
+mod fixed_dim;
+mod oracle;
+mod params;
+mod rejection;
+mod walk;
+
+pub use compose::difference::DifferenceGenerator;
+pub use compose::intersection::IntersectionGenerator;
+pub use compose::projection::ProjectionGenerator;
+pub use compose::union::UnionGenerator;
+pub use dfk::DfkSampler;
+pub use fixed_dim::FixedDimSampler;
+pub use oracle::{ConvexBody, MembershipOracle};
+pub use params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+pub use rejection::RejectionSampler;
+pub use walk::WalkKind;

@@ -1,0 +1,318 @@
+//! Membership oracles and well-bounded convex bodies.
+//!
+//! The Dyer–Frieze–Kannan generator only interacts with a convex set through
+//! a *membership oracle* — precisely the observation the paper uses in
+//! Section 5 to extend the results from linear to polynomial constraints. The
+//! oracle for a finitely representable relation is evaluated in time linear
+//! in its description size (one pass over the constraints).
+
+use std::sync::Arc;
+
+use cdb_constraint::poly::PolyBody;
+use cdb_constraint::{GeneralizedRelation, GeneralizedTuple};
+use cdb_geometry::{Ellipsoid, HPolytope};
+use cdb_linalg::Vector;
+
+/// A membership oracle for a subset of `R^d`.
+pub trait MembershipOracle: Send + Sync {
+    /// Ambient dimension.
+    fn dim(&self) -> usize;
+    /// Does the point belong to the set?
+    fn contains(&self, x: &[f64]) -> bool;
+}
+
+/// Membership tolerance used when converting symbolic objects to oracles.
+const ORACLE_TOL: f64 = 1e-9;
+
+impl MembershipOracle for HPolytope {
+    fn dim(&self) -> usize {
+        HPolytope::dim(self)
+    }
+    fn contains(&self, x: &[f64]) -> bool {
+        self.contains_slice(x, ORACLE_TOL)
+    }
+}
+
+impl MembershipOracle for GeneralizedTuple {
+    fn dim(&self) -> usize {
+        self.arity()
+    }
+    fn contains(&self, x: &[f64]) -> bool {
+        self.satisfied_f64(x, ORACLE_TOL)
+    }
+}
+
+impl MembershipOracle for GeneralizedRelation {
+    fn dim(&self) -> usize {
+        self.arity()
+    }
+    fn contains(&self, x: &[f64]) -> bool {
+        self.contains_f64(x)
+    }
+}
+
+impl MembershipOracle for PolyBody {
+    fn dim(&self) -> usize {
+        self.arity()
+    }
+    fn contains(&self, x: &[f64]) -> bool {
+        PolyBody::contains(self, x, ORACLE_TOL)
+    }
+}
+
+impl MembershipOracle for Ellipsoid {
+    fn dim(&self) -> usize {
+        Ellipsoid::dim(self)
+    }
+    fn contains(&self, x: &[f64]) -> bool {
+        Ellipsoid::contains(self, &Vector::from(x), ORACLE_TOL)
+    }
+}
+
+/// A well-bounded convex body: a membership oracle together with the
+/// certificate required by the paper (a center, an inscribed radius `r_inf`
+/// and an enclosing radius `r_sup`).
+#[derive(Clone)]
+pub struct ConvexBody {
+    oracle: Arc<dyn MembershipOracle>,
+    center: Vector,
+    r_inf: f64,
+    r_sup: f64,
+}
+
+impl std::fmt::Debug for ConvexBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConvexBody")
+            .field("dim", &self.dim())
+            .field("center", &self.center)
+            .field("r_inf", &self.r_inf)
+            .field("r_sup", &self.r_sup)
+            .finish()
+    }
+}
+
+impl ConvexBody {
+    /// Wraps an oracle with an explicit well-boundedness certificate.
+    pub fn from_oracle(
+        oracle: Arc<dyn MembershipOracle>,
+        center: Vector,
+        r_inf: f64,
+        r_sup: f64,
+    ) -> Self {
+        assert!(r_inf > 0.0 && r_sup >= r_inf, "invalid certificate radii");
+        assert_eq!(center.dim(), oracle.dim(), "certificate dimension mismatch");
+        ConvexBody { oracle, center, r_inf, r_sup }
+    }
+
+    /// Builds a body from a bounded full-dimensional H-polytope; the
+    /// certificate is computed with the Chebyshev-center LP. Returns `None`
+    /// for empty, unbounded or lower-dimensional polytopes.
+    pub fn from_polytope(p: &HPolytope) -> Option<Self> {
+        let wb = p.well_bounded()?;
+        Some(ConvexBody {
+            oracle: Arc::new(p.clone()),
+            center: wb.center,
+            r_inf: wb.r_inf,
+            r_sup: wb.r_sup,
+        })
+    }
+
+    /// Builds a body from a generalized tuple (its closure).
+    pub fn from_tuple(t: &GeneralizedTuple) -> Option<Self> {
+        let p = t.to_hpolytope();
+        let wb = p.well_bounded()?;
+        Some(ConvexBody {
+            oracle: Arc::new(t.clone()),
+            center: wb.center,
+            r_inf: wb.r_inf,
+            r_sup: wb.r_sup,
+        })
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.oracle.dim()
+    }
+
+    /// The certificate center.
+    pub fn center(&self) -> &Vector {
+        &self.center
+    }
+
+    /// Radius of the certified inscribed ball.
+    pub fn r_inf(&self) -> f64 {
+        self.r_inf
+    }
+
+    /// Radius of the certified enclosing ball.
+    pub fn r_sup(&self) -> f64 {
+        self.r_sup
+    }
+
+    /// The roundness ratio `r_sup / r_inf`.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.r_sup / self.r_inf
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        self.oracle.contains(x)
+    }
+
+    /// Membership test for a vector.
+    pub fn contains_vec(&self, x: &Vector) -> bool {
+        self.oracle.contains(x.as_slice())
+    }
+
+    /// The underlying oracle.
+    pub fn oracle(&self) -> &Arc<dyn MembershipOracle> {
+        &self.oracle
+    }
+
+    /// The body intersected with the ball `B(center, radius)` — used by the
+    /// telescoping volume estimator. The certificate shrinks accordingly.
+    pub fn intersect_ball(&self, radius: f64) -> ConvexBody {
+        assert!(radius > 0.0, "ball radius must be positive");
+        ConvexBody {
+            oracle: Arc::new(BallIntersectionOracle {
+                inner: Arc::clone(&self.oracle),
+                center: self.center.clone(),
+                radius,
+            }),
+            center: self.center.clone(),
+            r_inf: self.r_inf.min(radius),
+            r_sup: self.r_sup.min(radius),
+        }
+    }
+
+    /// The image of the body under an affine change of coordinates described
+    /// by `to_original` (mapping new coordinates back to original ones); the
+    /// certificate is supplied by the caller (the rounding step knows it).
+    pub fn with_transformed_oracle(
+        &self,
+        to_original: cdb_linalg::AffineMap,
+        center: Vector,
+        r_inf: f64,
+        r_sup: f64,
+    ) -> ConvexBody {
+        ConvexBody {
+            oracle: Arc::new(AffinePreimageOracle {
+                inner: Arc::clone(&self.oracle),
+                to_original,
+            }),
+            center,
+            r_inf,
+            r_sup,
+        }
+    }
+}
+
+/// Oracle for `K ∩ B(center, radius)`.
+struct BallIntersectionOracle {
+    inner: Arc<dyn MembershipOracle>,
+    center: Vector,
+    radius: f64,
+}
+
+impl MembershipOracle for BallIntersectionOracle {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn contains(&self, x: &[f64]) -> bool {
+        let v = Vector::from(x);
+        v.distance(&self.center) <= self.radius + 1e-12 && self.inner.contains(x)
+    }
+}
+
+/// Oracle for the preimage coordinates: a point `y` belongs iff
+/// `to_original(y)` belongs to the inner set.
+struct AffinePreimageOracle {
+    inner: Arc<dyn MembershipOracle>,
+    to_original: cdb_linalg::AffineMap,
+}
+
+impl MembershipOracle for AffinePreimageOracle {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn contains(&self, x: &[f64]) -> bool {
+        let original = self.to_original.apply(&Vector::from(x));
+        self.inner.contains(original.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polytope_body_certificate() {
+        let p = HPolytope::axis_box(&[0.0, 0.0], &[2.0, 4.0]);
+        let b = ConvexBody::from_polytope(&p).unwrap();
+        assert_eq!(b.dim(), 2);
+        assert!((b.r_inf() - 1.0).abs() < 1e-6);
+        assert!(b.r_sup() >= b.r_inf());
+        assert!(b.contains(&[1.0, 2.0]));
+        assert!(!b.contains(&[3.0, 2.0]));
+        assert!(b.aspect_ratio() >= 1.0);
+        // The certificate balls really are certificates.
+        let c = b.center();
+        assert!(b.contains(&[c[0] + 0.99 * b.r_inf(), c[1]]));
+    }
+
+    #[test]
+    fn degenerate_polytopes_are_rejected() {
+        let flat = HPolytope::axis_box(&[0.0, 1.0], &[2.0, 1.0]);
+        assert!(ConvexBody::from_polytope(&flat).is_none());
+        let unbounded = HPolytope::new(2, vec![cdb_geometry::Halfspace::from_slice(&[1.0, 0.0], 0.0)]);
+        assert!(ConvexBody::from_polytope(&unbounded).is_none());
+    }
+
+    #[test]
+    fn tuple_and_relation_oracles() {
+        let t = GeneralizedTuple::from_box_f64(&[0.0], &[1.0]);
+        let b = ConvexBody::from_tuple(&t).unwrap();
+        assert!(b.contains(&[0.5]));
+        assert!(!b.contains(&[1.5]));
+        let r = GeneralizedRelation::from_box_f64(&[0.0], &[1.0])
+            .union(&GeneralizedRelation::from_box_f64(&[2.0], &[3.0]));
+        assert!(MembershipOracle::contains(&r, &[2.5]));
+        assert!(!MembershipOracle::contains(&r, &[1.5]));
+        assert_eq!(MembershipOracle::dim(&r), 1);
+    }
+
+    #[test]
+    fn ball_intersection_oracle() {
+        let p = HPolytope::axis_box(&[-10.0, -10.0], &[10.0, 10.0]);
+        let b = ConvexBody::from_polytope(&p).unwrap();
+        let small = b.intersect_ball(1.0);
+        assert!(small.contains(&[0.5, 0.0]));
+        assert!(!small.contains(&[5.0, 0.0]));
+        assert!(small.r_sup() <= 1.0 + 1e-9);
+        // Intersecting with a huge ball is a no-op on membership.
+        let big = b.intersect_ball(100.0);
+        assert!(big.contains(&[9.0, 9.0]));
+    }
+
+    #[test]
+    fn polynomial_oracles() {
+        let ball = PolyBody::ball(&[0.0, 0.0], 1.0);
+        assert!(MembershipOracle::contains(&ball, &[0.5, 0.5]));
+        assert!(!MembershipOracle::contains(&ball, &[1.0, 1.0]));
+        let ell = Ellipsoid::axis_aligned(Vector::zeros(2), &[2.0, 1.0]).unwrap();
+        assert!(MembershipOracle::contains(&ell, &[1.5, 0.0]));
+        assert!(!MembershipOracle::contains(&ell, &[0.0, 1.5]));
+    }
+
+    #[test]
+    fn transformed_oracle_roundtrip() {
+        // A body in original coordinates, viewed through a scaling by 2.
+        let p = HPolytope::axis_box(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = ConvexBody::from_polytope(&p).unwrap();
+        let to_original = cdb_linalg::AffineMap::scaling(2, 2.0);
+        // New coordinates y map to x = 2y, so the box becomes [0,1]^2 in y.
+        let t = b.with_transformed_oracle(to_original, Vector::from(vec![0.5, 0.5]), 0.5, 0.8);
+        assert!(t.contains(&[0.5, 0.5]));
+        assert!(!t.contains(&[1.5, 0.5]));
+    }
+}

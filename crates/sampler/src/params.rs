@@ -1,0 +1,154 @@
+//! Generator parameters and the generator / estimator traits.
+
+use rand::Rng;
+
+use crate::walk::WalkKind;
+
+/// The `(γ, ε, δ)` parameters of Definition 2.2 together with the practical
+/// knobs (walk length, sample counts) the theoretical bounds are mapped to.
+///
+/// The paper's mixing-time bound is `O((d^19 / εγ) ln(1/δ))`; running the
+/// literal constant is pointless on real hardware, so the walk length is a
+/// parameter calibrated per experiment (`walk_steps_factor · d` steps) and
+/// the uniformity of the output is checked statistically instead
+/// (`diagnostics`). The derived sample counts follow the shape of the
+/// theoretical bounds: `O(1/ε²·ln(1/δ))` samples per telescoping phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeneratorParams {
+    /// Grid/discretization quality `γ` of Definition 2.2.
+    pub gamma: f64,
+    /// Distribution quality `ε` (ratio `1 + ε` to uniform / to the volume).
+    pub eps: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// Number of walk steps per generated point, as a multiple of the
+    /// dimension.
+    pub walk_steps_factor: usize,
+    /// The random walk used inside the convex generator.
+    pub walk: WalkKind,
+    /// Whether the rounding (well-rounding affine transform) step is applied.
+    pub rounding: bool,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            gamma: 0.1,
+            eps: 0.2,
+            delta: 0.1,
+            walk_steps_factor: 12,
+            walk: WalkKind::HitAndRun,
+            rounding: true,
+        }
+    }
+}
+
+impl GeneratorParams {
+    /// Parameters tuned for quick unit tests and doc examples: coarser
+    /// approximation, shorter walks.
+    pub fn fast() -> Self {
+        GeneratorParams {
+            gamma: 0.2,
+            eps: 0.3,
+            delta: 0.2,
+            walk_steps_factor: 8,
+            walk: WalkKind::HitAndRun,
+            rounding: false,
+        }
+    }
+
+    /// Parameters for the benchmark harness: tighter approximation.
+    pub fn accurate() -> Self {
+        GeneratorParams {
+            gamma: 0.05,
+            eps: 0.1,
+            delta: 0.05,
+            walk_steps_factor: 20,
+            walk: WalkKind::HitAndRun,
+            rounding: true,
+        }
+    }
+
+    /// Number of walk steps for a body of dimension `d`.
+    pub fn walk_steps(&self, d: usize) -> usize {
+        (self.walk_steps_factor * d.max(1)).max(4)
+    }
+
+    /// Number of samples per telescoping phase of the volume estimator,
+    /// `⌈c / ε² · ln(1/δ)⌉` with a small constant.
+    pub fn samples_per_phase(&self) -> usize {
+        let n = (4.0 / (self.eps * self.eps) * (1.0 / self.delta).ln()).ceil();
+        (n as usize).clamp(64, 20_000)
+    }
+
+    /// Number of retry rounds used by the composed generators; the paper uses
+    /// `k = 4 ln(1/δ)` for the union generator (Theorem 4.1).
+    pub fn retry_rounds(&self) -> usize {
+        ((4.0 * (1.0 / self.delta).ln()).ceil() as usize).clamp(4, 1_000)
+    }
+
+    /// Validates the parameter ranges required by the definitions
+    /// (`0 < γ, ε, δ < 1`).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("gamma", self.gamma), ("eps", self.eps), ("delta", self.delta)] {
+            if !(0.0 < v && v < 1.0) {
+                return Err(format!("{name} must lie in (0, 1), got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An almost-uniform generator for a relation (Definition 2.2): produces
+/// points whose distribution is within ratio `1 + ε` of uniform on the
+/// discretized relation, or fails (returns `None`) with probability at most
+/// `δ`.
+pub trait RelationGenerator {
+    /// Dimension of the generated points.
+    fn dim(&self) -> usize;
+    /// Draws one almost-uniform point, or fails.
+    fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>>;
+
+    /// Draws `n` points, skipping failures (the number of returned points can
+    /// be smaller than `n`).
+    fn sample_many<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+        (0..n).filter_map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// An `(ε, δ)`-volume estimator for a relation (Definition 2.1).
+pub trait RelationVolumeEstimator {
+    /// Estimates the volume, or fails (returns `None`) when the relation is
+    /// not observable under the given parameters (e.g. the poly-related
+    /// condition of Proposition 4.1 is violated).
+    fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counts_scale_with_parameters() {
+        let loose = GeneratorParams { eps: 0.5, delta: 0.5, ..Default::default() };
+        let tight = GeneratorParams { eps: 0.05, delta: 0.01, ..Default::default() };
+        assert!(tight.samples_per_phase() > loose.samples_per_phase());
+        assert!(tight.retry_rounds() >= loose.retry_rounds());
+        assert!(tight.walk_steps(10) == 10 * tight.walk_steps_factor);
+        assert!(loose.walk_steps(0) >= 4);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(GeneratorParams::default().validate().is_ok());
+        assert!(GeneratorParams { eps: 0.0, ..Default::default() }.validate().is_err());
+        assert!(GeneratorParams { delta: 1.5, ..Default::default() }.validate().is_err());
+        assert!(GeneratorParams { gamma: -0.1, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn presets_are_ordered_by_cost() {
+        assert!(GeneratorParams::fast().samples_per_phase() <= GeneratorParams::accurate().samples_per_phase());
+        assert!(GeneratorParams::fast().walk_steps_factor <= GeneratorParams::accurate().walk_steps_factor);
+    }
+}

@@ -1,0 +1,206 @@
+//! The naive bounding-box rejection baseline.
+//!
+//! Sampling the bounding box uniformly and keeping the points that fall in
+//! the body is exact — but the paper's introductory example (a ball inscribed
+//! in a cube) shows the acceptance probability collapses like `1/d^{Θ(d)}`,
+//! which is why the Dyer–Frieze–Kannan machinery exists. The baseline is kept
+//! as a first-class citizen for experiment E2.
+
+use rand::Rng;
+
+use cdb_linalg::Vector;
+
+use crate::oracle::ConvexBody;
+use crate::params::{RelationGenerator, RelationVolumeEstimator};
+
+/// Uniform rejection sampling from an axis-aligned bounding box.
+#[derive(Debug, Clone)]
+pub struct RejectionSampler {
+    body: ConvexBody,
+    lo: Vector,
+    hi: Vector,
+    max_attempts_per_sample: usize,
+    volume_trials: usize,
+    attempts: u64,
+    accepted: u64,
+}
+
+impl RejectionSampler {
+    /// Builds the sampler from a body and its bounding box.
+    pub fn new(body: ConvexBody, lo: Vector, hi: Vector) -> Self {
+        assert_eq!(lo.dim(), body.dim());
+        assert_eq!(hi.dim(), body.dim());
+        RejectionSampler {
+            body,
+            lo,
+            hi,
+            max_attempts_per_sample: 100_000,
+            volume_trials: 4_000,
+            attempts: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Builds the sampler using the enclosing-ball certificate of the body as
+    /// the bounding box.
+    pub fn from_body(body: ConvexBody) -> Self {
+        let d = body.dim();
+        let c = body.center().clone();
+        let r = body.r_sup();
+        let lo = Vector::from((0..d).map(|i| c[i] - r).collect::<Vec<_>>());
+        let hi = Vector::from((0..d).map(|i| c[i] + r).collect::<Vec<_>>());
+        RejectionSampler::new(body, lo, hi)
+    }
+
+    /// Caps the number of box draws per generated sample.
+    pub fn set_max_attempts(&mut self, cap: usize) {
+        self.max_attempts_per_sample = cap;
+    }
+
+    /// Sets the number of box draws used by the volume estimator.
+    pub fn set_volume_trials(&mut self, trials: usize) {
+        self.volume_trials = trials;
+    }
+
+    /// Volume of the bounding box.
+    pub fn box_volume(&self) -> f64 {
+        (0..self.lo.dim()).map(|i| (self.hi[i] - self.lo[i]).max(0.0)).product()
+    }
+
+    /// Total number of box draws so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Observed acceptance rate (accepted / attempted box draws).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.attempts as f64
+        }
+    }
+
+    /// Expected number of box draws per accepted sample (∞ when nothing has
+    /// been accepted yet).
+    pub fn expected_trials_per_sample(&self) -> f64 {
+        let rate = self.acceptance_rate();
+        if rate == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / rate
+        }
+    }
+
+    fn draw_box_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        (0..self.lo.dim())
+            .map(|i| {
+                if self.hi[i] > self.lo[i] {
+                    rng.gen_range(self.lo[i]..self.hi[i])
+                } else {
+                    self.lo[i]
+                }
+            })
+            .collect()
+    }
+}
+
+impl RelationGenerator for RejectionSampler {
+    fn dim(&self) -> usize {
+        self.body.dim()
+    }
+
+    fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        for _ in 0..self.max_attempts_per_sample {
+            let p = self.draw_box_point(rng);
+            self.attempts += 1;
+            if self.body.contains(&p) {
+                self.accepted += 1;
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+impl RelationVolumeEstimator for RejectionSampler {
+    fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        let mut hits = 0usize;
+        for _ in 0..self.volume_trials {
+            let p = self.draw_box_point(rng);
+            self.attempts += 1;
+            if self.body.contains(&p) {
+                hits += 1;
+                self.accepted += 1;
+            }
+        }
+        Some(self.box_volume() * hits as f64 / self.volume_trials as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::ball::{ball_to_cube_ratio, unit_ball_volume};
+    use cdb_geometry::{Ellipsoid, HPolytope};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn triangle_volume_estimate() {
+        let tri = HPolytope::standard_simplex(2);
+        let body = ConvexBody::from_polytope(&tri).unwrap();
+        let mut s = RejectionSampler::new(body, Vector::zeros(2), Vector::filled(2, 1.0));
+        let mut rng = StdRng::seed_from_u64(71);
+        let v = s.estimate_volume(&mut rng).unwrap();
+        assert!((v - 0.5).abs() < 0.06, "volume {v}");
+        assert!((s.acceptance_rate() - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn samples_are_inside() {
+        let sq = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let body = ConvexBody::from_polytope(&sq).unwrap();
+        let mut s = RejectionSampler::from_body(body);
+        let mut rng = StdRng::seed_from_u64(72);
+        for p in s.sample_many(100, &mut rng) {
+            assert!(sq.contains_slice(&p, 1e-9));
+        }
+        assert!(s.attempts() >= 100);
+    }
+
+    #[test]
+    fn acceptance_decays_with_dimension_for_the_ball() {
+        // The paper's motivating example: the ball-in-cube acceptance rate
+        // drops exponentially with the dimension.
+        let mut rates = Vec::new();
+        for d in [2usize, 5, 8] {
+            let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).unwrap();
+            let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 1.0, 1.0);
+            let mut s = RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
+            s.set_volume_trials(8_000);
+            let mut rng = StdRng::seed_from_u64(73 + d as u64);
+            let v = s.estimate_volume(&mut rng).unwrap();
+            // The estimate still tracks the true ball volume...
+            assert!((v - unit_ball_volume(d)).abs() < 0.3 * unit_ball_volume(d).max(0.1) + 0.05, "d={d}: {v}");
+            // ...and the acceptance rate tracks the theoretical ratio.
+            let expected = ball_to_cube_ratio(d);
+            assert!((s.acceptance_rate() - expected).abs() < 0.05, "d={d}");
+            rates.push(s.acceptance_rate());
+        }
+        assert!(rates[0] > rates[1] && rates[1] > rates[2]);
+    }
+
+    #[test]
+    fn sample_gives_up_when_acceptance_is_hopeless() {
+        // A tiny body inside a huge box with a very low attempt cap.
+        let tiny = HPolytope::axis_box(&[0.0, 0.0], &[1e-4, 1e-4]);
+        let body = ConvexBody::from_polytope(&tiny).unwrap();
+        let mut s = RejectionSampler::new(body, Vector::zeros(2), Vector::filled(2, 100.0));
+        s.set_max_attempts(10);
+        let mut rng = StdRng::seed_from_u64(74);
+        assert!(s.sample(&mut rng).is_none());
+        assert!(s.expected_trials_per_sample().is_infinite());
+    }
+}

@@ -1,0 +1,266 @@
+//! Random walks on convex bodies.
+//!
+//! The paper uses the lazy random walk on the graph induced by a γ-grid
+//! (Definition 2.2); practical successors of the Dyer–Frieze–Kannan scheme
+//! use the ball walk or hit-and-run, which need no grid and mix faster in
+//! practice. All three are provided; the composed generators default to
+//! hit-and-run, and the grid walk is kept for fidelity to the paper and for
+//! the grid-based experiments.
+
+use rand::Rng;
+
+use cdb_linalg::Vector;
+
+use crate::oracle::ConvexBody;
+
+/// The random walk used to generate almost-uniform points in a convex body.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WalkKind {
+    /// Hit-and-run: pick a random direction, then a uniform point on the
+    /// chord through the current point.
+    HitAndRun,
+    /// Metropolis ball walk with step radius `r_inf / √d`.
+    Ball,
+    /// Lazy walk on the γ-grid (the walk analysed in the paper).
+    Grid {
+        /// Grid step `p`.
+        step_ratio: f64,
+    },
+}
+
+impl Default for WalkKind {
+    fn default() -> Self {
+        WalkKind::HitAndRun
+    }
+}
+
+/// Samples a uniform direction on the unit sphere.
+pub fn random_direction<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vector {
+    loop {
+        // Box–Muller style Gaussian direction.
+        let mut v = Vector::zeros(dim);
+        for i in 0..dim {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            v[i] = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+        if let Some(unit) = v.normalized() {
+            return unit;
+        }
+    }
+}
+
+/// Finds the chord of the body through `point` in direction `dir` by
+/// bisection against the membership oracle, returning `(t_min, t_max)` such
+/// that `point + t·dir` stays inside for `t ∈ [t_min, t_max]`.
+fn chord(body: &ConvexBody, point: &Vector, dir: &Vector) -> (f64, f64) {
+    let max_extent = 2.0 * body.r_sup() + 1.0;
+    let boundary = |sign: f64| -> f64 {
+        // Invariant: point + lo·sign·dir inside, point + hi·sign·dir outside.
+        let mut lo = 0.0f64;
+        let mut hi = max_extent;
+        if body.contains_vec(&point.add_scaled(dir, sign * hi)) {
+            return hi; // certificate radius was loose; accept the cap
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if body.contains_vec(&point.add_scaled(dir, sign * mid)) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    let t_plus = boundary(1.0);
+    let t_minus = boundary(-1.0);
+    (-t_minus, t_plus)
+}
+
+/// One hit-and-run step.
+pub fn hit_and_run_step<R: Rng + ?Sized>(body: &ConvexBody, current: &Vector, rng: &mut R) -> Vector {
+    let dir = random_direction(body.dim(), rng);
+    let (t_min, t_max) = chord(body, current, &dir);
+    if t_max - t_min <= 0.0 {
+        return current.clone();
+    }
+    let t = rng.gen_range(t_min..=t_max);
+    let candidate = current.add_scaled(&dir, t);
+    if body.contains_vec(&candidate) {
+        candidate
+    } else {
+        current.clone()
+    }
+}
+
+/// One Metropolis ball-walk step with radius `delta`.
+pub fn ball_walk_step<R: Rng + ?Sized>(
+    body: &ConvexBody,
+    current: &Vector,
+    delta: f64,
+    rng: &mut R,
+) -> Vector {
+    let dir = random_direction(body.dim(), rng);
+    let r: f64 = rng.gen_range(0.0f64..1.0).powf(1.0 / body.dim() as f64) * delta;
+    let candidate = current.add_scaled(&dir, r);
+    if body.contains_vec(&candidate) {
+        candidate
+    } else {
+        current.clone()
+    }
+}
+
+/// One lazy grid-walk step with grid step `p`: with probability 1/2 stay,
+/// otherwise move to a uniformly chosen axis neighbor if it stays inside.
+pub fn grid_walk_step<R: Rng + ?Sized>(
+    body: &ConvexBody,
+    current: &Vector,
+    p: f64,
+    rng: &mut R,
+) -> Vector {
+    if rng.gen_bool(0.5) {
+        return current.clone();
+    }
+    let d = body.dim();
+    let axis = rng.gen_range(0..d);
+    let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+    let mut candidate = current.clone();
+    candidate[axis] += sign * p;
+    if body.contains_vec(&candidate) {
+        candidate
+    } else {
+        current.clone()
+    }
+}
+
+/// Runs `steps` steps of the chosen walk from `start`.
+pub fn walk<R: Rng + ?Sized>(
+    body: &ConvexBody,
+    start: &Vector,
+    kind: WalkKind,
+    steps: usize,
+    rng: &mut R,
+) -> Vector {
+    let mut current = start.clone();
+    match kind {
+        WalkKind::HitAndRun => {
+            for _ in 0..steps {
+                current = hit_and_run_step(body, &current, rng);
+            }
+        }
+        WalkKind::Ball => {
+            let delta = body.r_inf() / (body.dim() as f64).sqrt();
+            for _ in 0..steps {
+                current = ball_walk_step(body, &current, delta, rng);
+            }
+        }
+        WalkKind::Grid { step_ratio } => {
+            let p = (body.r_inf() * step_ratio).max(1e-9);
+            // Start from the grid point nearest to the start that is inside.
+            let snapped: Vector = Vector::from(
+                current
+                    .iter()
+                    .map(|v| (v / p).round() * p)
+                    .collect::<Vec<_>>(),
+            );
+            if body.contains_vec(&snapped) {
+                current = snapped;
+            }
+            for _ in 0..steps {
+                current = grid_walk_step(body, &current, p, rng);
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::HPolytope;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn square_body() -> ConvexBody {
+        ConvexBody::from_polytope(&HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0])).unwrap()
+    }
+
+    #[test]
+    fn random_direction_is_unit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [1usize, 2, 5, 10] {
+            let v = random_direction(d, &mut rng);
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+            assert_eq!(v.dim(), d);
+        }
+    }
+
+    #[test]
+    fn walks_stay_inside_the_body() {
+        let body = square_body();
+        let start = body.center().clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        for kind in [WalkKind::HitAndRun, WalkKind::Ball, WalkKind::Grid { step_ratio: 0.25 }] {
+            for seed in 0..5u64 {
+                let mut local = StdRng::seed_from_u64(seed);
+                let p = walk(&body, &start, kind, 30, &mut local);
+                assert!(body.contains_vec(&p), "{kind:?} escaped to {p:?}");
+            }
+        }
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn hit_and_run_moves_away_from_the_start() {
+        let body = square_body();
+        let start = body.center().clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = walk(&body, &start, WalkKind::HitAndRun, 20, &mut rng);
+        assert!(p.distance(&start) > 1e-6);
+    }
+
+    #[test]
+    fn hit_and_run_covers_the_square_roughly_uniformly() {
+        // Count samples in the four quadrants of the unit square; each should
+        // receive roughly a quarter of the mass.
+        let body = square_body();
+        let start = body.center().clone();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 800;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let p = walk(&body, &start, WalkKind::HitAndRun, 25, &mut rng);
+            let q = (p[0] > 0.5) as usize + 2 * ((p[1] > 0.5) as usize);
+            counts[q] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.08, "quadrant fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn chord_respects_an_asymmetric_position() {
+        // From a point near the left edge, the chord along +x is much longer
+        // than along -x.
+        let body = square_body();
+        let point = Vector::from(vec![0.1, 0.5]);
+        let dir = Vector::from(vec![1.0, 0.0]);
+        let (t_min, t_max) = super::chord(&body, &point, &dir);
+        assert!((t_max - 0.9).abs() < 1e-6);
+        assert!((t_min + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_walk_visits_grid_points() {
+        let body = square_body();
+        let start = body.center().clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = walk(&body, &start, WalkKind::Grid { step_ratio: 0.5 }, 40, &mut rng);
+        // r_inf of the unit square is 0.5, so the grid step is 0.25.
+        for coord in p.iter() {
+            let snapped = (coord / 0.25).round() * 0.25;
+            assert!((coord - snapped).abs() < 1e-9, "not a grid point: {coord}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! A synthetic GIS layer generator.
+//!
+//! The paper motivates constraint databases with Geographical Information
+//! Systems, where layers are unions of convex regions (administrative zones,
+//! land parcels, road segments as thin boxes) and typical analyses are
+//! statistical (areas, overlays). No public data set is fixed by the paper,
+//! so the experiments use this generator: it produces well-bounded unions of
+//! convex regions in the plane with a controlled amount of overlap, together
+//! with their exact areas.
+
+use rand::Rng;
+
+use cdb_constraint::{GeneralizedRelation, GeneralizedTuple};
+use cdb_geometry::volume::union_volume;
+
+/// Parameters of a synthetic GIS layer.
+#[derive(Clone, Debug)]
+pub struct GisLayerSpec {
+    /// Number of convex regions in the layer.
+    pub regions: usize,
+    /// Side of the square map `[0, map_size]²`.
+    pub map_size: f64,
+    /// Regions are boxes with sides drawn from `[min_side, max_side]`.
+    pub min_side: f64,
+    /// Upper bound on the region side length.
+    pub max_side: f64,
+}
+
+impl Default for GisLayerSpec {
+    fn default() -> Self {
+        GisLayerSpec { regions: 6, map_size: 10.0, min_side: 1.0, max_side: 3.0 }
+    }
+}
+
+/// A generated GIS layer: the relation, its pieces and its exact area.
+#[derive(Clone, Debug)]
+pub struct GisLayer {
+    /// The layer as a generalized relation (union of convex regions).
+    pub relation: GeneralizedRelation,
+    /// Exact area of the union (inclusion–exclusion over the pieces).
+    pub exact_area: f64,
+}
+
+/// Generates a layer of axis-aligned rectangular parcels.
+pub fn parcels<R: Rng + ?Sized>(spec: &GisLayerSpec, rng: &mut R) -> GisLayer {
+    assert!(spec.regions >= 1 && spec.regions <= 16, "inclusion-exclusion needs few regions");
+    let mut tuples = Vec::with_capacity(spec.regions);
+    for _ in 0..spec.regions {
+        let w = rng.gen_range(spec.min_side..spec.max_side);
+        let h = rng.gen_range(spec.min_side..spec.max_side);
+        let x = rng.gen_range(0.0..(spec.map_size - w).max(1e-9));
+        let y = rng.gen_range(0.0..(spec.map_size - h).max(1e-9));
+        tuples.push(GeneralizedTuple::from_box_f64(&[x, y], &[x + w, y + h]));
+    }
+    let relation = GeneralizedRelation::from_tuples(2, tuples);
+    let exact_area = union_volume(&relation.to_polytopes());
+    GisLayer { relation, exact_area }
+}
+
+/// Generates a "road network" layer: `count` thin boxes (width `width`)
+/// alternating horizontal/vertical across the map.
+pub fn roads<R: Rng + ?Sized>(count: usize, map_size: f64, width: f64, rng: &mut R) -> GisLayer {
+    assert!(count >= 1 && count <= 12);
+    let mut tuples = Vec::with_capacity(count);
+    for i in 0..count {
+        let offset = rng.gen_range(0.0..map_size - width);
+        let tuple = if i % 2 == 0 {
+            GeneralizedTuple::from_box_f64(&[0.0, offset], &[map_size, offset + width])
+        } else {
+            GeneralizedTuple::from_box_f64(&[offset, 0.0], &[offset + width, map_size])
+        };
+        tuples.push(tuple);
+    }
+    let relation = GeneralizedRelation::from_tuples(2, tuples);
+    let exact_area = union_volume(&relation.to_polytopes());
+    GisLayer { relation, exact_area }
+}
+
+/// A deterministic two-layer overlay scenario used by the examples: a parcels
+/// layer and a roads layer on the same map, with their exact intersection
+/// area.
+#[derive(Clone, Debug)]
+pub struct OverlayScenario {
+    /// The parcels layer.
+    pub parcels: GisLayer,
+    /// The roads layer.
+    pub roads: GisLayer,
+    /// Exact area of the overlay (intersection of the two layers).
+    pub exact_overlay_area: f64,
+}
+
+/// Builds an overlay scenario from a seed-controlled RNG.
+pub fn overlay_scenario<R: Rng + ?Sized>(rng: &mut R) -> OverlayScenario {
+    let parcels_layer = parcels(&GisLayerSpec::default(), rng);
+    let roads_layer = roads(4, 10.0, 0.8, rng);
+    let exact_overlay_area = cdb_geometry::volume::union_intersection_volume(
+        &parcels_layer.relation.to_polytopes(),
+        &roads_layer.relation.to_polytopes(),
+    );
+    OverlayScenario { parcels: parcels_layer, roads: roads_layer, exact_overlay_area }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parcels_are_inside_the_map_and_have_positive_area() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = parcels(&GisLayerSpec::default(), &mut rng);
+        assert_eq!(layer.relation.arity(), 2);
+        assert!(layer.exact_area > 0.0);
+        assert!(layer.exact_area <= 10.0 * 10.0);
+        // Union area never exceeds the sum of the piece areas.
+        let sum: f64 = layer
+            .relation
+            .to_polytopes()
+            .iter()
+            .map(cdb_geometry::volume::polytope_volume)
+            .sum();
+        assert!(layer.exact_area <= sum + 1e-9);
+    }
+
+    #[test]
+    fn roads_have_the_expected_area_range() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let layer = roads(4, 10.0, 0.5, &mut rng);
+        // Each road has area 5; overlaps only reduce the union.
+        assert!(layer.exact_area <= 20.0 + 1e-9);
+        assert!(layer.exact_area >= 5.0);
+    }
+
+    #[test]
+    fn overlay_scenario_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sc = overlay_scenario(&mut rng);
+        assert!(sc.exact_overlay_area <= sc.parcels.exact_area + 1e-9);
+        assert!(sc.exact_overlay_area <= sc.roads.exact_area + 1e-9);
+        assert!(sc.exact_overlay_area >= 0.0);
+        // The scenario is reproducible for a fixed seed.
+        let mut rng2 = StdRng::seed_from_u64(13);
+        let sc2 = overlay_scenario(&mut rng2);
+        assert!((sc.exact_overlay_area - sc2.exact_overlay_area).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inclusion-exclusion")]
+    fn too_many_regions_rejected() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let _ = parcels(&GisLayerSpec { regions: 50, ..Default::default() }, &mut rng);
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic workload generators for the experiments.
+//!
+//! The paper's evaluation is analytic; the experiments in EXPERIMENTS.md need
+//! concrete families of generalized relations with known ground truth. This
+//! crate provides them:
+//!
+//! * [`polytopes`] — classic convex bodies (hypercubes, simplices,
+//!   cross-polytopes, random rotated boxes, random H-polytopes) with exact
+//!   volumes where closed forms exist;
+//! * [`gis`] — a synthetic Geographical Information System layer generator
+//!   (unions of convex regions with controlled overlap), standing in for the
+//!   GIS applications that motivate the paper;
+//! * [`sat`] — the Section 4.1.3 encoding of CNF formulas as intersections of
+//!   observable unions (literal `x` ↦ `3/4 < x < 1`, literal `¬x` ↦
+//!   `0 < x < 1/4`), used to demonstrate why the poly-related restriction is
+//!   necessary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gis;
+pub mod polytopes;
+pub mod sat;

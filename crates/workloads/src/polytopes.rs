@@ -1,0 +1,143 @@
+//! Families of convex bodies with known volumes.
+
+use rand::Rng;
+
+use cdb_constraint::{Atom, CompOp, GeneralizedRelation, GeneralizedTuple, LinTerm};
+use cdb_num::Rational;
+
+/// The hypercube `[-h, h]^d` as a generalized tuple. Exact volume `(2h)^d`.
+pub fn hypercube(dim: usize, half_width: f64) -> GeneralizedTuple {
+    GeneralizedTuple::from_box_f64(&vec![-half_width; dim], &vec![half_width; dim])
+}
+
+/// Exact volume of [`hypercube`].
+pub fn hypercube_volume(dim: usize, half_width: f64) -> f64 {
+    (2.0 * half_width).powi(dim as i32)
+}
+
+/// The standard simplex `{x ≥ 0, Σ x_i ≤ 1}`. Exact volume `1/d!`.
+pub fn standard_simplex(dim: usize) -> GeneralizedTuple {
+    let mut atoms: Vec<Atom> = (0..dim)
+        .map(|i| {
+            let mut coeffs = vec![0i64; dim];
+            coeffs[i] = -1;
+            Atom::le_from_ints(&coeffs, 0)
+        })
+        .collect();
+    atoms.push(Atom::le_from_ints(&vec![1i64; dim], -1));
+    GeneralizedTuple::new(dim, atoms)
+}
+
+/// Exact volume of [`standard_simplex`].
+pub fn simplex_volume(dim: usize) -> f64 {
+    1.0 / (1..=dim).map(|k| k as f64).product::<f64>()
+}
+
+/// The cross-polytope `{Σ |x_i| ≤ 1}` (2^d facets). Exact volume `2^d / d!`.
+pub fn cross_polytope(dim: usize) -> GeneralizedTuple {
+    let mut atoms = Vec::with_capacity(1 << dim);
+    for mask in 0..(1u32 << dim) {
+        let coeffs: Vec<i64> = (0..dim).map(|i| if mask >> i & 1 == 1 { -1 } else { 1 }).collect();
+        atoms.push(Atom::le_from_ints(&coeffs, -1));
+    }
+    GeneralizedTuple::new(dim, atoms)
+}
+
+/// Exact volume of [`cross_polytope`].
+pub fn cross_polytope_volume(dim: usize) -> f64 {
+    2f64.powi(dim as i32) / (1..=dim).map(|k| k as f64).product::<f64>()
+}
+
+/// An axis-aligned box with random side lengths in `[0.5, length_scale]`,
+/// centered at the origin. Returns the tuple and its exact volume.
+pub fn random_box<R: Rng + ?Sized>(dim: usize, length_scale: f64, rng: &mut R) -> (GeneralizedTuple, f64) {
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    let mut volume = 1.0;
+    for _ in 0..dim {
+        let half = rng.gen_range(0.25..length_scale.max(0.5) / 2.0);
+        lo.push(-half);
+        hi.push(half);
+        volume *= 2.0 * half;
+    }
+    (GeneralizedTuple::from_box_f64(&lo, &hi), volume)
+}
+
+/// A random well-bounded H-polytope: the hypercube `[-1,1]^d` cut by
+/// `extra_cuts` random halfspaces through points near the boundary (so the
+/// body always contains a ball of radius 1/2 around the origin).
+pub fn random_hpolytope<R: Rng + ?Sized>(dim: usize, extra_cuts: usize, rng: &mut R) -> GeneralizedTuple {
+    let mut tuple = hypercube(dim, 1.0);
+    for _ in 0..extra_cuts {
+        // Random unit-ish normal with small integer coordinates.
+        let coeffs: Vec<i64> = (0..dim).map(|_| rng.gen_range(-3i64..=3)).collect();
+        if coeffs.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let norm: f64 = coeffs.iter().map(|&c| (c * c) as f64).sum::<f64>().sqrt();
+        // Offset between 0.6·‖a‖ and 1.5·‖a‖ keeps the inner ball of radius 0.5.
+        let offset = rng.gen_range(0.6..1.5) * norm;
+        let term = LinTerm::new(
+            coeffs.iter().map(|&c| Rational::from_int(c)).collect(),
+            -Rational::from_f64(offset).expect("finite offset"),
+        );
+        tuple.push(Atom::new(term, CompOp::Le));
+    }
+    tuple
+}
+
+/// The relation `{x : ‖x‖_∞ ≤ 1}` minus nothing, wrapped as a relation — a
+/// convenience used by several experiments.
+pub fn hypercube_relation(dim: usize, half_width: f64) -> GeneralizedRelation {
+    GeneralizedRelation::from_tuple(hypercube(dim, half_width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::volume::polytope_volume;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closed_form_volumes_match_geometry() {
+        for d in 2..=4usize {
+            let cube = hypercube(d, 0.75);
+            assert!((polytope_volume(&cube.to_hpolytope()) - hypercube_volume(d, 0.75)).abs() < 1e-6, "cube d={d}");
+            let simplex = standard_simplex(d);
+            assert!((polytope_volume(&simplex.to_hpolytope()) - simplex_volume(d)).abs() < 1e-6, "simplex d={d}");
+            let cross = cross_polytope(d);
+            assert!((polytope_volume(&cross.to_hpolytope()) - cross_polytope_volume(d)).abs() < 1e-5, "cross d={d}");
+        }
+    }
+
+    #[test]
+    fn random_box_volume_is_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in 2..=4usize {
+            let (tuple, vol) = random_box(d, 3.0, &mut rng);
+            assert!((polytope_volume(&tuple.to_hpolytope()) - vol).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_hpolytope_is_well_bounded() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for d in 2..=4usize {
+            let t = random_hpolytope(d, 2 * d, &mut rng);
+            assert!(t.is_well_bounded(), "d = {d}");
+            // It always contains a ball of radius 1/2 around the origin.
+            assert!(t.satisfied_f64(&vec![0.0; d], 1e-9));
+            let wb = t.to_hpolytope().well_bounded().unwrap();
+            assert!(wb.r_inf > 0.3, "inner radius {}", wb.r_inf);
+        }
+    }
+
+    #[test]
+    fn relation_wrapper() {
+        let r = hypercube_relation(3, 1.0);
+        assert_eq!(r.arity(), 3);
+        assert!(r.contains_f64(&[0.5, -0.5, 0.0]));
+        assert!(!r.contains_f64(&[1.5, 0.0, 0.0]));
+    }
+}

@@ -1,0 +1,184 @@
+//! The SAT encoding of Section 4.1.3.
+//!
+//! With each literal `x` (respectively `¬x`) the paper associates the
+//! constraint `3/4 < x < 1` (respectively `0 < x < 1/4`). A clause is the
+//! union of its literal slabs — an observable relation — and a CNF formula is
+//! the intersection of its clauses. A relative volume estimator for general
+//! intersections would decide satisfiability, which is why the poly-related
+//! restriction of Proposition 4.1 is necessary (unless P = NP).
+
+use rand::Rng;
+
+use cdb_constraint::{Atom, CompOp, GeneralizedRelation, GeneralizedTuple, LinTerm};
+use cdb_num::Rational;
+
+/// A literal: variable index and polarity (`true` = positive).
+pub type Literal = (usize, bool);
+
+/// A CNF formula: clauses of literals over `n_vars` variables.
+#[derive(Clone, Debug)]
+pub struct CnfFormula {
+    /// Number of propositional variables.
+    pub n_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Literal>>,
+}
+
+impl CnfFormula {
+    /// Evaluates the formula under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.n_vars);
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|&(v, pol)| assignment[v] == pol))
+    }
+
+    /// Brute-force satisfiability (exponential; for small test instances).
+    pub fn brute_force_satisfiable(&self) -> bool {
+        assert!(self.n_vars <= 24, "brute force limited to 24 variables");
+        (0u64..(1 << self.n_vars)).any(|mask| {
+            let assignment: Vec<bool> = (0..self.n_vars).map(|i| mask >> i & 1 == 1).collect();
+            self.eval(&assignment)
+        })
+    }
+}
+
+/// The geometric slab of one literal inside the cube `[0,1]^n`:
+/// `3/4 < x_v < 1` for a positive literal, `0 < x_v < 1/4` for a negative one
+/// (the remaining coordinates range over `[0,1]`).
+pub fn literal_tuple(n_vars: usize, literal: Literal) -> GeneralizedTuple {
+    let (v, polarity) = literal;
+    assert!(v < n_vars);
+    let mut tuple = GeneralizedTuple::from_box_f64(&vec![0.0; n_vars], &vec![1.0; n_vars]);
+    let x = LinTerm::var(n_vars, v);
+    if polarity {
+        // x > 3/4.
+        tuple.push(Atom::new(
+            LinTerm::constant(n_vars, Rational::from_ratio(3, 4)).sub(&x),
+            CompOp::Lt,
+        ));
+    } else {
+        // x < 1/4.
+        tuple.push(Atom::new(
+            x.sub(&LinTerm::constant(n_vars, Rational::from_ratio(1, 4))),
+            CompOp::Lt,
+        ));
+    }
+    tuple
+}
+
+/// The geometric encoding of one clause: the union of its literal slabs.
+pub fn clause_relation(n_vars: usize, clause: &[Literal]) -> GeneralizedRelation {
+    GeneralizedRelation::from_tuples(
+        n_vars,
+        clause.iter().map(|&l| literal_tuple(n_vars, l)).collect(),
+    )
+}
+
+/// The geometric encoding of a CNF formula: one observable relation per
+/// clause; the formula is satisfiable iff the intersection of the clause
+/// relations contains one of the `2^n` "corner" boxes, i.e. iff the
+/// intersection has positive volume.
+pub fn cnf_relations(cnf: &CnfFormula) -> Vec<GeneralizedRelation> {
+    cnf.clauses.iter().map(|c| clause_relation(cnf.n_vars, c)).collect()
+}
+
+/// Maps a boolean assignment to the center of its corner box
+/// (`true ↦ 7/8`, `false ↦ 1/8`).
+pub fn assignment_to_point(assignment: &[bool]) -> Vec<f64> {
+    assignment.iter().map(|&b| if b { 0.875 } else { 0.125 }).collect()
+}
+
+/// Generates a random k-CNF formula.
+pub fn random_k_cnf<R: Rng + ?Sized>(n_vars: usize, n_clauses: usize, k: usize, rng: &mut R) -> CnfFormula {
+    assert!(k >= 1 && k <= n_vars);
+    let clauses = (0..n_clauses)
+        .map(|_| {
+            let mut vars: Vec<usize> = (0..n_vars).collect();
+            // Partial Fisher–Yates to pick k distinct variables.
+            for i in 0..k {
+                let j = rng.gen_range(i..n_vars);
+                vars.swap(i, j);
+            }
+            vars[..k].iter().map(|&v| (v, rng.gen_bool(0.5))).collect()
+        })
+        .collect();
+    CnfFormula { n_vars, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn literal_slabs_encode_polarity() {
+        let pos = literal_tuple(2, (0, true));
+        assert!(pos.satisfied_f64(&[0.9, 0.5], 0.0));
+        assert!(!pos.satisfied_f64(&[0.5, 0.5], 0.0));
+        let neg = literal_tuple(2, (0, false));
+        assert!(neg.satisfied_f64(&[0.1, 0.5], 0.0));
+        assert!(!neg.satisfied_f64(&[0.5, 0.5], 0.0));
+    }
+
+    #[test]
+    fn satisfying_assignments_map_into_the_intersection() {
+        // (x0 or x1) and (not x0 or x1): satisfied by x1 = true.
+        let cnf = CnfFormula {
+            n_vars: 2,
+            clauses: vec![vec![(0, true), (1, true)], vec![(0, false), (1, true)]],
+        };
+        assert!(cnf.brute_force_satisfiable());
+        let relations = cnf_relations(&cnf);
+        assert_eq!(relations.len(), 2);
+        let satisfying = assignment_to_point(&[true, true]);
+        assert!(relations.iter().all(|r| r.contains_f64(&satisfying)));
+        let falsifying = assignment_to_point(&[true, false]);
+        assert!(!relations.iter().all(|r| r.contains_f64(&falsifying)));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_has_empty_intersection_of_corners() {
+        // x0 and not x0.
+        let cnf = CnfFormula { n_vars: 1, clauses: vec![vec![(0, true)], vec![(0, false)]] };
+        assert!(!cnf.brute_force_satisfiable());
+        let relations = cnf_relations(&cnf);
+        for corner in [[0.125], [0.875]] {
+            assert!(!relations.iter().all(|r| r.contains_f64(&corner)));
+        }
+        // The intersection of the two slabs really is empty.
+        let inter = relations[0].intersection(&relations[1]);
+        assert!(inter.is_syntactically_empty() || inter.prune_degenerate().tuples().is_empty());
+    }
+
+    #[test]
+    fn cnf_evaluation_and_geometry_agree_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..5 {
+            let cnf = random_k_cnf(4, 6, 3, &mut rng);
+            let relations = cnf_relations(&cnf);
+            for mask in 0u64..16 {
+                let assignment: Vec<bool> = (0..4).map(|i| mask >> i & 1 == 1).collect();
+                let point = assignment_to_point(&assignment);
+                let geometric = relations.iter().all(|r| r.contains_f64(&point));
+                assert_eq!(geometric, cnf.eval(&assignment), "assignment {assignment:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_cnf_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let cnf = random_k_cnf(6, 10, 3, &mut rng);
+        assert_eq!(cnf.n_vars, 6);
+        assert_eq!(cnf.clauses.len(), 10);
+        for clause in &cnf.clauses {
+            assert_eq!(clause.len(), 3);
+            let mut vars: Vec<usize> = clause.iter().map(|&(v, _)| v).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "variables in a clause must be distinct");
+        }
+    }
+}

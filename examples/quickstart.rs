@@ -1,0 +1,55 @@
+//! Quickstart: build a small spatial constraint database, sample it, estimate
+//! volumes and run one approximate query.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cdb_constraint::{parse_formula, GeneralizedRelation};
+use cdb_core::SpatialDatabase;
+use cdb_sampler::GeneratorParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A database with two layers: a zone (union of two rectangles) and a park.
+    let mut db = SpatialDatabase::with_params(GeneratorParams::default());
+    let zone = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[4.0, 2.0])
+        .union(&GeneralizedRelation::from_box_f64(&[3.0, 0.0], &[6.0, 3.0]));
+    let park = GeneralizedRelation::from_box_f64(&[1.0, 0.5], &[5.0, 1.5]);
+    db.insert("Zone", zone.clone());
+    db.insert("Park", park);
+
+    // 1. Almost-uniform generation (Definition 2.2 / Algorithm 1).
+    let points = db
+        .approx_generate_many("Zone", 5, &mut rng)
+        .expect("Zone is observable");
+    println!("five almost-uniform points of Zone:");
+    for p in &points {
+        println!("  ({:.3}, {:.3})  inside = {}", p[0], p[1], zone.contains_f64(p));
+    }
+
+    // 2. Volume estimation (Theorem 4.2). The exact area is 4*2 + 3*3 - 1*2 = 15.
+    let volume = db.approx_volume("Zone", &mut rng).expect("Zone is observable");
+    println!("estimated area of Zone : {volume:.2}   (exact: 15.00)");
+
+    // 3. An approximate query: the part of the zone covered by the park,
+    //    reconstructed from samples (Theorem 4.4), next to the exact symbolic
+    //    answer computed with quantifier elimination.
+    let query = parse_formula("Zone(x0, x1) and Park(x0, x1)", 2).expect("valid query");
+    let exact = db.evaluate_exact(&query, 2).expect("symbolic evaluation");
+    let approx = db.approx_query(&query, 2, &mut rng).expect("approximate evaluation");
+    println!(
+        "query 'Zone ∩ Park': exact answer has {} convex piece(s), reconstruction has {}",
+        exact.tuples().len(),
+        approx.tuples().len()
+    );
+    for probe in [[2.0, 1.0], [0.5, 1.8], [5.5, 2.5]] {
+        println!(
+            "  probe {:?}: exact = {}, reconstructed = {}",
+            probe,
+            exact.contains_f64(&probe),
+            approx.contains_f64(&probe)
+        );
+    }
+}

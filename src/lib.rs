@@ -1,0 +1,14 @@
+//! Umbrella package for the `spatial-cdb` workspace.
+//!
+//! This root package hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The actual library surface lives
+//! in the workspace crates; see [`cdb_core`] for the high-level API described
+//! in the paper *Uniform generation in spatial constraint databases and
+//! applications* (Gross-Amblard & de Rougemont).
+
+pub use cdb_core as core_api;
+pub use cdb_constraint as constraint;
+pub use cdb_geometry as geometry;
+pub use cdb_reconstruct as reconstruct;
+pub use cdb_sampler as sampler;
+pub use cdb_workloads as workloads;
