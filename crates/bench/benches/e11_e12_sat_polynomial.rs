@@ -9,7 +9,9 @@ use cdb_bench::{experiment_criterion, rng};
 use cdb_geometry::ball::unit_ball_volume;
 use cdb_geometry::Ellipsoid;
 use cdb_linalg::Vector;
-use cdb_sampler::{ConvexBody, DfkSampler, GeneratorParams, IntersectionGenerator, RelationVolumeEstimator};
+use cdb_sampler::{
+    ConvexBody, DfkSampler, GeneratorParams, IntersectionGenerator, RelationVolumeEstimator,
+};
 use cdb_workloads::sat;
 use criterion::{black_box, Criterion};
 
@@ -21,7 +23,8 @@ fn e11_sat_encoding(c: &mut Criterion) {
         let cnf = sat::random_k_cnf(n_vars, 2 * n_vars, 3.min(n_vars), &mut r);
         let satisfiable = cnf.brute_force_satisfiable();
         let relations = sat::cnf_relations(&cnf);
-        let mut generator = IntersectionGenerator::new(&relations, params).expect("clauses are observable");
+        let mut generator =
+            IntersectionGenerator::new(&relations, params).expect("clauses are observable");
         let estimate = generator.estimate_volume(&mut r);
         eprintln!(
             "[E11] n={n_vars} clauses={}: satisfiable={satisfiable} estimate={estimate:?} acceptance={:.4}",

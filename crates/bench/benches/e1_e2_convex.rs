@@ -10,7 +10,9 @@ use cdb_bench::{experiment_criterion, rng};
 use cdb_geometry::ball::{ball_to_cube_ratio, unit_ball_volume};
 use cdb_geometry::Ellipsoid;
 use cdb_linalg::Vector;
-use cdb_sampler::{ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator};
+use cdb_sampler::{
+    ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator,
+};
 use cdb_workloads::polytopes;
 use criterion::{black_box, Criterion};
 
@@ -19,8 +21,16 @@ fn e1_convex_observability(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_convex_observable");
     for d in [2usize, 4, 6] {
         let bodies: Vec<(&str, cdb_constraint::GeneralizedTuple, f64)> = vec![
-            ("hypercube", polytopes::hypercube(d, 1.0), polytopes::hypercube_volume(d, 1.0)),
-            ("simplex", polytopes::standard_simplex(d), polytopes::simplex_volume(d)),
+            (
+                "hypercube",
+                polytopes::hypercube(d, 1.0),
+                polytopes::hypercube_volume(d, 1.0),
+            ),
+            (
+                "simplex",
+                polytopes::standard_simplex(d),
+                polytopes::simplex_volume(d),
+            ),
         ];
         for (name, tuple, exact) in bodies {
             let mut r = rng(100 + d as u64);
@@ -53,7 +63,8 @@ fn e2_rejection_vs_dfk(c: &mut Criterion) {
         let dfk = DfkSampler::new(body.clone(), GeneratorParams::fast(), &mut r);
         let dfk_estimate = dfk.estimate_volume(&mut r);
 
-        let mut rejection = RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
+        let mut rejection =
+            RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
         rejection.set_volume_trials(5_000);
         let rejection_estimate = rejection.estimate_volume(&mut r).unwrap_or(0.0);
         eprintln!(

@@ -12,8 +12,9 @@ use criterion::{black_box, Criterion};
 fn e3_fixed_dimension(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_fixed_dimension");
     for d in [2usize, 3, 4] {
-        let relation = GeneralizedRelation::from_tuple(polytopes::hypercube(d, 1.0))
-            .union(&GeneralizedRelation::from_tuple(polytopes::standard_simplex(d)));
+        let relation = GeneralizedRelation::from_tuple(polytopes::hypercube(d, 1.0)).union(
+            &GeneralizedRelation::from_tuple(polytopes::standard_simplex(d)),
+        );
         // Grid step chosen so the cell count stays around 10^4-10^5 per dimension.
         let gamma = match d {
             2 => 0.02,

@@ -22,13 +22,21 @@ fn e4_union(c: &mut Criterion) {
         let mut relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
         for i in 1..m {
             let s = 0.5 * i as f64;
-            relation = relation.union(&GeneralizedRelation::from_box_f64(&[s, 0.0], &[s + 1.0, 1.0]));
+            relation = relation.union(&GeneralizedRelation::from_box_f64(
+                &[s, 0.0],
+                &[s + 1.0, 1.0],
+            ));
         }
         let exact = union_volume(&relation.to_polytopes());
         let mut generator = UnionGenerator::new(&relation, params).expect("observable union");
         let mut r = rng(400 + m as u64);
-        let estimate = generator.estimate_volume(&mut r).expect("estimation succeeds");
-        eprintln!("[E4] m={m}: exact={exact:.4} estimate={estimate:.4} rel_err={:.3}", (estimate - exact).abs() / exact);
+        let estimate = generator
+            .estimate_volume(&mut r)
+            .expect("estimation succeeds");
+        eprintln!(
+            "[E4] m={m}: exact={exact:.4} estimate={estimate:.4} rel_err={:.3}",
+            (estimate - exact).abs() / exact
+        );
         group.bench_function(format!("union_volume_m{m}"), |b| {
             b.iter(|| black_box(generator.estimate_volume(&mut r)))
         });
@@ -40,8 +48,13 @@ fn e4_union(c: &mut Criterion) {
     let mut r = rng(444);
     let layer = gis::parcels(&gis::GisLayerSpec::default(), &mut r);
     let mut generator = UnionGenerator::new(&layer.relation, params).expect("observable layer");
-    let estimate = generator.estimate_volume(&mut r).expect("estimation succeeds");
-    eprintln!("[E4] gis parcels: exact={:.4} estimate={estimate:.4}", layer.exact_area);
+    let estimate = generator
+        .estimate_volume(&mut r)
+        .expect("estimation succeeds");
+    eprintln!(
+        "[E4] gis parcels: exact={:.4} estimate={estimate:.4}",
+        layer.exact_area
+    );
     group.bench_function("union_volume_gis", |b| {
         b.iter(|| black_box(generator.estimate_volume(&mut r)))
     });
@@ -55,7 +68,8 @@ fn e5_intersection(c: &mut Criterion) {
     for (label, rho) in [("half", 0.5), ("tenth", 0.1), ("thousandth", 1e-3)] {
         let a = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
         let b_rel = GeneralizedRelation::from_box_f64(&[1.0 - rho, 0.0], &[2.0 - rho, 1.0]);
-        let mut generator = IntersectionGenerator::new(&[a, b_rel], params).expect("observable operands");
+        let mut generator =
+            IntersectionGenerator::new(&[a, b_rel], params).expect("observable operands");
         let mut r = rng(500);
         let estimate = generator.estimate_volume(&mut r);
         eprintln!(

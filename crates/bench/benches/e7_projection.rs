@@ -33,16 +33,26 @@ fn cone(d: usize) -> GeneralizedTuple {
 }
 
 fn e7_projection(c: &mut Criterion) {
-    let params = GeneratorParams { gamma: 0.1, ..GeneratorParams::fast() };
+    let params = GeneratorParams {
+        gamma: 0.1,
+        ..GeneratorParams::fast()
+    };
     let mut group = c.benchmark_group("e7_projection");
     for d in [2usize, 3, 4] {
         let shape = cone(d);
         let mut r = rng(700 + d as u64);
-        let mut generator = ProjectionGenerator::new(&shape, &[0], params, &mut r).expect("cone is observable");
+        let mut generator =
+            ProjectionGenerator::new(&shape, &[0], params, &mut r).expect("cone is observable");
 
         let n = 600;
-        let biased: Vec<f64> = (0..n).map(|_| generator.sample_uncorrected(&mut r)[0]).collect();
-        let corrected: Vec<f64> = generator.sample_many(n, &mut r).into_iter().map(|p| p[0]).collect();
+        let biased: Vec<f64> = (0..n)
+            .map(|_| generator.sample_uncorrected(&mut r)[0])
+            .collect();
+        let corrected: Vec<f64> = generator
+            .sample_many(n, &mut r)
+            .into_iter()
+            .map(|p| p[0])
+            .collect();
         let chi_biased = uniformity_chi_square(&biased, 0.0, 1.0, 8);
         let chi_corrected = uniformity_chi_square(&corrected, 0.0, 1.0, 8);
         eprintln!(

@@ -20,9 +20,14 @@ fn e8_hull_reconstruction(c: &mut Criterion) {
     let exact = polytope_volume(&truth);
     for n in [50usize, 200, 800] {
         let mut r = rng(800 + n as u64);
-        let hull = reconstructor.reconstruct_tuple(&square, Some(n), &mut r).expect("square is observable");
+        let hull = reconstructor
+            .reconstruct_tuple(&square, Some(n), &mut r)
+            .expect("square is observable");
         let sd = symmetric_difference_volume(&[truth.clone()], &[hull]);
-        eprintln!("[E8] N={n}: symmetric_difference={sd:.4} ({:.2}% of the exact volume)", 100.0 * sd / exact);
+        eprintln!(
+            "[E8] N={n}: symmetric_difference={sd:.4} ({:.2}% of the exact volume)",
+            100.0 * sd / exact
+        );
         group.bench_function(format!("hull_of_{n}_samples"), |b| {
             b.iter(|| black_box(reconstructor.reconstruct_tuple(&square, Some(n), &mut r)))
         });
@@ -34,15 +39,27 @@ fn e10_positive_queries(c: &mut Criterion) {
     let params = GeneratorParams::fast();
     let mut group = c.benchmark_group("e10_positive_queries");
     let mut db = SpatialDatabase::with_params(params);
-    db.insert("R1", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.5]));
-    db.insert("R2", GeneralizedRelation::from_box_f64(&[0.5, 0.0], &[2.0, 2.0]));
-    db.insert("R4", GeneralizedRelation::from_box_f64(&[3.0, 0.0], &[4.0, 1.0]));
-    let query = parse_formula("(exists x2. R1(x0, x2) and R2(x2, x1)) or R4(x0, x1)", 3).expect("valid query");
+    db.insert(
+        "R1",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.5]),
+    );
+    db.insert(
+        "R2",
+        GeneralizedRelation::from_box_f64(&[0.5, 0.0], &[2.0, 2.0]),
+    );
+    db.insert(
+        "R4",
+        GeneralizedRelation::from_box_f64(&[3.0, 0.0], &[4.0, 1.0]),
+    );
+    let query = parse_formula("(exists x2. R1(x0, x2) and R2(x2, x1)) or R4(x0, x1)", 3)
+        .expect("valid query");
 
     let exact = db.evaluate_exact(&query, 2).expect("symbolic evaluation");
     let exact_volume = union_volume(&exact.to_polytopes());
     let mut r = rng(1000);
-    let approx = db.approx_query(&query, 2, &mut r).expect("reconstruction succeeds");
+    let approx = db
+        .approx_query(&query, 2, &mut r)
+        .expect("reconstruction succeeds");
     let sd = symmetric_difference_volume(&exact.to_polytopes(), &approx.to_polytopes());
     eprintln!(
         "[E10] section 4.3.2 query: exact_volume={exact_volume:.4} pieces_exact={} pieces_approx={} \

@@ -38,12 +38,18 @@ fn stacked_body(extra: usize) -> GeneralizedTuple {
         lo[0] = 1;
         lo[1] = -1;
         lo[i] = -1;
-        atoms.push(Atom::new(LinTerm::from_ints(&lo, -1), cdb_constraint::CompOp::Le));
+        atoms.push(Atom::new(
+            LinTerm::from_ints(&lo, -1),
+            cdb_constraint::CompOp::Le,
+        ));
         let mut hi = vec![0i64; d];
         hi[0] = -1;
         hi[1] = -1;
         hi[i] = 1;
-        atoms.push(Atom::new(LinTerm::from_ints(&hi, -1), cdb_constraint::CompOp::Le));
+        atoms.push(Atom::new(
+            LinTerm::from_ints(&hi, -1),
+            cdb_constraint::CompOp::Le,
+        ));
     }
     GeneralizedTuple::new(d, atoms)
 }

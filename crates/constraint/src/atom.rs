@@ -114,7 +114,10 @@ impl Atom {
             CompOp::Gt => (self.term.neg(), CompOp::Lt),
             op => (self.term.clone(), op),
         };
-        Atom { term: term.normalized(), op }
+        Atom {
+            term: term.normalized(),
+            op,
+        }
     }
 
     /// The closed halfspace `{x : term ≤ 0}` (strictness dropped), or `None`
@@ -147,13 +150,19 @@ impl Atom {
 
     /// Remaps the atom's variables into a larger arity.
     pub fn remap(&self, new_arity: usize, mapping: &[usize]) -> Atom {
-        Atom { term: self.term.remap(new_arity, mapping), op: self.op }
+        Atom {
+            term: self.term.remap(new_arity, mapping),
+            op: self.op,
+        }
     }
 
     /// Restricts the atom to the first `new_arity` variables (`None` when the
     /// atom mentions a dropped variable).
     pub fn restrict(&self, new_arity: usize) -> Option<Atom> {
-        Some(Atom { term: self.term.restrict(new_arity)?, op: self.op })
+        Some(Atom {
+            term: self.term.restrict(new_arity)?,
+            op: self.op,
+        })
     }
 }
 

@@ -116,10 +116,14 @@ impl Database {
                 Ok(Formula::or(disjuncts))
             }
             Formula::And(fs) => Ok(Formula::and(
-                fs.iter().map(|f| self.resolve(f)).collect::<Result<Vec<_>, _>>()?,
+                fs.iter()
+                    .map(|f| self.resolve(f))
+                    .collect::<Result<Vec<_>, _>>()?,
             )),
             Formula::Or(fs) => Ok(Formula::or(
-                fs.iter().map(|f| self.resolve(f)).collect::<Result<Vec<_>, _>>()?,
+                fs.iter()
+                    .map(|f| self.resolve(f))
+                    .collect::<Result<Vec<_>, _>>()?,
             )),
             Formula::Not(f) => Ok(Formula::not(self.resolve(f)?)),
             Formula::Exists(vars, f) => Ok(Formula::exists(vars.clone(), self.resolve(f)?)),
@@ -133,7 +137,11 @@ impl Database {
     /// This is the fully symbolic evaluation path (resolution + Fourier–
     /// Motzkin + DNF) — the baseline whose cost the paper's approximate
     /// evaluation avoids.
-    pub fn evaluate(&self, query: &Formula, output_arity: usize) -> Result<GeneralizedRelation, ConstraintError> {
+    pub fn evaluate(
+        &self,
+        query: &Formula,
+        output_arity: usize,
+    ) -> Result<GeneralizedRelation, ConstraintError> {
         let resolved = self.resolve(query)?;
         GeneralizedRelation::from_formula(output_arity, &resolved)
     }
@@ -148,8 +156,14 @@ mod tests {
     fn sample_db() -> Database {
         let mut db = Database::new();
         // R = [0,2] x [0,1], S = [1,3] x [0,1] (2-dimensional strips).
-        db.insert("R", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]));
-        db.insert("S", GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[3.0, 1.0]));
+        db.insert(
+            "R",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+        );
+        db.insert(
+            "S",
+            GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[3.0, 1.0]),
+        );
         // Line = the 1-dimensional interval [0, 10].
         db.insert("Line", GeneralizedRelation::from_box_f64(&[0.0], &[10.0]));
         db
@@ -172,7 +186,10 @@ mod tests {
     fn conjunction_query() {
         let db = sample_db();
         // Q(x, y) = R(x, y) and S(x, y)  — the strip overlap [1,2] x [0,1].
-        let q = Formula::and(vec![Formula::rel("R", vec![0, 1]), Formula::rel("S", vec![0, 1])]);
+        let q = Formula::and(vec![
+            Formula::rel("R", vec![0, 1]),
+            Formula::rel("S", vec![0, 1]),
+        ]);
         let out = db.evaluate(&q, 2).unwrap();
         assert!(out.contains_f64(&[1.5, 0.5]));
         assert!(!out.contains_f64(&[0.5, 0.5]));
@@ -187,7 +204,10 @@ mod tests {
         // The shared z must be in [1,1] -> feasible, so Q = [0,2] x [0,1].
         let q = Formula::exists(
             vec![2],
-            Formula::and(vec![Formula::rel("R", vec![0, 2]), Formula::rel("S", vec![2, 1])]),
+            Formula::and(vec![
+                Formula::rel("R", vec![0, 2]),
+                Formula::rel("S", vec![2, 1]),
+            ]),
         );
         let out = db.evaluate(&q, 2).unwrap();
         assert!(out.contains_f64(&[1.0, 0.5]));

@@ -118,11 +118,13 @@ impl Formula {
             Formula::True | Formula::False => 0,
             Formula::Atom(a) => a.arity(),
             Formula::Rel(_, vars) => vars.iter().map(|v| v + 1).max().unwrap_or(0),
-            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(|f| f.min_arity()).max().unwrap_or(0),
-            Formula::Not(f) => f.min_arity(),
-            Formula::Exists(vars, f) => {
-                f.min_arity().max(vars.iter().map(|v| v + 1).max().unwrap_or(0))
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.min_arity()).max().unwrap_or(0)
             }
+            Formula::Not(f) => f.min_arity(),
+            Formula::Exists(vars, f) => f
+                .min_arity()
+                .max(vars.iter().map(|v| v + 1).max().unwrap_or(0)),
         }
     }
 
@@ -151,7 +153,8 @@ impl Formula {
             }
             Formula::Not(f) => Ok(!f.eval(point)?),
             Formula::Exists(..) => Err(ConstraintError::UnsupportedConstruct(
-                "cannot evaluate a quantified formula pointwise; eliminate quantifiers first".into(),
+                "cannot evaluate a quantified formula pointwise; eliminate quantifiers first"
+                    .into(),
             )),
         }
     }
@@ -182,7 +185,8 @@ impl Formula {
             }
             Formula::Not(f) => Ok(!f.eval_f64(point, tol)?),
             Formula::Exists(..) => Err(ConstraintError::UnsupportedConstruct(
-                "cannot evaluate a quantified formula pointwise; eliminate quantifiers first".into(),
+                "cannot evaluate a quantified formula pointwise; eliminate quantifiers first"
+                    .into(),
             )),
         }
     }
@@ -193,8 +197,16 @@ impl Formula {
     pub fn to_nnf(&self) -> Result<Formula, ConstraintError> {
         fn nnf(f: &Formula, negated: bool) -> Result<Formula, ConstraintError> {
             match f {
-                Formula::True => Ok(if negated { Formula::False } else { Formula::True }),
-                Formula::False => Ok(if negated { Formula::True } else { Formula::False }),
+                Formula::True => Ok(if negated {
+                    Formula::False
+                } else {
+                    Formula::True
+                }),
+                Formula::False => Ok(if negated {
+                    Formula::True
+                } else {
+                    Formula::False
+                }),
                 Formula::Atom(a) => {
                     if !negated {
                         return Ok(Formula::Atom(a.clone()));
@@ -209,12 +221,26 @@ impl Formula {
                 }
                 Formula::Rel(name, _) => Err(ConstraintError::UnknownRelation(name.clone())),
                 Formula::And(fs) => {
-                    let parts = fs.iter().map(|g| nnf(g, negated)).collect::<Result<Vec<_>, _>>()?;
-                    Ok(if negated { Formula::or(parts) } else { Formula::and(parts) })
+                    let parts = fs
+                        .iter()
+                        .map(|g| nnf(g, negated))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(if negated {
+                        Formula::or(parts)
+                    } else {
+                        Formula::and(parts)
+                    })
                 }
                 Formula::Or(fs) => {
-                    let parts = fs.iter().map(|g| nnf(g, negated)).collect::<Result<Vec<_>, _>>()?;
-                    Ok(if negated { Formula::and(parts) } else { Formula::or(parts) })
+                    let parts = fs
+                        .iter()
+                        .map(|g| nnf(g, negated))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(if negated {
+                        Formula::and(parts)
+                    } else {
+                        Formula::or(parts)
+                    })
                 }
                 Formula::Not(g) => nnf(g, !negated),
                 Formula::Exists(..) => Err(ConstraintError::UnsupportedConstruct(
@@ -402,8 +428,12 @@ mod tests {
         let eq = Formula::Atom(Atom::new(LinTerm::from_ints(&[1, -1], 0), CompOp::Eq));
         let neg = Formula::not(eq).to_nnf().unwrap();
         assert!(matches!(neg, Formula::Or(_)));
-        assert!(neg.eval(&[Rational::from_int(1), Rational::from_int(2)]).unwrap());
-        assert!(!neg.eval(&[Rational::from_int(2), Rational::from_int(2)]).unwrap());
+        assert!(neg
+            .eval(&[Rational::from_int(1), Rational::from_int(2)])
+            .unwrap());
+        assert!(!neg
+            .eval(&[Rational::from_int(2), Rational::from_int(2)])
+            .unwrap());
     }
 
     #[test]
@@ -428,7 +458,10 @@ mod tests {
     fn fragments_and_metadata() {
         let f = Formula::exists(
             vec![2],
-            Formula::and(vec![Formula::rel("R", vec![0, 2]), Formula::rel("S", vec![2, 1])]),
+            Formula::and(vec![
+                Formula::rel("R", vec![0, 2]),
+                Formula::rel("S", vec![2, 1]),
+            ]),
         );
         assert!(f.is_existential_positive());
         assert!(!f.is_quantifier_free());
@@ -451,7 +484,10 @@ mod tests {
 
     #[test]
     fn display_roundtrip_is_readable() {
-        let f = Formula::exists(vec![1], Formula::and(vec![x_le(2, 0, 1), Formula::rel("R", vec![0, 1])]));
+        let f = Formula::exists(
+            vec![1],
+            Formula::and(vec![x_le(2, 0, 1), Formula::rel("R", vec![0, 1])]),
+        );
         let s = f.to_string();
         assert!(s.contains("exists x1"));
         assert!(s.contains("R(x0, x1)"));

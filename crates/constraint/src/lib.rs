@@ -88,10 +88,19 @@ impl std::fmt::Display for ConstraintError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConstraintError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
-            ConstraintError::ArityMismatch { relation, expected, found } => {
-                write!(f, "relation {relation} has arity {expected}, used with {found} arguments")
+            ConstraintError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation {relation} has arity {expected}, used with {found} arguments"
+                )
             }
-            ConstraintError::UnsupportedConstruct(what) => write!(f, "unsupported construct: {what}"),
+            ConstraintError::UnsupportedConstruct(what) => {
+                write!(f, "unsupported construct: {what}")
+            }
             ConstraintError::VariableOutOfRange(v) => write!(f, "variable x{v} is out of range"),
         }
     }

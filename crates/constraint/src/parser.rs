@@ -44,7 +44,11 @@ impl std::error::Error for ParseError {}
 /// Parses a formula, using `arity` as the ambient number of variables (every
 /// `x<i>` must satisfy `i < arity`).
 pub fn parse_formula(input: &str, arity: usize) -> Result<Formula, ParseError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0, arity };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        arity,
+    };
     let f = p.parse_or()?;
     p.skip_ws();
     if p.pos != p.input.len() {
@@ -61,7 +65,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> ParseError {
-        ParseError { message: message.to_string(), position: self.pos }
+        ParseError {
+            message: message.to_string(),
+            position: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -74,7 +81,9 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let start = self.pos;
         let mut end = start;
-        while end < self.input.len() && (self.input[end].is_ascii_alphanumeric() || self.input[end] == b'_') {
+        while end < self.input.len()
+            && (self.input[end].is_ascii_alphanumeric() || self.input[end] == b'_')
+        {
             end += 1;
         }
         if end == start {
@@ -204,7 +213,9 @@ impl<'a> Parser<'a> {
 
     fn parse_var(&mut self) -> Result<usize, ParseError> {
         self.skip_ws();
-        let word = self.peek_word().ok_or_else(|| self.error("expected a variable"))?;
+        let word = self
+            .peek_word()
+            .ok_or_else(|| self.error("expected a variable"))?;
         if !is_variable(&word) {
             return Err(self.error("expected a variable of the form x<index>"));
         }
@@ -212,7 +223,10 @@ impl<'a> Parser<'a> {
             .parse()
             .map_err(|_| self.error("invalid variable index"))?;
         if idx >= self.arity {
-            return Err(self.error(&format!("variable x{idx} exceeds the declared arity {}", self.arity)));
+            return Err(self.error(&format!(
+                "variable x{idx} exceeds the declared arity {}",
+                self.arity
+            )));
         }
         self.skip_ws();
         self.pos += word.len();
@@ -224,7 +238,9 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         let mut end = start;
         while end < self.input.len()
-            && (self.input[end].is_ascii_digit() || self.input[end] == b'.' || self.input[end] == b'/')
+            && (self.input[end].is_ascii_digit()
+                || self.input[end] == b'.'
+                || self.input[end] == b'/')
         {
             end += 1;
         }
@@ -309,9 +325,9 @@ mod tests {
     #[test]
     fn parse_boolean_structure() {
         let f = parse_formula("(x0 >= 0 and x0 <= 1) or not (x1 > 1/2)", 2).unwrap();
-        assert!(f.eval_f64(&[0.5, 0.9], 1e-9).unwrap());   // first disjunct
-        assert!(f.eval_f64(&[5.0, 0.25], 1e-9).unwrap());  // second disjunct
-        assert!(!f.eval_f64(&[5.0, 0.9], 1e-9).unwrap());  // neither
+        assert!(f.eval_f64(&[0.5, 0.9], 1e-9).unwrap()); // first disjunct
+        assert!(f.eval_f64(&[5.0, 0.25], 1e-9).unwrap()); // second disjunct
+        assert!(!f.eval_f64(&[5.0, 0.9], 1e-9).unwrap()); // neither
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl PolyConstraint {
         }
         let constant: f64 = center.iter().map(|c| c * c).sum::<f64>() - r * r;
         monomials.push(Monomial::new(constant, vec![0; d]));
-        PolyConstraint { monomials, arity: d }
+        PolyConstraint {
+            monomials,
+            arity: d,
+        }
     }
 
     /// The axis-aligned ellipsoid constraint `Σ ((x_i − c_i)/a_i)² ≤ 1`.
@@ -98,7 +101,10 @@ impl PolyConstraint {
             .sum::<f64>()
             - 1.0;
         monomials.push(Monomial::new(constant, vec![0; d]));
-        PolyConstraint { monomials, arity: d }
+        PolyConstraint {
+            monomials,
+            arity: d,
+        }
     }
 
     /// Number of variables.
@@ -164,7 +170,11 @@ impl PolyBody {
         for c in &constraints {
             assert_eq!(c.arity(), arity, "constraint arity mismatch");
         }
-        PolyBody { arity, constraints, assume_convex }
+        PolyBody {
+            arity,
+            constraints,
+            assume_convex,
+        }
     }
 
     /// A Euclidean ball.

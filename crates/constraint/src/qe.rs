@@ -119,9 +119,15 @@ pub fn prune_redundant(atoms: &[Atom], arity: usize) -> Vec<Atom> {
                 continue;
             }
             if other.op() == CompOp::Eq {
-                lp.add_eq(other.term().coeffs().to_vec(), -other.term().constant_part().clone());
+                lp.add_eq(
+                    other.term().coeffs().to_vec(),
+                    -other.term().constant_part().clone(),
+                );
             } else {
-                lp.add_le(other.term().coeffs().to_vec(), -other.term().constant_part().clone());
+                lp.add_le(
+                    other.term().coeffs().to_vec(),
+                    -other.term().constant_part().clone(),
+                );
             }
         }
         let candidate = &unique[i];
@@ -182,15 +188,21 @@ pub fn eliminate_quantifiers(formula: &Formula) -> Result<Formula, ConstraintErr
         Formula::True | Formula::False | Formula::Atom(_) => Ok(formula.clone()),
         Formula::Rel(name, _) => Err(ConstraintError::UnknownRelation(name.clone())),
         Formula::And(fs) => Ok(Formula::and(
-            fs.iter().map(eliminate_quantifiers).collect::<Result<Vec<_>, _>>()?,
+            fs.iter()
+                .map(eliminate_quantifiers)
+                .collect::<Result<Vec<_>, _>>()?,
         )),
         Formula::Or(fs) => Ok(Formula::or(
-            fs.iter().map(eliminate_quantifiers).collect::<Result<Vec<_>, _>>()?,
+            fs.iter()
+                .map(eliminate_quantifiers)
+                .collect::<Result<Vec<_>, _>>()?,
         )),
         Formula::Not(f) => Ok(Formula::not(eliminate_quantifiers(f)?)),
         Formula::Exists(vars, body) => {
             let inner = eliminate_quantifiers(body)?;
-            let arity = inner.min_arity().max(vars.iter().map(|v| v + 1).max().unwrap_or(0));
+            let arity = inner
+                .min_arity()
+                .max(vars.iter().map(|v| v + 1).max().unwrap_or(0));
             let dnf = inner.to_dnf()?;
             let mut disjuncts = Vec::with_capacity(dnf.len());
             for conj in dnf {
@@ -204,7 +216,9 @@ pub fn eliminate_quantifiers(formula: &Formula) -> Result<Formula, ConstraintErr
                     .collect();
                 let eliminated = eliminate_variables(&padded, vars);
                 let pruned = prune_redundant(&eliminated, arity);
-                disjuncts.push(Formula::and(pruned.into_iter().map(Formula::Atom).collect()));
+                disjuncts.push(Formula::and(
+                    pruned.into_iter().map(Formula::Atom).collect(),
+                ));
             }
             Ok(Formula::or(disjuncts))
         }
@@ -224,9 +238,9 @@ mod tests {
     fn eliminate_from_triangle() {
         // 0 <= y, y <= x, x <= 1  — eliminate y: expect 0 <= x (and x <= 1 kept).
         let atoms = vec![
-            le(&[0, -1], 0),  // -y <= 0
-            le(&[-1, 1], 0),  // y - x <= 0
-            le(&[1, 0], -1),  // x - 1 <= 0
+            le(&[0, -1], 0), // -y <= 0
+            le(&[-1, 1], 0), // y - x <= 0
+            le(&[1, 0], -1), // x - 1 <= 0
         ];
         let out = eliminate_variable(&atoms, 1);
         // Every surviving atom only mentions x.
@@ -293,19 +307,31 @@ mod tests {
     fn projection_of_rotated_triangle() {
         // Triangle with vertices (0,0), (1,1), (2,0): y <= x, y <= 2 - x, y >= 0.
         let atoms = vec![
-            le(&[-1, 1], 0),  // y - x <= 0
-            le(&[1, 1], -2),  // x + y - 2 <= 0
-            le(&[0, -1], 0),  // -y <= 0
+            le(&[-1, 1], 0), // y - x <= 0
+            le(&[1, 1], -2), // x + y - 2 <= 0
+            le(&[0, -1], 0), // -y <= 0
         ];
         let tri = GeneralizedTuple::new(2, atoms);
         // Projection onto x is [0, 2].
         let px = project_tuple(&tri, &[0]);
-        for (x, expected) in [(-0.5, false), (0.0, true), (1.0, true), (2.0, true), (2.5, false)] {
+        for (x, expected) in [
+            (-0.5, false),
+            (0.0, true),
+            (1.0, true),
+            (2.0, true),
+            (2.5, false),
+        ] {
             assert_eq!(px.satisfied_f64(&[x], 1e-9), expected, "x = {x}");
         }
         // Projection onto y is [0, 1].
         let py = project_tuple(&tri, &[1]);
-        for (y, expected) in [(-0.5, false), (0.0, true), (0.5, true), (1.0, true), (1.5, false)] {
+        for (y, expected) in [
+            (-0.5, false),
+            (0.0, true),
+            (0.5, true),
+            (1.0, true),
+            (1.5, false),
+        ] {
             assert_eq!(py.satisfied_f64(&[y], 1e-9), expected, "y = {y}");
         }
     }
@@ -349,7 +375,11 @@ mod tests {
         let qf = eliminate_quantifiers(&q).unwrap();
         for x in [-10.0, 0.0, 5.0, 6.0] {
             let expected = x <= 5.0;
-            assert_eq!(qf.eval_f64(&[x, 0.0, 0.0], 1e-9).unwrap(), expected, "x = {x}");
+            assert_eq!(
+                qf.eval_f64(&[x, 0.0, 0.0], 1e-9).unwrap(),
+                expected,
+                "x = {x}"
+            );
         }
     }
 }

@@ -23,7 +23,10 @@ pub struct GeneralizedRelation {
 impl GeneralizedRelation {
     /// The empty relation of the given arity.
     pub fn empty(arity: usize) -> Self {
-        GeneralizedRelation { arity, tuples: Vec::new() }
+        GeneralizedRelation {
+            arity,
+            tuples: Vec::new(),
+        }
     }
 
     /// Builds a relation from explicit tuples.
@@ -36,7 +39,10 @@ impl GeneralizedRelation {
 
     /// A relation holding a single tuple.
     pub fn from_tuple(tuple: GeneralizedTuple) -> Self {
-        GeneralizedRelation { arity: tuple.arity(), tuples: vec![tuple] }
+        GeneralizedRelation {
+            arity: tuple.arity(),
+            tuples: vec![tuple],
+        }
     }
 
     /// A relation describing an axis-aligned box.
@@ -142,7 +148,10 @@ impl GeneralizedRelation {
         assert_eq!(self.arity, other.arity, "relation arity mismatch");
         let mut tuples = self.tuples.clone();
         tuples.extend(other.tuples.iter().cloned());
-        GeneralizedRelation { arity: self.arity, tuples }
+        GeneralizedRelation {
+            arity: self.arity,
+            tuples,
+        }
     }
 
     /// Intersection with another relation (pairwise conjunction of tuples;
@@ -158,12 +167,18 @@ impl GeneralizedRelation {
                 }
             }
         }
-        GeneralizedRelation { arity: self.arity, tuples }
+        GeneralizedRelation {
+            arity: self.arity,
+            tuples,
+        }
     }
 
     /// Set difference `self − other`, computed symbolically as
     /// `self ∧ ¬other` and renormalized to DNF.
-    pub fn difference(&self, other: &GeneralizedRelation) -> Result<GeneralizedRelation, ConstraintError> {
+    pub fn difference(
+        &self,
+        other: &GeneralizedRelation,
+    ) -> Result<GeneralizedRelation, ConstraintError> {
         assert_eq!(self.arity, other.arity, "relation arity mismatch");
         let formula = Formula::and(vec![self.to_formula(), Formula::not(other.to_formula())]);
         GeneralizedRelation::from_formula(self.arity, &formula)
@@ -182,7 +197,10 @@ impl GeneralizedRelation {
             })
             .filter(|t| !t.closure_is_empty())
             .collect();
-        GeneralizedRelation { arity: self.arity, tuples }
+        GeneralizedRelation {
+            arity: self.arity,
+            tuples,
+        }
     }
 
     /// Projection onto the listed coordinates (symbolic Fourier–Motzkin per
@@ -194,7 +212,10 @@ impl GeneralizedRelation {
             .map(|t| qe::project_tuple(t, keep))
             .filter(|t| !t.closure_is_empty())
             .collect();
-        GeneralizedRelation { arity: keep.len(), tuples }
+        GeneralizedRelation {
+            arity: keep.len(),
+            tuples,
+        }
     }
 
     /// Cartesian product with another relation (variables of `other` are
@@ -206,7 +227,10 @@ impl GeneralizedRelation {
                 tuples.push(a.product(b));
             }
         }
-        GeneralizedRelation { arity: self.arity + other.arity, tuples }
+        GeneralizedRelation {
+            arity: self.arity + other.arity,
+            tuples,
+        }
     }
 
     /// Drops tuples whose closure is empty or lower-dimensional (no
@@ -216,10 +240,18 @@ impl GeneralizedRelation {
         let tuples = self
             .tuples
             .iter()
-            .filter(|t| t.to_hpolytope().chebyshev_ball().map(|(_, r)| r > 1e-12).unwrap_or(false))
+            .filter(|t| {
+                t.to_hpolytope()
+                    .chebyshev_ball()
+                    .map(|(_, r)| r > 1e-12)
+                    .unwrap_or(false)
+            })
             .cloned()
             .collect();
-        GeneralizedRelation { arity: self.arity, tuples }
+        GeneralizedRelation {
+            arity: self.arity,
+            tuples,
+        }
     }
 }
 
@@ -285,7 +317,11 @@ mod tests {
         let far = GeneralizedRelation::from_box_f64(&[5.0, 5.0], &[6.0, 6.0]);
         let same = unit_square().difference(&far).unwrap();
         for p in [[0.1, 0.9], [0.5, 0.5], [1.5, 0.5]] {
-            assert_eq!(same.contains_f64(&p), unit_square().contains_f64(&p), "{p:?}");
+            assert_eq!(
+                same.contains_f64(&p),
+                unit_square().contains_f64(&p),
+                "{p:?}"
+            );
         }
     }
 
@@ -378,7 +414,10 @@ mod tests {
         segment.push(Atom::new(LinTerm::from_ints(&[1, 0], -5), CompOp::Eq));
         let r = GeneralizedRelation::from_tuples(
             2,
-            vec![GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]), segment],
+            vec![
+                GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+                segment,
+            ],
         );
         assert_eq!(r.tuples().len(), 2);
         assert_eq!(r.prune_degenerate().tuples().len(), 1);

@@ -14,12 +14,18 @@ pub struct LinTerm {
 impl LinTerm {
     /// The zero term in the given arity.
     pub fn zero(arity: usize) -> Self {
-        LinTerm { coeffs: vec![Rational::zero(); arity], constant: Rational::zero() }
+        LinTerm {
+            coeffs: vec![Rational::zero(); arity],
+            constant: Rational::zero(),
+        }
     }
 
     /// The constant term `c`.
     pub fn constant(arity: usize, c: Rational) -> Self {
-        LinTerm { coeffs: vec![Rational::zero(); arity], constant: c }
+        LinTerm {
+            coeffs: vec![Rational::zero(); arity],
+            constant: c,
+        }
     }
 
     /// The single variable `x_i`.
@@ -27,7 +33,10 @@ impl LinTerm {
         assert!(i < arity, "variable index out of range");
         let mut coeffs = vec![Rational::zero(); arity];
         coeffs[i] = Rational::one();
-        LinTerm { coeffs, constant: Rational::zero() }
+        LinTerm {
+            coeffs,
+            constant: Rational::zero(),
+        }
     }
 
     /// Builds a term from explicit coefficients and constant.
@@ -125,7 +134,10 @@ impl LinTerm {
     /// Substitutes `x_i := replacement` (a term of the same arity whose own
     /// coefficient on `x_i` must be zero) and returns the resulting term.
     pub fn substitute(&self, i: usize, replacement: &LinTerm) -> LinTerm {
-        assert!(replacement.coeff(i).is_zero(), "substitution must eliminate the variable");
+        assert!(
+            replacement.coeff(i).is_zero(),
+            "substitution must eliminate the variable"
+        );
         let ci = self.coeffs[i].clone();
         if ci.is_zero() {
             return self.clone();
@@ -147,18 +159,27 @@ impl LinTerm {
                 coeffs[target] = &coeffs[target] + c;
             }
         }
-        LinTerm { coeffs, constant: self.constant.clone() }
+        LinTerm {
+            coeffs,
+            constant: self.constant.clone(),
+        }
     }
 
     /// Restricts the term to the first `new_arity` variables. Returns `None`
     /// when the term has a non-zero coefficient on a dropped variable.
     pub fn restrict(&self, new_arity: usize) -> Option<LinTerm> {
-        if self.coeffs[new_arity.min(self.arity())..].iter().any(|c| !c.is_zero()) {
+        if self.coeffs[new_arity.min(self.arity())..]
+            .iter()
+            .any(|c| !c.is_zero())
+        {
             return None;
         }
         let mut coeffs = self.coeffs[..new_arity.min(self.arity())].to_vec();
         coeffs.resize(new_arity, Rational::zero());
-        Some(LinTerm { coeffs, constant: self.constant.clone() })
+        Some(LinTerm {
+            coeffs,
+            constant: self.constant.clone(),
+        })
     }
 
     /// Normalizes the term by clearing denominators and dividing by the gcd
@@ -175,7 +196,11 @@ impl LinTerm {
         let scaled = self.scale(&den_r);
         // Gcd of numerators.
         let mut g = BigUint::zero();
-        for c in scaled.coeffs.iter().chain(std::iter::once(&scaled.constant)) {
+        for c in scaled
+            .coeffs
+            .iter()
+            .chain(std::iter::once(&scaled.constant))
+        {
             g = cdb_num::gcd(&g, c.numer().magnitude());
         }
         if g.is_zero() || g.is_one() {
@@ -241,7 +266,10 @@ mod tests {
         assert_eq!(a.add(&b), LinTerm::from_ints(&[0, 3], 4));
         assert_eq!(a.sub(&b), LinTerm::from_ints(&[2, 1], 2));
         assert_eq!(a.neg(), LinTerm::from_ints(&[-1, -2], -3));
-        assert_eq!(a.scale(&r(1, 2)), LinTerm::new(vec![r(1, 2), r(1, 1)], r(3, 2)));
+        assert_eq!(
+            a.scale(&r(1, 2)),
+            LinTerm::new(vec![r(1, 2), r(1, 1)], r(3, 2))
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl GeneralizedTuple {
 
     /// The tuple with no constraints (the whole space).
     pub fn whole_space(arity: usize) -> Self {
-        GeneralizedTuple { arity, atoms: Vec::new() }
+        GeneralizedTuple {
+            arity,
+            atoms: Vec::new(),
+        }
     }
 
     /// A tuple describing the axis-aligned box `[lo_i, hi_i]`.
@@ -45,8 +48,14 @@ impl GeneralizedTuple {
     /// A tuple describing the box `[lo_i, hi_i]` with floating-point bounds
     /// (converted exactly to dyadic rationals).
     pub fn from_box_f64(lo: &[f64], hi: &[f64]) -> Self {
-        let lo_r: Vec<Rational> = lo.iter().map(|&v| Rational::from_f64(v).expect("finite bound")).collect();
-        let hi_r: Vec<Rational> = hi.iter().map(|&v| Rational::from_f64(v).expect("finite bound")).collect();
+        let lo_r: Vec<Rational> = lo
+            .iter()
+            .map(|&v| Rational::from_f64(v).expect("finite bound"))
+            .collect();
+        let hi_r: Vec<Rational> = hi
+            .iter()
+            .map(|&v| Rational::from_f64(v).expect("finite bound"))
+            .collect();
         GeneralizedTuple::from_box(&lo_r, &hi_r)
     }
 
@@ -82,7 +91,10 @@ impl GeneralizedTuple {
         assert_eq!(self.arity, other.arity, "tuple arity mismatch");
         let mut atoms = self.atoms.clone();
         atoms.extend(other.atoms.iter().cloned());
-        GeneralizedTuple { arity: self.arity, atoms }
+        GeneralizedTuple {
+            arity: self.arity,
+            atoms,
+        }
     }
 
     /// Cartesian product with a tuple over disjoint variables: the result has
@@ -91,7 +103,11 @@ impl GeneralizedTuple {
         let arity = self.arity + other.arity;
         let self_map: Vec<usize> = (0..self.arity).collect();
         let other_map: Vec<usize> = (self.arity..arity).collect();
-        let mut atoms: Vec<Atom> = self.atoms.iter().map(|a| a.remap(arity, &self_map)).collect();
+        let mut atoms: Vec<Atom> = self
+            .atoms
+            .iter()
+            .map(|a| a.remap(arity, &self_map))
+            .collect();
         atoms.extend(other.atoms.iter().map(|a| a.remap(arity, &other_map)));
         GeneralizedTuple { arity, atoms }
     }
@@ -100,7 +116,11 @@ impl GeneralizedTuple {
     pub fn remap(&self, new_arity: usize, mapping: &[usize]) -> GeneralizedTuple {
         GeneralizedTuple {
             arity: new_arity,
-            atoms: self.atoms.iter().map(|a| a.remap(new_arity, mapping)).collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| a.remap(new_arity, mapping))
+                .collect(),
         }
     }
 
@@ -219,7 +239,11 @@ mod tests {
         let sq = unit_square();
         let p = sq.to_hpolytope();
         for probe in [[0.5, 0.5], [-0.1, 0.5], [0.5, 1.1], [1.0, 1.0]] {
-            assert_eq!(p.contains_slice(&probe, 1e-9), sq.satisfied_f64(&probe, 1e-9), "{probe:?}");
+            assert_eq!(
+                p.contains_slice(&probe, 1e-9),
+                sq.satisfied_f64(&probe, 1e-9),
+                "{probe:?}"
+            );
         }
         assert!(sq.is_well_bounded());
         let whole = GeneralizedTuple::whole_space(2);

@@ -10,7 +10,12 @@ fn atom(arity: usize) -> impl Strategy<Value = Atom> {
     (
         proptest::collection::vec(-3i64..=3, arity),
         -4i64..=4,
-        prop_oneof![Just(CompOp::Le), Just(CompOp::Lt), Just(CompOp::Ge), Just(CompOp::Gt)],
+        prop_oneof![
+            Just(CompOp::Le),
+            Just(CompOp::Lt),
+            Just(CompOp::Ge),
+            Just(CompOp::Gt)
+        ],
     )
         .prop_map(move |(coeffs, c, op)| Atom::new(LinTerm::from_ints(&coeffs, c), op))
 }

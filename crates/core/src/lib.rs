@@ -68,7 +68,9 @@ impl std::fmt::Display for SpatialDbError {
         match self {
             SpatialDbError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
             SpatialDbError::NotObservable(e) => write!(f, "relation is not observable: {e}"),
-            SpatialDbError::GenerationFailed => write!(f, "the generator failed to produce a point"),
+            SpatialDbError::GenerationFailed => {
+                write!(f, "the generator failed to produce a point")
+            }
             SpatialDbError::Reconstruction(e) => write!(f, "query estimation failed: {e}"),
             SpatialDbError::Symbolic(e) => write!(f, "symbolic evaluation failed: {e}"),
         }
@@ -99,7 +101,12 @@ impl SpatialDatabase {
 
     /// Creates an empty database with explicit generator parameters.
     pub fn with_params(params: GeneratorParams) -> Self {
-        SpatialDatabase { database: Database::new(), params, eps: params.eps, delta: params.delta }
+        SpatialDatabase {
+            database: Database::new(),
+            params,
+            eps: params.eps,
+            delta: params.delta,
+        }
     }
 
     /// Inserts (or replaces) a relation.
@@ -132,9 +139,15 @@ impl SpatialDatabase {
     }
 
     /// Draws one almost-uniform point from the named relation.
-    pub fn approx_generate<R: Rng + ?Sized>(&self, name: &str, rng: &mut R) -> Result<Vec<f64>, SpatialDbError> {
+    pub fn approx_generate<R: Rng + ?Sized>(
+        &self,
+        name: &str,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, SpatialDbError> {
         let mut generator = self.union_generator(name)?;
-        generator.sample(rng).ok_or(SpatialDbError::GenerationFailed)
+        generator
+            .sample(rng)
+            .ok_or(SpatialDbError::GenerationFailed)
     }
 
     /// Draws `n` almost-uniform points from the named relation (failed draws
@@ -150,9 +163,15 @@ impl SpatialDatabase {
     }
 
     /// Estimates the volume of the named relation.
-    pub fn approx_volume<R: Rng + ?Sized>(&self, name: &str, rng: &mut R) -> Result<f64, SpatialDbError> {
+    pub fn approx_volume<R: Rng + ?Sized>(
+        &self,
+        name: &str,
+        rng: &mut R,
+    ) -> Result<f64, SpatialDbError> {
         let mut generator = self.union_generator(name)?;
-        generator.estimate_volume(rng).ok_or(SpatialDbError::GenerationFailed)
+        generator
+            .estimate_volume(rng)
+            .ok_or(SpatialDbError::GenerationFailed)
     }
 
     /// Estimates the result set of a positive existential query (free
@@ -171,8 +190,14 @@ impl SpatialDatabase {
 
     /// Evaluates a query exactly through the symbolic pipeline (resolution,
     /// Fourier–Motzkin, DNF) — the baseline the approximate path avoids.
-    pub fn evaluate_exact(&self, query: &Formula, output_arity: usize) -> Result<GeneralizedRelation, SpatialDbError> {
-        self.database.evaluate(query, output_arity).map_err(SpatialDbError::Symbolic)
+    pub fn evaluate_exact(
+        &self,
+        query: &Formula,
+        output_arity: usize,
+    ) -> Result<GeneralizedRelation, SpatialDbError> {
+        self.database
+            .evaluate(query, output_arity)
+            .map_err(SpatialDbError::Symbolic)
     }
 }
 
@@ -185,7 +210,10 @@ mod tests {
 
     fn sample_db() -> SpatialDatabase {
         let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
-        db.insert("R", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]));
+        db.insert(
+            "R",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+        );
         db.insert(
             "U",
             GeneralizedRelation::from_box_f64(&[0.0], &[1.0])
@@ -241,7 +269,10 @@ mod tests {
         use cdb_constraint::{Atom, GeneralizedTuple};
         db.insert(
             "Half",
-            GeneralizedRelation::from_tuple(GeneralizedTuple::new(1, vec![Atom::le_from_ints(&[1], 0)])),
+            GeneralizedRelation::from_tuple(GeneralizedTuple::new(
+                1,
+                vec![Atom::le_from_ints(&[1], 0)],
+            )),
         );
         let mut rng = StdRng::seed_from_u64(204);
         assert!(matches!(

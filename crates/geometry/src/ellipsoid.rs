@@ -26,7 +26,11 @@ impl Ellipsoid {
             return None;
         }
         let chol = shape.cholesky().ok()?;
-        Some(Ellipsoid { center, shape, chol })
+        Some(Ellipsoid {
+            center,
+            shape,
+            chol,
+        })
     }
 
     /// The ball of radius `r` centered at `center`.

@@ -64,7 +64,11 @@ impl GammaGrid {
     /// The grid point with the given integer coordinates.
     pub fn point_at(&self, idx: &[i64]) -> Vector {
         assert_eq!(idx.len(), self.dim);
-        Vector::from(idx.iter().map(|&i| i as f64 * self.step).collect::<Vec<_>>())
+        Vector::from(
+            idx.iter()
+                .map(|&i| i as f64 * self.step)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Returns `true` when `x` lies on the grid (up to a relative tolerance).

@@ -24,18 +24,27 @@ impl Halfspace {
 
     /// Creates the halfspace from slices.
     pub fn from_slice(normal: &[f64], offset: f64) -> Self {
-        Halfspace { normal: Vector::from(normal), offset }
+        Halfspace {
+            normal: Vector::from(normal),
+            offset,
+        }
     }
 
     /// The axis-aligned upper bound `x_i ≤ b` in dimension `dim`.
     pub fn upper_bound(dim: usize, coord: usize, b: f64) -> Self {
-        Halfspace { normal: Vector::basis(dim, coord), offset: b }
+        Halfspace {
+            normal: Vector::basis(dim, coord),
+            offset: b,
+        }
     }
 
     /// The axis-aligned lower bound `x_i ≥ b` in dimension `dim`
     /// (stored as `−x_i ≤ −b`).
     pub fn lower_bound(dim: usize, coord: usize, b: f64) -> Self {
-        Halfspace { normal: -&Vector::basis(dim, coord), offset: -b }
+        Halfspace {
+            normal: -&Vector::basis(dim, coord),
+            offset: -b,
+        }
     }
 
     /// The outward normal `a`.
@@ -86,18 +95,27 @@ impl Halfspace {
         if n < 1e-300 {
             None
         } else {
-            Some(Halfspace { normal: self.normal.scale(1.0 / n), offset: self.offset / n })
+            Some(Halfspace {
+                normal: self.normal.scale(1.0 / n),
+                offset: self.offset / n,
+            })
         }
     }
 
     /// The complementary halfspace `normal·x ≥ offset`, i.e. `−normal·x ≤ −offset`.
     pub fn complement(&self) -> Halfspace {
-        Halfspace { normal: -&self.normal, offset: -self.offset }
+        Halfspace {
+            normal: -&self.normal,
+            offset: -self.offset,
+        }
     }
 
     /// Translates the halfspace by `t` (the set moves by `t`).
     pub fn translate(&self, t: &Vector) -> Halfspace {
-        Halfspace { normal: self.normal.clone(), offset: self.offset + self.normal.dot(t) }
+        Halfspace {
+            normal: self.normal.clone(),
+            offset: self.offset + self.normal.dot(t),
+        }
     }
 }
 
@@ -143,7 +161,9 @@ mod tests {
         let c = h.complement();
         let inside = Vector::from(vec![-1.0]);
         let outside = Vector::from(vec![1.0]);
-        assert!(h.contains(&inside, 0.0) && !h.contains(&outside, 1e-9) == c.contains(&outside, 0.0));
+        assert!(
+            h.contains(&inside, 0.0) && !h.contains(&outside, 1e-9) == c.contains(&outside, 0.0)
+        );
     }
 
     #[test]

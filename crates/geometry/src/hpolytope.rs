@@ -46,7 +46,10 @@ impl HPolytope {
 
     /// The whole space `R^dim`.
     pub fn whole_space(dim: usize) -> Self {
-        HPolytope { dim, halfspaces: Vec::new() }
+        HPolytope {
+            dim,
+            halfspaces: Vec::new(),
+        }
     }
 
     /// The axis-aligned box `[lo_i, hi_i]` in each coordinate.
@@ -58,7 +61,10 @@ impl HPolytope {
             hs.push(Halfspace::upper_bound(dim, i, hi[i]));
             hs.push(Halfspace::lower_bound(dim, i, lo[i]));
         }
-        HPolytope { dim, halfspaces: hs }
+        HPolytope {
+            dim,
+            halfspaces: hs,
+        }
     }
 
     /// The hypercube `[-half, half]^dim`.
@@ -73,7 +79,10 @@ impl HPolytope {
             hs.push(Halfspace::lower_bound(dim, i, 0.0));
         }
         hs.push(Halfspace::from_slice(&vec![1.0; dim], 1.0));
-        HPolytope { dim, halfspaces: hs }
+        HPolytope {
+            dim,
+            halfspaces: hs,
+        }
     }
 
     /// The cross-polytope `{ Σ |x_i| ≤ r }` (2^dim facets — keep `dim` small).
@@ -85,7 +94,10 @@ impl HPolytope {
                 .collect();
             hs.push(Halfspace::from_slice(&normal, r));
         }
-        HPolytope { dim, halfspaces: hs }
+        HPolytope {
+            dim,
+            halfspaces: hs,
+        }
     }
 
     /// Ambient dimension.
@@ -124,7 +136,10 @@ impl HPolytope {
         assert_eq!(self.dim, other.dim, "intersection dimension mismatch");
         let mut hs = self.halfspaces.clone();
         hs.extend(other.halfspaces.iter().cloned());
-        HPolytope { dim: self.dim, halfspaces: hs }
+        HPolytope {
+            dim: self.dim,
+            halfspaces: hs,
+        }
     }
 
     /// Translates the polytope by `t`.
@@ -146,11 +161,16 @@ impl HPolytope {
             .map(|h| {
                 // a·x ≤ b with x = M⁻¹(y − t)  ⇒  (M⁻ᵀ a)·y ≤ b + a·M⁻¹ t.
                 let new_normal = inv.linear().transpose().mul_vector(h.normal());
-                let shift = h.normal().dot(&inv.linear().mul_vector(map.translation_part()));
+                let shift = h
+                    .normal()
+                    .dot(&inv.linear().mul_vector(map.translation_part()));
                 Halfspace::new(new_normal, h.offset() + shift)
             })
             .collect();
-        HPolytope { dim: self.dim, halfspaces }
+        HPolytope {
+            dim: self.dim,
+            halfspaces,
+        }
     }
 
     /// Builds an LP over this polytope's constraints.
@@ -252,7 +272,11 @@ impl HPolytope {
             let extent = (hi[j] - center[j]).abs().max((center[j] - lo[j]).abs());
             r_sup += extent * extent;
         }
-        Some(WellBounded { center, r_inf, r_sup: r_sup.sqrt() })
+        Some(WellBounded {
+            center,
+            r_inf,
+            r_sup: r_sup.sqrt(),
+        })
     }
 
     /// Enumerates the vertices of a bounded polytope by intersecting every
@@ -328,7 +352,10 @@ impl HPolytope {
             // keep one to preserve the set.
             kept.push(self.halfspaces[0].clone());
         }
-        HPolytope { dim: self.dim, halfspaces: kept }
+        HPolytope {
+            dim: self.dim,
+            halfspaces: kept,
+        }
     }
 }
 

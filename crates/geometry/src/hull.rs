@@ -13,7 +13,7 @@
 
 use cdb_linalg::{Matrix, Vector};
 
-use crate::{Halfspace, HPolytope};
+use crate::{HPolytope, Halfspace};
 
 /// Tolerance for hull predicates, relative to the point cloud's scale.
 const HULL_EPS: f64 = 1e-7;
@@ -23,12 +23,18 @@ const HULL_EPS: f64 = 1e-7;
 /// degenerates to the two extreme points; fewer than three distinct points
 /// are returned as-is.
 pub fn hull_2d(points: &[Vector]) -> Vec<Vector> {
-    assert!(points.iter().all(|p| p.dim() == 2), "hull_2d expects planar points");
+    assert!(
+        points.iter().all(|p| p.dim() == 2),
+        "hull_2d expects planar points"
+    );
     let mut pts: Vec<(f64, f64)> = points.iter().map(|p| (p[0], p[1])).collect();
     pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
     pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12);
     if pts.len() < 3 {
-        return pts.into_iter().map(|(x, y)| Vector::from(vec![x, y])).collect();
+        return pts
+            .into_iter()
+            .map(|(x, y)| Vector::from(vec![x, y]))
+            .collect();
     }
     let cross = |o: (f64, f64), a: (f64, f64), b: (f64, f64)| {
         (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
@@ -50,7 +56,10 @@ pub fn hull_2d(points: &[Vector]) -> Vec<Vector> {
     lower.pop();
     upper.pop();
     lower.extend(upper);
-    lower.into_iter().map(|(x, y)| Vector::from(vec![x, y])).collect()
+    lower
+        .into_iter()
+        .map(|(x, y)| Vector::from(vec![x, y]))
+        .collect()
 }
 
 /// Area of a simple polygon given by its vertices in order (shoelace formula).
@@ -83,7 +92,11 @@ pub struct Facet {
 /// (each of length `d`), computed by cofactor expansion.
 fn generalized_cross(rows: &[Vector]) -> Vector {
     let d = rows[0].dim();
-    assert_eq!(rows.len(), d - 1, "need d-1 rows for a generalized cross product");
+    assert_eq!(
+        rows.len(),
+        d - 1,
+        "need d-1 rows for a generalized cross product"
+    );
     let mut normal = Vector::zeros(d);
     for j in 0..d {
         // Minor: remove column j.
@@ -91,7 +104,11 @@ fn generalized_cross(rows: &[Vector]) -> Vector {
             .iter()
             .map(|r| (0..d).filter(|&k| k != j).map(|k| r[k]).collect())
             .collect();
-        let det = if d == 1 { 1.0 } else { Matrix::from_rows(&minor_rows).determinant() };
+        let det = if d == 1 {
+            1.0
+        } else {
+            Matrix::from_rows(&minor_rows).determinant()
+        };
         normal[j] = if j % 2 == 0 { det } else { -det };
     }
     normal
@@ -154,7 +171,11 @@ pub fn facets_of_points(points: &[Vector]) -> Vec<Facet> {
                         .filter(|(_, p)| (normal.dot(p) - offset).abs() <= tol)
                         .map(|(i, _)| i)
                         .collect();
-                    facets.push(Facet { normal, offset, on_facet });
+                    facets.push(Facet {
+                        normal,
+                        offset,
+                        on_facet,
+                    });
                 }
             }
         }
@@ -186,7 +207,10 @@ pub fn hull_to_hpolytope(points: &[Vector]) -> Option<HPolytope> {
     let d = points[0].dim();
     if d == 1 {
         let lo = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
-        let hi = points.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max);
+        let hi = points
+            .iter()
+            .map(|p| p[0])
+            .fold(f64::NEG_INFINITY, f64::max);
         if hi - lo <= 0.0 {
             return None;
         }
@@ -247,7 +271,10 @@ pub fn convex_hull_volume(points: &[Vector]) -> f64 {
         0 => 0.0,
         1 => {
             let lo = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
-            let hi = points.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max);
+            let hi = points
+                .iter()
+                .map(|p| p[0])
+                .fold(f64::NEG_INFINITY, f64::max);
             (hi - lo).max(0.0)
         }
         2 => polygon_area(&hull_2d(points)),
@@ -324,7 +351,13 @@ mod tests {
 
     #[test]
     fn facets_of_square() {
-        let pts = vec![v2(0.0, 0.0), v2(1.0, 0.0), v2(1.0, 1.0), v2(0.0, 1.0), v2(0.4, 0.6)];
+        let pts = vec![
+            v2(0.0, 0.0),
+            v2(1.0, 0.0),
+            v2(1.0, 1.0),
+            v2(0.0, 1.0),
+            v2(0.4, 0.6),
+        ];
         let facets = facets_of_points(&pts);
         assert_eq!(facets.len(), 4);
         for f in &facets {
@@ -395,7 +428,13 @@ mod tests {
 
     #[test]
     fn hull_to_hpolytope_roundtrip() {
-        let pts = vec![v2(0.0, 0.0), v2(2.0, 0.0), v2(2.0, 1.0), v2(0.0, 1.0), v2(1.0, 0.5)];
+        let pts = vec![
+            v2(0.0, 0.0),
+            v2(2.0, 0.0),
+            v2(2.0, 1.0),
+            v2(0.0, 1.0),
+            v2(1.0, 0.5),
+        ];
         let poly = hull_to_hpolytope(&pts).unwrap();
         assert!(poly.contains_slice(&[1.0, 0.5], 1e-9));
         assert!(poly.contains_slice(&[1.9, 0.9], 1e-6));
@@ -405,7 +444,11 @@ mod tests {
 
     #[test]
     fn hull_to_hpolytope_1d() {
-        let pts = vec![Vector::from(vec![3.0]), Vector::from(vec![-1.0]), Vector::from(vec![2.0])];
+        let pts = vec![
+            Vector::from(vec![3.0]),
+            Vector::from(vec![-1.0]),
+            Vector::from(vec![2.0]),
+        ];
         let poly = hull_to_hpolytope(&pts).unwrap();
         assert!(poly.contains_slice(&[0.0], 0.0));
         assert!(!poly.contains_slice(&[3.5], 1e-9));

@@ -1,7 +1,7 @@
 //! Property-based tests for the geometric layer.
 
-use cdb_geometry::{volume, HPolytope};
 use cdb_geometry::hull::{convex_hull_volume, hull_2d, polygon_area};
+use cdb_geometry::{volume, HPolytope};
 use cdb_linalg::Vector;
 use proptest::prelude::*;
 

@@ -30,11 +30,19 @@ impl AffineMap {
     /// Builds the map `x ↦ A x + b`; fails when `A` is singular.
     pub fn new(a: Matrix, b: Vector) -> Result<Self, LinalgError> {
         if a.rows() != b.dim() {
-            return Err(LinalgError::DimensionMismatch { expected: a.rows(), found: b.dim() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: a.rows(),
+                found: b.dim(),
+            });
         }
         let inverse = a.inverse()?;
         let det_abs = a.determinant().abs();
-        Ok(AffineMap { forward: a, inverse, offset: b, det_abs })
+        Ok(AffineMap {
+            forward: a,
+            inverse,
+            offset: b,
+            det_abs,
+        })
     }
 
     /// A pure translation.
@@ -165,7 +173,8 @@ mod tests {
 
     #[test]
     fn inverted_map() {
-        let m = AffineMap::scaling(2, 4.0).compose(&AffineMap::translation(Vector::from(vec![1.0, 2.0])));
+        let m = AffineMap::scaling(2, 4.0)
+            .compose(&AffineMap::translation(Vector::from(vec![1.0, 2.0])));
         let inv = m.inverted();
         let v = Vector::from(vec![-0.2, 0.8]);
         let w = inv.apply(&m.apply(&v));

@@ -16,7 +16,10 @@ impl Cholesky {
     /// Factorizes a symmetric positive definite matrix.
     pub fn new(a: &Matrix) -> Result<Cholesky, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::DimensionMismatch { expected: a.rows(), found: a.cols() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: a.rows(),
+                found: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -59,7 +62,10 @@ impl Cholesky {
     pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
         let n = self.l.rows();
         if b.dim() != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, found: b.dim() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.dim(),
+            });
         }
         // Forward substitution L y = b.
         let mut y = Vector::zeros(n);
@@ -92,7 +98,10 @@ impl Cholesky {
     pub fn apply_inverse(&self, v: &Vector) -> Result<Vector, LinalgError> {
         let n = self.l.rows();
         if v.dim() != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, found: v.dim() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: v.dim(),
+            });
         }
         let mut y = Vector::zeros(n);
         for i in 0..n {
@@ -147,7 +156,10 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite)));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
         let b = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0]]);
         assert!(Cholesky::new(&b).is_err());
     }

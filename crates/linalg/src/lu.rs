@@ -19,7 +19,10 @@ impl Lu {
     /// Factorizes a square matrix.
     pub fn new(a: &Matrix) -> Result<Lu, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::DimensionMismatch { expected: a.rows(), found: a.cols() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: a.rows(),
+                found: a.cols(),
+            });
         }
         let n = a.rows();
         let mut m = a.clone();
@@ -60,7 +63,12 @@ impl Lu {
             }
         }
 
-        Ok(Lu { packed: m, perm, sign, singular })
+        Ok(Lu {
+            packed: m,
+            perm,
+            sign,
+            singular,
+        })
     }
 
     /// Returns `true` when a zero pivot was encountered.
@@ -99,7 +107,10 @@ impl Lu {
         }
         let n = self.packed.rows();
         if b.dim() != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, found: b.dim() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.dim(),
+            });
         }
         // Forward substitution on the permuted right-hand side.
         let mut y = Vector::zeros(n);

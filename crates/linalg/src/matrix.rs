@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -46,7 +50,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -252,7 +260,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -264,7 +277,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -296,7 +314,10 @@ mod tests {
         let v = Vector::from(vec![1.0, 2.0, 3.0]);
         assert_eq!(id.mul_vector(&v).as_slice(), v.as_slice());
         let d = Matrix::diagonal(&[2.0, 3.0]);
-        assert_eq!(d.mul_vector(&Vector::from(vec![1.0, 1.0])).as_slice(), &[2.0, 3.0]);
+        assert_eq!(
+            d.mul_vector(&Vector::from(vec![1.0, 1.0])).as_slice(),
+            &[2.0, 3.0]
+        );
     }
 
     #[test]
@@ -313,7 +334,11 @@ mod tests {
 
     #[test]
     fn solve_and_inverse() {
-        let a = Matrix::from_rows(&[vec![2.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 4.0]]);
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]);
         let b = Vector::from(vec![1.0, 2.0, 3.0]);
         let x = a.solve(&b).unwrap();
         let back = a.mul_vector(&x);

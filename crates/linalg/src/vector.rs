@@ -12,12 +12,16 @@ pub struct Vector {
 impl Vector {
     /// Creates a zero vector of the given dimension.
     pub fn zeros(dim: usize) -> Self {
-        Vector { data: vec![0.0; dim] }
+        Vector {
+            data: vec![0.0; dim],
+        }
     }
 
     /// Creates a vector with all entries equal to `value`.
     pub fn filled(dim: usize, value: f64) -> Self {
-        Vector { data: vec![value; dim] }
+        Vector {
+            data: vec![value; dim],
+        }
     }
 
     /// Creates the `i`-th standard basis vector in dimension `dim`.
@@ -86,7 +90,9 @@ impl Vector {
 
     /// Scales the vector by a scalar, returning a new vector.
     pub fn scale(&self, s: f64) -> Vector {
-        Vector { data: self.data.iter().map(|v| v * s).collect() }
+        Vector {
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
     }
 
     /// Returns the unit vector in the same direction; `None` for (near) zero
@@ -116,7 +122,9 @@ impl Vector {
     /// Projection of the vector onto the coordinates listed in `coords`
     /// (in the given order).
     pub fn project(&self, coords: &[usize]) -> Vector {
-        Vector { data: coords.iter().map(|&i| self.data[i]).collect() }
+        Vector {
+            data: coords.iter().map(|&i| self.data[i]).collect(),
+        }
     }
 
     /// Returns `true` if all components are finite.
@@ -133,7 +141,9 @@ impl From<Vec<f64>> for Vector {
 
 impl From<&[f64]> for Vector {
     fn from(data: &[f64]) -> Self {
-        Vector { data: data.to_vec() }
+        Vector {
+            data: data.to_vec(),
+        }
     }
 }
 
@@ -154,7 +164,14 @@ impl Add for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.dim(), rhs.dim());
-        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect() }
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
     }
 }
 
@@ -162,7 +179,14 @@ impl Sub for &Vector {
     type Output = Vector;
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.dim(), rhs.dim());
-        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect() }
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
     }
 }
 

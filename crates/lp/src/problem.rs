@@ -107,7 +107,11 @@ impl<T: LpScalar> LpProblem<T> {
     pub fn solve(&self) -> LpOutcome<T> {
         let n = self.n_vars;
         let m = self.rows.len();
-        let n_slack = self.rows.iter().filter(|r| r.2 == ConstraintKind::Le).count();
+        let n_slack = self
+            .rows
+            .iter()
+            .filter(|r| r.2 == ConstraintKind::Le)
+            .count();
         let n_std = 2 * n + n_slack;
 
         let mut a_std: Vec<Vec<T>> = Vec::with_capacity(m);
@@ -154,7 +158,10 @@ impl<T: LpScalar> LpProblem<T> {
                 for j in 0..n {
                     x.push(point[j].sub(&point[n + j]));
                 }
-                LpOutcome::Optimal { point: x, value: value.neg() }
+                LpOutcome::Optimal {
+                    point: x,
+                    value: value.neg(),
+                }
             }
             SimplexOutcome::Infeasible => LpOutcome::Infeasible,
             SimplexOutcome::Unbounded => LpOutcome::Unbounded,
@@ -185,7 +192,10 @@ impl<T: LpScalar> LpProblem<T> {
     pub fn minimize(&self, c: Vec<T>) -> LpOutcome<T> {
         let neg: Vec<T> = c.iter().map(|v| v.neg()).collect();
         match self.maximize(neg) {
-            LpOutcome::Optimal { point, value } => LpOutcome::Optimal { point, value: value.neg() },
+            LpOutcome::Optimal { point, value } => LpOutcome::Optimal {
+                point,
+                value: value.neg(),
+            },
             other => other,
         }
     }

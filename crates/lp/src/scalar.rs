@@ -140,7 +140,10 @@ mod tests {
         assert!(!tiny.is_zero_tol());
         assert!(tiny.is_positive_tol());
         assert!(Rational::zero().is_zero_tol());
-        assert_eq!(LpScalar::abs(&Rational::from_ratio(-2, 3)), Rational::from_ratio(2, 3));
+        assert_eq!(
+            LpScalar::abs(&Rational::from_ratio(-2, 3)),
+            Rational::from_ratio(2, 3)
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl<T: LpScalar> SimplexSolver<T> {
             if c.iter().any(|cj| cj.is_negative_tol()) {
                 return SimplexOutcome::Unbounded;
             }
-            return SimplexOutcome::Optimal { point: vec![T::zero(); n], value: T::zero() };
+            return SimplexOutcome::Optimal {
+                point: vec![T::zero(); n],
+                value: T::zero(),
+            };
         }
 
         // Build the phase-1 tableau with one artificial variable per row.
@@ -263,10 +266,7 @@ mod tests {
     #[test]
     fn simple_standard_form() {
         // min -x1 - 2 x2 s.t. x1 + x2 + s1 = 4, x1 + s2 = 3, x >= 0.
-        let a = vec![
-            vec![1.0, 1.0, 1.0, 0.0],
-            vec![1.0, 0.0, 0.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, 0.0, 0.0, 1.0]];
         let b = vec![4.0, 3.0];
         let c = vec![-1.0, -2.0, 0.0, 0.0];
         match SimplexSolver::solve_standard(&a, &b, &c, 100) {

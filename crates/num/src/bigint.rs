@@ -47,17 +47,26 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
     }
 
     /// The value `-1`.
     pub fn neg_one() -> Self {
-        BigInt { sign: Sign::Negative, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Negative,
+            mag: BigUint::one(),
+        }
     }
 
     /// Builds a value from a sign and magnitude (normalizing zero).
@@ -103,7 +112,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt::from_sign_mag(
-            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             self.mag.clone(),
         )
     }
@@ -161,8 +174,16 @@ impl BigInt {
     pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
         assert!(!rhs.is_zero(), "division by zero");
         let (q_mag, r_mag) = self.mag.div_rem(&rhs.mag);
-        let q_sign = if q_mag.is_zero() { Sign::Zero } else { self.sign.mul(rhs.sign) };
-        let r_sign = if r_mag.is_zero() { Sign::Zero } else { self.sign };
+        let q_sign = if q_mag.is_zero() {
+            Sign::Zero
+        } else {
+            self.sign.mul(rhs.sign)
+        };
+        let r_sign = if r_mag.is_zero() {
+            Sign::Zero
+        } else {
+            self.sign
+        };
         (
             BigInt::from_sign_mag(q_sign, q_mag),
             BigInt::from_sign_mag(r_sign, r_mag),
@@ -172,7 +193,14 @@ impl BigInt {
     /// Greatest common divisor, always non-negative.
     pub fn gcd(&self, other: &BigInt) -> BigInt {
         let g = self.mag.gcd(&other.mag);
-        BigInt::from_sign_mag(if g.is_zero() { Sign::Zero } else { Sign::Positive }, g)
+        BigInt::from_sign_mag(
+            if g.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
+            g,
+        )
     }
 
     /// Raises this value to a small power.
@@ -211,9 +239,10 @@ impl From<i64> for BigInt {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
             Ordering::Greater => BigInt::from_sign_mag(Sign::Positive, BigUint::from(v as u64)),
-            Ordering::Less => {
-                BigInt::from_sign_mag(Sign::Negative, BigUint::from((v as i128).unsigned_abs() as u64))
-            }
+            Ordering::Less => BigInt::from_sign_mag(
+                Sign::Negative,
+                BigUint::from((v as i128).unsigned_abs() as u64),
+            ),
         }
     }
 }
@@ -239,7 +268,9 @@ impl From<i128> for BigInt {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
             Ordering::Greater => BigInt::from_sign_mag(Sign::Positive, BigUint::from(v as u128)),
-            Ordering::Less => BigInt::from_sign_mag(Sign::Negative, BigUint::from(v.unsigned_abs())),
+            Ordering::Less => {
+                BigInt::from_sign_mag(Sign::Negative, BigUint::from(v.unsigned_abs()))
+            }
         }
     }
 }
@@ -277,14 +308,20 @@ impl PartialOrd for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.neg(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.neg(),
+            mag: self.mag.clone(),
+        }
     }
 }
 
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.neg(), mag: self.mag }
+        BigInt {
+            sign: self.sign.neg(),
+            mag: self.mag,
+        }
     }
 }
 

@@ -145,7 +145,11 @@ impl BigUint {
         let mut borrow = 0u64;
         for i in 0..self.limbs.len() {
             let a = self.limbs[i];
-            let b = if i < other.limbs.len() { other.limbs[i] } else { 0 };
+            let b = if i < other.limbs.len() {
+                other.limbs[i]
+            } else {
+                0
+            };
             let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
@@ -523,7 +527,9 @@ mod tests {
 
     #[test]
     fn division_multi_limb() {
-        let a = BigUint::from(u128::MAX).mul_mag(&BigUint::from(u64::MAX)).add_mag(&BigUint::from(12345u64));
+        let a = BigUint::from(u128::MAX)
+            .mul_mag(&BigUint::from(u64::MAX))
+            .add_mag(&BigUint::from(12345u64));
         let b = BigUint::from(u128::MAX / 7);
         let (q, r) = a.div_rem(&b);
         assert_eq!(q.mul_mag(&b).add_mag(&r), a);
@@ -557,7 +563,13 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        let cases = ["0", "1", "18446744073709551616", "340282366920938463463374607431768211455", "999999999999999999999999999999999999"];
+        let cases = [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211455",
+            "999999999999999999999999999999999999",
+        ];
         for c in cases {
             let v = BigUint::from_decimal(c).unwrap();
             assert_eq!(v.to_string(), c);

@@ -18,12 +18,18 @@ pub struct Rational {
 impl Rational {
     /// The value `0`.
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Builds `num / den`, reducing to lowest terms. Panics if `den == 0`.
@@ -53,7 +59,10 @@ impl Rational {
 
     /// Builds a rational equal to an integer.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 
     /// Builds the closest dyadic rational to an `f64` (exact conversion of
@@ -120,7 +129,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse. Panics on zero.
@@ -142,8 +154,16 @@ impl Rational {
         let db = self.den.magnitude().bits() as i64;
         // Bring both operands below 2^900 to avoid infinities, preserving the ratio.
         let shift = (nb.max(db) - 900).max(0) as u64;
-        let n = if shift > 0 { self.num.magnitude().shr_bits(shift) } else { self.num.magnitude().clone() };
-        let d = if shift > 0 { self.den.magnitude().shr_bits(shift) } else { self.den.magnitude().clone() };
+        let n = if shift > 0 {
+            self.num.magnitude().shr_bits(shift)
+        } else {
+            self.num.magnitude().clone()
+        };
+        let d = if shift > 0 {
+            self.den.magnitude().shr_bits(shift)
+        } else {
+            self.den.magnitude().clone()
+        };
         let mut v = n.to_f64() / d.to_f64();
         if self.num.is_negative() {
             v = -v;
@@ -186,12 +206,20 @@ impl Rational {
 
     /// Minimum of two rationals.
     pub fn min(self, other: Rational) -> Rational {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Maximum of two rationals.
     pub fn max(self, other: Rational) -> Rational {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Parses `"a"`, `"-a"`, `"a/b"` or `"-a/b"` decimal forms.
@@ -214,7 +242,10 @@ impl Rational {
                     let den = BigInt::from(10i64).pow(frac_part.len() as u32);
                     Some(Rational::new(num, den))
                 } else {
-                    Some(Rational { num: BigInt::from_decimal(s.trim())?, den: BigInt::one() })
+                    Some(Rational {
+                        num: BigInt::from_decimal(s.trim())?,
+                        den: BigInt::one(),
+                    })
                 }
             }
         }
@@ -248,7 +279,10 @@ impl From<i32> for Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -268,14 +302,20 @@ impl PartialOrd for Rational {
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use cdb_constraint::GeneralizedTuple;
 use cdb_geometry::hull::hull_to_hpolytope;
 use cdb_geometry::HPolytope;
 use cdb_linalg::Vector;
-use cdb_sampler::{DfkSampler, GeneratorParams, ConvexBody};
+use cdb_sampler::{ConvexBody, DfkSampler, GeneratorParams};
 
 /// Errors produced by the reconstruction layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,8 +35,13 @@ impl std::fmt::Display for ReconstructionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReconstructionError::NotObservable => write!(f, "relation is not observable"),
-            ReconstructionError::DegenerateSamples => write!(f, "sampled points are affinely degenerate"),
-            ReconstructionError::NotEnoughSamples { requested, produced } => {
+            ReconstructionError::DegenerateSamples => {
+                write!(f, "sampled points are affinely degenerate")
+            }
+            ReconstructionError::NotEnoughSamples {
+                requested,
+                produced,
+            } => {
                 write!(f, "only {produced} of {requested} samples were produced")
             }
             ReconstructionError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
@@ -46,6 +51,22 @@ impl std::fmt::Display for ReconstructionError {
 }
 
 impl std::error::Error for ReconstructionError {}
+
+/// Ceiling applied when the Lemma 4.1 bound is used as an implicit default.
+///
+/// The raw bound easily reaches tens of thousands of samples for modest
+/// `(ε, δ)`, and every sample behind a projection generator costs `Θ(1/γ)`
+/// rejection rounds of random walks — minutes of wall clock for a quality gain
+/// the hull cannot realize in low dimension. Callers that want the full
+/// theoretical count pass `n_samples` explicitly.
+pub const DEFAULT_SAMPLE_CAP: usize = 2_000;
+
+/// The sample count used when the caller does not pass one explicitly: the
+/// Lemma 4.1 bound with `r = 2^dim` vertices, limited by
+/// [`DEFAULT_SAMPLE_CAP`].
+pub fn default_hull_sample_size(dim: usize, eps: f64, delta: f64) -> usize {
+    hull_sample_size(1 << dim.min(16), dim, eps, delta).min(DEFAULT_SAMPLE_CAP)
+}
 
 /// The sample size of Lemma 4.1: with
 /// `N = O(4 r² d² / (ε⁴ d^{2d−2}) · ln(1/δ))` uniform samples, the convex
@@ -90,7 +111,7 @@ impl ConvexReconstructor {
         let body = ConvexBody::from_tuple(tuple).ok_or(ReconstructionError::NotObservable)?;
         let sampler = DfkSampler::new(body, self.params, rng);
         let d = tuple.arity();
-        let n = n_samples.unwrap_or_else(|| hull_sample_size(1 << d.min(16), d, self.eps, self.delta));
+        let n = n_samples.unwrap_or_else(|| default_hull_sample_size(d, self.eps, self.delta));
         self.hull_of_samples(&sampler.sample_many(n, rng), n)
     }
 

@@ -22,5 +22,8 @@
 mod convex;
 mod query;
 
-pub use convex::{hull_sample_size, ConvexReconstructor, ReconstructionError};
+pub use convex::{
+    default_hull_sample_size, hull_sample_size, ConvexReconstructor, ReconstructionError,
+    DEFAULT_SAMPLE_CAP,
+};
 pub use query::{PositiveQueryEstimator, ProjectionQueryEstimator};

@@ -3,14 +3,16 @@
 
 use rand::Rng;
 
-use cdb_constraint::{Atom, CompOp, Database, Formula, GeneralizedRelation, GeneralizedTuple, LinTerm};
+use cdb_constraint::{
+    Atom, CompOp, Database, Formula, GeneralizedRelation, GeneralizedTuple, LinTerm,
+};
 use cdb_geometry::hull::hull_to_hpolytope;
 use cdb_geometry::HPolytope;
 use cdb_linalg::Vector;
 use cdb_num::Rational;
 use cdb_sampler::{GeneratorParams, ProjectionGenerator, RelationGenerator};
 
-use crate::convex::{hull_sample_size, ReconstructionError};
+use crate::convex::{default_hull_sample_size, ReconstructionError};
 
 /// Converts a reconstructed hull polytope back into a generalized tuple so
 /// the result can be fed back into the constraint layer.
@@ -65,10 +67,13 @@ impl ProjectionQueryEstimator {
         let mut generator = ProjectionGenerator::new(tuple, keep, self.params, rng)
             .map_err(|e| ReconstructionError::UnsupportedQuery(e.to_string()))?;
         let e = keep.len();
-        let n = n_samples.unwrap_or_else(|| hull_sample_size(1 << e.min(16), e, self.eps, self.delta));
+        let n = n_samples.unwrap_or_else(|| default_hull_sample_size(e, self.eps, self.delta));
         let samples = generator.sample_many(n, rng);
         if samples.len() < e + 1 || samples.len() * 2 < n {
-            return Err(ReconstructionError::NotEnoughSamples { requested: n, produced: samples.len() });
+            return Err(ReconstructionError::NotEnoughSamples {
+                requested: n,
+                produced: samples.len(),
+            });
         }
         let points: Vec<Vector> = samples.iter().map(|p| Vector::from(p.as_slice())).collect();
         hull_to_hpolytope(&points).ok_or(ReconstructionError::DegenerateSamples)
@@ -105,12 +110,27 @@ pub struct PositiveQueryEstimator {
     params: GeneratorParams,
     eps: f64,
     delta: f64,
+    samples_per_piece: Option<usize>,
 }
 
 impl PositiveQueryEstimator {
     /// Creates the estimator.
     pub fn new(params: GeneratorParams, eps: f64, delta: f64) -> Self {
-        PositiveQueryEstimator { params, eps, delta }
+        PositiveQueryEstimator {
+            params,
+            eps,
+            delta,
+            samples_per_piece: None,
+        }
+    }
+
+    /// Overrides the number of samples drawn per convex piece (by default the
+    /// Lemma 4.1 bound capped by
+    /// [`crate::DEFAULT_SAMPLE_CAP`]). Use this to pay for the full
+    /// theoretical sample count when the default cap is too coarse.
+    pub fn with_samples_per_piece(mut self, n: usize) -> Self {
+        self.samples_per_piece = Some(n);
+        self
     }
 
     /// Splits a positive existential query into its `∨`-blocks.
@@ -136,11 +156,17 @@ impl PositiveQueryEstimator {
                         for b in inner {
                             let mut exists = vars.clone();
                             exists.extend(b.exists);
-                            out.push(Block { exists, body: b.body });
+                            out.push(Block {
+                                exists,
+                                body: b.body,
+                            });
                         }
                         return Ok(());
                     }
-                    out.push(Block { exists: vars.clone(), body: (**body).clone() });
+                    out.push(Block {
+                        exists: vars.clone(),
+                        body: (**body).clone(),
+                    });
                     Ok(())
                 }
                 other => {
@@ -149,7 +175,10 @@ impl PositiveQueryEstimator {
                             "quantifiers may only appear at the top of each disjunct".into(),
                         ));
                     }
-                    out.push(Block { exists: Vec::new(), body: other.clone() });
+                    out.push(Block {
+                        exists: Vec::new(),
+                        body: other.clone(),
+                    });
                     Ok(())
                 }
             }
@@ -170,7 +199,9 @@ impl PositiveQueryEstimator {
     ) -> Result<GeneralizedRelation, ReconstructionError> {
         let blocks = Self::decompose(query)?;
         let mut result_tuples: Vec<GeneralizedTuple> = Vec::new();
-        let n = hull_sample_size(1 << output_arity.min(16), output_arity, self.eps, self.delta);
+        let n = self
+            .samples_per_piece
+            .unwrap_or_else(|| default_hull_sample_size(output_arity, self.eps, self.delta));
 
         for block in blocks {
             // Resolve relation atoms symbolically (cheap: no quantifier
@@ -207,13 +238,17 @@ impl PositiveQueryEstimator {
                 if samples.len() < output_arity + 1 {
                     continue;
                 }
-                let points: Vec<Vector> = samples.iter().map(|p| Vector::from(p.as_slice())).collect();
+                let points: Vec<Vector> =
+                    samples.iter().map(|p| Vector::from(p.as_slice())).collect();
                 if let Some(hull) = hull_to_hpolytope(&points) {
                     result_tuples.push(polytope_to_tuple(&hull));
                 }
             }
         }
-        Ok(GeneralizedRelation::from_tuples(output_arity, result_tuples))
+        Ok(GeneralizedRelation::from_tuples(
+            output_arity,
+            result_tuples,
+        ))
     }
 }
 
@@ -225,7 +260,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn fast() -> GeneratorParams {
-        GeneratorParams { gamma: 0.1, ..GeneratorParams::fast() }
+        GeneratorParams {
+            gamma: 0.1,
+            ..GeneratorParams::fast()
+        }
     }
 
     #[test]
@@ -255,7 +293,9 @@ mod tests {
         let square = GeneralizedTuple::from_box_f64(&[0.0, 2.0], &[1.0, 3.0]);
         let est = ProjectionQueryEstimator::new(fast(), 0.2, 0.2);
         let mut rng = StdRng::seed_from_u64(102);
-        let rel = est.estimate_relation(&square, &[1], Some(200), &mut rng).unwrap();
+        let rel = est
+            .estimate_relation(&square, &[1], Some(200), &mut rng)
+            .unwrap();
         assert_eq!(rel.arity(), 1);
         assert!(rel.contains_f64(&[2.5]));
         assert!(!rel.contains_f64(&[3.5]));
@@ -265,11 +305,20 @@ mod tests {
     fn positive_query_join_reconstruction() {
         // Q(x, y) = exists z. R(x, z) and S(z, y), the Section 4.3.2 shape.
         let mut db = Database::new();
-        db.insert("R", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]));
-        db.insert("S", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 2.0]));
+        db.insert(
+            "R",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+        );
+        db.insert(
+            "S",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 2.0]),
+        );
         let q = Formula::exists(
             vec![2],
-            Formula::and(vec![Formula::rel("R", vec![0, 2]), Formula::rel("S", vec![2, 1])]),
+            Formula::and(vec![
+                Formula::rel("R", vec![0, 2]),
+                Formula::rel("S", vec![2, 1]),
+            ]),
         );
         let est = PositiveQueryEstimator::new(fast(), 0.25, 0.25);
         let mut rng = StdRng::seed_from_u64(103);
@@ -279,7 +328,11 @@ mod tests {
         let sd = symmetric_difference_volume(&exact.to_polytopes(), &approx.to_polytopes());
         let truth = union_volume(&exact.to_polytopes());
         assert!(truth > 0.0);
-        assert!(sd / truth < 0.35, "relative symmetric difference {}", sd / truth);
+        assert!(
+            sd / truth < 0.35,
+            "relative symmetric difference {}",
+            sd / truth
+        );
     }
 
     #[test]
@@ -287,9 +340,18 @@ mod tests {
         // Q(x, y) = R(x, y) or S(x, y) with disjoint R and S — no quantifier,
         // so the reconstruction is exact.
         let mut db = Database::new();
-        db.insert("R", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]));
-        db.insert("S", GeneralizedRelation::from_box_f64(&[3.0, 0.0], &[4.0, 1.0]));
-        let q = Formula::or(vec![Formula::rel("R", vec![0, 1]), Formula::rel("S", vec![0, 1])]);
+        db.insert(
+            "R",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+        );
+        db.insert(
+            "S",
+            GeneralizedRelation::from_box_f64(&[3.0, 0.0], &[4.0, 1.0]),
+        );
+        let q = Formula::or(vec![
+            Formula::rel("R", vec![0, 1]),
+            Formula::rel("S", vec![0, 1]),
+        ]);
         let est = PositiveQueryEstimator::new(fast(), 0.2, 0.2);
         let mut rng = StdRng::seed_from_u64(104);
         let approx = est.estimate(&db, &q, 2, &mut rng).unwrap();

@@ -34,7 +34,10 @@ pub struct IntersectionGenerator {
 impl IntersectionGenerator {
     /// Builds the generator; every operand must itself be observable (a union
     /// of well-bounded convex tuples).
-    pub fn new(operands: &[GeneralizedRelation], params: GeneratorParams) -> Result<Self, ObservabilityError> {
+    pub fn new(
+        operands: &[GeneralizedRelation],
+        params: GeneratorParams,
+    ) -> Result<Self, ObservabilityError> {
         if operands.len() < 2 {
             return Err(ObservabilityError::InvalidParams(
                 "the intersection generator needs at least two operands".into(),
@@ -160,7 +163,8 @@ mod tests {
     fn overlapping_squares_intersection() {
         let a = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 2.0]);
         let b = GeneralizedRelation::from_box_f64(&[1.0, 1.0], &[3.0, 3.0]);
-        let mut gen = IntersectionGenerator::new(&[a.clone(), b.clone()], GeneratorParams::fast()).unwrap();
+        let mut gen =
+            IntersectionGenerator::new(&[a.clone(), b.clone()], GeneratorParams::fast()).unwrap();
         let mut rng = StdRng::seed_from_u64(31);
         let vol = gen.estimate_volume(&mut rng).unwrap();
         assert!((vol - 1.0).abs() < 0.45, "volume {vol}");

@@ -11,7 +11,7 @@
 use rand::Rng;
 
 use cdb_constraint::GeneralizedTuple;
-use cdb_geometry::{volume::polytope_volume, GammaGrid, Halfspace, HPolytope};
+use cdb_geometry::{volume::polytope_volume, GammaGrid, HPolytope, Halfspace};
 
 use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
@@ -43,7 +43,9 @@ impl ProjectionGenerator {
         params: GeneratorParams,
         rng: &mut R,
     ) -> Result<Self, ObservabilityError> {
-        params.validate().map_err(ObservabilityError::InvalidParams)?;
+        params
+            .validate()
+            .map_err(ObservabilityError::InvalidParams)?;
         let d = tuple.arity();
         let mut sorted = keep.to_vec();
         sorted.sort_unstable();
@@ -53,7 +55,8 @@ impl ProjectionGenerator {
                 "projection coordinates must be distinct and within the arity".into(),
             ));
         }
-        let body = ConvexBody::from_tuple(tuple).ok_or(ObservabilityError::NotWellBounded { index: 0 })?;
+        let body =
+            ConvexBody::from_tuple(tuple).ok_or(ObservabilityError::NotWellBounded { index: 0 })?;
         let grid = GammaGrid::for_well_bounded(d, params.gamma, body.r_inf());
         let sampler = DfkSampler::new(body, params, rng);
         let fiber_coords: Vec<usize> = (0..d).filter(|i| !keep.contains(i)).collect();
@@ -215,7 +218,10 @@ mod tests {
     }
 
     fn params() -> GeneratorParams {
-        GeneratorParams { gamma: 0.05, ..GeneratorParams::fast() }
+        GeneratorParams {
+            gamma: 0.05,
+            ..GeneratorParams::fast()
+        }
     }
 
     #[test]
@@ -227,7 +233,10 @@ mod tests {
         assert!(pts.len() > 100, "too many rejections: {}", pts.len());
         for p in &pts {
             assert_eq!(p.len(), 1);
-            assert!(p[0] >= -1e-6 && p[0] <= 1.0 + 1e-6, "outside projection: {p:?}");
+            assert!(
+                p[0] >= -1e-6 && p[0] <= 1.0 + 1e-6,
+                "outside projection: {p:?}"
+            );
         }
     }
 
@@ -254,7 +263,10 @@ mod tests {
         let corrected_frac = corrected_left as f64 / corrected.len() as f64;
         // Uniform-on-triangle puts only 1/4 of the mass at x < 1/2.
         assert!(biased_frac < 0.35, "uncorrected fraction {biased_frac}");
-        assert!((corrected_frac - 0.5).abs() < 0.12, "corrected fraction {corrected_frac}");
+        assert!(
+            (corrected_frac - 0.5).abs() < 0.12,
+            "corrected fraction {corrected_frac}"
+        );
     }
 
     #[test]
@@ -283,7 +295,10 @@ mod tests {
         let tri = figure1_triangle();
         let mut gen_tri = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
         let v_tri = gen_tri.estimate_projection_volume(&mut rng);
-        assert!((v_tri - 1.0).abs() < 0.45, "triangle projection volume {v_tri}");
+        assert!(
+            (v_tri - 1.0).abs() < 0.45,
+            "triangle projection volume {v_tri}"
+        );
     }
 
     #[test]

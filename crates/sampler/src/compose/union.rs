@@ -34,8 +34,13 @@ impl UnionGenerator {
     /// tuples). Every full-dimensional tuple must be well-bounded; degenerate
     /// (measure-zero) tuples are dropped, matching the remark in the paper
     /// that exponentially smaller components can be treated as empty.
-    pub fn new(relation: &GeneralizedRelation, params: GeneratorParams) -> Result<Self, ObservabilityError> {
-        params.validate().map_err(ObservabilityError::InvalidParams)?;
+    pub fn new(
+        relation: &GeneralizedRelation,
+        params: GeneratorParams,
+    ) -> Result<Self, ObservabilityError> {
+        params
+            .validate()
+            .map_err(ObservabilityError::InvalidParams)?;
         // Classify every tuple: empty or measure-zero tuples are dropped (the
         // paper's remark that exponentially smaller components can be treated
         // as empty); unbounded tuples make the relation non-observable.
@@ -95,7 +100,11 @@ impl UnionGenerator {
             .iter()
             .map(|b| DfkSampler::new(b.clone(), self.params, rng))
             .collect();
-        self.volumes = self.samplers.iter().map(|s| s.estimate_volume(rng)).collect();
+        self.volumes = self
+            .samplers
+            .iter()
+            .map(|s| s.estimate_volume(rng))
+            .collect();
         self.initialized = true;
     }
 
@@ -208,8 +217,12 @@ mod tests {
         // The overlap region [1,2]x[0,1] should receive about 1/3 of the samples,
         // not the ~1/2 it would get if points were double counted.
         let pts = gen.sample_many(600, &mut rng);
-        let overlap = pts.iter().filter(|p| p[0] >= 1.0 && p[0] <= 2.0).count() as f64 / pts.len() as f64;
-        assert!((overlap - 1.0 / 3.0).abs() < 0.12, "overlap fraction {overlap}");
+        let overlap =
+            pts.iter().filter(|p| p[0] >= 1.0 && p[0] <= 2.0).count() as f64 / pts.len() as f64;
+        assert!(
+            (overlap - 1.0 / 3.0).abs() < 0.12,
+            "overlap fraction {overlap}"
+        );
     }
 
     #[test]

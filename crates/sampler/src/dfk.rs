@@ -50,11 +50,26 @@ impl DfkSampler {
         let d = body.dim();
         let identity = AffineMap::identity(d);
         if !params.rounding || body.aspect_ratio() < 3.0 || d < 2 {
-            return DfkSampler { rounded: body.clone(), original: body, to_original: identity, params };
+            return DfkSampler {
+                rounded: body.clone(),
+                original: body,
+                to_original: identity,
+                params,
+            };
         }
         match Self::round(&body, &params, rng) {
-            Some((rounded, to_original)) => DfkSampler { original: body, rounded, to_original, params },
-            None => DfkSampler { rounded: body.clone(), original: body, to_original: identity, params },
+            Some((rounded, to_original)) => DfkSampler {
+                original: body,
+                rounded,
+                to_original,
+                params,
+            },
+            None => DfkSampler {
+                rounded: body.clone(),
+                original: body,
+                to_original: identity,
+                params,
+            },
         }
     }
 
@@ -77,7 +92,8 @@ impl DfkSampler {
         let mean = Matrix::mean(&points)?;
         let cov = Matrix::covariance(&points)?;
         // Regularize slightly so nearly-degenerate directions stay invertible.
-        let reg = &cov + &Matrix::identity(d).scale(1e-9 * (body.r_sup() * body.r_sup()).max(1e-12));
+        let reg =
+            &cov + &Matrix::identity(d).scale(1e-9 * (body.r_sup() * body.r_sup()).max(1e-12));
         let chol = reg.cholesky().ok()?;
         let to_original = AffineMap::new(chol.factor().clone(), mean.clone()).ok()?;
         // Certificates in the rounded coordinates.
@@ -118,7 +134,13 @@ impl DfkSampler {
     /// Draws one almost-uniform point from the body (original coordinates).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
         let steps = self.params.walk_steps(self.dim());
-        let y = walk(&self.rounded, self.rounded.center(), self.params.walk, steps, rng);
+        let y = walk(
+            &self.rounded,
+            self.rounded.center(),
+            self.params.walk,
+            steps,
+            rng,
+        );
         self.to_original.apply(&y).into_vec()
     }
 
@@ -169,7 +191,9 @@ impl DfkSampler {
     /// `(ε, 1/4)`-estimator into an `(ε, δ)`-estimator with `O(ln 1/δ)`
     /// repetitions.
     pub fn estimate_volume_median<R: Rng + ?Sized>(&self, repeats: usize, rng: &mut R) -> f64 {
-        let mut estimates: Vec<f64> = (0..repeats.max(1)).map(|_| self.estimate_volume(rng)).collect();
+        let mut estimates: Vec<f64> = (0..repeats.max(1))
+            .map(|_| self.estimate_volume(rng))
+            .collect();
         estimates.sort_by(|a, b| a.partial_cmp(b).expect("volume estimates are finite"));
         estimates[estimates.len() / 2]
     }
@@ -232,7 +256,10 @@ mod tests {
         let body = ConvexBody::from_polytope(&long).unwrap();
         assert!(body.aspect_ratio() > 3.0);
         let mut rng = StdRng::seed_from_u64(9);
-        let params = GeneratorParams { rounding: true, ..GeneratorParams::fast() };
+        let params = GeneratorParams {
+            rounding: true,
+            ..GeneratorParams::fast()
+        };
         let s = DfkSampler::new(body, params, &mut rng);
         assert!(s.is_rounded());
         // Samples are still inside, and the volume estimate accounts for the

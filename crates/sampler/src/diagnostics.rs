@@ -103,7 +103,9 @@ mod tests {
         let stat = uniformity_chi_square(&values, 0.0, 1.0, 10);
         assert!(stat < chi_square_loose_bound(9), "stat {stat}");
         // A strongly skewed sample fails.
-        let skewed: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0f64..1.0).powi(3)).collect();
+        let skewed: Vec<f64> = (0..2000)
+            .map(|_| rng.gen_range(0.0f64..1.0).powi(3))
+            .collect();
         let bad = uniformity_chi_square(&skewed, 0.0, 1.0, 10);
         assert!(bad > chi_square_loose_bound(9), "stat {bad}");
     }

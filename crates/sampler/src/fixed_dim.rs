@@ -58,7 +58,11 @@ impl FixedDimSampler {
                 relation.contains_f64(center.as_slice())
             })
             .collect();
-        Some(FixedDimSampler { relation: relation.clone(), grid, cells })
+        Some(FixedDimSampler {
+            relation: relation.clone(),
+            grid,
+            cells,
+        })
     }
 
     /// Number of cubes whose center lies in the relation.
@@ -124,7 +128,11 @@ mod tests {
     fn grid_volume_approximates_box_volume() {
         let rel = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]);
         let s = FixedDimSampler::new(&rel, 0.05).unwrap();
-        assert!((s.grid_volume() - 2.0).abs() / 2.0 < 0.1, "grid volume {}", s.grid_volume());
+        assert!(
+            (s.grid_volume() - 2.0).abs() / 2.0 < 0.1,
+            "grid volume {}",
+            s.grid_volume()
+        );
         assert!((s.exact_volume() - 2.0).abs() < 1e-6);
     }
 
@@ -133,7 +141,11 @@ mod tests {
         let rel = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0])
             .union(&GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[3.0, 1.0]));
         let s = FixedDimSampler::new(&rel, 0.05).unwrap();
-        assert!((s.grid_volume() - 3.0).abs() / 3.0 < 0.1, "grid volume {}", s.grid_volume());
+        assert!(
+            (s.grid_volume() - 3.0).abs() / 3.0 < 0.1,
+            "grid volume {}",
+            s.grid_volume()
+        );
         assert!((s.exact_volume() - 3.0).abs() < 1e-6);
     }
 
@@ -150,7 +162,10 @@ mod tests {
             // The jittered point may stick out of the relation by at most
             // one grid cell; its cell center is always inside.
             let snapped = s.grid().snap(&cdb_linalg::Vector::from(p.clone()));
-            assert!(rel.contains_f64(snapped.as_slice()), "cell center escaped: {p:?}");
+            assert!(
+                rel.contains_f64(snapped.as_slice()),
+                "cell center escaped: {p:?}"
+            );
             if p[0] < 2.0 {
                 left += 1;
             }
@@ -172,7 +187,11 @@ mod tests {
         );
         let rel = GeneralizedRelation::from_tuple(tri);
         let s = FixedDimSampler::new(&rel, 0.02).unwrap();
-        assert!((s.grid_volume() - 0.5).abs() < 0.05, "grid volume {}", s.grid_volume());
+        assert!(
+            (s.grid_volume() - 0.5).abs() < 0.05,
+            "grid volume {}",
+            s.grid_volume()
+        );
         assert!((s.exact_volume() - 0.5).abs() < 1e-6);
     }
 

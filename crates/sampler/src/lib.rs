@@ -38,8 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod compose;
-pub mod diagnostics;
 mod dfk;
+pub mod diagnostics;
 mod fixed_dim;
 mod oracle;
 mod params;

@@ -19,6 +19,17 @@ pub trait MembershipOracle: Send + Sync {
     fn dim(&self) -> usize;
     /// Does the point belong to the set?
     fn contains(&self, x: &[f64]) -> bool;
+    /// The chord of the set along the line `point + t·dir`, as an interval
+    /// `(t_min, t_max)`, when the oracle's geometry admits a closed form.
+    ///
+    /// `None` means "no closed form — bisect against [`Self::contains`]".
+    /// An empty interval is reported as `(0.0, 0.0)`. The interval may be
+    /// unbounded (`±∞`) for unbounded geometries; callers clamp it with
+    /// their well-boundedness certificate.
+    fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
+        let _ = (point, dir);
+        None
+    }
 }
 
 /// Membership tolerance used when converting symbolic objects to oracles.
@@ -30,6 +41,31 @@ impl MembershipOracle for HPolytope {
     }
     fn contains(&self, x: &[f64]) -> bool {
         self.contains_slice(x, ORACLE_TOL)
+    }
+    fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
+        // Ratio test: each halfspace a·x ≤ b constrains t by
+        // (a·dir)·t ≤ b − a·point.
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for h in self.halfspaces() {
+            let n = h.normal();
+            let growth: f64 = n.iter().zip(dir).map(|(a, d)| a * d).sum();
+            let slack =
+                h.offset() - n.iter().zip(point).map(|(a, x)| a * x).sum::<f64>() + ORACLE_TOL;
+            if growth.abs() <= 1e-14 {
+                if slack < 0.0 {
+                    return Some((0.0, 0.0));
+                }
+            } else if growth > 0.0 {
+                hi = hi.min(slack / growth);
+            } else {
+                lo = lo.max(slack / growth);
+            }
+        }
+        if lo > hi {
+            return Some((0.0, 0.0));
+        }
+        Some((lo, hi))
     }
 }
 
@@ -67,6 +103,25 @@ impl MembershipOracle for Ellipsoid {
     fn contains(&self, x: &[f64]) -> bool {
         Ellipsoid::contains(self, &Vector::from(x), ORACLE_TOL)
     }
+    fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
+        // Solve the quadratic (p − c + t·d)ᵀ A (p − c + t·d) ≤ 1 in t.
+        let p = Vector::from(point);
+        let d = Vector::from(dir);
+        let pc = &p - self.center();
+        let a_d = self.shape().mul_vector(&d);
+        let quad = d.dot(&a_d);
+        if quad <= 0.0 {
+            return Some((0.0, 0.0));
+        }
+        let lin = pc.dot(&a_d);
+        let constant = self.quadratic(&p) - (1.0 + ORACLE_TOL);
+        let disc = lin * lin - quad * constant;
+        if disc <= 0.0 {
+            return Some((0.0, 0.0));
+        }
+        let root = disc.sqrt();
+        Some(((-lin - root) / quad, (-lin + root) / quad))
+    }
 }
 
 /// A well-bounded convex body: a membership oracle together with the
@@ -101,7 +156,12 @@ impl ConvexBody {
     ) -> Self {
         assert!(r_inf > 0.0 && r_sup >= r_inf, "invalid certificate radii");
         assert_eq!(center.dim(), oracle.dim(), "certificate dimension mismatch");
-        ConvexBody { oracle, center, r_inf, r_sup }
+        ConvexBody {
+            oracle,
+            center,
+            r_inf,
+            r_sup,
+        }
     }
 
     /// Builds a body from a bounded full-dimensional H-polytope; the
@@ -118,11 +178,17 @@ impl ConvexBody {
     }
 
     /// Builds a body from a generalized tuple (its closure).
+    ///
+    /// The oracle is the closure H-polytope rather than the tuple itself:
+    /// the boundary difference has measure zero (see
+    /// `GeneralizedTuple::to_hpolytope`), membership becomes pure `f64`
+    /// arithmetic instead of per-query rational conversion, and the polytope
+    /// supports closed-form chords for hit-and-run.
     pub fn from_tuple(t: &GeneralizedTuple) -> Option<Self> {
         let p = t.to_hpolytope();
         let wb = p.well_bounded()?;
         Some(ConvexBody {
-            oracle: Arc::new(t.clone()),
+            oracle: Arc::new(p),
             center: wb.center,
             r_inf: wb.r_inf,
             r_sup: wb.r_sup,
@@ -162,6 +228,12 @@ impl ConvexBody {
     /// Membership test for a vector.
     pub fn contains_vec(&self, x: &Vector) -> bool {
         self.oracle.contains(x.as_slice())
+    }
+
+    /// Closed-form chord through `point` along `dir`, when the oracle
+    /// supports one (see [`MembershipOracle::chord_interval`]).
+    pub fn chord_interval(&self, point: &Vector, dir: &Vector) -> Option<(f64, f64)> {
+        self.oracle.chord_interval(point.as_slice(), dir.as_slice())
     }
 
     /// The underlying oracle.
@@ -222,6 +294,30 @@ impl MembershipOracle for BallIntersectionOracle {
         let v = Vector::from(x);
         v.distance(&self.center) <= self.radius + 1e-12 && self.inner.contains(x)
     }
+    fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
+        // Intersect the inner chord with the ball chord |p − c + t·d|² ≤ r².
+        let (inner_lo, inner_hi) = self.inner.chord_interval(point, dir)?;
+        let p = Vector::from(point);
+        let d = Vector::from(dir);
+        let pc = &p - &self.center;
+        let quad = d.dot(&d);
+        if quad <= 0.0 {
+            return Some((0.0, 0.0));
+        }
+        let lin = pc.dot(&d);
+        let constant = pc.dot(&pc) - (self.radius + 1e-12) * (self.radius + 1e-12);
+        let disc = lin * lin - quad * constant;
+        if disc <= 0.0 {
+            return Some((0.0, 0.0));
+        }
+        let root = disc.sqrt();
+        let lo = inner_lo.max((-lin - root) / quad);
+        let hi = inner_hi.min((-lin + root) / quad);
+        if lo > hi {
+            return Some((0.0, 0.0));
+        }
+        Some((lo, hi))
+    }
 }
 
 /// Oracle for the preimage coordinates: a point `y` belongs iff
@@ -238,6 +334,13 @@ impl MembershipOracle for AffinePreimageOracle {
     fn contains(&self, x: &[f64]) -> bool {
         let original = self.to_original.apply(&Vector::from(x));
         self.inner.contains(original.as_slice())
+    }
+    fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
+        // The map is affine, so the chord parameter t carries over unchanged:
+        // the line x(t) = p + t·d maps to A·p + b + t·(A·d).
+        let p = self.to_original.apply(&Vector::from(point));
+        let d = self.to_original.linear().mul_vector(&Vector::from(dir));
+        self.inner.chord_interval(p.as_slice(), d.as_slice())
     }
 }
 
@@ -264,7 +367,10 @@ mod tests {
     fn degenerate_polytopes_are_rejected() {
         let flat = HPolytope::axis_box(&[0.0, 1.0], &[2.0, 1.0]);
         assert!(ConvexBody::from_polytope(&flat).is_none());
-        let unbounded = HPolytope::new(2, vec![cdb_geometry::Halfspace::from_slice(&[1.0, 0.0], 0.0)]);
+        let unbounded = HPolytope::new(
+            2,
+            vec![cdb_geometry::Halfspace::from_slice(&[1.0, 0.0], 0.0)],
+        );
         assert!(ConvexBody::from_polytope(&unbounded).is_none());
     }
 

@@ -90,7 +90,11 @@ impl GeneratorParams {
     /// Validates the parameter ranges required by the definitions
     /// (`0 < γ, ε, δ < 1`).
     pub fn validate(&self) -> Result<(), String> {
-        for (name, v) in [("gamma", self.gamma), ("eps", self.eps), ("delta", self.delta)] {
+        for (name, v) in [
+            ("gamma", self.gamma),
+            ("eps", self.eps),
+            ("delta", self.delta),
+        ] {
             if !(0.0 < v && v < 1.0) {
                 return Err(format!("{name} must lie in (0, 1), got {v}"));
             }
@@ -130,8 +134,16 @@ mod tests {
 
     #[test]
     fn derived_counts_scale_with_parameters() {
-        let loose = GeneratorParams { eps: 0.5, delta: 0.5, ..Default::default() };
-        let tight = GeneratorParams { eps: 0.05, delta: 0.01, ..Default::default() };
+        let loose = GeneratorParams {
+            eps: 0.5,
+            delta: 0.5,
+            ..Default::default()
+        };
+        let tight = GeneratorParams {
+            eps: 0.05,
+            delta: 0.01,
+            ..Default::default()
+        };
         assert!(tight.samples_per_phase() > loose.samples_per_phase());
         assert!(tight.retry_rounds() >= loose.retry_rounds());
         assert!(tight.walk_steps(10) == 10 * tight.walk_steps_factor);
@@ -141,14 +153,35 @@ mod tests {
     #[test]
     fn validation_rejects_out_of_range() {
         assert!(GeneratorParams::default().validate().is_ok());
-        assert!(GeneratorParams { eps: 0.0, ..Default::default() }.validate().is_err());
-        assert!(GeneratorParams { delta: 1.5, ..Default::default() }.validate().is_err());
-        assert!(GeneratorParams { gamma: -0.1, ..Default::default() }.validate().is_err());
+        assert!(GeneratorParams {
+            eps: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GeneratorParams {
+            delta: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GeneratorParams {
+            gamma: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn presets_are_ordered_by_cost() {
-        assert!(GeneratorParams::fast().samples_per_phase() <= GeneratorParams::accurate().samples_per_phase());
-        assert!(GeneratorParams::fast().walk_steps_factor <= GeneratorParams::accurate().walk_steps_factor);
+        assert!(
+            GeneratorParams::fast().samples_per_phase()
+                <= GeneratorParams::accurate().samples_per_phase()
+        );
+        assert!(
+            GeneratorParams::fast().walk_steps_factor
+                <= GeneratorParams::accurate().walk_steps_factor
+        );
     }
 }

@@ -64,7 +64,9 @@ impl RejectionSampler {
 
     /// Volume of the bounding box.
     pub fn box_volume(&self) -> f64 {
-        (0..self.lo.dim()).map(|i| (self.hi[i] - self.lo[i]).max(0.0)).product()
+        (0..self.lo.dim())
+            .map(|i| (self.hi[i] - self.lo[i]).max(0.0))
+            .product()
     }
 
     /// Total number of box draws so far.
@@ -178,12 +180,16 @@ mod tests {
         for d in [2usize, 5, 8] {
             let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).unwrap();
             let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 1.0, 1.0);
-            let mut s = RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
+            let mut s =
+                RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
             s.set_volume_trials(8_000);
             let mut rng = StdRng::seed_from_u64(73 + d as u64);
             let v = s.estimate_volume(&mut rng).unwrap();
             // The estimate still tracks the true ball volume...
-            assert!((v - unit_ball_volume(d)).abs() < 0.3 * unit_ball_volume(d).max(0.1) + 0.05, "d={d}: {v}");
+            assert!(
+                (v - unit_ball_volume(d)).abs() < 0.3 * unit_ball_volume(d).max(0.1) + 0.05,
+                "d={d}: {v}"
+            );
             // ...and the acceptance rate tracks the theoretical ratio.
             let expected = ball_to_cube_ratio(d);
             assert!((s.acceptance_rate() - expected).abs() < 0.05, "d={d}");

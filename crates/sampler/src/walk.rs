@@ -50,11 +50,18 @@ pub fn random_direction<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vector {
     }
 }
 
-/// Finds the chord of the body through `point` in direction `dir` by
-/// bisection against the membership oracle, returning `(t_min, t_max)` such
-/// that `point + t·dir` stays inside for `t ∈ [t_min, t_max]`.
+/// Finds the chord of the body through `point` in direction `dir`, returning
+/// `(t_min, t_max)` such that `point + t·dir` stays inside for
+/// `t ∈ [t_min, t_max]`. Uses the oracle's closed-form chord when it has one
+/// (polytopes, ellipsoids, their ball intersections and affine preimages),
+/// and falls back to bisection against the membership oracle otherwise.
 fn chord(body: &ConvexBody, point: &Vector, dir: &Vector) -> (f64, f64) {
     let max_extent = 2.0 * body.r_sup() + 1.0;
+    if let Some((lo, hi)) = body.chord_interval(point, dir) {
+        let lo = lo.max(-max_extent);
+        let hi = hi.min(max_extent);
+        return if lo > hi { (0.0, 0.0) } else { (lo, hi) };
+    }
     let boundary = |sign: f64| -> f64 {
         // Invariant: point + lo·sign·dir inside, point + hi·sign·dir outside.
         let mut lo = 0.0f64;
@@ -78,7 +85,11 @@ fn chord(body: &ConvexBody, point: &Vector, dir: &Vector) -> (f64, f64) {
 }
 
 /// One hit-and-run step.
-pub fn hit_and_run_step<R: Rng + ?Sized>(body: &ConvexBody, current: &Vector, rng: &mut R) -> Vector {
+pub fn hit_and_run_step<R: Rng + ?Sized>(
+    body: &ConvexBody,
+    current: &Vector,
+    rng: &mut R,
+) -> Vector {
     let dir = random_direction(body.dim(), rng);
     let (t_min, t_max) = chord(body, current, &dir);
     if t_max - t_min <= 0.0 {
@@ -200,7 +211,11 @@ mod tests {
         let body = square_body();
         let start = body.center().clone();
         let mut rng = StdRng::seed_from_u64(2);
-        for kind in [WalkKind::HitAndRun, WalkKind::Ball, WalkKind::Grid { step_ratio: 0.25 }] {
+        for kind in [
+            WalkKind::HitAndRun,
+            WalkKind::Ball,
+            WalkKind::Grid { step_ratio: 0.25 },
+        ] {
             for seed in 0..5u64 {
                 let mut local = StdRng::seed_from_u64(seed);
                 let p = walk(&body, &start, kind, 30, &mut local);
@@ -256,7 +271,13 @@ mod tests {
         let body = square_body();
         let start = body.center().clone();
         let mut rng = StdRng::seed_from_u64(5);
-        let p = walk(&body, &start, WalkKind::Grid { step_ratio: 0.5 }, 40, &mut rng);
+        let p = walk(
+            &body,
+            &start,
+            WalkKind::Grid { step_ratio: 0.5 },
+            40,
+            &mut rng,
+        );
         // r_inf of the unit square is 0.5, so the grid step is 0.25.
         for coord in p.iter() {
             let snapped = (coord / 0.25).round() * 0.25;

@@ -28,7 +28,12 @@ pub struct GisLayerSpec {
 
 impl Default for GisLayerSpec {
     fn default() -> Self {
-        GisLayerSpec { regions: 6, map_size: 10.0, min_side: 1.0, max_side: 3.0 }
+        GisLayerSpec {
+            regions: 6,
+            map_size: 10.0,
+            min_side: 1.0,
+            max_side: 3.0,
+        }
     }
 }
 
@@ -43,7 +48,10 @@ pub struct GisLayer {
 
 /// Generates a layer of axis-aligned rectangular parcels.
 pub fn parcels<R: Rng + ?Sized>(spec: &GisLayerSpec, rng: &mut R) -> GisLayer {
-    assert!(spec.regions >= 1 && spec.regions <= 16, "inclusion-exclusion needs few regions");
+    assert!(
+        spec.regions >= 1 && spec.regions <= 16,
+        "inclusion-exclusion needs few regions"
+    );
     let mut tuples = Vec::with_capacity(spec.regions);
     for _ in 0..spec.regions {
         let w = rng.gen_range(spec.min_side..spec.max_side);
@@ -54,7 +62,10 @@ pub fn parcels<R: Rng + ?Sized>(spec: &GisLayerSpec, rng: &mut R) -> GisLayer {
     }
     let relation = GeneralizedRelation::from_tuples(2, tuples);
     let exact_area = union_volume(&relation.to_polytopes());
-    GisLayer { relation, exact_area }
+    GisLayer {
+        relation,
+        exact_area,
+    }
 }
 
 /// Generates a "road network" layer: `count` thin boxes (width `width`)
@@ -73,7 +84,10 @@ pub fn roads<R: Rng + ?Sized>(count: usize, map_size: f64, width: f64, rng: &mut
     }
     let relation = GeneralizedRelation::from_tuples(2, tuples);
     let exact_area = union_volume(&relation.to_polytopes());
-    GisLayer { relation, exact_area }
+    GisLayer {
+        relation,
+        exact_area,
+    }
 }
 
 /// A deterministic two-layer overlay scenario used by the examples: a parcels
@@ -97,7 +111,11 @@ pub fn overlay_scenario<R: Rng + ?Sized>(rng: &mut R) -> OverlayScenario {
         &parcels_layer.relation.to_polytopes(),
         &roads_layer.relation.to_polytopes(),
     );
-    OverlayScenario { parcels: parcels_layer, roads: roads_layer, exact_overlay_area }
+    OverlayScenario {
+        parcels: parcels_layer,
+        roads: roads_layer,
+        exact_overlay_area,
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +167,12 @@ mod tests {
     #[should_panic(expected = "inclusion-exclusion")]
     fn too_many_regions_rejected() {
         let mut rng = StdRng::seed_from_u64(14);
-        let _ = parcels(&GisLayerSpec { regions: 50, ..Default::default() }, &mut rng);
+        let _ = parcels(
+            &GisLayerSpec {
+                regions: 50,
+                ..Default::default()
+            },
+            &mut rng,
+        );
     }
 }

@@ -37,7 +37,9 @@ pub fn simplex_volume(dim: usize) -> f64 {
 pub fn cross_polytope(dim: usize) -> GeneralizedTuple {
     let mut atoms = Vec::with_capacity(1 << dim);
     for mask in 0..(1u32 << dim) {
-        let coeffs: Vec<i64> = (0..dim).map(|i| if mask >> i & 1 == 1 { -1 } else { 1 }).collect();
+        let coeffs: Vec<i64> = (0..dim)
+            .map(|i| if mask >> i & 1 == 1 { -1 } else { 1 })
+            .collect();
         atoms.push(Atom::le_from_ints(&coeffs, -1));
     }
     GeneralizedTuple::new(dim, atoms)
@@ -50,7 +52,11 @@ pub fn cross_polytope_volume(dim: usize) -> f64 {
 
 /// An axis-aligned box with random side lengths in `[0.5, length_scale]`,
 /// centered at the origin. Returns the tuple and its exact volume.
-pub fn random_box<R: Rng + ?Sized>(dim: usize, length_scale: f64, rng: &mut R) -> (GeneralizedTuple, f64) {
+pub fn random_box<R: Rng + ?Sized>(
+    dim: usize,
+    length_scale: f64,
+    rng: &mut R,
+) -> (GeneralizedTuple, f64) {
     let mut lo = Vec::with_capacity(dim);
     let mut hi = Vec::with_capacity(dim);
     let mut volume = 1.0;
@@ -66,7 +72,11 @@ pub fn random_box<R: Rng + ?Sized>(dim: usize, length_scale: f64, rng: &mut R) -
 /// A random well-bounded H-polytope: the hypercube `[-1,1]^d` cut by
 /// `extra_cuts` random halfspaces through points near the boundary (so the
 /// body always contains a ball of radius 1/2 around the origin).
-pub fn random_hpolytope<R: Rng + ?Sized>(dim: usize, extra_cuts: usize, rng: &mut R) -> GeneralizedTuple {
+pub fn random_hpolytope<R: Rng + ?Sized>(
+    dim: usize,
+    extra_cuts: usize,
+    rng: &mut R,
+) -> GeneralizedTuple {
     let mut tuple = hypercube(dim, 1.0);
     for _ in 0..extra_cuts {
         // Random unit-ish normal with small integer coordinates.
@@ -103,11 +113,20 @@ mod tests {
     fn closed_form_volumes_match_geometry() {
         for d in 2..=4usize {
             let cube = hypercube(d, 0.75);
-            assert!((polytope_volume(&cube.to_hpolytope()) - hypercube_volume(d, 0.75)).abs() < 1e-6, "cube d={d}");
+            assert!(
+                (polytope_volume(&cube.to_hpolytope()) - hypercube_volume(d, 0.75)).abs() < 1e-6,
+                "cube d={d}"
+            );
             let simplex = standard_simplex(d);
-            assert!((polytope_volume(&simplex.to_hpolytope()) - simplex_volume(d)).abs() < 1e-6, "simplex d={d}");
+            assert!(
+                (polytope_volume(&simplex.to_hpolytope()) - simplex_volume(d)).abs() < 1e-6,
+                "simplex d={d}"
+            );
             let cross = cross_polytope(d);
-            assert!((polytope_volume(&cross.to_hpolytope()) - cross_polytope_volume(d)).abs() < 1e-5, "cross d={d}");
+            assert!(
+                (polytope_volume(&cross.to_hpolytope()) - cross_polytope_volume(d)).abs() < 1e-5,
+                "cross d={d}"
+            );
         }
     }
 

@@ -80,17 +80,28 @@ pub fn clause_relation(n_vars: usize, clause: &[Literal]) -> GeneralizedRelation
 /// relations contains one of the `2^n` "corner" boxes, i.e. iff the
 /// intersection has positive volume.
 pub fn cnf_relations(cnf: &CnfFormula) -> Vec<GeneralizedRelation> {
-    cnf.clauses.iter().map(|c| clause_relation(cnf.n_vars, c)).collect()
+    cnf.clauses
+        .iter()
+        .map(|c| clause_relation(cnf.n_vars, c))
+        .collect()
 }
 
 /// Maps a boolean assignment to the center of its corner box
 /// (`true ↦ 7/8`, `false ↦ 1/8`).
 pub fn assignment_to_point(assignment: &[bool]) -> Vec<f64> {
-    assignment.iter().map(|&b| if b { 0.875 } else { 0.125 }).collect()
+    assignment
+        .iter()
+        .map(|&b| if b { 0.875 } else { 0.125 })
+        .collect()
 }
 
 /// Generates a random k-CNF formula.
-pub fn random_k_cnf<R: Rng + ?Sized>(n_vars: usize, n_clauses: usize, k: usize, rng: &mut R) -> CnfFormula {
+pub fn random_k_cnf<R: Rng + ?Sized>(
+    n_vars: usize,
+    n_clauses: usize,
+    k: usize,
+    rng: &mut R,
+) -> CnfFormula {
     assert!(k >= 1 && k <= n_vars);
     let clauses = (0..n_clauses)
         .map(|_| {
@@ -141,7 +152,10 @@ mod tests {
     #[test]
     fn unsatisfiable_formula_has_empty_intersection_of_corners() {
         // x0 and not x0.
-        let cnf = CnfFormula { n_vars: 1, clauses: vec![vec![(0, true)], vec![(0, false)]] };
+        let cnf = CnfFormula {
+            n_vars: 1,
+            clauses: vec![vec![(0, true)], vec![(0, false)]],
+        };
         assert!(!cnf.brute_force_satisfiable());
         let relations = cnf_relations(&cnf);
         for corner in [[0.125], [0.875]] {
@@ -162,7 +176,11 @@ mod tests {
                 let assignment: Vec<bool> = (0..4).map(|i| mask >> i & 1 == 1).collect();
                 let point = assignment_to_point(&assignment);
                 let geometric = relations.iter().all(|r| r.contains_f64(&point));
-                assert_eq!(geometric, cnf.eval(&assignment), "assignment {assignment:?}");
+                assert_eq!(
+                    geometric,
+                    cnf.eval(&assignment),
+                    "assignment {assignment:?}"
+                );
             }
         }
     }

@@ -8,7 +8,9 @@
 //!
 //! Run with `cargo run --release --example gis_overlay`.
 
-use cdb_sampler::{GeneratorParams, IntersectionGenerator, RelationVolumeEstimator, UnionGenerator};
+use cdb_sampler::{
+    GeneratorParams, IntersectionGenerator, RelationVolumeEstimator, UnionGenerator,
+};
 use cdb_workloads::gis;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,19 +20,30 @@ fn main() {
     let scenario = gis::overlay_scenario(&mut rng);
     let params = GeneratorParams::default();
 
-    println!("synthetic map: {} parcels, {} road segments", scenario.parcels.relation.tuples().len(), scenario.roads.relation.tuples().len());
+    println!(
+        "synthetic map: {} parcels, {} road segments",
+        scenario.parcels.relation.tuples().len(),
+        scenario.roads.relation.tuples().len()
+    );
 
     // Layer areas via the union generator (Algorithm 1 / Theorem 4.2).
-    let mut parcels_gen = UnionGenerator::new(&scenario.parcels.relation, params).expect("parcels are observable");
-    let parcels_estimate = parcels_gen.estimate_volume(&mut rng).expect("estimation succeeds");
+    let mut parcels_gen =
+        UnionGenerator::new(&scenario.parcels.relation, params).expect("parcels are observable");
+    let parcels_estimate = parcels_gen
+        .estimate_volume(&mut rng)
+        .expect("estimation succeeds");
     println!(
         "parcels area  : estimated {parcels_estimate:8.3}   exact {:8.3}   rel. error {:5.1}%",
         scenario.parcels.exact_area,
-        100.0 * (parcels_estimate - scenario.parcels.exact_area).abs() / scenario.parcels.exact_area
+        100.0 * (parcels_estimate - scenario.parcels.exact_area).abs()
+            / scenario.parcels.exact_area
     );
 
-    let mut roads_gen = UnionGenerator::new(&scenario.roads.relation, params).expect("roads are observable");
-    let roads_estimate = roads_gen.estimate_volume(&mut rng).expect("estimation succeeds");
+    let mut roads_gen =
+        UnionGenerator::new(&scenario.roads.relation, params).expect("roads are observable");
+    let roads_estimate = roads_gen
+        .estimate_volume(&mut rng)
+        .expect("estimation succeeds");
     println!(
         "roads area    : estimated {roads_estimate:8.3}   exact {:8.3}   rel. error {:5.1}%",
         scenario.roads.exact_area,
@@ -39,16 +52,26 @@ fn main() {
 
     // Overlay area via the intersection generator (Proposition 4.1).
     let mut overlay_gen = IntersectionGenerator::new(
-        &[scenario.parcels.relation.clone(), scenario.roads.relation.clone()],
+        &[
+            scenario.parcels.relation.clone(),
+            scenario.roads.relation.clone(),
+        ],
         params,
     )
     .expect("both layers are observable");
     match overlay_gen.estimate_volume(&mut rng) {
         Some(estimate) => {
             let exact = scenario.exact_overlay_area;
-            let rel = if exact > 0.0 { 100.0 * (estimate - exact).abs() / exact } else { 0.0 };
+            let rel = if exact > 0.0 {
+                100.0 * (estimate - exact).abs() / exact
+            } else {
+                0.0
+            };
             println!("overlay area  : estimated {estimate:8.3}   exact {exact:8.3}   rel. error {rel:5.1}%");
-            println!("acceptance rate of the rejection step: {:.3}", overlay_gen.acceptance_rate());
+            println!(
+                "acceptance rate of the rejection step: {:.3}",
+                overlay_gen.acceptance_rate()
+            );
         }
         None => {
             println!(

@@ -10,14 +10,19 @@ use std::time::Instant;
 use cdb_geometry::ball::{ball_to_cube_ratio, unit_ball_volume};
 use cdb_geometry::Ellipsoid;
 use cdb_linalg::Vector;
-use cdb_sampler::{ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator};
+use cdb_sampler::{
+    ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(9);
     println!("estimating the volume of the unit ball B_d inscribed in [-1,1]^d\n");
-    println!("{:>3} {:>12} {:>14} {:>14} {:>16} {:>12}", "d", "exact vol", "DFK estimate", "rejection est", "accept. rate", "DFK time");
+    println!(
+        "{:>3} {:>12} {:>14} {:>14} {:>16} {:>12}",
+        "d", "exact vol", "DFK estimate", "rejection est", "accept. rate", "DFK time"
+    );
 
     for d in [2usize, 4, 6, 8, 10] {
         let exact = unit_ball_volume(d);
@@ -31,7 +36,8 @@ fn main() {
         let dfk_time = t0.elapsed();
 
         // Naive bounding-box rejection.
-        let mut rejection = RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
+        let mut rejection =
+            RejectionSampler::new(body, Vector::filled(d, -1.0), Vector::filled(d, 1.0));
         rejection.set_volume_trials(20_000);
         let rejection_estimate = rejection.estimate_volume(&mut rng).unwrap_or(0.0);
 

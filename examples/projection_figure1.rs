@@ -30,13 +30,18 @@ fn main() {
             Atom::le_from_ints(&[-1, 1], 0), // y <= x
         ],
     );
-    let params = GeneratorParams { gamma: 0.05, ..GeneratorParams::default() };
-    let mut generator =
-        ProjectionGenerator::new(&triangle, &[0], params, &mut rng).expect("triangle is observable");
+    let params = GeneratorParams {
+        gamma: 0.05,
+        ..GeneratorParams::default()
+    };
+    let mut generator = ProjectionGenerator::new(&triangle, &[0], params, &mut rng)
+        .expect("triangle is observable");
 
     let n = 2_000;
     let bins = 10;
-    let uncorrected: Vec<f64> = (0..n).map(|_| generator.sample_uncorrected(&mut rng)[0]).collect();
+    let uncorrected: Vec<f64> = (0..n)
+        .map(|_| generator.sample_uncorrected(&mut rng)[0])
+        .collect();
     let corrected: Vec<f64> = generator
         .sample_many(n, &mut rng)
         .into_iter()
@@ -45,19 +50,40 @@ fn main() {
 
     println!("projection of the triangle 0 <= y <= x <= 1 onto x ({n} samples, {bins} bins)\n");
     println!("uncorrected projection of uniform samples (biased toward x = 1):");
-    for (i, c) in histogram_1d(&uncorrected, 0.0, 1.0, bins).iter().enumerate() {
-        println!("  [{:.1}, {:.1})  {:4}  {}", i as f64 / bins as f64, (i + 1) as f64 / bins as f64, c, bar(*c, 0.1));
+    for (i, c) in histogram_1d(&uncorrected, 0.0, 1.0, bins)
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  [{:.1}, {:.1})  {:4}  {}",
+            i as f64 / bins as f64,
+            (i + 1) as f64 / bins as f64,
+            c,
+            bar(*c, 0.1)
+        );
     }
     let chi_biased = uniformity_chi_square(&uncorrected, 0.0, 1.0, bins);
 
     println!("\nAlgorithm 2 (cylinder-volume compensation), almost uniform:");
     for (i, c) in histogram_1d(&corrected, 0.0, 1.0, bins).iter().enumerate() {
-        println!("  [{:.1}, {:.1})  {:4}  {}", i as f64 / bins as f64, (i + 1) as f64 / bins as f64, c, bar(*c, 0.1));
+        println!(
+            "  [{:.1}, {:.1})  {:4}  {}",
+            i as f64 / bins as f64,
+            (i + 1) as f64 / bins as f64,
+            c,
+            bar(*c, 0.1)
+        );
     }
     let chi_corrected = uniformity_chi_square(&corrected, 0.0, 1.0, bins);
 
-    println!("\nchi-square statistic vs the uniform distribution ({} bins):", bins);
+    println!(
+        "\nchi-square statistic vs the uniform distribution ({} bins):",
+        bins
+    );
     println!("  uncorrected : {chi_biased:10.1}");
     println!("  Algorithm 2 : {chi_corrected:10.1}");
-    println!("  acceptance rate of the compensation step: {:.3}", generator.acceptance_rate());
+    println!(
+        "  acceptance rate of the compensation step: {:.3}",
+        generator.acceptance_rate()
+    );
 }

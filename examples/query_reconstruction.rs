@@ -20,33 +20,52 @@ fn main() {
     // Two relations in the plane; the query joins them through a shared
     // existential variable, the shape discussed in Section 4.3.2.
     let mut db = SpatialDatabase::with_params(GeneratorParams::default());
-    db.insert("R1", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.5]));
-    db.insert("R2", GeneralizedRelation::from_box_f64(&[0.5, 0.0], &[2.0, 2.0]));
-    db.insert("R4", GeneralizedRelation::from_box_f64(&[3.0, 0.0], &[4.0, 1.0]));
+    db.insert(
+        "R1",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.5]),
+    );
+    db.insert(
+        "R2",
+        GeneralizedRelation::from_box_f64(&[0.5, 0.0], &[2.0, 2.0]),
+    );
+    db.insert(
+        "R4",
+        GeneralizedRelation::from_box_f64(&[3.0, 0.0], &[4.0, 1.0]),
+    );
 
     // Ψ(x0, x1) = ∃ x2 . (R1(x0, x2) ∧ R2(x2, x1)) ∨ R4(x0, x1)
-    let query = parse_formula(
-        "(exists x2. R1(x0, x2) and R2(x2, x1)) or R4(x0, x1)",
-        3,
-    )
-    .expect("valid query");
+    let query = parse_formula("(exists x2. R1(x0, x2) and R2(x2, x1)) or R4(x0, x1)", 3)
+        .expect("valid query");
     println!("query: {query}");
 
     // Symbolic baseline: quantifier elimination + DNF.
     let t0 = Instant::now();
-    let exact = db.evaluate_exact(&query, 2).expect("symbolic evaluation succeeds");
+    let exact = db
+        .evaluate_exact(&query, 2)
+        .expect("symbolic evaluation succeeds");
     let symbolic_time = t0.elapsed();
     let exact_volume = union_volume(&exact.to_polytopes());
 
     // Sampling-based reconstruction.
     let t1 = Instant::now();
-    let approx = db.approx_query(&query, 2, &mut rng).expect("reconstruction succeeds");
+    let approx = db
+        .approx_query(&query, 2, &mut rng)
+        .expect("reconstruction succeeds");
     let sampling_time = t1.elapsed();
 
     let sd = symmetric_difference_volume(&exact.to_polytopes(), &approx.to_polytopes());
-    println!("\nexact result      : {} convex piece(s), volume {exact_volume:.3}", exact.tuples().len());
-    println!("reconstruction    : {} convex piece(s)", approx.tuples().len());
-    println!("symmetric difference volume: {sd:.3} ({:.1}% of the exact volume)", 100.0 * sd / exact_volume);
+    println!(
+        "\nexact result      : {} convex piece(s), volume {exact_volume:.3}",
+        exact.tuples().len()
+    );
+    println!(
+        "reconstruction    : {} convex piece(s)",
+        approx.tuples().len()
+    );
+    println!(
+        "symmetric difference volume: {sd:.3} ({:.1}% of the exact volume)",
+        100.0 * sd / exact_volume
+    );
     println!("symbolic evaluation time   : {symbolic_time:?}");
     println!("sampling reconstruction time: {sampling_time:?}");
 

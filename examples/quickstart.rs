@@ -26,19 +26,39 @@ fn main() {
         .expect("Zone is observable");
     println!("five almost-uniform points of Zone:");
     for p in &points {
-        println!("  ({:.3}, {:.3})  inside = {}", p[0], p[1], zone.contains_f64(p));
+        println!(
+            "  ({:.3}, {:.3})  inside = {}",
+            p[0],
+            p[1],
+            zone.contains_f64(p)
+        );
     }
+    // Smoke check: generation produced the requested points and every one of
+    // them actually lies in the relation.
+    assert_eq!(points.len(), 5);
+    assert!(
+        points.iter().all(|p| zone.contains_f64(p)),
+        "sample escaped the zone"
+    );
 
     // 2. Volume estimation (Theorem 4.2). The exact area is 4*2 + 3*3 - 1*2 = 15.
-    let volume = db.approx_volume("Zone", &mut rng).expect("Zone is observable");
+    let volume = db
+        .approx_volume("Zone", &mut rng)
+        .expect("Zone is observable");
     println!("estimated area of Zone : {volume:.2}   (exact: 15.00)");
+    assert!(
+        (volume - 15.0).abs() < 0.5 * 15.0,
+        "volume estimate {volume} is not within 50% of the exact area 15"
+    );
 
     // 3. An approximate query: the part of the zone covered by the park,
     //    reconstructed from samples (Theorem 4.4), next to the exact symbolic
     //    answer computed with quantifier elimination.
     let query = parse_formula("Zone(x0, x1) and Park(x0, x1)", 2).expect("valid query");
     let exact = db.evaluate_exact(&query, 2).expect("symbolic evaluation");
-    let approx = db.approx_query(&query, 2, &mut rng).expect("approximate evaluation");
+    let approx = db
+        .approx_query(&query, 2, &mut rng)
+        .expect("approximate evaluation");
     println!(
         "query 'Zone ∩ Park': exact answer has {} convex piece(s), reconstruction has {}",
         exact.tuples().len(),
@@ -52,4 +72,10 @@ fn main() {
             approx.contains_f64(&probe)
         );
     }
+    // Smoke check: the symbolic answer classifies the probes correctly
+    // (the intersection is [1,5]x[0.5,1.5] clipped to the zone).
+    assert!(exact.contains_f64(&[2.0, 1.0]));
+    assert!(!exact.contains_f64(&[0.5, 1.8]));
+    assert!(!exact.contains_f64(&[5.5, 2.5]));
+    println!("quickstart OK");
 }

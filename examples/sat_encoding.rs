@@ -36,9 +36,19 @@ fn main() {
         ],
     };
 
-    for (name, cnf) in [("satisfiable 3-CNF", &satisfiable), ("unsatisfiable CNF", &unsatisfiable)] {
-        println!("== {name} ({} variables, {} clauses) ==", cnf.n_vars, cnf.clauses.len());
-        println!("   brute-force satisfiable: {}", cnf.brute_force_satisfiable());
+    for (name, cnf) in [
+        ("satisfiable 3-CNF", &satisfiable),
+        ("unsatisfiable CNF", &unsatisfiable),
+    ] {
+        println!(
+            "== {name} ({} variables, {} clauses) ==",
+            cnf.n_vars,
+            cnf.clauses.len()
+        );
+        println!(
+            "   brute-force satisfiable: {}",
+            cnf.brute_force_satisfiable()
+        );
         let clause_relations = sat::cnf_relations(cnf);
         let params = GeneratorParams::default();
         let mut generator = IntersectionGenerator::new(&clause_relations, params)

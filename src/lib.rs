@@ -6,8 +6,8 @@
 //! in the paper *Uniform generation in spatial constraint databases and
 //! applications* (Gross-Amblard & de Rougemont).
 
-pub use cdb_core as core_api;
 pub use cdb_constraint as constraint;
+pub use cdb_core as core_api;
 pub use cdb_geometry as geometry;
 pub use cdb_reconstruct as reconstruct;
 pub use cdb_sampler as sampler;

@@ -31,19 +31,31 @@ fn parse_to_sample_pipeline() {
     let samples = generator.sample_many(200, &mut rng);
     assert!(samples.len() > 150);
     for p in &samples {
-        assert!(formula.eval_f64(p, 1e-6).unwrap(), "sample violates the formula: {p:?}");
+        assert!(
+            formula.eval_f64(p, 1e-6).unwrap(),
+            "sample violates the formula: {p:?}"
+        );
     }
     // Volume estimate tracks the exact area 2*1 + 1*2 = 4.
     let est = generator.estimate_volume(&mut rng).unwrap();
     let exact = union_volume(&relation.to_polytopes());
     assert!((exact - 4.0).abs() < 1e-6);
-    assert!(diagnostics::relative_error(est, exact) < 0.4, "estimate {est}");
+    assert!(
+        diagnostics::relative_error(est, exact) < 0.4,
+        "estimate {est}"
+    );
 }
 
 #[test]
 fn randomized_and_fixed_dimension_estimators_agree() {
     let mut rng = StdRng::seed_from_u64(2);
-    let layer = gis::parcels(&gis::GisLayerSpec { regions: 4, ..Default::default() }, &mut rng);
+    let layer = gis::parcels(
+        &gis::GisLayerSpec {
+            regions: 4,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     // Fixed-dimension (Section 3) estimate.
     let fixed = FixedDimSampler::new(&layer.relation, 0.05).unwrap();
     assert!(diagnostics::relative_error(fixed.grid_volume(), layer.exact_area) < 0.15);
@@ -51,7 +63,11 @@ fn randomized_and_fixed_dimension_estimators_agree() {
     // Randomized (Section 4) estimate.
     let mut union_gen = UnionGenerator::new(&layer.relation, fast()).unwrap();
     let est = union_gen.estimate_volume(&mut rng).unwrap();
-    assert!(diagnostics::relative_error(est, layer.exact_area) < 0.45, "estimate {est} vs {}", layer.exact_area);
+    assert!(
+        diagnostics::relative_error(est, layer.exact_area) < 0.45,
+        "estimate {est} vs {}",
+        layer.exact_area
+    );
 }
 
 #[test]
@@ -59,9 +75,18 @@ fn workload_bodies_are_observable_and_estimable() {
     let mut rng = StdRng::seed_from_u64(3);
     for d in [2usize, 3] {
         let cases: Vec<(GeneralizedRelation, f64)> = vec![
-            (GeneralizedRelation::from_tuple(polytopes::hypercube(d, 1.0)), polytopes::hypercube_volume(d, 1.0)),
-            (GeneralizedRelation::from_tuple(polytopes::standard_simplex(d)), polytopes::simplex_volume(d)),
-            (GeneralizedRelation::from_tuple(polytopes::cross_polytope(d)), polytopes::cross_polytope_volume(d)),
+            (
+                GeneralizedRelation::from_tuple(polytopes::hypercube(d, 1.0)),
+                polytopes::hypercube_volume(d, 1.0),
+            ),
+            (
+                GeneralizedRelation::from_tuple(polytopes::standard_simplex(d)),
+                polytopes::simplex_volume(d),
+            ),
+            (
+                GeneralizedRelation::from_tuple(polytopes::cross_polytope(d)),
+                polytopes::cross_polytope_volume(d),
+            ),
         ];
         for (relation, exact) in cases {
             let mut generator = UnionGenerator::new(&relation, fast()).unwrap();
@@ -79,7 +104,9 @@ fn convex_reconstruction_approximates_a_workload_polytope() {
     let mut rng = StdRng::seed_from_u64(4);
     let body = polytopes::random_hpolytope(2, 3, &mut rng);
     let reconstructor = ConvexReconstructor::new(fast(), 0.2, 0.2);
-    let hull = reconstructor.reconstruct_tuple(&body, Some(400), &mut rng).unwrap();
+    let hull = reconstructor
+        .reconstruct_tuple(&body, Some(400), &mut rng)
+        .unwrap();
     let truth = body.to_hpolytope();
     let sd = symmetric_difference_volume(&[truth.clone()], &[hull]);
     let vol = polytope_volume(&truth);
@@ -92,27 +119,43 @@ fn projection_estimator_agrees_with_fourier_motzkin() {
     // A 3-dimensional box projected onto its first two coordinates.
     let tuple = cdb_constraint::GeneralizedTuple::from_box_f64(&[0.0, 1.0, -1.0], &[2.0, 3.0, 1.0]);
     let estimator = ProjectionQueryEstimator::new(fast(), 0.2, 0.2);
-    let hull = estimator.estimate(&tuple, &[0, 1], Some(300), &mut rng).unwrap();
+    let hull = estimator
+        .estimate(&tuple, &[0, 1], Some(300), &mut rng)
+        .unwrap();
     let symbolic = GeneralizedRelation::from_tuple(tuple).project(&[0, 1]);
     let sd = symmetric_difference_volume(&symbolic.to_polytopes(), &[hull]);
     let exact_area = union_volume(&symbolic.to_polytopes());
     assert!((exact_area - 4.0).abs() < 1e-6);
-    assert!(sd / exact_area < 0.3, "relative symmetric difference {}", sd / exact_area);
+    assert!(
+        sd / exact_area < 0.3,
+        "relative symmetric difference {}",
+        sd / exact_area
+    );
 }
 
 #[test]
 fn end_to_end_query_through_the_facade() {
     let mut rng = StdRng::seed_from_u64(6);
     let mut db = SpatialDatabase::with_params(fast());
-    db.insert("Zone", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 2.0]));
-    db.insert("Road", GeneralizedRelation::from_box_f64(&[0.0, 0.8], &[2.0, 1.2]));
+    db.insert(
+        "Zone",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 2.0]),
+    );
+    db.insert(
+        "Road",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.8], &[2.0, 1.2]),
+    );
     let query = parse_formula("Zone(x0, x1) and Road(x0, x1)", 2).unwrap();
     let exact = db.evaluate_exact(&query, 2).unwrap();
     let approx = db.approx_query(&query, 2, &mut rng).unwrap();
     let exact_vol = union_volume(&exact.to_polytopes());
     assert!((exact_vol - 0.8).abs() < 1e-6);
     let sd = symmetric_difference_volume(&exact.to_polytopes(), &approx.to_polytopes());
-    assert!(sd / exact_vol < 0.4, "relative symmetric difference {}", sd / exact_vol);
+    assert!(
+        sd / exact_vol < 0.4,
+        "relative symmetric difference {}",
+        sd / exact_vol
+    );
     // And the volume estimator on the stored relation works too.
     let vol = db.approx_volume("Zone", &mut rng).unwrap();
     assert!(diagnostics::relative_error(vol, 4.0) < 0.4, "volume {vol}");
@@ -132,11 +175,17 @@ fn sat_encoding_distinguishes_satisfiable_from_unsatisfiable() {
     let relations = sat::cnf_relations(&satisfiable);
     let mut generator = IntersectionGenerator::new(&relations, params).unwrap();
     let vol = generator.estimate_volume(&mut rng);
-    assert!(vol.is_some(), "satisfiable instance should admit an estimate");
+    assert!(
+        vol.is_some(),
+        "satisfiable instance should admit an estimate"
+    );
     assert!(vol.unwrap() > 0.0);
 
     // Unsatisfiable: x0 and not x0.
-    let unsat = sat::CnfFormula { n_vars: 1, clauses: vec![vec![(0, true)], vec![(0, false)]] };
+    let unsat = sat::CnfFormula {
+        n_vars: 1,
+        clauses: vec![vec![(0, true)], vec![(0, false)]],
+    };
     assert!(!unsat.brute_force_satisfiable());
     let relations = sat::cnf_relations(&unsat);
     let mut generator = IntersectionGenerator::new(&relations, params).unwrap();
@@ -147,13 +196,20 @@ fn sat_encoding_distinguishes_satisfiable_from_unsatisfiable() {
 fn union_generator_is_statistically_uniform_on_a_disjoint_union() {
     // Two unit squares far apart: the first coordinate of the samples,
     // folded back to [0,1], must look uniform.
-    let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
-        .union(&GeneralizedRelation::from_box_f64(&[10.0, 0.0], &[11.0, 1.0]));
+    let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]).union(
+        &GeneralizedRelation::from_box_f64(&[10.0, 0.0], &[11.0, 1.0]),
+    );
     let mut generator = UnionGenerator::new(&relation, fast()).unwrap();
     let mut rng = StdRng::seed_from_u64(8);
     let samples = generator.sample_many(1000, &mut rng);
     assert!(samples.len() > 900);
-    let folded: Vec<f64> = samples.iter().map(|p| if p[0] > 5.0 { p[0] - 10.0 } else { p[0] }).collect();
+    let folded: Vec<f64> = samples
+        .iter()
+        .map(|p| if p[0] > 5.0 { p[0] - 10.0 } else { p[0] })
+        .collect();
     let stat = diagnostics::uniformity_chi_square(&folded, 0.0, 1.0, 8);
-    assert!(stat < diagnostics::chi_square_loose_bound(7) * 2.0, "chi-square {stat}");
+    assert!(
+        stat < diagnostics::chi_square_loose_bound(7) * 2.0,
+        "chi-square {stat}"
+    );
 }

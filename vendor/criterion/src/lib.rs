@@ -1,0 +1,207 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of the criterion API the experiment benches use:
+//! [`Criterion`] with the `sample_size` / `warm_up_time` / `measurement_time`
+//! builders, [`Criterion::benchmark_group`], `bench_function` + `Bencher::iter`,
+//! `finish`, `final_summary`, and [`black_box`].
+//!
+//! Timing is a straightforward wall-clock mean over `sample_size` samples —
+//! there is no outlier analysis, plotting, or statistics. Results print one
+//! line per benchmark to stderr.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default()
+//!     .sample_size(10)
+//!     .warm_up_time(std::time::Duration::from_millis(1))
+//!     .measurement_time(std::time::Duration::from_millis(5));
+//! let mut group = c.benchmark_group("demo");
+//! group.bench_function("sum", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+//! group.finish();
+//! c.final_summary();
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a benchmark
+/// body.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point: collects configuration and runs benchmark groups.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    completed: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            completed: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the routine untimed before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one("", &id, f);
+        self
+    }
+
+    /// Prints the closing line. (Upstream criterion renders reports here;
+    /// this stub only counts.)
+    pub fn final_summary(&mut self) {
+        eprintln!("criterion-lite: {} benchmark(s) completed", self.completed);
+    }
+
+    fn run_one<F>(&mut self, group: &str, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        eprintln!(
+            "bench {label:<48} {:>12.1} ns/iter ({} iters)",
+            bencher.mean_ns, bencher.iters
+        );
+        self.completed += 1;
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` under the id `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = self.name.clone();
+        self.criterion.run_one(&name, &id.into(), f);
+        self
+    }
+
+    /// Ends the group. (No-op beyond upstream-API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly — first untimed for the warm-up window, then
+    /// timed until the measurement window or sample budget is exhausted — and
+    /// records the mean wall-clock nanoseconds per call.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_up_end || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("t");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.final_summary();
+        assert_eq!(c.completed, 1);
+    }
+}
