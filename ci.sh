@@ -1,15 +1,45 @@
 #!/usr/bin/env bash
 # CI gate for the spatial-cdb workspace. Run from anywhere; offline-safe.
+#
+# Usage: ./ci.sh [--quick]
+#   --quick   skip the heavy statistical acceptance gates (chi-square
+#             uniformity and (eps, delta) volume tests in tests/statistical.rs)
+#             for fast local iteration. The full gates are mandatory in CI.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [ "$QUICK" = "1" ]; then
+  # tests/statistical.rs self-skips its heavy gates when this is set.
+  export CDB_STAT_QUICK=1
+  echo "==> quick mode: heavy statistical gates are skipped"
+fi
+
 echo "==> cargo build --release"
 cargo build --release --workspace --all-targets
 
 echo "==> cargo test -q (workspace: unit + property + integration + doc tests)"
-cargo test -q --workspace
+# The heavy statistical gates are skipped inside the workspace run (they are
+# root-package integration tests, so they would execute here too) and run
+# explicitly below instead, so their cost is paid exactly once per CI pass.
+CDB_STAT_QUICK=1 cargo test -q --workspace
+
+if [ "$QUICK" != "1" ]; then
+  echo "==> statistical acceptance suite (chi-square uniformity + (eps, delta) volume gates)"
+  env -u CDB_STAT_QUICK cargo test -q --test statistical
+
+  echo "==> batch determinism suite (thread-count invariance)"
+  cargo test -q --test determinism
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -11,7 +11,8 @@ use cdb_geometry::ball::{ball_to_cube_ratio, unit_ball_volume};
 use cdb_geometry::Ellipsoid;
 use cdb_linalg::Vector;
 use cdb_sampler::{
-    ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator,
+    batch, ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator,
+    SeedSequence,
 };
 use cdb_workloads::polytopes;
 use criterion::{black_box, Criterion};
@@ -47,6 +48,12 @@ fn e1_convex_observability(c: &mut Criterion) {
             group.bench_function(format!("{name}_d{d}_volume"), |b| {
                 b.iter(|| black_box(sampler.estimate_volume(&mut r)))
             });
+            // The parallel batch path: 64 chains fanned out over all cores,
+            // with bitwise-reproducible output for the fixed seed.
+            let seq = SeedSequence::new(300 + d as u64);
+            group.bench_function(format!("{name}_d{d}_sample_batch64"), |b| {
+                b.iter(|| black_box(sampler.sample_batch(64, &seq, 0)))
+            });
         }
     }
     group.finish();
@@ -58,7 +65,14 @@ fn e2_rejection_vs_dfk(c: &mut Criterion) {
         let mut r = rng(200 + d as u64);
         let exact = unit_ball_volume(d);
         let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).expect("unit ball");
-        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 1.0, 1.0);
+        // A deliberately *loose* certificate (r_inf < r_sup). The original E2
+        // configuration passed the tight certificate r_inf = r_sup = 1.0,
+        // which pins the body to the certificate ball: the telescoping chain
+        // is empty and `estimate_volume` returns the closed-form ball volume
+        // in ~110 ns without touching the RNG (see the exact-certificate
+        // shortcut on `DfkSampler::estimate_volume`). The loose certificate
+        // makes the benchmark measure the real telescoping-product work.
+        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 0.8, 1.25);
 
         let dfk = DfkSampler::new(body.clone(), GeneratorParams::fast(), &mut r);
         let dfk_estimate = dfk.estimate_volume(&mut r);
@@ -76,6 +90,15 @@ fn e2_rejection_vs_dfk(c: &mut Criterion) {
 
         group.bench_function(format!("dfk_volume_d{d}"), |b| {
             b.iter(|| black_box(dfk.estimate_volume(&mut r)))
+        });
+        // Median-of-5 through the batch layer, once sequential and once over
+        // all cores: same output, different wall clock.
+        let seq = SeedSequence::new(400 + d as u64);
+        group.bench_function(format!("dfk_volume_median5_seq_d{d}"), |b| {
+            b.iter(|| black_box(dfk.estimate_volume_median_batch(5, &seq, 1)))
+        });
+        group.bench_function(format!("dfk_volume_median5_par_d{d}"), |b| {
+            b.iter(|| black_box(dfk.estimate_volume_median_batch(5, &seq, batch::auto_threads())))
         });
         group.bench_function(format!("rejection_volume_d{d}"), |b| {
             b.iter(|| black_box(rejection.estimate_volume(&mut r)))

@@ -9,7 +9,7 @@ use cdb_constraint::GeneralizedRelation;
 use cdb_geometry::volume::union_volume;
 use cdb_sampler::{
     DifferenceGenerator, GeneratorParams, IntersectionGenerator, RelationGenerator,
-    RelationVolumeEstimator, UnionGenerator,
+    RelationVolumeEstimator, SeedSequence, UnionGenerator,
 };
 use cdb_workloads::gis;
 use criterion::{black_box, Criterion};
@@ -42,6 +42,12 @@ fn e4_union(c: &mut Criterion) {
         });
         group.bench_function(format!("union_sample_m{m}"), |b| {
             b.iter(|| black_box(generator.sample(&mut r)))
+        });
+        // 64 almost-uniform points through the parallel batch layer (one
+        // child seed stream per point, all cores).
+        let seq = SeedSequence::new(450 + m as u64);
+        group.bench_function(format!("union_sample_batch64_m{m}"), |b| {
+            b.iter(|| black_box(generator.sample_batch(64, &seq, 0)))
         });
     }
     // A GIS layer as the realistic workload.

@@ -6,7 +6,7 @@
 use cdb_bench::{experiment_criterion, rng};
 use cdb_constraint::{Atom, GeneralizedTuple};
 use cdb_sampler::diagnostics::{chi_square_loose_bound, uniformity_chi_square};
-use cdb_sampler::{GeneratorParams, ProjectionGenerator, RelationGenerator};
+use cdb_sampler::{GeneratorParams, ProjectionGenerator, RelationGenerator, SeedSequence};
 use criterion::{black_box, Criterion};
 
 /// The generalization of the Figure 1 triangle to dimension `d`: the cone
@@ -67,6 +67,11 @@ fn e7_projection(c: &mut Criterion) {
         });
         group.bench_function(format!("algorithm2_projection_d{d}"), |b| {
             b.iter(|| black_box(generator.sample(&mut r)))
+        });
+        // The compensated generator through the parallel batch layer.
+        let seq = SeedSequence::new(750 + d as u64);
+        group.bench_function(format!("algorithm2_projection_batch64_d{d}"), |b| {
+            b.iter(|| black_box(generator.sample_batch(64, &seq, 0)))
         });
     }
     group.finish();

@@ -131,6 +131,52 @@ impl PolyConstraint {
     pub fn satisfied(&self, point: &[f64], tol: f64) -> bool {
         self.eval(point) <= tol
     }
+
+    /// Restriction of the left-hand side to the line `point + t·dir`, as the
+    /// coefficients `(a, b, c)` of `a·t² + b·t + c`.
+    ///
+    /// Only available when the constraint has total degree at most 2 (balls,
+    /// ellipsoids, linear constraints and their products of two variables);
+    /// returns `None` for higher degrees, telling the caller to fall back to
+    /// bisection against the membership oracle. This is what gives `PolyBody`
+    /// oracles closed-form chords for hit-and-run.
+    pub fn line_quadratic(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64, f64)> {
+        assert_eq!(point.len(), self.arity, "point arity mismatch");
+        assert_eq!(dir.len(), self.arity, "direction arity mismatch");
+        let (mut a, mut b, mut c) = (0.0f64, 0.0f64, 0.0f64);
+        for m in &self.monomials {
+            match m.degree() {
+                0 => c += m.coeff,
+                1 => {
+                    let i = m
+                        .exponents
+                        .iter()
+                        .position(|&e| e == 1)
+                        .expect("degree-1 monomial has one linear variable");
+                    c += m.coeff * point[i];
+                    b += m.coeff * dir[i];
+                }
+                2 => {
+                    let mut vars = m.exponents.iter().enumerate().filter(|(_, &e)| e > 0);
+                    let (i, &ei) = vars.next().expect("degree-2 monomial has variables");
+                    if ei == 2 {
+                        // coeff · x_i²
+                        a += m.coeff * dir[i] * dir[i];
+                        b += 2.0 * m.coeff * point[i] * dir[i];
+                        c += m.coeff * point[i] * point[i];
+                    } else {
+                        // coeff · x_i · x_j
+                        let (j, _) = vars.next().expect("mixed monomial has two variables");
+                        a += m.coeff * dir[i] * dir[j];
+                        b += m.coeff * (point[i] * dir[j] + point[j] * dir[i]);
+                        c += m.coeff * point[i] * point[j];
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some((a, b, c))
+    }
 }
 
 impl fmt::Display for PolyConstraint {
@@ -270,6 +316,32 @@ mod tests {
         assert_eq!(c.arity(), 2);
         let display = c.to_string();
         assert!(display.contains("<= 0"));
+    }
+
+    #[test]
+    fn line_quadratic_matches_direct_evaluation() {
+        // Mixed-degree constraint: x0² + 2·x0·x1 − 3·x1 + 1 ≤ 0.
+        let c = PolyConstraint::new(
+            2,
+            vec![
+                Monomial::new(1.0, vec![2, 0]),
+                Monomial::new(2.0, vec![1, 1]),
+                Monomial::new(-3.0, vec![0, 1]),
+                Monomial::new(1.0, vec![0, 0]),
+            ],
+        );
+        let p = [0.3, -0.7];
+        let d = [1.5, 0.4];
+        let (a, b, cc) = c.line_quadratic(&p, &d).unwrap();
+        for t in [-2.0, -0.5, 0.0, 0.7, 3.1] {
+            let x = [p[0] + t * d[0], p[1] + t * d[1]];
+            let direct = c.eval(&x);
+            let quad = a * t * t + b * t + cc;
+            assert!((direct - quad).abs() < 1e-9, "t={t}: {direct} vs {quad}");
+        }
+        // A cubic constraint has no quadratic restriction.
+        let cubic = PolyConstraint::new(1, vec![Monomial::new(1.0, vec![3])]);
+        assert!(cubic.line_quadratic(&[0.0], &[1.0]).is_none());
     }
 
     #[test]

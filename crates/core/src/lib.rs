@@ -46,7 +46,9 @@ use rand::Rng;
 use cdb_constraint::{ConstraintError, Database, Formula, GeneralizedRelation};
 use cdb_reconstruct::{PositiveQueryEstimator, ReconstructionError};
 use cdb_sampler::compose::ObservabilityError;
-use cdb_sampler::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, UnionGenerator};
+use cdb_sampler::{
+    GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence, UnionGenerator,
+};
 
 /// Errors surfaced by the high-level API.
 #[derive(Debug)]
@@ -162,6 +164,38 @@ impl SpatialDatabase {
         Ok(generator.sample_many(n, rng))
     }
 
+    /// Draws `n` almost-uniform points from the named relation in parallel:
+    /// point `i` is funded by child stream `i + 1` of `seq` and the chains
+    /// are split across up to `threads` worker threads (`0` = one per core),
+    /// so the output is identical for any thread count. Failed draws are
+    /// `None`, keeping indices aligned with seed streams.
+    pub fn approx_generate_batch(
+        &self,
+        name: &str,
+        n: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Result<Vec<Option<Vec<f64>>>, SpatialDbError> {
+        let mut generator = self.union_generator(name)?;
+        Ok(generator.sample_batch(n, seq, threads))
+    }
+
+    /// Median of `repeats` parallel independent volume estimates of the named
+    /// relation — the batched, thread-count-independent counterpart of
+    /// [`SpatialDatabase::approx_volume`].
+    pub fn approx_volume_batch(
+        &self,
+        name: &str,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Result<f64, SpatialDbError> {
+        let mut generator = self.union_generator(name)?;
+        generator
+            .estimate_volume_median(repeats, seq, threads)
+            .ok_or(SpatialDbError::GenerationFailed)
+    }
+
     /// Estimates the volume of the named relation.
     pub fn approx_volume<R: Rng + ?Sized>(
         &self,
@@ -235,6 +269,23 @@ mod tests {
         for p in &many {
             assert!(db.relation("U").unwrap().contains_f64(p));
         }
+    }
+
+    #[test]
+    fn batch_generation_is_thread_count_independent() {
+        let db = sample_db();
+        let seq = SeedSequence::new(77);
+        let single = db.approx_generate_batch("U", 64, &seq, 1).unwrap();
+        let pooled = db.approx_generate_batch("U", 64, &seq, 4).unwrap();
+        assert_eq!(single, pooled);
+        assert!(single.iter().filter(|p| p.is_some()).count() > 50);
+        for p in single.iter().flatten() {
+            assert!(db.relation("U").unwrap().contains_f64(p));
+        }
+        let v1 = db.approx_volume_batch("R", 5, &seq, 1).unwrap();
+        let v4 = db.approx_volume_batch("R", 5, &seq, 4).unwrap();
+        assert_eq!(v1, v4);
+        assert!((v1 - 2.0).abs() < 0.7, "volume {v1}");
     }
 
     #[test]

@@ -262,11 +262,20 @@ impl HPolytope {
     /// center together with the inscribed radius and an enclosing radius.
     /// Returns `None` for empty, lower-dimensional or unbounded polytopes.
     pub fn well_bounded(&self) -> Option<WellBounded> {
+        let bb = self.bounding_box()?;
+        self.well_bounded_within(&bb)
+    }
+
+    /// Same certificate as [`HPolytope::well_bounded`], reusing an
+    /// already-computed bounding box so callers that need the box anyway (the
+    /// composed generators classify every component) solve the `2·dim`
+    /// bounding LPs only once. Returns `None` when the polytope is
+    /// lower-dimensional (Chebyshev radius below [`GEOM_EPS`]).
+    pub fn well_bounded_within(&self, (lo, hi): &(Vector, Vector)) -> Option<WellBounded> {
         let (center, r_inf) = self.chebyshev_ball()?;
         if r_inf <= GEOM_EPS {
             return None;
         }
-        let (lo, hi) = self.bounding_box()?;
         let mut r_sup: f64 = 0.0;
         for j in 0..self.dim {
             let extent = (hi[j] - center[j]).abs().max((center[j] - lo[j]).abs());

@@ -49,7 +49,7 @@ pub mod volume;
 pub use ellipsoid::Ellipsoid;
 pub use grid::GammaGrid;
 pub use halfspace::Halfspace;
-pub use hpolytope::HPolytope;
+pub use hpolytope::{HPolytope, WellBounded};
 
 /// Default numerical tolerance for geometric predicates.
 pub const GEOM_EPS: f64 = 1e-7;

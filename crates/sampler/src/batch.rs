@@ -1,0 +1,176 @@
+//! Parallel batched execution of samplers and volume estimators.
+//!
+//! The paper's generators are embarrassingly parallel — every sample is an
+//! independent random-walk chain and every volume-estimate repeat is an
+//! independent telescoping product — but the sequential API (`&mut self` plus
+//! one shared [`rand::Rng`]) serializes them. This module supplies the
+//! missing piece: a [`SeedSequence`]-driven fan-out over `std::thread::scope`
+//! workers in which work item `i` always consumes the child stream
+//! [`SeedSequence::item_stream`]`(i)`, no matter which worker runs it.
+//!
+//! **Determinism contract.** For a fixed seed the output of every function in
+//! this module is bitwise identical for any thread count (1, 2, 8, or
+//! [`auto_threads`]), because the randomness of an item is a pure function of
+//! the seed tree and the item index, and because results are written into
+//! per-index slots rather than collected in completion order. The
+//! `tests/determinism.rs` suite pins this contract.
+//!
+//! No new dependencies are involved: workers are plain scoped threads, and
+//! worker-local generator state is obtained by cloning the prepared generator
+//! inside each worker.
+
+use crate::params::{RelationGenerator, RelationVolumeEstimator, SeedSequence};
+
+/// Number of worker threads to use when the caller passes `threads == 0`:
+/// one per available core (and `1` when parallelism cannot be queried).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a caller-supplied thread count: `0` means [`auto_threads`], and
+/// the count is capped by the number of work items.
+fn resolve_threads(threads: usize, items: usize) -> usize {
+    let t = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
+    t.clamp(1, items.max(1))
+}
+
+/// Runs `task(state, i)` for every `i in 0..n` across up to `threads` scoped
+/// worker threads and returns the results in index order.
+///
+/// Each worker builds its own state once via `init` (typically a clone of a
+/// prepared generator) and processes a contiguous chunk of indices. Provided
+/// `task`'s output depends only on the index (and immutable parts of the
+/// state), the result vector is independent of the thread count.
+pub fn fan_out<T, S, I, F>(n: usize, threads: usize, init: I, task: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads, n);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    if threads == 1 {
+        let mut state = init();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(task(&mut state, i));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (w, piece) in slots.chunks_mut(chunk).enumerate() {
+                let init = &init;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut state = init();
+                    for (k, slot) in piece.iter_mut().enumerate() {
+                        *slot = Some(task(&mut state, w * chunk + k));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is filled by exactly one worker"))
+        .collect()
+}
+
+/// Parallel counterpart of [`RelationGenerator::sample_batch`] for a
+/// generator whose setup has already run ([`RelationGenerator::prepare`]):
+/// each worker samples from its own clone, item `i` from child stream
+/// `i + 1`. Used by the generators to override the sequential trait default
+/// with an identical-output parallel fan-out.
+///
+/// Because the workers mutate clones, *diagnostic* state accumulated during
+/// sampling (the `acceptance_rate()` attempt/accept counters of the
+/// rejection-based generators) is not folded back into `generator` — batch
+/// entry points never update the sequential acceptance statistics. The
+/// poly-relatedness signal itself is unaffected: each repeat still reports
+/// failure through its own `None`.
+pub fn sample_batch_prepared<G>(
+    generator: &G,
+    n: usize,
+    seq: &SeedSequence,
+    threads: usize,
+) -> Vec<Option<Vec<f64>>>
+where
+    G: RelationGenerator + Clone + Send + Sync,
+{
+    fan_out(
+        n,
+        threads,
+        || generator.clone(),
+        |g, i| g.sample(&mut seq.item_stream(i).rng()),
+    )
+}
+
+/// Parallel counterpart of [`RelationVolumeEstimator::estimate_volume_batch`]
+/// for a prepared generator: repeat `i` runs on a worker-local clone with
+/// child stream `i + 1`.
+pub fn estimate_volume_batch_prepared<G>(
+    generator: &G,
+    repeats: usize,
+    seq: &SeedSequence,
+    threads: usize,
+) -> Vec<Option<f64>>
+where
+    G: RelationVolumeEstimator + Clone + Send + Sync,
+{
+    fan_out(
+        repeats,
+        threads,
+        || generator.clone(),
+        |g, i| g.estimate_volume(&mut seq.item_stream(i).rng()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_preserves_index_order() {
+        for threads in [1usize, 2, 3, 8, 0] {
+            let out = fan_out(17, threads, || (), |_, i| 2 * i);
+            assert_eq!(out, (0..17).map(|i| 2 * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fan_out_worker_state_is_initialized_per_worker() {
+        // Each worker counts the items it processed; the total is n for any
+        // thread count even though the per-worker split differs.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1usize, 2, 5] {
+            let total = AtomicUsize::new(0);
+            let _ = fan_out(
+                11,
+                threads,
+                || 0usize,
+                |state, _| {
+                    *state += 1;
+                    total.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(total.into_inner(), 11);
+        }
+    }
+
+    #[test]
+    fn fan_out_handles_empty_and_single_item_batches() {
+        assert!(fan_out(0, 4, || (), |_, i| i).is_empty());
+        assert_eq!(fan_out(1, 8, || (), |_, i| i), vec![0]);
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+}

@@ -6,12 +6,13 @@ use rand::Rng;
 
 use cdb_constraint::GeneralizedRelation;
 
+use crate::batch;
 use crate::compose::union::UnionGenerator;
 use crate::compose::ObservabilityError;
-use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
 
 /// Generator and volume estimator for `S_1 − S_2`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DifferenceGenerator {
     minuend: UnionGenerator,
     subtrahend: GeneralizedRelation,
@@ -72,9 +73,37 @@ impl RelationGenerator for DifferenceGenerator {
         }
         None
     }
+
+    fn prepare(&mut self, seq: &SeedSequence) {
+        self.minuend.prepare(seq);
+    }
+
+    fn sample_batch(
+        &mut self,
+        n: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<Vec<f64>>> {
+        self.prepare(seq);
+        batch::sample_batch_prepared(self, n, seq, threads)
+    }
 }
 
 impl RelationVolumeEstimator for DifferenceGenerator {
+    fn prepare_estimator(&mut self, seq: &SeedSequence) {
+        RelationGenerator::prepare(self, seq);
+    }
+
+    fn estimate_volume_batch(
+        &mut self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<f64>> {
+        self.prepare_estimator(seq);
+        batch::estimate_volume_batch_prepared(self, repeats, seq, threads)
+    }
+
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         let mu1 = self.minuend.estimate_volume(rng)?;
         let trials = self.params.samples_per_phase();

@@ -12,12 +12,13 @@ use rand::Rng;
 
 use cdb_constraint::GeneralizedRelation;
 
+use crate::batch;
 use crate::compose::union::UnionGenerator;
 use crate::compose::ObservabilityError;
-use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
 
 /// Generator and volume estimator for `S_1 ∩ … ∩ S_m`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct IntersectionGenerator {
     operands: Vec<GeneralizedRelation>,
     generators: Vec<UnionGenerator>,
@@ -121,9 +122,40 @@ impl RelationGenerator for IntersectionGenerator {
         }
         None
     }
+
+    fn prepare(&mut self, seq: &SeedSequence) {
+        // Funds the operand volume estimates (and the lazy setup of every
+        // operand's union generator) from the dedicated setup stream, so the
+        // choice of smallest operand is fixed before any batch fan-out.
+        self.ensure_smallest(&mut seq.setup_stream().rng());
+    }
+
+    fn sample_batch(
+        &mut self,
+        n: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<Vec<f64>>> {
+        self.prepare(seq);
+        batch::sample_batch_prepared(self, n, seq, threads)
+    }
 }
 
 impl RelationVolumeEstimator for IntersectionGenerator {
+    fn prepare_estimator(&mut self, seq: &SeedSequence) {
+        RelationGenerator::prepare(self, seq);
+    }
+
+    fn estimate_volume_batch(
+        &mut self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<f64>> {
+        self.prepare_estimator(seq);
+        batch::estimate_volume_batch_prepared(self, repeats, seq, threads)
+    }
+
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         let j = self.ensure_smallest(rng);
         let mu_j = self.generators[j].estimate_volume(rng)?;

@@ -13,14 +13,15 @@ use rand::Rng;
 use cdb_constraint::GeneralizedTuple;
 use cdb_geometry::{volume::polytope_volume, GammaGrid, HPolytope, Halfspace};
 
+use crate::batch;
 use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
 use crate::oracle::ConvexBody;
-use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
 
 /// Generator and volume estimator for the projection `T = proj_I(S)` of a
 /// convex relation `S` onto the coordinates `I`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ProjectionGenerator {
     tuple: GeneralizedTuple,
     polytope: HPolytope,
@@ -55,14 +56,19 @@ impl ProjectionGenerator {
                 "projection coordinates must be distinct and within the arity".into(),
             ));
         }
-        let body =
-            ConvexBody::from_tuple(tuple).ok_or(ObservabilityError::NotWellBounded { index: 0 })?;
+        // One closure polytope and one well-boundedness certificate serve
+        // both the sampler body and the fiber geometry.
+        let polytope = tuple.to_hpolytope();
+        let cert = polytope
+            .well_bounded()
+            .ok_or(ObservabilityError::NotWellBounded { index: 0 })?;
+        let body = ConvexBody::from_polytope_cert(polytope.clone(), cert);
         let grid = GammaGrid::for_well_bounded(d, params.gamma, body.r_inf());
         let sampler = DfkSampler::new(body, params, rng);
         let fiber_coords: Vec<usize> = (0..d).filter(|i| !keep.contains(i)).collect();
         Ok(ProjectionGenerator {
             tuple: tuple.clone(),
-            polytope: tuple.to_hpolytope(),
+            polytope,
             keep: keep.to_vec(),
             fiber_coords,
             sampler,
@@ -187,11 +193,31 @@ impl RelationGenerator for ProjectionGenerator {
         }
         None
     }
+
+    // Setup is eager (everything happens in `new`), so the default no-op
+    // `prepare` is correct and only the fan-out is overridden.
+    fn sample_batch(
+        &mut self,
+        n: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<Vec<f64>>> {
+        batch::sample_batch_prepared(self, n, seq, threads)
+    }
 }
 
 impl RelationVolumeEstimator for ProjectionGenerator {
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         Some(self.estimate_projection_volume(rng))
+    }
+
+    fn estimate_volume_batch(
+        &mut self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<f64>> {
+        batch::estimate_volume_batch_prepared(self, repeats, seq, threads)
     }
 }
 

@@ -12,14 +12,15 @@ use rand::Rng;
 
 use cdb_constraint::GeneralizedRelation;
 
+use crate::batch;
 use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
 use crate::oracle::ConvexBody;
-use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
 
 /// The union generator of Theorem 4.1 / Corollary 4.2 and the union volume
 /// estimator of Theorem 4.2.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct UnionGenerator {
     relation: GeneralizedRelation,
     bodies: Vec<ConvexBody>,
@@ -43,7 +44,10 @@ impl UnionGenerator {
             .map_err(ObservabilityError::InvalidParams)?;
         // Classify every tuple: empty or measure-zero tuples are dropped (the
         // paper's remark that exponentially smaller components can be treated
-        // as empty); unbounded tuples make the relation non-observable.
+        // as empty); unbounded tuples make the relation non-observable. The
+        // well-boundedness certificate of each kept component is computed
+        // once here — one bounding-box pass plus one Chebyshev LP — and
+        // cached on the generator inside its `ConvexBody`.
         let mut kept = Vec::new();
         let mut bodies = Vec::new();
         for (i, t) in relation.tuples().iter().enumerate() {
@@ -51,13 +55,13 @@ impl UnionGenerator {
                 continue;
             }
             let polytope = t.to_hpolytope();
-            if polytope.bounding_box().is_none() {
-                return Err(ObservabilityError::NotWellBounded { index: i });
-            }
-            match ConvexBody::from_tuple(t) {
-                Some(b) => {
+            let bb = polytope
+                .bounding_box()
+                .ok_or(ObservabilityError::NotWellBounded { index: i })?;
+            match polytope.well_bounded_within(&bb) {
+                Some(cert) => {
                     kept.push(t.clone());
-                    bodies.push(b);
+                    bodies.push(ConvexBody::from_polytope_cert(polytope, cert));
                 }
                 // Bounded but lower-dimensional: measure zero, drop it.
                 None => continue,
@@ -148,9 +152,37 @@ impl RelationGenerator for UnionGenerator {
         }
         None
     }
+
+    fn prepare(&mut self, seq: &SeedSequence) {
+        self.ensure_initialized(&mut seq.setup_stream().rng());
+    }
+
+    fn sample_batch(
+        &mut self,
+        n: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<Vec<f64>>> {
+        self.prepare(seq);
+        batch::sample_batch_prepared(self, n, seq, threads)
+    }
 }
 
 impl RelationVolumeEstimator for UnionGenerator {
+    fn prepare_estimator(&mut self, seq: &SeedSequence) {
+        RelationGenerator::prepare(self, seq);
+    }
+
+    fn estimate_volume_batch(
+        &mut self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<f64>> {
+        self.prepare_estimator(seq);
+        batch::estimate_volume_batch_prepared(self, repeats, seq, threads)
+    }
+
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         self.ensure_initialized(rng);
         let total: f64 = self.volumes.iter().sum();

@@ -24,8 +24,9 @@ use cdb_linalg::{AffineMap, Matrix};
 
 use cdb_geometry::ball::ball_volume;
 
+use crate::batch;
 use crate::oracle::ConvexBody;
-use crate::params::GeneratorParams;
+use crate::params::{GeneratorParams, SeedSequence};
 use crate::walk::{walk, WalkKind};
 
 /// Almost-uniform generator and volume estimator for one well-bounded convex
@@ -144,14 +145,39 @@ impl DfkSampler {
         self.to_original.apply(&y).into_vec()
     }
 
-    /// Draws `n` points.
+    /// Draws `n` points. One draw from `rng` seeds a [`SeedSequence`] whose
+    /// child streams fund the chains, fanned out over all available cores by
+    /// the [`batch`] module — deterministic given the state of `rng`.
     pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
-        (0..n).map(|_| self.sample(rng)).collect()
+        self.sample_batch(n, &SeedSequence::new(rng.next_u64()), 0)
+    }
+
+    /// Draws `n` points, chain `i` funded by child stream `i + 1` of `seq`
+    /// and the chains split across up to `threads` workers (`0` = one per
+    /// core). Bitwise identical output for any thread count.
+    pub fn sample_batch(&self, n: usize, seq: &SeedSequence, threads: usize) -> Vec<Vec<f64>> {
+        batch::fan_out(
+            n,
+            threads,
+            || self,
+            |s, i| s.sample(&mut seq.item_stream(i).rng()),
+        )
     }
 
     /// Estimates the volume of the body with the telescoping scheme; the
     /// result approximates the true volume with ratio `1 + ε` with
     /// probability at least `1 − δ` for sufficiently long walks.
+    ///
+    /// **Exact-certificate shortcut.** When the certificate is tight
+    /// (`r_inf == r_sup`), the body *is* the ball `B(center, r_inf)` —
+    /// sandwiched between two identical balls — so the telescoping chain is
+    /// empty and the closed-form [`ball_volume`] is returned without
+    /// consuming any randomness. This is the "suspiciously exact" 110 ns
+    /// path observed in experiment E2, which used to hand the estimator a
+    /// tight unit-ball certificate; the estimator is only exercised when the
+    /// certificate leaves a gap (see `telescoping_path_is_exercised_by_a_
+    /// loose_certificate` below, and the loose certificates now used by the
+    /// E2 bench).
     pub fn estimate_volume<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let d = self.rounded.dim();
         let r0 = self.rounded.r_inf();
@@ -189,11 +215,37 @@ impl DfkSampler {
 
     /// Median of `repeats` volume estimates — the classical trick to turn an
     /// `(ε, 1/4)`-estimator into an `(ε, δ)`-estimator with `O(ln 1/δ)`
-    /// repetitions.
+    /// repetitions. One draw from `rng` seeds a [`SeedSequence`] and the
+    /// repeats run in parallel through [`DfkSampler::estimate_volume_batch`].
     pub fn estimate_volume_median<R: Rng + ?Sized>(&self, repeats: usize, rng: &mut R) -> f64 {
-        let mut estimates: Vec<f64> = (0..repeats.max(1))
-            .map(|_| self.estimate_volume(rng))
-            .collect();
+        self.estimate_volume_median_batch(repeats, &SeedSequence::new(rng.next_u64()), 0)
+    }
+
+    /// Runs `repeats` independent telescoping estimates, repeat `i` funded by
+    /// child stream `i + 1` of `seq`, split across up to `threads` workers
+    /// (`0` = one per core). Bitwise identical output for any thread count.
+    pub fn estimate_volume_batch(
+        &self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<f64> {
+        batch::fan_out(
+            repeats,
+            threads,
+            || self,
+            |s, i| s.estimate_volume(&mut seq.item_stream(i).rng()),
+        )
+    }
+
+    /// Median of [`DfkSampler::estimate_volume_batch`].
+    pub fn estimate_volume_median_batch(
+        &self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> f64 {
+        let mut estimates = self.estimate_volume_batch(repeats.max(1), seq, threads);
         estimates.sort_by(|a, b| a.partial_cmp(b).expect("volume estimates are finite"));
         estimates[estimates.len() / 2]
     }
@@ -204,7 +256,7 @@ mod tests {
     use super::*;
     use cdb_geometry::HPolytope;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     fn sampler_for(p: &HPolytope, seed: u64) -> DfkSampler {
         let body = ConvexBody::from_polytope(p).unwrap();
@@ -273,6 +325,68 @@ mod tests {
         // right order of magnitude (the determinant of the rounding map is
         // accounted for) rather than a tight relative error.
         assert!(v > 30.0 && v < 300.0, "estimated {v}");
+    }
+
+    #[test]
+    fn tight_certificate_takes_the_exact_shortcut() {
+        // E2 audit: with r_inf == r_sup the certificate pins the body to a
+        // ball, the telescoping chain is empty and the estimator returns the
+        // closed-form ball volume without touching the RNG — the
+        // "suspiciously exact" 110 ns path of bench E2.
+        use cdb_geometry::ball::unit_ball_volume;
+        use cdb_geometry::Ellipsoid;
+        use cdb_linalg::Vector;
+        use std::sync::Arc;
+        let d = 4;
+        let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).unwrap();
+        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = DfkSampler::new(
+            body,
+            GeneratorParams {
+                rounding: false,
+                ..GeneratorParams::fast()
+            },
+            &mut rng,
+        );
+        let before = rng.clone().next_u64();
+        let v = s.estimate_volume(&mut rng);
+        assert_eq!(v, unit_ball_volume(d), "shortcut must be exact");
+        assert_eq!(rng.next_u64(), before, "shortcut must not consume the rng");
+    }
+
+    #[test]
+    fn telescoping_path_is_exercised_by_a_loose_certificate() {
+        // E2 audit regression: a loose certificate (r_inf < r_sup) pins the
+        // estimator to the telescoping-product code — it consumes
+        // randomness, varies across seeds, and still tracks the exact ball
+        // volume.
+        use cdb_geometry::ball::unit_ball_volume;
+        use cdb_geometry::Ellipsoid;
+        use cdb_linalg::Vector;
+        use std::sync::Arc;
+        let d = 4;
+        let exact = unit_ball_volume(d);
+        let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).unwrap();
+        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 0.8, 1.25);
+        let mut rng = StdRng::seed_from_u64(14);
+        let s = DfkSampler::new(
+            body,
+            GeneratorParams {
+                rounding: false,
+                ..GeneratorParams::fast()
+            },
+            &mut rng,
+        );
+        let a = s.estimate_volume(&mut StdRng::seed_from_u64(15));
+        let b = s.estimate_volume(&mut StdRng::seed_from_u64(16));
+        assert_ne!(a, exact, "telescoping estimates are not closed-form");
+        assert_ne!(a, b, "telescoping estimates vary across seeds");
+        let v = s.estimate_volume_median_batch(5, &SeedSequence::new(17), 0);
+        assert!(
+            (v - exact).abs() / exact < 0.35,
+            "estimated {v} vs exact {exact}"
+        );
     }
 
     #[test]

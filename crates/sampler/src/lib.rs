@@ -15,7 +15,32 @@
 //! * the fixed-dimension algorithms of Section 3 ([`FixedDimSampler`]);
 //! * the naive bounding-box rejection baseline ([`RejectionSampler`]) whose
 //!   exponential failure rate motivates the whole construction;
-//! * statistical diagnostics used by the experiments ([`diagnostics`]).
+//! * statistical diagnostics used by the experiments ([`diagnostics`]);
+//! * the parallel batch layer ([`batch`], [`SeedSequence`]): every generator
+//!   and estimator exposes `sample_batch` / `estimate_volume_batch` entry
+//!   points that fan independent chains and repeats out across scoped worker
+//!   threads.
+//!
+//! # Seed streams and reproducible parallelism
+//!
+//! The batch API replaces the single shared [`rand::Rng`] with a
+//! [`SeedSequence`]: a deterministic tree of RNG streams rooted at one `u64`
+//! seed. Work item `i` (a sample, or a volume-estimate repeat) always
+//! consumes child stream `i + 1`, and one-time generator setup consumes
+//! child stream `0`, so the output of a batch is **bitwise identical for any
+//! number of worker threads** — `threads` only decides how the items are
+//! scheduled, never what they compute:
+//!
+//! ```
+//! use cdb_constraint::GeneralizedRelation;
+//! use cdb_sampler::{GeneratorParams, RelationGenerator, SeedSequence, UnionGenerator};
+//!
+//! let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+//! let seq = SeedSequence::new(7);
+//! let mut a = UnionGenerator::new(&relation, GeneratorParams::fast()).unwrap();
+//! let mut b = UnionGenerator::new(&relation, GeneratorParams::fast()).unwrap();
+//! assert_eq!(a.sample_batch(32, &seq, 1), b.sample_batch(32, &seq, 4));
+//! ```
 //!
 //! # Example
 //!
@@ -37,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod compose;
 mod dfk;
 pub mod diagnostics;
@@ -53,6 +79,6 @@ pub use compose::union::UnionGenerator;
 pub use dfk::DfkSampler;
 pub use fixed_dim::FixedDimSampler;
 pub use oracle::{ConvexBody, MembershipOracle};
-pub use params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator};
+pub use params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
 pub use rejection::RejectionSampler;
 pub use walk::WalkKind;

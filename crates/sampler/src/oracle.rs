@@ -94,6 +94,45 @@ impl MembershipOracle for PolyBody {
     fn contains(&self, x: &[f64]) -> bool {
         PolyBody::contains(self, x, ORACLE_TOL)
     }
+    fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
+        // Each degree-≤2 constraint restricted to the line is a quadratic
+        // a·t² + b·t + c ≤ tol in t; intersect the solution intervals. Any
+        // constraint of higher degree — or a concave quadratic, whose
+        // solution set along the line is two rays rather than an interval —
+        // sends the walk back to bisection.
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for constraint in self.constraints() {
+            let (a, b, c) = constraint.line_quadratic(point, dir)?;
+            let c = c - ORACLE_TOL;
+            if a.abs() <= 1e-14 {
+                // Linear in t: the halfspace ratio test.
+                if b.abs() <= 1e-14 {
+                    if c > 0.0 {
+                        return Some((0.0, 0.0));
+                    }
+                } else if b > 0.0 {
+                    hi = hi.min(-c / b);
+                } else {
+                    lo = lo.max(-c / b);
+                }
+            } else if a > 0.0 {
+                let disc = b * b - 4.0 * a * c;
+                if disc <= 0.0 {
+                    return Some((0.0, 0.0));
+                }
+                let root = disc.sqrt();
+                lo = lo.max((-b - root) / (2.0 * a));
+                hi = hi.min((-b + root) / (2.0 * a));
+            } else {
+                return None;
+            }
+        }
+        if lo > hi {
+            return Some((0.0, 0.0));
+        }
+        Some((lo, hi))
+    }
 }
 
 impl MembershipOracle for Ellipsoid {
@@ -169,12 +208,20 @@ impl ConvexBody {
     /// for empty, unbounded or lower-dimensional polytopes.
     pub fn from_polytope(p: &HPolytope) -> Option<Self> {
         let wb = p.well_bounded()?;
-        Some(ConvexBody {
-            oracle: Arc::new(p.clone()),
-            center: wb.center,
-            r_inf: wb.r_inf,
-            r_sup: wb.r_sup,
-        })
+        Some(Self::from_polytope_cert(p.clone(), wb))
+    }
+
+    /// Builds a body from a polytope whose well-boundedness certificate the
+    /// caller has already computed — the certificate-caching entry point used
+    /// by the composed generators, which solve the Chebyshev/bounding-box
+    /// LPs once per component and reuse the result here.
+    pub fn from_polytope_cert(p: HPolytope, cert: cdb_geometry::WellBounded) -> Self {
+        ConvexBody {
+            oracle: Arc::new(p),
+            center: cert.center,
+            r_inf: cert.r_inf,
+            r_sup: cert.r_sup,
+        }
     }
 
     /// Builds a body from a generalized tuple (its closure).

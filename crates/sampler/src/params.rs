@@ -1,8 +1,75 @@
-//! Generator parameters and the generator / estimator traits.
+//! Generator parameters, the split-RNG seed sequence and the generator /
+//! estimator traits.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::walk::WalkKind;
+
+/// A deterministic tree of random-number streams, the backbone of the
+/// parallel batch API.
+///
+/// A `SeedSequence` names one node in an infinite tree rooted at a single
+/// `u64` seed. [`SeedSequence::child`] derives the `i`-th child node by
+/// mixing the index into the state with a SplitMix64-style avalanche, so
+/// distinct children produce statistically independent [`StdRng`] streams
+/// while remaining a pure function of `(root seed, path)`.
+///
+/// The batch samplers rely on one convention, shared by the sequential
+/// defaults and the parallel overrides so that results are **bitwise
+/// identical for any worker count**:
+///
+/// * child `0` ([`SeedSequence::setup_stream`]) funds one-time lazy setup
+///   (per-component samplers, pilot volume estimates);
+/// * child `i + 1` ([`SeedSequence::item_stream`]) funds work item `i`
+///   (one sample, or one volume-estimate repeat), independently of which
+///   thread executes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SeedSequence {
+    state: u64,
+}
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedSequence {
+    /// Creates the root of a stream tree from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeedSequence {
+            state: mix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Derives the `index`-th child stream. Deterministic, and children with
+    /// distinct indices (or distinct parents) get distinct states.
+    pub fn child(&self, index: u64) -> SeedSequence {
+        SeedSequence {
+            state: mix64(
+                self.state
+                    .wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
+        }
+    }
+
+    /// The stream that funds one-time generator setup (child `0`).
+    pub fn setup_stream(&self) -> SeedSequence {
+        self.child(0)
+    }
+
+    /// The stream that funds work item `i` (child `i + 1`).
+    pub fn item_stream(&self, index: usize) -> SeedSequence {
+        self.child(index as u64 + 1)
+    }
+
+    /// Instantiates the RNG of this stream.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.state)
+    }
+}
 
 /// The `(γ, ε, δ)` parameters of Definition 2.2 together with the practical
 /// knobs (walk length, sample counts) the theoretical bounds are mapped to.
@@ -114,9 +181,43 @@ pub trait RelationGenerator {
     fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>>;
 
     /// Draws `n` points, skipping failures (the number of returned points can
-    /// be smaller than `n`).
+    /// be smaller than `n`). This is the sequential single-stream path; see
+    /// [`RelationGenerator::sample_batch`] for the deterministic parallel one.
     fn sample_many<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
         (0..n).filter_map(|_| self.sample(rng)).collect()
+    }
+
+    /// Performs the generator's one-time lazy setup (per-component samplers,
+    /// pilot volume estimates) funded by the setup stream of `seq`.
+    /// Idempotent; called implicitly by the batch entry points.
+    fn prepare(&mut self, seq: &SeedSequence) {
+        let _ = seq;
+    }
+
+    /// Draws `n` points, one per child stream of `seq` (item `i` uses
+    /// [`SeedSequence::item_stream`]`(i)`), splitting the items across up to
+    /// `threads` worker threads (`0` means one per available core).
+    ///
+    /// Because every item's randomness is a pure function of `(seq, i)` and
+    /// setup is funded by the dedicated setup stream, the output is
+    /// **identical for any thread count** — including this sequential default
+    /// implementation, which implementors override with a parallel fan-out.
+    /// Failed draws are reported as `None` so indices stay aligned with
+    /// streams. Parallel overrides run on worker-local clones, so batch
+    /// calls do not update diagnostic counters such as the composed
+    /// generators' `acceptance_rate()` (see
+    /// [`crate::batch::sample_batch_prepared`]).
+    fn sample_batch(
+        &mut self,
+        n: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<Vec<f64>>> {
+        let _ = threads;
+        self.prepare(seq);
+        (0..n)
+            .map(|i| self.sample(&mut seq.item_stream(i).rng()))
+            .collect()
     }
 }
 
@@ -126,6 +227,56 @@ pub trait RelationVolumeEstimator {
     /// not observable under the given parameters (e.g. the poly-related
     /// condition of Proposition 4.1 is violated).
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64>;
+
+    /// Performs the estimator's one-time lazy setup funded by the setup
+    /// stream of `seq` — the volume-side counterpart of
+    /// [`RelationGenerator::prepare`] (types implementing both traits
+    /// typically delegate one to the other). Idempotent; called implicitly
+    /// by the batch entry points.
+    fn prepare_estimator(&mut self, seq: &SeedSequence) {
+        let _ = seq;
+    }
+
+    /// Runs `repeats` independent volume estimates, one per child stream of
+    /// `seq`, across up to `threads` worker threads (`0` means one per
+    /// available core). Same stream convention — setup from the setup
+    /// stream, repeat `i` from [`SeedSequence::item_stream`]`(i)` — and
+    /// therefore the same thread-count-independence guarantee as
+    /// [`RelationGenerator::sample_batch`].
+    fn estimate_volume_batch(
+        &mut self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Vec<Option<f64>> {
+        let _ = threads;
+        self.prepare_estimator(seq);
+        (0..repeats)
+            .map(|i| self.estimate_volume(&mut seq.item_stream(i).rng()))
+            .collect()
+    }
+
+    /// Median of the successful repeats of
+    /// [`RelationVolumeEstimator::estimate_volume_batch`] — the classical
+    /// amplification of an `(ε, 1/4)`-estimator into an `(ε, δ)`-estimator
+    /// with `O(ln 1/δ)` repetitions. `None` when every repeat failed.
+    fn estimate_volume_median(
+        &mut self,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+    ) -> Option<f64> {
+        let mut estimates: Vec<f64> = self
+            .estimate_volume_batch(repeats.max(1), seq, threads)
+            .into_iter()
+            .flatten()
+            .collect();
+        if estimates.is_empty() {
+            return None;
+        }
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("volume estimates are finite"));
+        Some(estimates[estimates.len() / 2])
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +322,39 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn seed_sequence_children_are_deterministic_and_distinct() {
+        let root = SeedSequence::new(42);
+        assert_eq!(root.child(3), SeedSequence::new(42).child(3));
+        // Sibling streams and cousin streams never collide on a large sample.
+        let mut states = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(states.insert(root.child(i)));
+            assert!(states.insert(root.child(7).child(i)));
+        }
+        // Distinct roots give distinct trees.
+        assert_ne!(SeedSequence::new(1).child(0), SeedSequence::new(2).child(0));
+        // setup/item streams follow the documented child indices.
+        assert_eq!(root.setup_stream(), root.child(0));
+        assert_eq!(root.item_stream(5), root.child(6));
+    }
+
+    #[test]
+    fn seed_sequence_rngs_diverge() {
+        use rand::RngCore;
+        let root = SeedSequence::new(9);
+        let mut a = root.child(0).rng();
+        let mut b = root.child(1).rng();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "child streams look correlated");
+        // The same stream replays identically.
+        let mut c = root.child(1).rng();
+        let mut d = root.child(1).rng();
+        for _ in 0..64 {
+            assert_eq!(c.next_u64(), d.next_u64());
+        }
     }
 
     #[test]

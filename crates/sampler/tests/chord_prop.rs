@@ -1,0 +1,186 @@
+//! Property tests for the closed-form `PolyBody` chord intervals.
+//!
+//! Hit-and-run used to pay a 120-evaluation bisection per step on polynomial
+//! oracles; `PolyBody::chord_interval` (via `PolyConstraint::line_quadratic`)
+//! replaces that with per-constraint quadratic roots. These properties pin
+//! the closed form to the membership oracle on random polytopes and random
+//! ball/ellipsoid intersections:
+//!
+//! * both returned endpoints lie inside the body,
+//! * points just outside either endpoint lie outside,
+//! * the closed-form interval agrees with the old bisection path.
+//!
+//! All bodies are generated with the origin strictly inside (constraint
+//! slack at least 0.4 at the origin), which bounds the boundary-crossing
+//! slope from below and keeps the "just outside" margin numerically robust.
+
+use cdb_constraint::poly::{Monomial, PolyBody, PolyConstraint};
+use cdb_sampler::MembershipOracle;
+use proptest::prelude::*;
+
+/// Extent cap used by the bisection fallback in the walk layer; all test
+/// bodies fit well inside it.
+const MAX_EXTENT: f64 = 8.0;
+
+fn point_on_line(point: &[f64], dir: &[f64], t: f64) -> Vec<f64> {
+    point.iter().zip(dir).map(|(p, d)| p + t * d).collect()
+}
+
+/// The 60-step bisection of `walk::chord`, replicated against the membership
+/// oracle (the path `chord_interval` replaces).
+fn bisect_chord(body: &PolyBody, point: &[f64], dir: &[f64]) -> (f64, f64) {
+    let contains = |t: f64| MembershipOracle::contains(body, &point_on_line(point, dir, t));
+    let boundary = |sign: f64| -> f64 {
+        let mut lo = 0.0f64;
+        let mut hi = MAX_EXTENT;
+        if contains(sign * hi) {
+            return hi;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if contains(sign * mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    (-boundary(-1.0), boundary(1.0))
+}
+
+/// Shared property: closed-form chord from the origin exists, its endpoints
+/// are inside, just-outside points are outside, and it matches bisection.
+fn check_chord_properties(body: &PolyBody, dir: &[f64]) -> Result<(), String> {
+    let origin = vec![0.0; body.arity()];
+    prop_assert!(
+        MembershipOracle::contains(body, &origin),
+        "test bodies contain the origin by construction"
+    );
+    let (lo, hi) = MembershipOracle::chord_interval(body, &origin, dir)
+        .expect("degree-2 bodies have closed-form chords");
+    prop_assert!(
+        lo < 0.0 && hi > 0.0,
+        "chord must straddle the origin: ({lo}, {hi})"
+    );
+    prop_assert!(
+        hi < MAX_EXTENT && lo > -MAX_EXTENT,
+        "test bodies are bounded"
+    );
+
+    // Endpoints (nudged inward by less than the oracle can resolve a
+    // boundary crossing) are inside.
+    let eps = 1e-7;
+    prop_assert!(
+        MembershipOracle::contains(body, &point_on_line(&origin, dir, hi - eps)),
+        "upper endpoint escaped"
+    );
+    prop_assert!(
+        MembershipOracle::contains(body, &point_on_line(&origin, dir, lo + eps)),
+        "lower endpoint escaped"
+    );
+
+    // Points just outside either endpoint are outside.
+    let step = 1e-3;
+    prop_assert!(
+        !MembershipOracle::contains(body, &point_on_line(&origin, dir, hi + step)),
+        "point beyond the upper endpoint is still inside"
+    );
+    prop_assert!(
+        !MembershipOracle::contains(body, &point_on_line(&origin, dir, lo - step)),
+        "point beyond the lower endpoint is still inside"
+    );
+
+    // Agreement with the old bisection path.
+    let (blo, bhi) = bisect_chord(body, &origin, dir);
+    prop_assert!(
+        (lo - blo).abs() < 1e-5 && (hi - bhi).abs() < 1e-5,
+        "closed form ({lo:.8}, {hi:.8}) vs bisection ({blo:.8}, {bhi:.8})"
+    );
+    Ok(())
+}
+
+/// A random bounded polytope as a `PolyBody` of degree-1 constraints: the box
+/// `[-1.5, 1.5]^d` cut by random halfspaces `a·x ≤ offset` with
+/// `offset ≥ 0.4·‖a‖∞·d`, so the origin keeps slack.
+fn linear_body(dim: usize, cuts: Vec<(Vec<f64>, f64)>) -> PolyBody {
+    let mut constraints = Vec::new();
+    for i in 0..dim {
+        for sign in [1.0, -1.0] {
+            let mut e = vec![0u32; dim];
+            e[i] = 1;
+            constraints.push(PolyConstraint::new(
+                dim,
+                vec![Monomial::new(sign, e), Monomial::new(-1.5, vec![0; dim])],
+            ));
+        }
+    }
+    for (normal, offset) in cuts {
+        let mut monomials: Vec<Monomial> = Vec::new();
+        for (i, &a) in normal.iter().take(dim).enumerate() {
+            let mut e = vec![0u32; dim];
+            e[i] = 1;
+            monomials.push(Monomial::new(a, e));
+        }
+        monomials.push(Monomial::new(-offset.max(0.4), vec![0; dim]));
+        constraints.push(PolyConstraint::new(dim, monomials));
+    }
+    PolyBody::new(dim, constraints, true)
+}
+
+fn direction(dim: usize, raw: &[f64]) -> Option<Vec<f64>> {
+    let norm: f64 = raw[..dim].iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm < 0.1 {
+        return None;
+    }
+    Some(raw[..dim].iter().map(|x| x / norm).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chords_on_random_polytopes(
+        normals in proptest::collection::vec(
+            (proptest::collection::vec(-1.0f64..1.0, 4), 0.4f64..2.0), 1..5),
+        raw_dir in proptest::collection::vec(-1.0f64..1.0, 4),
+        dim in 2usize..=4,
+    ) {
+        let Some(dir) = direction(dim, &raw_dir) else { return Ok(()) };
+        let body = linear_body(dim, normals);
+        check_chord_properties(&body, &dir)?;
+    }
+
+    #[test]
+    fn chords_on_random_ball_ellipsoid_intersections(
+        c1 in proptest::collection::vec(-0.3f64..0.3, 3),
+        r1 in 0.7f64..1.5,
+        c2 in proptest::collection::vec(-0.3f64..0.3, 3),
+        axes in proptest::collection::vec(0.7f64..2.0, 3),
+        raw_dir in proptest::collection::vec(-1.0f64..1.0, 3),
+        dim in 2usize..=3,
+    ) {
+        let Some(dir) = direction(dim, &raw_dir) else { return Ok(()) };
+        let ball = PolyBody::ball(&c1[..dim], r1);
+        let ellipsoid = PolyBody::ellipsoid(&c2[..dim], &axes[..dim]);
+        let lens = ball.intersect(&ellipsoid);
+        check_chord_properties(&lens, &dir)?;
+    }
+
+    #[test]
+    fn cubic_bodies_fall_back_to_bisection(
+        coeff in 0.5f64..2.0,
+    ) {
+        // x³ ≤ 1-ish bodies have no closed form: chord_interval is None and
+        // the walk layer bisects instead.
+        let cubic = PolyBody::new(
+            1,
+            vec![PolyConstraint::new(
+                1,
+                vec![Monomial::new(coeff, vec![3]), Monomial::new(-1.0, vec![0])],
+            )],
+            true,
+        );
+        prop_assert!(MembershipOracle::chord_interval(&cubic, &[0.0], &[1.0]).is_none());
+    }
+}

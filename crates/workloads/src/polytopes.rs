@@ -102,6 +102,29 @@ pub fn hypercube_relation(dim: usize, half_width: f64) -> GeneralizedRelation {
     GeneralizedRelation::from_tuple(hypercube(dim, half_width))
 }
 
+/// The closed-form ground-truth suite driven by the statistical acceptance
+/// tests and experiment E1: every convex family of this module with a known
+/// exact volume in dimension `dim`, as `(name, relation, exact_volume)`.
+pub fn closed_form_suite(dim: usize) -> Vec<(&'static str, GeneralizedRelation, f64)> {
+    vec![
+        (
+            "hypercube",
+            GeneralizedRelation::from_tuple(hypercube(dim, 1.0)),
+            hypercube_volume(dim, 1.0),
+        ),
+        (
+            "simplex",
+            GeneralizedRelation::from_tuple(standard_simplex(dim)),
+            simplex_volume(dim),
+        ),
+        (
+            "cross_polytope",
+            GeneralizedRelation::from_tuple(cross_polytope(dim)),
+            cross_polytope_volume(dim),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,14 +11,19 @@ use cdb_geometry::ball::{ball_to_cube_ratio, unit_ball_volume};
 use cdb_geometry::Ellipsoid;
 use cdb_linalg::Vector;
 use cdb_sampler::{
-    ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator,
+    batch, ConvexBody, DfkSampler, GeneratorParams, RejectionSampler, RelationVolumeEstimator,
+    SeedSequence,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(9);
-    println!("estimating the volume of the unit ball B_d inscribed in [-1,1]^d\n");
+    println!("estimating the volume of the unit ball B_d inscribed in [-1,1]^d");
+    println!(
+        "(median of 3 telescoping estimates, fanned out over {} worker threads)\n",
+        batch::auto_threads()
+    );
     println!(
         "{:>3} {:>12} {:>14} {:>14} {:>16} {:>12}",
         "d", "exact vol", "DFK estimate", "rejection est", "accept. rate", "DFK time"
@@ -27,12 +32,17 @@ fn main() {
     for d in [2usize, 4, 6, 8, 10] {
         let exact = unit_ball_volume(d);
         let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).expect("unit ball");
-        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 1.0, 1.0);
+        // A loose certificate (r_inf < r_sup): a tight one (1.0, 1.0) would
+        // pin the body to the certificate ball and let the estimator return
+        // the closed-form volume without doing any work.
+        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 0.8, 1.25);
 
-        // Dyer–Frieze–Kannan estimator (membership oracle only).
+        // Dyer–Frieze–Kannan estimator (membership oracle only), repeats
+        // fanned out in parallel through the batch layer; the result is
+        // identical for any thread count.
         let t0 = Instant::now();
         let dfk = DfkSampler::new(body.clone(), GeneratorParams::default(), &mut rng);
-        let dfk_estimate = dfk.estimate_volume_median(3, &mut rng);
+        let dfk_estimate = dfk.estimate_volume_median_batch(3, &SeedSequence::new(d as u64), 0);
         let dfk_time = t0.elapsed();
 
         // Naive bounding-box rejection.

@@ -5,7 +5,7 @@
 
 use cdb_constraint::{parse_formula, GeneralizedRelation};
 use cdb_core::SpatialDatabase;
-use cdb_sampler::GeneratorParams;
+use cdb_sampler::{GeneratorParams, SeedSequence};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,6 +39,22 @@ fn main() {
     assert!(
         points.iter().all(|p| zone.contains_f64(p)),
         "sample escaped the zone"
+    );
+
+    // 1b. The same generation through the parallel batch API: one seed tree,
+    //     one child stream per point, fanned out over all cores — and the
+    //     result is bitwise identical for any thread count.
+    let seq = SeedSequence::new(7);
+    let batch = db
+        .approx_generate_batch("Zone", 200, &seq, 0)
+        .expect("Zone is observable");
+    let produced = batch.iter().filter(|p| p.is_some()).count();
+    println!("batch of 200 points over all cores: {produced} produced");
+    assert!(produced > 150, "too many batch failures");
+    assert_eq!(
+        batch,
+        db.approx_generate_batch("Zone", 200, &seq, 1).unwrap(),
+        "batch output must not depend on the thread count"
     );
 
     // 2. Volume estimation (Theorem 4.2). The exact area is 4*2 + 3*3 - 1*2 = 15.

@@ -7,7 +7,7 @@ use cdb_geometry::volume::{polytope_volume, symmetric_difference_volume, union_v
 use cdb_reconstruct::{ConvexReconstructor, ProjectionQueryEstimator};
 use cdb_sampler::{
     diagnostics, FixedDimSampler, GeneratorParams, IntersectionGenerator, RelationGenerator,
-    RelationVolumeEstimator, UnionGenerator,
+    RelationVolumeEstimator, SeedSequence, UnionGenerator,
 };
 use cdb_workloads::{gis, polytopes, sat};
 use rand::rngs::StdRng;
@@ -74,29 +74,46 @@ fn randomized_and_fixed_dimension_estimators_agree() {
 fn workload_bodies_are_observable_and_estimable() {
     let mut rng = StdRng::seed_from_u64(3);
     for d in [2usize, 3] {
-        let cases: Vec<(GeneralizedRelation, f64)> = vec![
-            (
-                GeneralizedRelation::from_tuple(polytopes::hypercube(d, 1.0)),
-                polytopes::hypercube_volume(d, 1.0),
-            ),
-            (
-                GeneralizedRelation::from_tuple(polytopes::standard_simplex(d)),
-                polytopes::simplex_volume(d),
-            ),
-            (
-                GeneralizedRelation::from_tuple(polytopes::cross_polytope(d)),
-                polytopes::cross_polytope_volume(d),
-            ),
-        ];
-        for (relation, exact) in cases {
+        for (name, relation, exact) in polytopes::closed_form_suite(d) {
             let mut generator = UnionGenerator::new(&relation, fast()).unwrap();
             let est = generator.estimate_volume(&mut rng).unwrap();
             assert!(
                 diagnostics::relative_error(est, exact) < 0.5,
-                "d={d}: estimate {est} vs exact {exact}"
+                "{name} d={d}: estimate {est} vs exact {exact}"
             );
         }
     }
+}
+
+#[test]
+fn batch_pipeline_from_formula_to_parallel_samples() {
+    // Text formula -> relation -> batched parallel generation: the points
+    // satisfy the formula and the batch is reproducible for any thread count.
+    let formula = parse_formula(
+        "(x0 >= 0 and x0 <= 2 and x1 >= 0 and x1 <= 1) or (x0 >= 3 and x0 <= 4 and x1 >= 0 and x1 <= 2)",
+        2,
+    )
+    .unwrap();
+    let relation = GeneralizedRelation::from_formula(2, &formula).unwrap();
+    let seq = SeedSequence::new(99);
+    let mut generator = UnionGenerator::new(&relation, fast()).unwrap();
+    let batch = generator.sample_batch(300, &seq, 0);
+    let produced: Vec<&Vec<f64>> = batch.iter().flatten().collect();
+    assert!(produced.len() > 250, "too many failures");
+    for p in &produced {
+        assert!(
+            formula.eval_f64(p, 1e-6).unwrap(),
+            "violates formula: {p:?}"
+        );
+    }
+    let mut fresh = UnionGenerator::new(&relation, fast()).unwrap();
+    assert_eq!(batch, fresh.sample_batch(300, &seq, 2));
+    // The batched median estimator tracks the exact area 2*1 + 1*2 = 4.
+    let est = generator.estimate_volume_median(5, &seq, 0).unwrap();
+    assert!(
+        diagnostics::relative_error(est, 4.0) < 0.3,
+        "estimate {est}"
+    );
 }
 
 #[test]

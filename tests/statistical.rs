@@ -1,0 +1,333 @@
+//! Statistical acceptance harness for the randomized deliverables.
+//!
+//! The generators and estimators of the paper are correct *in distribution*,
+//! so spot checks prove nothing: following the discipline of seeded
+//! acceptance testing (cf. Mandelkern & Schultz on confidence-interval
+//! construction and the Gonogo sensitivity-testing suite in PAPERS.md), every
+//! gate here is a chi-square uniformity statistic or an `(ε, δ)`
+//! relative-error bound evaluated on a *fixed seed tree*, so a failure is a
+//! deterministic regression, never flakiness.
+//!
+//! Two kinds of gates, for all five generators (`DfkSampler`,
+//! `UnionGenerator`, `IntersectionGenerator`, `DifferenceGenerator`,
+//! `ProjectionGenerator`):
+//!
+//! * **uniformity** — chi-square statistics of sampled marginals against the
+//!   uniform histogram, gated by the loose 0.999-quantile bound of
+//!   `cdb_sampler::diagnostics`;
+//! * **volume** — relative error of median-of-repeats volume estimates
+//!   against closed-form box/ball/simplex volumes.
+//!
+//! The heavy gates are skipped when `CDB_STAT_QUICK` is set in the
+//! environment (`./ci.sh --quick`) so local iteration stays fast.
+
+use cdb_constraint::poly::PolyBody;
+use cdb_constraint::{Atom, GeneralizedRelation, GeneralizedTuple};
+use cdb_linalg::Vector;
+use cdb_sampler::diagnostics::{chi_square_loose_bound, relative_error, uniformity_chi_square};
+use cdb_sampler::{
+    ConvexBody, DfkSampler, DifferenceGenerator, GeneratorParams, IntersectionGenerator,
+    ProjectionGenerator, RelationGenerator, RelationVolumeEstimator, SeedSequence, UnionGenerator,
+};
+use cdb_workloads::polytopes;
+use std::sync::Arc;
+
+/// `true` when the heavy statistical gates should be skipped
+/// (`./ci.sh --quick` sets `CDB_STAT_QUICK`).
+fn quick_mode() -> bool {
+    std::env::var_os("CDB_STAT_QUICK").is_some()
+}
+
+fn params() -> GeneratorParams {
+    GeneratorParams::fast()
+}
+
+/// Unwraps a batch of optional samples, requiring a high success rate.
+fn successes(batch: Vec<Option<Vec<f64>>>) -> Vec<Vec<f64>> {
+    let n = batch.len();
+    let kept: Vec<Vec<f64>> = batch.into_iter().flatten().collect();
+    assert!(
+        kept.len() * 10 >= n * 9,
+        "generator failure rate too high: {} of {n}",
+        n - kept.len()
+    );
+    kept
+}
+
+/// Chi-square uniformity gate on one coordinate marginal of a sample, after
+/// mapping each point through `fold` (used to fold disconnected parts onto a
+/// common interval).
+fn assert_marginal_uniform(
+    points: &[Vec<f64>],
+    fold: impl Fn(&[f64]) -> f64,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    label: &str,
+) {
+    let values: Vec<f64> = points.iter().map(|p| fold(p)).collect();
+    let stat = uniformity_chi_square(&values, lo, hi, bins);
+    let bound = chi_square_loose_bound(bins - 1);
+    assert!(
+        stat < bound,
+        "{label}: chi-square {stat:.2} exceeds the {bound:.2} gate"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// DfkSampler
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dfk_sampler_uniformity_gate() {
+    if quick_mode() {
+        return;
+    }
+    let square = cdb_geometry::HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+    let body = ConvexBody::from_polytope(&square).unwrap();
+    let mut rng = SeedSequence::new(1001).setup_stream().rng();
+    let sampler = DfkSampler::new(body, params(), &mut rng);
+    let pts = sampler.sample_batch(4000, &SeedSequence::new(1002), 0);
+    for p in &pts {
+        assert!(square.contains_slice(p, 1e-9));
+    }
+    assert_marginal_uniform(&pts, |p| p[0], 0.0, 1.0, 10, "dfk x-marginal");
+    assert_marginal_uniform(&pts, |p| p[1], 0.0, 1.0, 10, "dfk y-marginal");
+}
+
+#[test]
+fn dfk_volume_eps_delta_gates_on_closed_forms() {
+    if quick_mode() {
+        return;
+    }
+    // Box, simplex and cross-polytope against their closed forms, in two and
+    // three dimensions, through the parallel median estimator.
+    for d in [2usize, 3] {
+        for (name, relation, exact) in polytopes::closed_form_suite(d) {
+            let tuple = &relation.tuples()[0];
+            let body = ConvexBody::from_tuple(tuple).unwrap();
+            let mut rng = SeedSequence::new(2000 + d as u64).setup_stream().rng();
+            let sampler = DfkSampler::new(body, params(), &mut rng);
+            let est =
+                sampler.estimate_volume_median_batch(5, &SeedSequence::new(2100 + d as u64), 0);
+            let err = relative_error(est, exact);
+            assert!(
+                err < 0.30,
+                "{name} d={d}: estimate {est:.4} vs exact {exact:.4} (rel err {err:.3})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dfk_volume_gate_on_an_oracle_backed_ball() {
+    if quick_mode() {
+        return;
+    }
+    // The E2 configuration done right: a PolyBody ball (polynomial membership
+    // oracle, closed-form chords through `line_quadratic`) with a *loose*
+    // certificate, so the telescoping product is exercised instead of the
+    // exact-certificate shortcut.
+    let d = 3;
+    let exact = cdb_geometry::ball::unit_ball_volume(d);
+    let ball = PolyBody::ball(&[0.0; 3], 1.0);
+    let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 0.8, 1.3);
+    let mut rng = SeedSequence::new(3001).setup_stream().rng();
+    let sampler = DfkSampler::new(body, params(), &mut rng);
+    let est = sampler.estimate_volume_median_batch(5, &SeedSequence::new(3002), 0);
+    let err = relative_error(est, exact);
+    assert!(
+        err < 0.30,
+        "oracle ball: estimate {est:.4} vs exact {exact:.4} (rel err {err:.3})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// UnionGenerator
+// ---------------------------------------------------------------------------
+
+#[test]
+fn union_generator_uniformity_gate() {
+    if quick_mode() {
+        return;
+    }
+    // Two disjoint unit squares far apart plus an overlapping pair: fold the
+    // first coordinate back onto [0, 1] and gate the marginal.
+    let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]).union(
+        &GeneralizedRelation::from_box_f64(&[10.0, 0.0], &[11.0, 1.0]),
+    );
+    let mut generator = UnionGenerator::new(&relation, params()).unwrap();
+    let pts = successes(generator.sample_batch(3000, &SeedSequence::new(4001), 0));
+    assert_marginal_uniform(
+        &pts,
+        |p| if p[0] > 5.0 { p[0] - 10.0 } else { p[0] },
+        0.0,
+        1.0,
+        10,
+        "union folded x-marginal",
+    );
+    // Each square receives about half the mass.
+    let left = pts.iter().filter(|p| p[0] < 5.0).count() as f64 / pts.len() as f64;
+    assert!((left - 0.5).abs() < 0.05, "left mass {left}");
+}
+
+#[test]
+fn union_volume_eps_delta_gate_counts_overlaps_once() {
+    if quick_mode() {
+        return;
+    }
+    // [0,2]x[0,1] ∪ [1,3]x[0,1]: exact volume 3 (the Karp–Luby step must not
+    // double count the overlap).
+    let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0])
+        .union(&GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[3.0, 1.0]));
+    let mut generator = UnionGenerator::new(&relation, params()).unwrap();
+    let est = generator
+        .estimate_volume_median(5, &SeedSequence::new(4101), 0)
+        .unwrap();
+    let err = relative_error(est, 3.0);
+    assert!(err < 0.25, "union volume {est:.3} (rel err {err:.3})");
+}
+
+// ---------------------------------------------------------------------------
+// IntersectionGenerator
+// ---------------------------------------------------------------------------
+
+#[test]
+fn intersection_generator_uniformity_and_volume_gates() {
+    if quick_mode() {
+        return;
+    }
+    // [0,2]² ∩ [1,3]² = [1,2]², exact volume 1.
+    let a = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 2.0]);
+    let b = GeneralizedRelation::from_box_f64(&[1.0, 1.0], &[3.0, 3.0]);
+    let mut generator = IntersectionGenerator::new(&[a, b], params()).unwrap();
+    let pts = successes(generator.sample_batch(2500, &SeedSequence::new(5001), 0));
+    for p in &pts {
+        assert!(p[0] >= 1.0 - 1e-6 && p[0] <= 2.0 + 1e-6);
+        assert!(p[1] >= 1.0 - 1e-6 && p[1] <= 2.0 + 1e-6);
+    }
+    assert_marginal_uniform(&pts, |p| p[0], 1.0, 2.0, 8, "intersection x-marginal");
+    assert_marginal_uniform(&pts, |p| p[1], 1.0, 2.0, 8, "intersection y-marginal");
+    let est = generator
+        .estimate_volume_median(5, &SeedSequence::new(5002), 0)
+        .unwrap();
+    let err = relative_error(est, 1.0);
+    assert!(
+        err < 0.25,
+        "intersection volume {est:.3} (rel err {err:.3})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// DifferenceGenerator
+// ---------------------------------------------------------------------------
+
+#[test]
+fn difference_generator_uniformity_and_volume_gates() {
+    if quick_mode() {
+        return;
+    }
+    // [0,3]x[0,1] minus the middle strip [1,2]x[0,1]: two unit squares. Fold
+    // the right part onto [0,1] and gate the marginal; exact volume 2.
+    let s1 = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[3.0, 1.0]);
+    let s2 = GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[2.0, 1.0]);
+    let mut generator = DifferenceGenerator::new(&s1, &s2, params()).unwrap();
+    let pts = successes(generator.sample_batch(2500, &SeedSequence::new(6001), 0));
+    for p in &pts {
+        assert!(!s2.contains_f64(p), "sample fell in the subtrahend: {p:?}");
+    }
+    assert_marginal_uniform(
+        &pts,
+        |p| if p[0] > 1.5 { p[0] - 2.0 } else { p[0] },
+        0.0,
+        1.0,
+        10,
+        "difference folded x-marginal",
+    );
+    let est = generator
+        .estimate_volume_median(5, &SeedSequence::new(6002), 0)
+        .unwrap();
+    let err = relative_error(est, 2.0);
+    assert!(err < 0.25, "difference volume {est:.3} (rel err {err:.3})");
+}
+
+// ---------------------------------------------------------------------------
+// ProjectionGenerator (Figure 1)
+// ---------------------------------------------------------------------------
+
+/// The triangle `0 ≤ x ≤ 1, 0 ≤ y ≤ x` of Figure 1: its projection onto `x`
+/// is `[0, 1]`, but the fibers shrink linearly toward `x = 0`, so the
+/// *uncorrected* projection of uniform samples is heavily biased to the
+/// right.
+fn figure1_triangle() -> GeneralizedTuple {
+    GeneralizedTuple::new(
+        2,
+        vec![
+            Atom::le_from_ints(&[-1, 0], 0),
+            Atom::le_from_ints(&[1, 0], -1),
+            Atom::le_from_ints(&[0, -1], 0),
+            Atom::le_from_ints(&[-1, 1], 0),
+        ],
+    )
+}
+
+#[test]
+fn projection_generator_cylinder_compensation_gate() {
+    if quick_mode() {
+        return;
+    }
+    let tri = figure1_triangle();
+    let p = GeneratorParams {
+        gamma: 0.05,
+        ..params()
+    };
+    let mut rng = SeedSequence::new(7001).setup_stream().rng();
+    let mut generator = ProjectionGenerator::new(&tri, &[0], p, &mut rng).unwrap();
+
+    // The biased baseline (no compensation) must FAIL the uniformity gate …
+    let n = 1500;
+    let mut sample_rng = SeedSequence::new(7002).setup_stream().rng();
+    let biased: Vec<f64> = (0..n)
+        .map(|_| generator.sample_uncorrected(&mut sample_rng)[0])
+        .collect();
+    let biased_stat = uniformity_chi_square(&biased, 0.0, 1.0, 10);
+    assert!(
+        biased_stat > chi_square_loose_bound(9),
+        "the Figure-1 bias disappeared: chi-square {biased_stat:.2}"
+    );
+
+    // … while the cylinder-compensated generator passes it.
+    let pts = successes(generator.sample_batch(n, &SeedSequence::new(7003), 0));
+    assert_marginal_uniform(&pts, |p| p[0], 0.0, 1.0, 10, "projection marginal");
+}
+
+#[test]
+fn projection_volume_eps_delta_gate() {
+    if quick_mode() {
+        return;
+    }
+    // proj_x of the Figure-1 triangle and of the unit square both have
+    // length 1.
+    let p = GeneratorParams {
+        gamma: 0.05,
+        ..params()
+    };
+    for (name, tuple) in [
+        ("triangle", figure1_triangle()),
+        (
+            "square",
+            GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+        ),
+    ] {
+        let mut rng = SeedSequence::new(7101).setup_stream().rng();
+        let mut generator = ProjectionGenerator::new(&tuple, &[0], p, &mut rng).unwrap();
+        let est = generator
+            .estimate_volume_median(5, &SeedSequence::new(7102), 0)
+            .unwrap();
+        let err = relative_error(est, 1.0);
+        assert!(
+            err < 0.30,
+            "projection of {name}: estimate {est:.3} (rel err {err:.3})"
+        );
+    }
+}
