@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # CI gate for the spatial-cdb workspace. Run from anywhere; offline-safe.
 #
-# Usage: ./ci.sh [--quick]
+# Usage: ./ci.sh [--quick] [--bench]
 #   --quick   skip the heavy statistical acceptance gates (chi-square
 #             uniformity and (eps, delta) volume tests in tests/statistical.rs)
 #             for fast local iteration. The full gates are mandatory in CI.
+#   --bench   additionally run the walk-throughput perf report, which
+#             rewrites BENCH_walk.json (see the README performance section).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
 QUICK=0
+BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
+    --bench) BENCH=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -39,6 +43,11 @@ if [ "$QUICK" != "1" ]; then
 
   echo "==> batch determinism suite (thread-count invariance)"
   cargo test -q --test determinism
+fi
+
+if [ "$BENCH" = "1" ]; then
+  echo "==> walk perf report (rewrites BENCH_walk.json)"
+  cargo run --release -p cdb-bench --bin perf_report
 fi
 
 echo "==> cargo fmt --check"

@@ -1,0 +1,180 @@
+//! Walk-throughput report: measures hit-and-run steps/sec and samples/sec on
+//! the e1 polytope, e2 ball and e7 projection workloads and writes the
+//! machine-readable `BENCH_walk.json`, so every PR leaves a perf trajectory
+//! behind (`./ci.sh --bench` runs it).
+//!
+//! The harness deliberately drives only the stable public sampler API
+//! (`DfkSampler::sample`, `ProjectionGenerator::sample`), so the same source
+//! compiles against older revisions of the workspace — that is how the
+//! pre/post numbers quoted in PR descriptions are produced.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdb_constraint::{Atom, GeneralizedTuple};
+use cdb_geometry::{Ellipsoid, HPolytope};
+use cdb_linalg::Vector;
+use cdb_sampler::{
+    ConvexBody, DfkSampler, GeneratorParams, ProjectionGenerator, RelationGenerator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measured workload row of `BENCH_walk.json`.
+struct Row {
+    workload: &'static str,
+    dim: usize,
+    steps_per_sec: f64,
+    samples_per_sec: f64,
+}
+
+/// Runs `tick` (one sample) repeatedly: a short warm-up, then a timed window.
+/// Returns samples/sec.
+fn measure(mut tick: impl FnMut(), warmup: Duration, window: Duration) -> f64 {
+    let start = Instant::now();
+    while start.elapsed() < warmup {
+        tick();
+    }
+    let start = Instant::now();
+    let mut n = 0u64;
+    while start.elapsed() < window {
+        tick();
+        n += 1;
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The e7 cone in dimension `d`: `0 ≤ x_1 ≤ 1`, `0 ≤ x_i ≤ x_1`.
+fn cone(d: usize) -> GeneralizedTuple {
+    let mut atoms = Vec::new();
+    let mut first_lo = vec![0i64; d];
+    first_lo[0] = -1;
+    atoms.push(Atom::le_from_ints(&first_lo, 0));
+    let mut first_hi = vec![0i64; d];
+    first_hi[0] = 1;
+    atoms.push(Atom::le_from_ints(&first_hi, -1));
+    for i in 1..d {
+        let mut lo = vec![0i64; d];
+        lo[i] = -1;
+        atoms.push(Atom::le_from_ints(&lo, 0));
+        let mut hi = vec![0i64; d];
+        hi[i] = 1;
+        hi[0] = -1;
+        atoms.push(Atom::le_from_ints(&hi, 0));
+    }
+    GeneralizedTuple::new(d, atoms)
+}
+
+fn main() {
+    let warmup = Duration::from_millis(300);
+    let window = Duration::from_millis(1500);
+    let params = GeneratorParams::fast();
+    let mut rows = Vec::new();
+
+    // e1: hit-and-run chains on a 6-dimensional hypercube (12 constraints).
+    {
+        let d = 6;
+        let body = ConvexBody::from_polytope(&HPolytope::hypercube(d, 1.0))
+            .expect("hypercube is well-bounded");
+        let mut rng = StdRng::seed_from_u64(1001);
+        let sampler = DfkSampler::new(body, params, &mut rng);
+        let steps_per_sample = params.walk_steps(d) as f64;
+        let sps = measure(
+            || {
+                std::hint::black_box(sampler.sample(&mut rng));
+            },
+            warmup,
+            window,
+        );
+        rows.push(Row {
+            workload: "e1_polytope_hit_and_run",
+            dim: d,
+            steps_per_sec: sps * steps_per_sample,
+            samples_per_sec: sps,
+        });
+    }
+
+    // e2: hit-and-run chains on a 6-dimensional ball behind a loose
+    // certificate (the oracle-backed body of experiment E2).
+    {
+        let d = 6;
+        let ball = Ellipsoid::ball(Vector::zeros(d), 1.0).expect("unit ball");
+        let body = ConvexBody::from_oracle(Arc::new(ball), Vector::zeros(d), 0.8, 1.25);
+        let mut rng = StdRng::seed_from_u64(1002);
+        let sampler = DfkSampler::new(body, params, &mut rng);
+        let steps_per_sample = params.walk_steps(d) as f64;
+        let sps = measure(
+            || {
+                std::hint::black_box(sampler.sample(&mut rng));
+            },
+            warmup,
+            window,
+        );
+        rows.push(Row {
+            workload: "e2_ball_hit_and_run",
+            dim: d,
+            steps_per_sec: sps * steps_per_sample,
+            samples_per_sec: sps,
+        });
+    }
+
+    // e7: the cylinder-compensated projection generator on the 3-dimensional
+    // cone (each output point costs ~1/acceptance_rate chains).
+    {
+        let d = 3;
+        let shape = cone(d);
+        let proj_params = GeneratorParams {
+            gamma: 0.1,
+            ..params
+        };
+        let mut rng = StdRng::seed_from_u64(1003);
+        let mut generator = ProjectionGenerator::new(&shape, &[0], proj_params, &mut rng)
+            .expect("cone is observable");
+        let steps_per_chain = proj_params.walk_steps(d) as f64;
+        let sps = measure(
+            || {
+                std::hint::black_box(generator.sample(&mut rng));
+            },
+            warmup,
+            window,
+        );
+        // One emitted sample costs 1/acceptance chains of walk_steps each.
+        let acceptance = generator.acceptance_rate().max(1e-12);
+        rows.push(Row {
+            workload: "e7_projection_compensated",
+            dim: d,
+            steps_per_sec: sps * steps_per_chain / acceptance,
+            samples_per_sec: sps,
+        });
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"cdb-perf-report/v1\",\n");
+    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!(
+        "  \"walk_steps_factor\": {},\n",
+        params.walk_steps_factor
+    ));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"dim\": {}, \"steps_per_sec\": {:.0}, \"samples_per_sec\": {:.1}}}{}\n",
+            r.workload,
+            r.dim,
+            r.steps_per_sec,
+            r.samples_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("CDB_BENCH_OUT").unwrap_or_else(|_| "BENCH_walk.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_walk.json");
+    eprintln!("wrote {out}:");
+    print!("{json}");
+}

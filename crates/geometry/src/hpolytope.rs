@@ -1,6 +1,6 @@
 //! Convex polyhedra in H-representation (finite intersections of halfspaces).
 
-use cdb_linalg::{AffineMap, Matrix, Vector};
+use cdb_linalg::{kernels, AffineMap, Matrix, Vector};
 use cdb_lp::{LpOutcome, LpProblem};
 
 use crate::{Halfspace, GEOM_EPS};
@@ -28,28 +28,59 @@ impl WellBounded {
 
 /// A convex polyhedron `{ x ∈ R^d : a_i·x ≤ b_i }` given by its defining
 /// halfspaces.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Alongside the symbolic halfspace list the polytope caches the dense
+/// row-major constraint matrix `A` and offset vector `b` at construction
+/// (`dense_a` / `dense_b`), so the hot membership and chord paths of the
+/// samplers — and the LP setup — never rebuild per-row buffers.
+#[derive(Clone)]
 pub struct HPolytope {
     dim: usize,
     halfspaces: Vec<Halfspace>,
+    /// Flat row-major copy of the constraint normals (`n_constraints × dim`).
+    dense_a: Vec<f64>,
+    /// Constraint offsets, one per halfspace.
+    dense_b: Vec<f64>,
+}
+
+impl std::fmt::Debug for HPolytope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HPolytope")
+            .field("dim", &self.dim)
+            .field("halfspaces", &self.halfspaces)
+            .finish()
+    }
+}
+
+impl PartialEq for HPolytope {
+    fn eq(&self, other: &Self) -> bool {
+        // The dense buffers are derived data; the halfspaces are the truth.
+        self.dim == other.dim && self.halfspaces == other.halfspaces
+    }
 }
 
 impl HPolytope {
     /// Creates a polytope from a list of halfspaces (possibly empty, meaning
     /// the whole space).
     pub fn new(dim: usize, halfspaces: Vec<Halfspace>) -> Self {
+        let mut dense_a = Vec::with_capacity(halfspaces.len() * dim);
+        let mut dense_b = Vec::with_capacity(halfspaces.len());
         for h in &halfspaces {
             assert_eq!(h.dim(), dim, "halfspace dimension mismatch");
+            dense_a.extend_from_slice(h.normal().as_slice());
+            dense_b.push(h.offset());
         }
-        HPolytope { dim, halfspaces }
+        HPolytope {
+            dim,
+            halfspaces,
+            dense_a,
+            dense_b,
+        }
     }
 
     /// The whole space `R^dim`.
     pub fn whole_space(dim: usize) -> Self {
-        HPolytope {
-            dim,
-            halfspaces: Vec::new(),
-        }
+        HPolytope::new(dim, Vec::new())
     }
 
     /// The axis-aligned box `[lo_i, hi_i]` in each coordinate.
@@ -61,10 +92,7 @@ impl HPolytope {
             hs.push(Halfspace::upper_bound(dim, i, hi[i]));
             hs.push(Halfspace::lower_bound(dim, i, lo[i]));
         }
-        HPolytope {
-            dim,
-            halfspaces: hs,
-        }
+        HPolytope::new(dim, hs)
     }
 
     /// The hypercube `[-half, half]^dim`.
@@ -79,10 +107,7 @@ impl HPolytope {
             hs.push(Halfspace::lower_bound(dim, i, 0.0));
         }
         hs.push(Halfspace::from_slice(&vec![1.0; dim], 1.0));
-        HPolytope {
-            dim,
-            halfspaces: hs,
-        }
+        HPolytope::new(dim, hs)
     }
 
     /// The cross-polytope `{ Σ |x_i| ≤ r }` (2^dim facets — keep `dim` small).
@@ -94,10 +119,7 @@ impl HPolytope {
                 .collect();
             hs.push(Halfspace::from_slice(&normal, r));
         }
-        HPolytope {
-            dim,
-            halfspaces: hs,
-        }
+        HPolytope::new(dim, hs)
     }
 
     /// Ambient dimension.
@@ -115,20 +137,37 @@ impl HPolytope {
         self.halfspaces.len()
     }
 
-    /// Adds one halfspace in place.
+    /// Adds one halfspace in place, keeping the dense cache in sync.
     pub fn push(&mut self, h: Halfspace) {
         assert_eq!(h.dim(), self.dim, "halfspace dimension mismatch");
+        self.dense_a.extend_from_slice(h.normal().as_slice());
+        self.dense_b.push(h.offset());
         self.halfspaces.push(h);
+    }
+
+    /// The cached dense constraint matrix `A`, row-major with
+    /// [`HPolytope::n_constraints`] rows of [`HPolytope::dim`] entries each.
+    pub fn dense_a(&self) -> &[f64] {
+        &self.dense_a
+    }
+
+    /// The cached constraint offsets `b`, one per halfspace.
+    pub fn dense_b(&self) -> &[f64] {
+        &self.dense_b
     }
 
     /// Membership test with tolerance.
     pub fn contains(&self, x: &Vector, tol: f64) -> bool {
-        self.halfspaces.iter().all(|h| h.contains(x, tol))
+        self.contains_slice(x.as_slice(), tol)
     }
 
-    /// Membership test on a slice.
+    /// Membership test on a slice (allocation-free: one pass over the cached
+    /// dense constraint rows).
     pub fn contains_slice(&self, x: &[f64], tol: f64) -> bool {
-        self.contains(&Vector::from(x), tol)
+        assert_eq!(x.len(), self.dim, "membership dimension mismatch");
+        self.dense_b.iter().enumerate().all(|(i, &b)| {
+            kernels::dot(&self.dense_a[i * self.dim..(i + 1) * self.dim], x) <= b + tol
+        })
     }
 
     /// Intersection with another polytope over the same space.
@@ -136,18 +175,15 @@ impl HPolytope {
         assert_eq!(self.dim, other.dim, "intersection dimension mismatch");
         let mut hs = self.halfspaces.clone();
         hs.extend(other.halfspaces.iter().cloned());
-        HPolytope {
-            dim: self.dim,
-            halfspaces: hs,
-        }
+        HPolytope::new(self.dim, hs)
     }
 
     /// Translates the polytope by `t`.
     pub fn translate(&self, t: &Vector) -> HPolytope {
-        HPolytope {
-            dim: self.dim,
-            halfspaces: self.halfspaces.iter().map(|h| h.translate(t)).collect(),
-        }
+        HPolytope::new(
+            self.dim,
+            self.halfspaces.iter().map(|h| h.translate(t)).collect(),
+        )
     }
 
     /// Image under an invertible affine map `y = M x + t`:
@@ -167,17 +203,15 @@ impl HPolytope {
                 Halfspace::new(new_normal, h.offset() + shift)
             })
             .collect();
-        HPolytope {
-            dim: self.dim,
-            halfspaces,
-        }
+        HPolytope::new(self.dim, halfspaces)
     }
 
-    /// Builds an LP over this polytope's constraints.
+    /// Builds an LP over this polytope's constraints, copying rows out of the
+    /// dense cache rather than re-walking the halfspace objects.
     fn lp(&self) -> LpProblem<f64> {
         let mut lp = LpProblem::new(self.dim);
-        for h in &self.halfspaces {
-            lp.add_le(h.normal().as_slice().to_vec(), h.offset());
+        for (i, &b) in self.dense_b.iter().enumerate() {
+            lp.add_le(self.dense_a[i * self.dim..(i + 1) * self.dim].to_vec(), b);
         }
         lp
     }
@@ -213,10 +247,11 @@ impl HPolytope {
         let mut obj = vec![0.0; self.dim + 1];
         obj[self.dim] = 1.0;
         lp.set_objective(obj);
-        for h in &self.halfspaces {
-            let mut row = h.normal().as_slice().to_vec();
+        for (i, h) in self.halfspaces.iter().enumerate() {
+            let mut row = Vec::with_capacity(self.dim + 1);
+            row.extend_from_slice(&self.dense_a[i * self.dim..(i + 1) * self.dim]);
             row.push(h.normal_norm());
-            lp.add_le(row, h.offset());
+            lp.add_le(row, self.dense_b[i]);
         }
         let mut r_nonneg = vec![0.0; self.dim + 1];
         r_nonneg[self.dim] = 1.0;
@@ -306,8 +341,8 @@ impl HPolytope {
             let mut rows = Vec::with_capacity(d);
             let mut rhs = Vector::zeros(d);
             for (k, &i) in combo.iter().enumerate() {
-                rows.push(self.halfspaces[i].normal().as_slice().to_vec());
-                rhs[k] = self.halfspaces[i].offset();
+                rows.push(self.dense_a[i * d..(i + 1) * d].to_vec());
+                rhs[k] = self.dense_b[i];
             }
             let a = Matrix::from_rows(&rows);
             if let Ok(x) = a.solve(&rhs) {
@@ -343,15 +378,19 @@ impl HPolytope {
         for (i, h) in self.halfspaces.iter().enumerate() {
             // h is redundant iff max a·x over the other constraints is ≤ b.
             let mut lp = LpProblem::new(self.dim);
-            for (j, other) in self.halfspaces.iter().enumerate() {
+            for j in 0..self.halfspaces.len() {
                 if i != j {
-                    lp.add_le(other.normal().as_slice().to_vec(), other.offset());
+                    lp.add_le(
+                        self.dense_a[j * self.dim..(j + 1) * self.dim].to_vec(),
+                        self.dense_b[j],
+                    );
                 }
             }
-            let redundant = match lp.maximize(h.normal().as_slice().to_vec()) {
-                LpOutcome::Optimal { value, .. } => value <= h.offset() + GEOM_EPS,
-                _ => false,
-            };
+            let redundant =
+                match lp.maximize(self.dense_a[i * self.dim..(i + 1) * self.dim].to_vec()) {
+                    LpOutcome::Optimal { value, .. } => value <= h.offset() + GEOM_EPS,
+                    _ => false,
+                };
             if !redundant {
                 kept.push(h.clone());
             }
@@ -361,10 +400,7 @@ impl HPolytope {
             // keep one to preserve the set.
             kept.push(self.halfspaces[0].clone());
         }
-        HPolytope {
-            dim: self.dim,
-            halfspaces: kept,
-        }
+        HPolytope::new(self.dim, kept)
     }
 }
 

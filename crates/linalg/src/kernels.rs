@@ -1,0 +1,99 @@
+//! In-place slice kernels for the random-walk hot path.
+//!
+//! The walk engine in `cdb-sampler` performs a handful of dense operations
+//! per step — one matrix–vector product, a few dots and one `y += a·x`
+//! update — millions of times per second. These kernels operate on plain
+//! `&[f64]` slices so the oracle layer can run them directly over cached
+//! flat constraint matrices without constructing [`crate::Vector`] or
+//! [`crate::Matrix`] temporaries, and they are written to keep the inner
+//! loops allocation-free and auto-vectorizable (four independent
+//! accumulators for the reductions).
+
+/// Dot product of two equal-length slices, unrolled four-wide so the
+/// reduction runs on independent accumulators.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot kernel length mismatch");
+    let mut acc = [0.0f64; 4];
+    let (a4, a_rest) = a.split_at(a.len() - a.len() % 4);
+    let (b4, b_rest) = b.split_at(b.len() - b.len() % 4);
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_rest.iter().zip(b_rest) {
+        tail += x * y;
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}
+
+/// The classical `axpy` update `y ← y + a·x`, in place.
+#[inline]
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy kernel length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Scales a slice in place: `y ← s·y`.
+#[inline]
+pub fn scale_in_place(y: &mut [f64], s: f64) {
+    for yi in y.iter_mut() {
+        *yi *= s;
+    }
+}
+
+/// Dense matrix–vector product `out ← A·x` for a row-major flat matrix with
+/// `rows` rows and `x.len()` columns, written into a caller-owned buffer.
+#[inline]
+pub fn mat_vec_into(a: &[f64], rows: usize, x: &[f64], out: &mut [f64]) {
+    let cols = x.len();
+    assert_eq!(a.len(), rows * cols, "mat_vec flat buffer length mismatch");
+    assert_eq!(out.len(), rows, "mat_vec output length mismatch");
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = dot(&a[i * cols..(i + 1) * cols], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_for_all_remainders() {
+        for n in 0..13usize {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| 2.0 - i as f64).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(&mut y, 2.0, &[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![3.0, 2.0, 1.0]);
+        scale_in_place(&mut y, -1.0);
+        assert_eq!(y, vec![-3.0, -2.0, -1.0]);
+    }
+
+    #[test]
+    fn mat_vec_into_matches_row_dots() {
+        // 3x2 matrix [[1,2],[3,4],[5,6]] times [1,-1].
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = [0.0; 3];
+        mat_vec_into(&a, 3, &[1.0, -1.0], &mut out);
+        assert_eq!(out, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -25,6 +25,7 @@
 
 mod affine;
 mod cholesky;
+pub mod kernels;
 mod lu;
 mod matrix;
 mod vector;

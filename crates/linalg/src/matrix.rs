@@ -106,13 +106,17 @@ impl Matrix {
 
     /// Matrix–vector product.
     pub fn mul_vector(&self, v: &Vector) -> Vector {
-        assert_eq!(self.cols, v.dim(), "matrix-vector dimension mismatch");
         let mut out = Vector::zeros(self.rows);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            out[i] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
-        }
+        self.mul_vector_into(v, &mut out);
         out
+    }
+
+    /// Matrix–vector product written into a caller-owned buffer (`out` must
+    /// already have `rows` components) — the allocation-free variant used by
+    /// the walk hot path.
+    pub fn mul_vector_into(&self, v: &Vector, out: &mut Vector) {
+        assert_eq!(self.cols, v.dim(), "matrix-vector dimension mismatch");
+        crate::kernels::mat_vec_into(&self.data, self.rows, v.as_slice(), out.as_mut_slice());
     }
 
     /// Matrix–matrix product.

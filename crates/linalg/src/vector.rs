@@ -62,10 +62,11 @@ impl Vector {
         self.data.iter()
     }
 
-    /// Dot product with another vector of the same dimension.
+    /// Dot product with another vector of the same dimension (unrolled; see
+    /// [`crate::kernels::dot`]).
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.dim(), other.dim(), "dot product dimension mismatch");
-        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+        crate::kernels::dot(&self.data, &other.data)
     }
 
     /// Euclidean norm.
@@ -95,6 +96,29 @@ impl Vector {
         }
     }
 
+    /// Scales the vector in place: `self ← s·self`.
+    pub fn scale_in_place(&mut self, s: f64) {
+        crate::kernels::scale_in_place(&mut self.data, s);
+    }
+
+    /// The `axpy` update `self ← self + a·x`, in place (no allocation).
+    pub fn axpy(&mut self, a: f64, x: &Vector) {
+        assert_eq!(self.dim(), x.dim(), "axpy dimension mismatch");
+        crate::kernels::axpy(&mut self.data, a, &x.data);
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing the existing
+    /// allocation when the capacity suffices.
+    pub fn copy_from(&mut self, other: &Vector) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Resizes the vector to `dim` components, filling new slots with `value`.
+    pub fn resize(&mut self, dim: usize, value: f64) {
+        self.data.resize(dim, value);
+    }
+
     /// Returns the unit vector in the same direction; `None` for (near) zero
     /// vectors.
     pub fn normalized(&self) -> Option<Vector> {
@@ -103,6 +127,18 @@ impl Vector {
             None
         } else {
             Some(self.scale(1.0 / n))
+        }
+    }
+
+    /// Normalizes the vector in place; returns `false` (leaving the data
+    /// unchanged) for (near) zero vectors.
+    pub fn normalize_in_place(&mut self) -> bool {
+        let n = self.norm();
+        if n < 1e-300 {
+            false
+        } else {
+            self.scale_in_place(1.0 / n);
+            true
         }
     }
 
@@ -296,5 +332,23 @@ mod tests {
     #[should_panic]
     fn dimension_mismatch_panics() {
         let _ = Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+
+    #[test]
+    fn in_place_updates() {
+        let mut a = Vector::from(vec![1.0, 2.0]);
+        a.axpy(2.0, &Vector::from(vec![3.0, -1.0]));
+        assert_eq!(a.as_slice(), &[7.0, 0.0]);
+        a.scale_in_place(0.5);
+        assert_eq!(a.as_slice(), &[3.5, 0.0]);
+        a.copy_from(&Vector::from(vec![1.0, 2.0, 3.0]));
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+        a.resize(2, 0.0);
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        let mut u = Vector::from(vec![3.0, 4.0]);
+        assert!(u.normalize_in_place());
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        let mut z = Vector::zeros(2);
+        assert!(!z.normalize_in_place());
     }
 }

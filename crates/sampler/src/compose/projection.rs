@@ -18,6 +18,7 @@ use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
 use crate::oracle::ConvexBody;
 use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
+use crate::walk::WalkScratch;
 
 /// Generator and volume estimator for the projection `T = proj_I(S)` of a
 /// convex relation `S` onto the coordinates `I`.
@@ -32,6 +33,8 @@ pub struct ProjectionGenerator {
     params: GeneratorParams,
     attempts: u64,
     accepted: u64,
+    /// Per-generator walk workspace (cloned per batch worker).
+    scratch: WalkScratch,
 }
 
 impl ProjectionGenerator {
@@ -76,6 +79,7 @@ impl ProjectionGenerator {
             params,
             attempts: 0,
             accepted: 0,
+            scratch: WalkScratch::new(),
         })
     }
 
@@ -148,13 +152,13 @@ impl ProjectionGenerator {
     /// `vol(T) = vol(S) · E[1/ĥ] / p^{d−e}`.
     pub fn estimate_projection_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         if self.fiber_coords.is_empty() {
-            return self.sampler.estimate_volume(rng);
+            return self.sampler.estimate_volume_with(rng, &mut self.scratch);
         }
-        let vol_s = self.sampler.estimate_volume(rng);
+        let vol_s = self.sampler.estimate_volume_with(rng, &mut self.scratch);
         let trials = self.params.samples_per_phase();
         let mut sum_inv = 0.0;
         for _ in 0..trials {
-            let x = self.sampler.sample(rng);
+            let x = self.sampler.sample_with(rng, &mut self.scratch);
             let y = self.project(&x);
             sum_inv += 1.0 / self.cylinder_weight(&y);
         }
@@ -171,7 +175,8 @@ impl RelationGenerator for ProjectionGenerator {
 
     fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
         if self.fiber_coords.is_empty() {
-            return Some(self.project(&self.sampler.sample(rng)));
+            let x = self.sampler.sample_with(rng, &mut self.scratch);
+            return Some(self.project(&x));
         }
         // The success probability of one round is at least ~εγ/d³ (proof of
         // Theorem 4.3, with the grid step p = γ·r_inf/d^{3/2} folded in);
@@ -182,7 +187,7 @@ impl RelationGenerator for ProjectionGenerator {
         .ceil() as usize;
         let rounds = rounds.clamp(self.params.retry_rounds(), 500_000);
         for _ in 0..rounds {
-            let x = self.sampler.sample(rng);
+            let x = self.sampler.sample_with(rng, &mut self.scratch);
             let y = self.project(&x);
             let h = self.cylinder_weight(&y);
             self.attempts += 1;

@@ -17,6 +17,7 @@ use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
 use crate::oracle::ConvexBody;
 use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
+use crate::walk::WalkScratch;
 
 /// The union generator of Theorem 4.1 / Corollary 4.2 and the union volume
 /// estimator of Theorem 4.2.
@@ -28,6 +29,10 @@ pub struct UnionGenerator {
     volumes: Vec<f64>,
     params: GeneratorParams,
     initialized: bool,
+    /// Per-generator walk workspace, reused across every sample and volume
+    /// estimate (each batch worker clones the generator and with it gets its
+    /// own scratch).
+    scratch: WalkScratch,
 }
 
 impl UnionGenerator {
@@ -78,6 +83,7 @@ impl UnionGenerator {
             volumes: Vec::new(),
             params,
             initialized: false,
+            scratch: WalkScratch::new(),
         })
     }
 
@@ -107,7 +113,7 @@ impl UnionGenerator {
         self.volumes = self
             .samplers
             .iter()
-            .map(|s| s.estimate_volume(rng))
+            .map(|s| s.estimate_volume_with(rng, &mut self.scratch))
             .collect();
         self.initialized = true;
     }
@@ -142,7 +148,7 @@ impl RelationGenerator for UnionGenerator {
         // Repeat k = 4 ln(1/δ) times (the proof of Theorem 4.1).
         for _ in 0..self.params.retry_rounds() {
             let j = self.choose_component(rng);
-            let x = self.samplers[j].sample(rng);
+            let x = self.samplers[j].sample_with(rng, &mut self.scratch);
             // Accept only when j is the first component containing x, so the
             // output distribution is uniform on the union rather than on the
             // disjoint sum of the components.
@@ -194,7 +200,7 @@ impl RelationVolumeEstimator for UnionGenerator {
         let mut accepted = 0usize;
         for _ in 0..trials {
             let j = self.choose_component(rng);
-            let x = self.samplers[j].sample(rng);
+            let x = self.samplers[j].sample_with(rng, &mut self.scratch);
             if self.first_index(&x) == Some(j) {
                 accepted += 1;
             }

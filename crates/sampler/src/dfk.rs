@@ -27,7 +27,16 @@ use cdb_geometry::ball::ball_volume;
 use crate::batch;
 use crate::oracle::ConvexBody;
 use crate::params::{GeneratorParams, SeedSequence};
-use crate::walk::{walk, WalkKind};
+use crate::walk::{walk, WalkKind, WalkScratch};
+
+thread_local! {
+    /// Fallback workspace for the scratch-less convenience entry points
+    /// ([`DfkSampler::sample`], [`DfkSampler::estimate_volume`]): one lazily
+    /// grown [`WalkScratch`] per thread, so even ad-hoc callers hit the
+    /// zero-allocation walk path in steady state.
+    static THREAD_SCRATCH: std::cell::RefCell<WalkScratch> =
+        std::cell::RefCell::new(WalkScratch::new());
+}
 
 /// Almost-uniform generator and volume estimator for one well-bounded convex
 /// body (the building block every composed generator of Section 4 rests on).
@@ -86,8 +95,16 @@ impl DfkSampler {
         let steps = params.walk_steps(d);
         let mut points = Vec::with_capacity(n);
         let mut current = body.center().clone();
+        let mut scratch = WalkScratch::new();
         for _ in 0..n {
-            current = walk(body, &current, WalkKind::HitAndRun, steps, rng);
+            current = walk(
+                body,
+                &current,
+                WalkKind::HitAndRun,
+                steps,
+                rng,
+                &mut scratch,
+            );
             points.push(current.clone());
         }
         let mean = Matrix::mean(&points)?;
@@ -132,8 +149,10 @@ impl DfkSampler {
         self.to_original.det_abs() != 1.0 || self.to_original.translation_part().norm() != 0.0
     }
 
-    /// Draws one almost-uniform point from the body (original coordinates).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+    /// Draws one almost-uniform point from the body (original coordinates),
+    /// running the chain in the caller's [`WalkScratch`] — the allocation-free
+    /// entry point used by the composed generators and the batch workers.
+    pub fn sample_with<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut WalkScratch) -> Vec<f64> {
         let steps = self.params.walk_steps(self.dim());
         let y = walk(
             &self.rounded,
@@ -141,8 +160,18 @@ impl DfkSampler {
             self.params.walk,
             steps,
             rng,
+            scratch,
         );
         self.to_original.apply(&y).into_vec()
+    }
+
+    /// Draws one almost-uniform point from the body (original coordinates).
+    ///
+    /// Convenience wrapper around [`DfkSampler::sample_with`] that reuses a
+    /// thread-local scratch, so repeated calls stay on the zero-allocation
+    /// walk path without the caller managing a workspace.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        THREAD_SCRATCH.with(|cell| self.sample_with(rng, &mut cell.borrow_mut()))
     }
 
     /// Draws `n` points. One draw from `rng` seeds a [`SeedSequence`] whose
@@ -156,12 +185,9 @@ impl DfkSampler {
     /// and the chains split across up to `threads` workers (`0` = one per
     /// core). Bitwise identical output for any thread count.
     pub fn sample_batch(&self, n: usize, seq: &SeedSequence, threads: usize) -> Vec<Vec<f64>> {
-        batch::fan_out(
-            n,
-            threads,
-            || self,
-            |s, i| s.sample(&mut seq.item_stream(i).rng()),
-        )
+        batch::fan_out(n, threads, WalkScratch::new, |scratch, i| {
+            self.sample_with(&mut seq.item_stream(i).rng(), scratch)
+        })
     }
 
     /// Estimates the volume of the body with the telescoping scheme; the
@@ -179,6 +205,17 @@ impl DfkSampler {
     /// loose_certificate` below, and the loose certificates now used by the
     /// E2 bench).
     pub fn estimate_volume<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        THREAD_SCRATCH.with(|cell| self.estimate_volume_with(rng, &mut cell.borrow_mut()))
+    }
+
+    /// [`DfkSampler::estimate_volume`] running its telescoping chains in the
+    /// caller's [`WalkScratch`] (one buffer resize per telescoping phase, no
+    /// per-step allocations).
+    pub fn estimate_volume_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut WalkScratch,
+    ) -> f64 {
         let d = self.rounded.dim();
         let r0 = self.rounded.r_inf();
         let r_sup = self.rounded.r_sup();
@@ -200,7 +237,7 @@ impl DfkSampler {
             let mut inside = 0usize;
             let mut current = center.clone();
             for _ in 0..n {
-                current = walk(&outer, &current, self.params.walk, steps, rng);
+                current = walk(&outer, &current, self.params.walk, steps, rng, scratch);
                 if current.distance(&center) <= inner_radius {
                     inside += 1;
                 }
@@ -230,12 +267,9 @@ impl DfkSampler {
         seq: &SeedSequence,
         threads: usize,
     ) -> Vec<f64> {
-        batch::fan_out(
-            repeats,
-            threads,
-            || self,
-            |s, i| s.estimate_volume(&mut seq.item_stream(i).rng()),
-        )
+        batch::fan_out(repeats, threads, WalkScratch::new, |scratch, i| {
+            self.estimate_volume_with(&mut seq.item_stream(i).rng(), scratch)
+        })
     }
 
     /// Median of [`DfkSampler::estimate_volume_batch`].

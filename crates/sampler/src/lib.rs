@@ -67,10 +67,11 @@ pub mod compose;
 mod dfk;
 pub mod diagnostics;
 mod fixed_dim;
+pub mod gauss;
 mod oracle;
 mod params;
 mod rejection;
-mod walk;
+pub mod walk;
 
 pub use compose::difference::DifferenceGenerator;
 pub use compose::intersection::IntersectionGenerator;
@@ -81,4 +82,4 @@ pub use fixed_dim::FixedDimSampler;
 pub use oracle::{ConvexBody, MembershipOracle};
 pub use params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
 pub use rejection::RejectionSampler;
-pub use walk::WalkKind;
+pub use walk::{WalkKind, WalkScratch};

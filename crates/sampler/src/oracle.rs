@@ -11,9 +11,36 @@ use std::sync::Arc;
 use cdb_constraint::poly::PolyBody;
 use cdb_constraint::{GeneralizedRelation, GeneralizedTuple};
 use cdb_geometry::{Ellipsoid, HPolytope};
-use cdb_linalg::Vector;
+use cdb_linalg::{kernels, Vector};
 
 /// A membership oracle for a subset of `R^d`.
+///
+/// # Incremental walk state
+///
+/// The `walk_state_*` family is the zero-allocation fast path used by the
+/// hit-and-run engine ([`crate::walk`]). An oracle that supports it announces
+/// a state size through [`MembershipOracle::walk_state_len`]; the walk keeps
+/// that many `f64` slots alive across steps in its
+/// [`crate::walk::WalkScratch`] and drives them through a four-call protocol:
+///
+/// 1. [`walk_state_init`](MembershipOracle::walk_state_init) fills the state
+///    from the current point (also used for the periodic drift-bounding
+///    recompute);
+/// 2. [`walk_state_chord`](MembershipOracle::walk_state_chord) derives the
+///    exact chord through the current point along `dir`, writing the
+///    direction image (`A·dir` for a polytope; quadratic-form partials for
+///    ellipsoids and balls) into a caller buffer of the same size;
+/// 3. [`walk_state_contains`](MembershipOracle::walk_state_contains) decides
+///    membership of `point + t·dir` with an O(state) sign check — no matvec;
+/// 4. [`walk_state_advance`](MembershipOracle::walk_state_advance) commits an
+///    accepted step, updating the state with one `axpy`-style pass.
+///
+/// For an H-polytope the state is the residual vector `s = b − A·x`: one
+/// `A·dir` product per step replaces the two `A·x` products of the
+/// closed-form chord plus the `A·x` product of the membership test, and no
+/// intermediate vectors are allocated. Every implementation must keep all
+/// four calls allocation-free; initialization may be called at any time to
+/// refresh the state from scratch.
 pub trait MembershipOracle: Send + Sync {
     /// Ambient dimension.
     fn dim(&self) -> usize;
@@ -30,10 +57,65 @@ pub trait MembershipOracle: Send + Sync {
         let _ = (point, dir);
         None
     }
+
+    /// Number of `f64` slots of incremental walk state this oracle maintains,
+    /// or `None` when the incremental protocol is unsupported (the walk then
+    /// falls back to [`MembershipOracle::chord_interval`] /
+    /// [`MembershipOracle::contains`]).
+    fn walk_state_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Initializes (or refreshes) the incremental state for `point`.
+    /// `state.len() == self.walk_state_len().unwrap()`. Must not allocate.
+    fn walk_state_init(&self, point: &[f64], state: &mut [f64]) {
+        let _ = (point, state);
+        unimplemented!("oracle does not support incremental walk state");
+    }
+
+    /// The exact chord `(t_min, t_max)` of the set along `dir` through the
+    /// point the state was built for, computed from the cached state. Writes
+    /// the direction image into `dir_image` (same length as the state) for
+    /// use by the subsequent contains/advance calls. Must not allocate.
+    fn walk_state_chord(&self, state: &[f64], dir: &[f64], dir_image: &mut [f64]) -> (f64, f64) {
+        let _ = (state, dir, dir_image);
+        unimplemented!("oracle does not support incremental walk state");
+    }
+
+    /// Membership of `point + t·dir` (for the `dir` passed to the preceding
+    /// [`MembershipOracle::walk_state_chord`]) as a sign check on the cached
+    /// state — no matrix–vector product. Must not allocate.
+    fn walk_state_contains(&self, state: &[f64], dir_image: &[f64], t: f64) -> bool {
+        let _ = (state, dir_image, t);
+        unimplemented!("oracle does not support incremental walk state");
+    }
+
+    /// Commits the accepted step `t` along the cached direction, updating the
+    /// state in place. Must not allocate.
+    fn walk_state_advance(&self, state: &mut [f64], dir_image: &[f64], t: f64) {
+        let _ = (state, dir_image, t);
+        unimplemented!("oracle does not support incremental walk state");
+    }
 }
 
 /// Membership tolerance used when converting symbolic objects to oracles.
 const ORACLE_TOL: f64 = 1e-9;
+
+/// Intersects the ratio-test constraint `growth·t ≤ slack` into `(lo, hi)`.
+/// Returns `false` when the constraint makes the chord empty.
+#[inline]
+fn ratio_test(growth: f64, slack: f64, lo: &mut f64, hi: &mut f64) -> bool {
+    if growth.abs() <= 1e-14 {
+        if slack < 0.0 {
+            return false;
+        }
+    } else if growth > 0.0 {
+        *hi = hi.min(slack / growth);
+    } else {
+        *lo = lo.max(slack / growth);
+    }
+    true
+}
 
 impl MembershipOracle for HPolytope {
     fn dim(&self) -> usize {
@@ -43,29 +125,61 @@ impl MembershipOracle for HPolytope {
         self.contains_slice(x, ORACLE_TOL)
     }
     fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
-        // Ratio test: each halfspace a·x ≤ b constrains t by
-        // (a·dir)·t ≤ b − a·point.
+        // Ratio test over the cached dense rows: each halfspace a·x ≤ b
+        // constrains t by (a·dir)·t ≤ b − a·point.
+        let d = HPolytope::dim(self);
+        let (a, b) = (self.dense_a(), self.dense_b());
         let mut lo = f64::NEG_INFINITY;
         let mut hi = f64::INFINITY;
-        for h in self.halfspaces() {
-            let n = h.normal();
-            let growth: f64 = n.iter().zip(dir).map(|(a, d)| a * d).sum();
-            let slack =
-                h.offset() - n.iter().zip(point).map(|(a, x)| a * x).sum::<f64>() + ORACLE_TOL;
-            if growth.abs() <= 1e-14 {
-                if slack < 0.0 {
-                    return Some((0.0, 0.0));
-                }
-            } else if growth > 0.0 {
-                hi = hi.min(slack / growth);
-            } else {
-                lo = lo.max(slack / growth);
+        for (i, &bi) in b.iter().enumerate() {
+            let row = &a[i * d..(i + 1) * d];
+            let growth = kernels::dot(row, dir);
+            let slack = bi - kernels::dot(row, point) + ORACLE_TOL;
+            if !ratio_test(growth, slack, &mut lo, &mut hi) {
+                return Some((0.0, 0.0));
             }
         }
         if lo > hi {
             return Some((0.0, 0.0));
         }
         Some((lo, hi))
+    }
+
+    // Incremental protocol: the state is the residual vector `s = b − A·x`.
+    fn walk_state_len(&self) -> Option<usize> {
+        Some(self.n_constraints())
+    }
+    fn walk_state_init(&self, point: &[f64], state: &mut [f64]) {
+        let d = HPolytope::dim(self);
+        let a = self.dense_a();
+        for (i, (s, &b)) in state.iter_mut().zip(self.dense_b()).enumerate() {
+            *s = b - kernels::dot(&a[i * d..(i + 1) * d], point);
+        }
+    }
+    fn walk_state_chord(&self, state: &[f64], dir: &[f64], dir_image: &mut [f64]) -> (f64, f64) {
+        // One matvec per step: dir_image = A·dir; the chord then falls out of
+        // the residuals in O(m).
+        kernels::mat_vec_into(self.dense_a(), state.len(), dir, dir_image);
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for (&growth, &s) in dir_image.iter().zip(state) {
+            if !ratio_test(growth, s + ORACLE_TOL, &mut lo, &mut hi) {
+                return (0.0, 0.0);
+            }
+        }
+        if lo > hi {
+            return (0.0, 0.0);
+        }
+        (lo, hi)
+    }
+    fn walk_state_contains(&self, state: &[f64], dir_image: &[f64], t: f64) -> bool {
+        state
+            .iter()
+            .zip(dir_image)
+            .all(|(&s, &g)| s - t * g >= -ORACLE_TOL)
+    }
+    fn walk_state_advance(&self, state: &mut [f64], dir_image: &[f64], t: f64) {
+        kernels::axpy(state, -t, dir_image);
     }
 }
 
@@ -160,6 +274,65 @@ impl MembershipOracle for Ellipsoid {
         }
         let root = disc.sqrt();
         Some(((-lin - root) / quad, (-lin + root) / quad))
+    }
+
+    // Incremental protocol: the state caches the quadratic-form partials
+    // `[A(x − c) ; q(x) ; spare]` with `q(x) = (x − c)ᵀA(x − c)`; the
+    // direction image carries `[A·dir ; lin ; quad]` so membership along the
+    // cached chord is the scalar check `q + 2t·lin + t²·quad ≤ 1`.
+    fn walk_state_len(&self) -> Option<usize> {
+        Some(Ellipsoid::dim(self) + 2)
+    }
+    fn walk_state_init(&self, point: &[f64], state: &mut [f64]) {
+        let n = Ellipsoid::dim(self);
+        let c = self.center().as_slice();
+        let shape = self.shape();
+        for i in 0..n {
+            let row = shape.row(i);
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += row[j] * (point[j] - c[j]);
+            }
+            state[i] = acc;
+        }
+        let mut q = 0.0;
+        for i in 0..n {
+            q += state[i] * (point[i] - c[i]);
+        }
+        state[n] = q;
+        state[n + 1] = 0.0;
+    }
+    fn walk_state_chord(&self, state: &[f64], dir: &[f64], dir_image: &mut [f64]) -> (f64, f64) {
+        let n = Ellipsoid::dim(self);
+        let shape = self.shape();
+        for i in 0..n {
+            dir_image[i] = kernels::dot(shape.row(i), dir);
+        }
+        let quad = kernels::dot(&dir_image[..n], dir);
+        let lin = kernels::dot(&state[..n], dir);
+        dir_image[n] = lin;
+        dir_image[n + 1] = quad;
+        if quad <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let constant = state[n] - (1.0 + ORACLE_TOL);
+        let disc = lin * lin - quad * constant;
+        if disc <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let root = disc.sqrt();
+        ((-lin - root) / quad, (-lin + root) / quad)
+    }
+    fn walk_state_contains(&self, state: &[f64], dir_image: &[f64], t: f64) -> bool {
+        let n = Ellipsoid::dim(self);
+        let (lin, quad) = (dir_image[n], dir_image[n + 1]);
+        state[n] + 2.0 * t * lin + t * t * quad <= 1.0 + ORACLE_TOL
+    }
+    fn walk_state_advance(&self, state: &mut [f64], dir_image: &[f64], t: f64) {
+        let n = Ellipsoid::dim(self);
+        let (lin, quad) = (dir_image[n], dir_image[n + 1]);
+        state[n] += 2.0 * t * lin + t * t * quad;
+        kernels::axpy(&mut state[..n], t, &dir_image[..n]);
     }
 }
 
@@ -365,6 +538,79 @@ impl MembershipOracle for BallIntersectionOracle {
         }
         Some((lo, hi))
     }
+
+    // Incremental protocol: the inner oracle's state is extended with the
+    // offset `p − c` from the ball center and its squared norm, so the ball
+    // side of the intersection is the scalar check
+    // `|p − c|² + 2t·lin + t²·quad ≤ r²`. Layout (len = inner + dim + 2):
+    // state = [inner ; p − c ; |p − c|² ; spare],
+    // dir_image = [inner ; dir copy ; lin ; quad].
+    fn walk_state_len(&self) -> Option<usize> {
+        let inner = self.inner.walk_state_len()?;
+        Some(inner + self.center.dim() + 2)
+    }
+    fn walk_state_init(&self, point: &[f64], state: &mut [f64]) {
+        let n = self.center.dim();
+        let li = state.len() - n - 2;
+        self.inner.walk_state_init(point, &mut state[..li]);
+        let c = self.center.as_slice();
+        let mut norm2 = 0.0;
+        for i in 0..n {
+            let pc = point[i] - c[i];
+            state[li + i] = pc;
+            norm2 += pc * pc;
+        }
+        state[li + n] = norm2;
+        state[li + n + 1] = 0.0;
+    }
+    fn walk_state_chord(&self, state: &[f64], dir: &[f64], dir_image: &mut [f64]) -> (f64, f64) {
+        let n = self.center.dim();
+        let li = state.len() - n - 2;
+        let (inner_lo, inner_hi) =
+            self.inner
+                .walk_state_chord(&state[..li], dir, &mut dir_image[..li]);
+        let pc = &state[li..li + n];
+        let quad = kernels::dot(dir, dir);
+        let lin = kernels::dot(pc, dir);
+        dir_image[li..li + n].copy_from_slice(dir);
+        dir_image[li + n] = lin;
+        dir_image[li + n + 1] = quad;
+        if quad <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let r = self.radius + 1e-12;
+        let constant = state[li + n] - r * r;
+        let disc = lin * lin - quad * constant;
+        if disc <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let root = disc.sqrt();
+        let lo = inner_lo.max((-lin - root) / quad);
+        let hi = inner_hi.min((-lin + root) / quad);
+        if lo > hi {
+            return (0.0, 0.0);
+        }
+        (lo, hi)
+    }
+    fn walk_state_contains(&self, state: &[f64], dir_image: &[f64], t: f64) -> bool {
+        let n = self.center.dim();
+        let li = state.len() - n - 2;
+        let (lin, quad) = (dir_image[li + n], dir_image[li + n + 1]);
+        let r = self.radius + 1e-12;
+        state[li + n] + 2.0 * t * lin + t * t * quad <= r * r
+            && self
+                .inner
+                .walk_state_contains(&state[..li], &dir_image[..li], t)
+    }
+    fn walk_state_advance(&self, state: &mut [f64], dir_image: &[f64], t: f64) {
+        let n = self.center.dim();
+        let li = state.len() - n - 2;
+        let (lin, quad) = (dir_image[li + n], dir_image[li + n + 1]);
+        state[li + n] += 2.0 * t * lin + t * t * quad;
+        let (inner, rest) = state.split_at_mut(li);
+        kernels::axpy(&mut rest[..n], t, &dir_image[li..li + n]);
+        self.inner.walk_state_advance(inner, &dir_image[..li], t);
+    }
 }
 
 /// Oracle for the preimage coordinates: a point `y` belongs iff
@@ -388,6 +634,53 @@ impl MembershipOracle for AffinePreimageOracle {
         let p = self.to_original.apply(&Vector::from(point));
         let d = self.to_original.linear().mul_vector(&Vector::from(dir));
         self.inner.chord_interval(p.as_slice(), d.as_slice())
+    }
+
+    // Incremental protocol: because the map is affine the chord parameter `t`
+    // carries over unchanged, so the inner oracle's state *is* the state —
+    // extended with a scratch block used to hold the mapped point during
+    // initialization and the mapped direction during chords. Layout
+    // (len = inner + inner dim): state = [inner ; mapped-point scratch],
+    // dir_image = [inner ; mapped dir].
+    fn walk_state_len(&self) -> Option<usize> {
+        let inner = self.inner.walk_state_len()?;
+        Some(inner + self.to_original.dim())
+    }
+    fn walk_state_init(&self, point: &[f64], state: &mut [f64]) {
+        let n = self.to_original.dim();
+        let li = state.len() - n;
+        let (inner, mapped) = state.split_at_mut(li);
+        let m = self.to_original.linear();
+        let t = self.to_original.translation_part().as_slice();
+        for i in 0..n {
+            mapped[i] = kernels::dot(m.row(i), point) + t[i];
+        }
+        self.inner.walk_state_init(mapped, inner);
+    }
+    fn walk_state_chord(&self, state: &[f64], dir: &[f64], dir_image: &mut [f64]) -> (f64, f64) {
+        let n = self.to_original.dim();
+        let li = state.len() - n;
+        let (inner_image, mapped_dir) = dir_image.split_at_mut(li);
+        let m = self.to_original.linear();
+        for i in 0..n {
+            mapped_dir[i] = kernels::dot(m.row(i), dir);
+        }
+        self.inner
+            .walk_state_chord(&state[..li], mapped_dir, inner_image)
+    }
+    fn walk_state_contains(&self, state: &[f64], dir_image: &[f64], t: f64) -> bool {
+        let li = state.len() - self.to_original.dim();
+        self.inner
+            .walk_state_contains(&state[..li], &dir_image[..li], t)
+    }
+    fn walk_state_advance(&self, state: &mut [f64], dir_image: &[f64], t: f64) {
+        let li = state.len() - self.to_original.dim();
+        let (inner, mapped_point) = state.split_at_mut(li);
+        self.inner.walk_state_advance(inner, &dir_image[..li], t);
+        // Keep the mapped point current too (the mapped direction is still in
+        // the dir_image tail), so the whole state stays comparable against a
+        // fresh recompute — `WalkScratch::residual_drift` relies on this.
+        kernels::axpy(mapped_point, t, &dir_image[li..]);
     }
 }
 

@@ -6,6 +6,21 @@
 //! practice. All three are provided; the composed generators default to
 //! hit-and-run, and the grid walk is kept for fidelity to the paper and for
 //! the grid-based experiments.
+//!
+//! # The zero-allocation engine
+//!
+//! Every step of every walk runs against a [`WalkScratch`] workspace that is
+//! created once per chain (or once per batch worker) and reused across steps:
+//! the current point, the direction buffer and — when the body's oracle
+//! supports the incremental protocol of
+//! [`MembershipOracle::walk_state_len`](crate::MembershipOracle::walk_state_len)
+//! — the cached chord state (`s = b − A·x` residuals for polytopes,
+//! quadratic-form partials for ellipsoids and balls). On that fast path an
+//! accepted hit-and-run step costs **one** `A·dir` matrix–vector product plus
+//! O(m) scalar work and performs **zero heap allocations** (pinned by the
+//! `alloc_counting` integration test). The cached state is refreshed from a
+//! full recompute every [`WalkScratch::REFRESH_PERIOD`] accepted steps to
+//! bound floating-point drift (pinned by the `walk_incremental` test).
 
 use rand::Rng;
 
@@ -34,44 +49,188 @@ impl Default for WalkKind {
     }
 }
 
-/// Samples a uniform direction on the unit sphere.
-pub fn random_direction<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vector {
-    loop {
-        // Box–Muller style Gaussian direction.
-        let mut v = Vector::zeros(dim);
-        for i in 0..dim {
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            v[i] = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+/// Reusable per-chain workspace of the walk engine.
+///
+/// Holds the current point, the direction and candidate buffers, and the
+/// incremental oracle state (residuals / quadratic partials) together with
+/// the direction-image buffer. Create one per chain or per batch worker with
+/// [`WalkScratch::new`]; [`WalkScratch::begin`] (called by [`walk`]) sizes the
+/// buffers for a body and start point, so a single scratch serves bodies of
+/// different dimensions and oracle sizes across its lifetime — resizing
+/// allocates, the steps themselves never do.
+#[derive(Clone, Debug, Default)]
+pub struct WalkScratch {
+    point: Vector,
+    dir: Vector,
+    candidate: Vector,
+    state: Vec<f64>,
+    dir_image: Vec<f64>,
+    incremental: bool,
+    accepted_since_refresh: usize,
+}
+
+impl WalkScratch {
+    /// Accepted steps between two full recomputes of the incremental oracle
+    /// state, bounding the accumulated floating-point drift of the `axpy`
+    /// updates. The recompute is one `A·x`-sized pass and does not allocate.
+    pub const REFRESH_PERIOD: usize = 1024;
+
+    /// Creates an empty scratch; buffers are sized lazily by
+    /// [`WalkScratch::begin`].
+    pub fn new() -> Self {
+        WalkScratch::default()
+    }
+
+    /// Binds the scratch to a body and start point: sizes every buffer for
+    /// the body's dimension and oracle state length, copies the start point
+    /// in, and initializes the incremental chord state when the oracle
+    /// supports it.
+    pub fn begin(&mut self, body: &ConvexBody, start: &Vector) {
+        self.bind(body, start, true);
+    }
+
+    /// [`WalkScratch::begin`] with the incremental chord state disabled —
+    /// used by walks that only ever probe membership (the grid walk), for
+    /// which maintaining residuals would be pure overhead.
+    fn bind(&mut self, body: &ConvexBody, start: &Vector, want_incremental: bool) {
+        let d = body.dim();
+        assert_eq!(start.dim(), d, "walk start dimension mismatch");
+        self.point.copy_from(start);
+        self.dir.resize(d, 0.0);
+        self.candidate.resize(d, 0.0);
+        self.incremental = false;
+        if want_incremental {
+            if let Some(len) = body.oracle().walk_state_len() {
+                self.state.resize(len, 0.0);
+                self.dir_image.resize(len, 0.0);
+                body.oracle()
+                    .walk_state_init(self.point.as_slice(), &mut self.state);
+                self.incremental = true;
+            }
         }
-        if let Some(unit) = v.normalized() {
-            return unit;
+        self.accepted_since_refresh = 0;
+    }
+
+    /// The current point of the chain.
+    pub fn point(&self) -> &Vector {
+        &self.point
+    }
+
+    /// Maximum absolute deviation between the live incremental oracle state
+    /// and a fresh recompute at the current point, or `None` when the body's
+    /// oracle has no incremental state. Diagnostic (used by the drift tests);
+    /// allocates a temporary buffer.
+    pub fn residual_drift(&self, body: &ConvexBody) -> Option<f64> {
+        if !self.incremental {
+            return None;
+        }
+        let mut fresh = vec![0.0; self.state.len()];
+        body.oracle()
+            .walk_state_init(self.point.as_slice(), &mut fresh);
+        Some(
+            self.state
+                .iter()
+                .zip(&fresh)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Commits an accepted move of `t` along the cached direction on the
+    /// incremental path, with the periodic anti-drift refresh.
+    fn advance_incremental(&mut self, body: &ConvexBody, t: f64) {
+        body.oracle()
+            .walk_state_advance(&mut self.state, &self.dir_image, t);
+        self.point.axpy(t, &self.dir);
+        self.accepted_since_refresh += 1;
+        if self.accepted_since_refresh >= Self::REFRESH_PERIOD {
+            body.oracle()
+                .walk_state_init(self.point.as_slice(), &mut self.state);
+            self.accepted_since_refresh = 0;
+        }
+    }
+
+    /// Fail-fast guard for the public per-step entry points: the scratch must
+    /// have been bound to a body of this dimension with [`WalkScratch::begin`]
+    /// (a never-bound scratch would otherwise spin forever on a 0-dimensional
+    /// direction draw).
+    fn assert_bound(&self, body: &ConvexBody) {
+        assert_eq!(
+            self.point.dim(),
+            body.dim(),
+            "WalkScratch is not bound to this body: call begin() first"
+        );
+    }
+
+    /// Re-initializes the incremental state after the point moved outside the
+    /// chord protocol (grid steps, snapping).
+    fn refresh(&mut self, body: &ConvexBody) {
+        if self.incremental {
+            body.oracle()
+                .walk_state_init(self.point.as_slice(), &mut self.state);
+            self.accepted_since_refresh = 0;
         }
     }
 }
 
-/// Finds the chord of the body through `point` in direction `dir`, returning
-/// `(t_min, t_max)` such that `point + t·dir` stays inside for
-/// `t ∈ [t_min, t_max]`. Uses the oracle's closed-form chord when it has one
-/// (polytopes, ellipsoids, their ball intersections and affine preimages),
-/// and falls back to bisection against the membership oracle otherwise.
-fn chord(body: &ConvexBody, point: &Vector, dir: &Vector) -> (f64, f64) {
+/// Fills `dir` with a uniform direction on the unit sphere: one ziggurat
+/// Gaussian per coordinate ([`crate::gauss::standard_normal`]), normalized in
+/// place. No allocation, and — unlike the Box–Muller generator this replaces,
+/// which burned an `ln` and a `sin`/`cos` per coordinate and threw away half
+/// of every pair — no transcendental functions on the fast path at all.
+pub fn random_direction_into<R: Rng + ?Sized>(dir: &mut Vector, rng: &mut R) {
+    assert!(!dir.is_empty(), "direction buffer has dimension 0");
+    loop {
+        for slot in dir.as_mut_slice() {
+            *slot = crate::gauss::standard_normal(rng);
+        }
+        if dir.normalize_in_place() {
+            return;
+        }
+    }
+}
+
+/// Samples a uniform direction on the unit sphere (allocating convenience
+/// wrapper around [`random_direction_into`]).
+pub fn random_direction<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vector {
+    let mut v = Vector::zeros(dim);
+    random_direction_into(&mut v, rng);
+    v
+}
+
+/// Finds the chord of the body through `point` in direction `dir` on the
+/// non-incremental fallback path, returning `(t_min, t_max)` such that
+/// `point + t·dir` stays inside for `t ∈ [t_min, t_max]`. Uses the oracle's
+/// closed-form chord when it has one and bisects against the membership
+/// oracle otherwise, using `candidate` as the probe buffer.
+fn chord_fallback(
+    body: &ConvexBody,
+    point: &Vector,
+    dir: &Vector,
+    candidate: &mut Vector,
+) -> (f64, f64) {
     let max_extent = 2.0 * body.r_sup() + 1.0;
     if let Some((lo, hi)) = body.chord_interval(point, dir) {
         let lo = lo.max(-max_extent);
         let hi = hi.min(max_extent);
         return if lo > hi { (0.0, 0.0) } else { (lo, hi) };
     }
-    let boundary = |sign: f64| -> f64 {
+    let mut boundary = |sign: f64| -> f64 {
         // Invariant: point + lo·sign·dir inside, point + hi·sign·dir outside.
         let mut lo = 0.0f64;
         let mut hi = max_extent;
-        if body.contains_vec(&point.add_scaled(dir, sign * hi)) {
+        let probe = |candidate: &mut Vector, t: f64| {
+            candidate.copy_from(point);
+            candidate.axpy(sign * t, dir);
+        };
+        probe(candidate, hi);
+        if body.contains_vec(candidate) {
             return hi; // certificate radius was loose; accept the cap
         }
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
-            if body.contains_vec(&point.add_scaled(dir, sign * mid)) {
+            probe(candidate, mid);
+            if body.contains_vec(candidate) {
                 lo = mid;
             } else {
                 hi = mid;
@@ -84,105 +243,162 @@ fn chord(body: &ConvexBody, point: &Vector, dir: &Vector) -> (f64, f64) {
     (-t_minus, t_plus)
 }
 
-/// One hit-and-run step.
+/// One hit-and-run step from the scratch's current point. Returns `true` when
+/// the step was accepted (the point moved). The scratch must have been bound
+/// to this body with [`WalkScratch::begin`].
 pub fn hit_and_run_step<R: Rng + ?Sized>(
     body: &ConvexBody,
-    current: &Vector,
+    scratch: &mut WalkScratch,
     rng: &mut R,
-) -> Vector {
-    let dir = random_direction(body.dim(), rng);
-    let (t_min, t_max) = chord(body, current, &dir);
-    if t_max - t_min <= 0.0 {
-        return current.clone();
-    }
-    let t = rng.gen_range(t_min..=t_max);
-    let candidate = current.add_scaled(&dir, t);
-    if body.contains_vec(&candidate) {
-        candidate
+) -> bool {
+    scratch.assert_bound(body);
+    random_direction_into(&mut scratch.dir, rng);
+    if scratch.incremental {
+        let max_extent = 2.0 * body.r_sup() + 1.0;
+        let (lo, hi) = body.oracle().walk_state_chord(
+            &scratch.state,
+            scratch.dir.as_slice(),
+            &mut scratch.dir_image,
+        );
+        let lo = lo.max(-max_extent);
+        let hi = hi.min(max_extent);
+        if hi - lo <= 0.0 {
+            return false;
+        }
+        let t = rng.gen_range(lo..=hi);
+        if body
+            .oracle()
+            .walk_state_contains(&scratch.state, &scratch.dir_image, t)
+        {
+            scratch.advance_incremental(body, t);
+            true
+        } else {
+            false
+        }
     } else {
-        current.clone()
+        let (t_min, t_max) =
+            chord_fallback(body, &scratch.point, &scratch.dir, &mut scratch.candidate);
+        if t_max - t_min <= 0.0 {
+            return false;
+        }
+        let t = rng.gen_range(t_min..=t_max);
+        scratch.candidate.copy_from(&scratch.point);
+        scratch.candidate.axpy(t, &scratch.dir);
+        if body.contains_vec(&scratch.candidate) {
+            scratch.point.copy_from(&scratch.candidate);
+            true
+        } else {
+            false
+        }
     }
 }
 
-/// One Metropolis ball-walk step with radius `delta`.
+/// One Metropolis ball-walk step with radius `delta` from the scratch's
+/// current point. Returns `true` when the step was accepted.
 pub fn ball_walk_step<R: Rng + ?Sized>(
     body: &ConvexBody,
-    current: &Vector,
+    scratch: &mut WalkScratch,
     delta: f64,
     rng: &mut R,
-) -> Vector {
-    let dir = random_direction(body.dim(), rng);
+) -> bool {
+    scratch.assert_bound(body);
+    random_direction_into(&mut scratch.dir, rng);
     let r: f64 = rng.gen_range(0.0f64..1.0).powf(1.0 / body.dim() as f64) * delta;
-    let candidate = current.add_scaled(&dir, r);
-    if body.contains_vec(&candidate) {
-        candidate
+    if scratch.incremental {
+        // The chord along `dir` doubles as the membership test: the candidate
+        // point + r·dir is inside iff r lies on the chord.
+        let (lo, hi) = body.oracle().walk_state_chord(
+            &scratch.state,
+            scratch.dir.as_slice(),
+            &mut scratch.dir_image,
+        );
+        if r < lo || r > hi {
+            return false;
+        }
+        scratch.advance_incremental(body, r);
+        true
     } else {
-        current.clone()
+        scratch.candidate.copy_from(&scratch.point);
+        scratch.candidate.axpy(r, &scratch.dir);
+        if body.contains_vec(&scratch.candidate) {
+            scratch.point.copy_from(&scratch.candidate);
+            true
+        } else {
+            false
+        }
     }
 }
 
-/// One lazy grid-walk step with grid step `p`: with probability 1/2 stay,
-/// otherwise move to a uniformly chosen axis neighbor if it stays inside.
+/// One lazy grid-walk step with grid step `p` from the scratch's current
+/// point: with probability 1/2 stay, otherwise move to a uniformly chosen
+/// axis neighbor if it stays inside. Returns `true` when the point moved.
 pub fn grid_walk_step<R: Rng + ?Sized>(
     body: &ConvexBody,
-    current: &Vector,
+    scratch: &mut WalkScratch,
     p: f64,
     rng: &mut R,
-) -> Vector {
+) -> bool {
+    scratch.assert_bound(body);
     if rng.gen_bool(0.5) {
-        return current.clone();
+        return false;
     }
     let d = body.dim();
     let axis = rng.gen_range(0..d);
     let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-    let mut candidate = current.clone();
-    candidate[axis] += sign * p;
-    if body.contains_vec(&candidate) {
-        candidate
+    scratch.candidate.copy_from(&scratch.point);
+    scratch.candidate[axis] += sign * p;
+    if body.contains_vec(&scratch.candidate) {
+        scratch.point.copy_from(&scratch.candidate);
+        // Axis moves bypass the chord protocol, so resynchronize the state.
+        scratch.refresh(body);
+        true
     } else {
-        current.clone()
+        false
     }
 }
 
-/// Runs `steps` steps of the chosen walk from `start`.
+/// Runs `steps` steps of the chosen walk from `start` using (and re-binding)
+/// the given scratch, returning the final point.
 pub fn walk<R: Rng + ?Sized>(
     body: &ConvexBody,
     start: &Vector,
     kind: WalkKind,
     steps: usize,
     rng: &mut R,
+    scratch: &mut WalkScratch,
 ) -> Vector {
-    let mut current = start.clone();
+    // Grid walks only probe membership, so skip the incremental chord state
+    // (initializing and resynchronizing it would cost an extra O(m·d) pass
+    // per accepted axis move for nothing).
+    scratch.bind(body, start, !matches!(kind, WalkKind::Grid { .. }));
     match kind {
         WalkKind::HitAndRun => {
             for _ in 0..steps {
-                current = hit_and_run_step(body, &current, rng);
+                hit_and_run_step(body, scratch, rng);
             }
         }
         WalkKind::Ball => {
             let delta = body.r_inf() / (body.dim() as f64).sqrt();
             for _ in 0..steps {
-                current = ball_walk_step(body, &current, delta, rng);
+                ball_walk_step(body, scratch, delta, rng);
             }
         }
         WalkKind::Grid { step_ratio } => {
             let p = (body.r_inf() * step_ratio).max(1e-9);
             // Start from the grid point nearest to the start that is inside.
-            let snapped: Vector = Vector::from(
-                current
-                    .iter()
-                    .map(|v| (v / p).round() * p)
-                    .collect::<Vec<_>>(),
-            );
-            if body.contains_vec(&snapped) {
-                current = snapped;
+            scratch.candidate.copy_from(&scratch.point);
+            for i in 0..body.dim() {
+                scratch.candidate[i] = (scratch.candidate[i] / p).round() * p;
+            }
+            if body.contains_vec(&scratch.candidate) {
+                scratch.point.copy_from(&scratch.candidate);
             }
             for _ in 0..steps {
-                current = grid_walk_step(body, &current, p, rng);
+                grid_walk_step(body, scratch, p, rng);
             }
         }
     }
-    current
+    scratch.point.clone()
 }
 
 #[cfg(test)]
@@ -207,10 +423,35 @@ mod tests {
     }
 
     #[test]
+    fn directions_are_isotropic_on_average() {
+        // The mean of many unit directions must vanish and no coordinate may
+        // carry more than its share of the squared mass.
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = 4;
+        let n = 4000;
+        let mut mean = vec![0.0f64; d];
+        let mut mass = vec![0.0f64; d];
+        for _ in 0..n {
+            let v = random_direction(d, &mut rng);
+            for i in 0..d {
+                mean[i] += v[i];
+                mass[i] += v[i] * v[i];
+            }
+        }
+        for i in 0..d {
+            assert!((mean[i] / n as f64).abs() < 0.05, "mean[{i}]");
+            assert!(
+                (mass[i] / n as f64 - 1.0 / d as f64).abs() < 0.03,
+                "mass[{i}]"
+            );
+        }
+    }
+
+    #[test]
     fn walks_stay_inside_the_body() {
         let body = square_body();
         let start = body.center().clone();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut scratch = WalkScratch::new();
         for kind in [
             WalkKind::HitAndRun,
             WalkKind::Ball,
@@ -218,11 +459,10 @@ mod tests {
         ] {
             for seed in 0..5u64 {
                 let mut local = StdRng::seed_from_u64(seed);
-                let p = walk(&body, &start, kind, 30, &mut local);
+                let p = walk(&body, &start, kind, 30, &mut local, &mut scratch);
                 assert!(body.contains_vec(&p), "{kind:?} escaped to {p:?}");
             }
         }
-        let _ = &mut rng;
     }
 
     #[test]
@@ -230,7 +470,15 @@ mod tests {
         let body = square_body();
         let start = body.center().clone();
         let mut rng = StdRng::seed_from_u64(3);
-        let p = walk(&body, &start, WalkKind::HitAndRun, 20, &mut rng);
+        let mut scratch = WalkScratch::new();
+        let p = walk(
+            &body,
+            &start,
+            WalkKind::HitAndRun,
+            20,
+            &mut rng,
+            &mut scratch,
+        );
         assert!(p.distance(&start) > 1e-6);
     }
 
@@ -241,10 +489,18 @@ mod tests {
         let body = square_body();
         let start = body.center().clone();
         let mut rng = StdRng::seed_from_u64(4);
+        let mut scratch = WalkScratch::new();
         let n = 800;
         let mut counts = [0usize; 4];
         for _ in 0..n {
-            let p = walk(&body, &start, WalkKind::HitAndRun, 25, &mut rng);
+            let p = walk(
+                &body,
+                &start,
+                WalkKind::HitAndRun,
+                25,
+                &mut rng,
+                &mut scratch,
+            );
             let q = (p[0] > 0.5) as usize + 2 * ((p[1] > 0.5) as usize);
             counts[q] += 1;
         }
@@ -255,15 +511,32 @@ mod tests {
     }
 
     #[test]
-    fn chord_respects_an_asymmetric_position() {
+    fn fallback_chord_respects_an_asymmetric_position() {
         // From a point near the left edge, the chord along +x is much longer
-        // than along -x.
+        // than along -x; exercised through the bisection-capable fallback.
         let body = square_body();
         let point = Vector::from(vec![0.1, 0.5]);
         let dir = Vector::from(vec![1.0, 0.0]);
-        let (t_min, t_max) = super::chord(&body, &point, &dir);
+        let mut candidate = Vector::zeros(2);
+        let (t_min, t_max) = super::chord_fallback(&body, &point, &dir, &mut candidate);
         assert!((t_max - 0.9).abs() < 1e-6);
         assert!((t_min + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incremental_chord_matches_the_closed_form() {
+        let body = square_body();
+        let mut scratch = WalkScratch::new();
+        let point = Vector::from(vec![0.1, 0.5]);
+        scratch.begin(&body, &point);
+        assert!(scratch.incremental);
+        let dir = Vector::from(vec![1.0, 0.0]);
+        let mut dir_image = vec![0.0; scratch.state.len()];
+        let (lo, hi) =
+            body.oracle()
+                .walk_state_chord(&scratch.state, dir.as_slice(), &mut dir_image);
+        assert!((hi - 0.9).abs() < 1e-6);
+        assert!((lo + 0.1).abs() < 1e-6);
     }
 
     #[test]
@@ -271,17 +544,55 @@ mod tests {
         let body = square_body();
         let start = body.center().clone();
         let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = WalkScratch::new();
         let p = walk(
             &body,
             &start,
             WalkKind::Grid { step_ratio: 0.5 },
             40,
             &mut rng,
+            &mut scratch,
         );
         // r_inf of the unit square is 0.5, so the grid step is 0.25.
         for coord in p.iter() {
             let snapped = (coord / 0.25).round() * 0.25;
             assert!((coord - snapped).abs() < 1e-9, "not a grid point: {coord}");
         }
+    }
+
+    #[test]
+    fn scratch_rebinds_across_bodies_of_different_sizes() {
+        let small = square_body();
+        let big = ConvexBody::from_polytope(&HPolytope::hypercube(5, 1.0)).unwrap();
+        let mut scratch = WalkScratch::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = walk(
+            &small,
+            small.center(),
+            WalkKind::HitAndRun,
+            10,
+            &mut rng,
+            &mut scratch,
+        );
+        assert_eq!(a.dim(), 2);
+        let b = walk(
+            &big,
+            big.center(),
+            WalkKind::HitAndRun,
+            10,
+            &mut rng,
+            &mut scratch,
+        );
+        assert_eq!(b.dim(), 5);
+        assert!(big.contains_vec(&b));
+        let c = walk(
+            &small,
+            small.center(),
+            WalkKind::HitAndRun,
+            10,
+            &mut rng,
+            &mut scratch,
+        );
+        assert!(small.contains_vec(&c));
     }
 }

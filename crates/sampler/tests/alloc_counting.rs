@@ -1,0 +1,144 @@
+//! Proof that the walk engine's polytope fast path is allocation-free: a
+//! counting `GlobalAlloc` shim wraps the system allocator and the test
+//! asserts that thousands of accepted hit-and-run steps perform **zero**
+//! heap allocations once the [`WalkScratch`] workspace is warmed up.
+//!
+//! The shim is the one place in the workspace that needs `unsafe` (a
+//! `GlobalAlloc` impl cannot be written without it); the library crates all
+//! keep `#![forbid(unsafe_code)]`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use cdb_geometry::HPolytope;
+use cdb_sampler::walk::{ball_walk_step, hit_and_run_step, WalkScratch};
+use cdb_sampler::ConvexBody;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts every allocation and reallocation served to the *current thread*.
+/// Per-thread (const-initialized `thread_local`, so the counter itself never
+/// allocates and has no destructor): the libtest harness runs its own
+/// bookkeeping threads whose allocations must not leak into the measured
+/// windows.
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns the number of heap allocations the current thread
+/// performed inside it.
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCATIONS.with(Cell::get);
+    let out = f();
+    let after = ALLOCATIONS.with(Cell::get);
+    (after - before, out)
+}
+
+/// One test function on purpose (scenarios run sequentially): even with the
+/// per-thread counter, keeping a single `#[test]` makes the measured windows
+/// independent of libtest's scheduling.
+#[test]
+fn walk_steps_are_allocation_free() {
+    hit_and_run_scenario();
+    ball_walk_scenario();
+    telescoping_ball_intersection_scenario();
+}
+
+fn hit_and_run_scenario() {
+    let polytope = HPolytope::hypercube(6, 1.0);
+    let body = ConvexBody::from_polytope(&polytope).expect("hypercube is well-bounded");
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut scratch = WalkScratch::new();
+    scratch.begin(&body, body.center());
+
+    // Warm up: a few steps to fault in any lazily allocated buffers.
+    for _ in 0..64 {
+        hit_and_run_step(&body, &mut scratch, &mut rng);
+    }
+
+    let mut accepted = 0usize;
+    let (allocs, ()) = allocations_during(|| {
+        // Far more than WalkScratch::REFRESH_PERIOD accepted steps, so the
+        // periodic residual recompute is counted too.
+        for _ in 0..5000 {
+            if hit_and_run_step(&body, &mut scratch, &mut rng) {
+                accepted += 1;
+            }
+        }
+    });
+    assert!(accepted > 2500, "hit-and-run barely moved: {accepted}");
+    assert!(
+        accepted > WalkScratch::REFRESH_PERIOD,
+        "window too small to cover a refresh: {accepted}"
+    );
+    assert_eq!(
+        allocs, 0,
+        "polytope hit-and-run fast path allocated {allocs} times over {accepted} accepted steps"
+    );
+}
+
+fn ball_walk_scenario() {
+    let polytope = HPolytope::hypercube(4, 1.0);
+    let body = ConvexBody::from_polytope(&polytope).expect("hypercube is well-bounded");
+    let delta = body.r_inf() / (body.dim() as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut scratch = WalkScratch::new();
+    scratch.begin(&body, body.center());
+    for _ in 0..64 {
+        ball_walk_step(&body, &mut scratch, delta, &mut rng);
+    }
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..2000 {
+            ball_walk_step(&body, &mut scratch, delta, &mut rng);
+        }
+    });
+    assert_eq!(allocs, 0, "ball walk allocated {allocs} times");
+}
+
+fn telescoping_ball_intersection_scenario() {
+    // The volume estimator walks K ∩ B(c, r): the wrapped oracle must stay on
+    // the incremental path.
+    let polytope = HPolytope::hypercube(5, 1.0);
+    let body = ConvexBody::from_polytope(&polytope).expect("hypercube is well-bounded");
+    let shrunk = body.intersect_ball(0.9 * body.r_sup());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut scratch = WalkScratch::new();
+    scratch.begin(&shrunk, shrunk.center());
+    for _ in 0..64 {
+        hit_and_run_step(&shrunk, &mut scratch, &mut rng);
+    }
+    let (allocs, ()) = allocations_during(|| {
+        for _ in 0..2000 {
+            hit_and_run_step(&shrunk, &mut scratch, &mut rng);
+        }
+    });
+    assert_eq!(allocs, 0, "ball-intersection walk allocated {allocs} times");
+}

@@ -1,0 +1,193 @@
+//! Correctness gates for the incremental walk engine: the cached chord state
+//! must agree with the closed-form oracle answers, and the `axpy`-updated
+//! residuals must not drift measurably from a fresh `b − A·x` recompute over
+//! long chains (the walk refreshes the state every
+//! `WalkScratch::REFRESH_PERIOD` accepted steps precisely to bound this).
+
+use std::sync::Arc;
+
+use cdb_geometry::{Ellipsoid, HPolytope};
+use cdb_linalg::Vector;
+use cdb_sampler::walk::{hit_and_run_step, walk, WalkScratch};
+use cdb_sampler::{ConvexBody, MembershipOracle, WalkKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn simplex_body(d: usize) -> ConvexBody {
+    ConvexBody::from_polytope(&HPolytope::standard_simplex(d)).expect("simplex is well-bounded")
+}
+
+/// Random interior-ish point of the standard simplex.
+fn simplex_point<R: Rng>(d: usize, rng: &mut R) -> Vector {
+    let mut p = Vector::zeros(d);
+    let mut budget = 0.9;
+    for i in 0..d {
+        let share = rng.gen_range(0.0..budget / 2.0);
+        p[i] = share + 0.01 / d as f64;
+        budget -= share;
+    }
+    p
+}
+
+#[test]
+fn incremental_chord_matches_closed_form_on_random_lines() {
+    let d = 5;
+    let body = simplex_body(d);
+    let oracle = body.oracle();
+    let len = oracle
+        .walk_state_len()
+        .expect("polytope supports the protocol");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut state = vec![0.0; len];
+    let mut dir_image = vec![0.0; len];
+    for _ in 0..200 {
+        let point = simplex_point(d, &mut rng);
+        let dir = cdb_sampler::walk::random_direction(d, &mut rng);
+        oracle.walk_state_init(point.as_slice(), &mut state);
+        let (lo, hi) = oracle.walk_state_chord(&state, dir.as_slice(), &mut dir_image);
+        let (clo, chi) = body
+            .chord_interval(&point, &dir)
+            .expect("polytope has closed-form chords");
+        assert!((lo - clo).abs() < 1e-9, "lo {lo} vs {clo}");
+        assert!((hi - chi).abs() < 1e-9, "hi {hi} vs {chi}");
+        // Membership along the chord agrees with the full oracle.
+        for t in [lo + 1e-6, 0.5 * (lo + hi), hi - 1e-6] {
+            let probe = point.add_scaled(&dir, t);
+            assert_eq!(
+                oracle.walk_state_contains(&state, &dir_image, t),
+                body.contains_vec(&probe),
+                "membership mismatch at t = {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn residual_drift_stays_below_1e9_after_10k_steps() {
+    let d = 6;
+    let body = simplex_body(d);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut scratch = WalkScratch::new();
+    scratch.begin(&body, body.center());
+    let mut accepted = 0usize;
+    for _ in 0..10_000 {
+        if hit_and_run_step(&body, &mut scratch, &mut rng) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted > 5_000, "walk barely moved: {accepted}");
+    let drift = scratch
+        .residual_drift(&body)
+        .expect("polytope path is incremental");
+    assert!(
+        drift <= 1e-9,
+        "incremental residuals drifted to {drift:.3e} after {accepted} accepted steps"
+    );
+    // The final point is a genuine interior point of the body.
+    assert!(body.contains_vec(scratch.point()));
+}
+
+#[test]
+fn ellipsoid_incremental_state_matches_quadratic_and_bounds_drift() {
+    let d = 4;
+    let ell = Ellipsoid::ball(Vector::zeros(d), 1.0).expect("unit ball");
+    let body = ConvexBody::from_oracle(Arc::new(ell), Vector::zeros(d), 0.8, 1.25);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut scratch = WalkScratch::new();
+    scratch.begin(&body, body.center());
+    for _ in 0..10_000 {
+        hit_and_run_step(&body, &mut scratch, &mut rng);
+    }
+    let drift = scratch
+        .residual_drift(&body)
+        .expect("ellipsoid path is incremental");
+    assert!(drift <= 1e-9, "quadratic partials drifted to {drift:.3e}");
+    assert!(scratch.point().norm() <= 1.0 + 1e-6);
+}
+
+#[test]
+fn affine_preimage_state_stays_live_and_bounds_drift() {
+    // The rounding transform wraps the oracle in an affine preimage; its
+    // incremental state (inner residuals + the mapped point) must stay
+    // consistent with a fresh recompute across long chains, so that
+    // `residual_drift` is meaningful for rounded bodies too.
+    use cdb_linalg::{AffineMap, Matrix};
+    let original =
+        ConvexBody::from_polytope(&HPolytope::axis_box(&[0.0, 0.0], &[4.0, 1.0])).unwrap();
+    // View the box through y ↦ x = 2y + (1, 0): the preimage is
+    // [-0.5, 1.5] × [0, 0.5].
+    let map = AffineMap::new(Matrix::diagonal(&[2.0, 2.0]), Vector::from(vec![1.0, 0.0])).unwrap();
+    let body = original.with_transformed_oracle(map, Vector::from(vec![0.5, 0.25]), 0.2, 1.2);
+    assert!(body.oracle().walk_state_len().is_some());
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut scratch = WalkScratch::new();
+    scratch.begin(&body, body.center());
+    let mut accepted = 0usize;
+    for _ in 0..10_000 {
+        if hit_and_run_step(&body, &mut scratch, &mut rng) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted > 5_000, "walk barely moved: {accepted}");
+    let drift = scratch
+        .residual_drift(&body)
+        .expect("affine preimage path is incremental");
+    assert!(drift <= 1e-9, "preimage state drifted to {drift:.3e}");
+    assert!(body.contains_vec(scratch.point()));
+}
+
+#[test]
+fn incremental_and_fallback_paths_sample_the_same_distribution() {
+    // The square has both an incremental oracle (polytope) and a generic
+    // fallback (wrapping the same polytope behind an oracle without the
+    // protocol); long walks from both must land in each quadrant with the
+    // same frequencies under the same seeds.
+    struct Opaque(HPolytope);
+    impl MembershipOracle for Opaque {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn contains(&self, x: &[f64]) -> bool {
+            MembershipOracle::contains(&self.0, x)
+        }
+        fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
+            self.0.chord_interval(point, dir)
+        }
+        // No walk_state_* overrides: forces the fallback path.
+    }
+
+    let square = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+    let fast = ConvexBody::from_polytope(&square).unwrap();
+    let slow = ConvexBody::from_oracle(
+        Arc::new(Opaque(square)),
+        fast.center().clone(),
+        fast.r_inf(),
+        fast.r_sup(),
+    );
+    assert!(fast.oracle().walk_state_len().is_some());
+    assert!(slow.oracle().walk_state_len().is_none());
+
+    let mut scratch = WalkScratch::new();
+    let mut quadrants = [[0usize; 4]; 2];
+    for (k, body) in [&fast, &slow].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..600 {
+            let p = walk(
+                body,
+                body.center(),
+                WalkKind::HitAndRun,
+                25,
+                &mut rng,
+                &mut scratch,
+            );
+            let q = (p[0] > 0.5) as usize + 2 * ((p[1] > 0.5) as usize);
+            quadrants[k][q] += 1;
+        }
+    }
+    // Identical seeds and identical chord geometry: the two paths draw the
+    // same RNG stream, so the chains are bitwise identical.
+    assert_eq!(
+        quadrants[0], quadrants[1],
+        "incremental and fallback paths diverged: {quadrants:?}"
+    );
+}
