@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # CI gate for the spatial-cdb workspace. Run from anywhere; offline-safe.
 #
-# Usage: ./ci.sh [--quick] [--bench]
-#   --quick   skip the heavy statistical acceptance gates (chi-square
-#             uniformity and (eps, delta) volume tests in tests/statistical.rs)
-#             for fast local iteration. The full gates are mandatory in CI.
-#   --bench   additionally run the walk-throughput perf report, which
-#             rewrites BENCH_walk.json (see the README performance section).
+# Usage: ./ci.sh [--quick] [--bench] [--bench-quick]
+#   --quick        skip the heavy statistical acceptance gates (chi-square
+#                  uniformity and (eps, delta) volume tests in
+#                  tests/statistical.rs) for fast local iteration. The full
+#                  gates are mandatory in CI.
+#   --bench        additionally run the walk-throughput perf report, which
+#                  rewrites BENCH_walk.json (see the README performance
+#                  section).
+#   --bench-quick  run ONLY the perf-report smoke and exit: a tiny time
+#                  budget per workload (CDB_BENCH_QUICK=1), writing to
+#                  target/BENCH_walk_quick.json. Numbers are meaningless; it
+#                  proves every constraint-kernel dispatch path
+#                  (axis/sparse/dense/oracle) executes. The same smoke also
+#                  runs on every default CI pass; --bench replaces it with
+#                  the real measurement.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,13 +23,29 @@ export CARGO_NET_OFFLINE=true
 
 QUICK=0
 BENCH=0
+BENCH_QUICK=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
     --bench) BENCH=1 ;;
+    --bench-quick) BENCH_QUICK=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+# The perf smoke: tiny time budget, output kept out of the repo root so the
+# recorded BENCH_walk.json is never clobbered with throwaway numbers.
+bench_smoke() {
+  echo "==> walk perf smoke (tiny budget, target/BENCH_walk_quick.json)"
+  CDB_BENCH_QUICK=1 CDB_BENCH_OUT=target/BENCH_walk_quick.json \
+    cargo run --release -p cdb-bench --bin perf_report >/dev/null
+}
+
+if [ "$BENCH_QUICK" = "1" ]; then
+  bench_smoke
+  echo "==> perf smoke green"
+  exit 0
+fi
 
 if [ "$QUICK" = "1" ]; then
   # tests/statistical.rs self-skips its heavy gates when this is set.
@@ -48,6 +73,9 @@ fi
 if [ "$BENCH" = "1" ]; then
   echo "==> walk perf report (rewrites BENCH_walk.json)"
   cargo run --release -p cdb-bench --bin perf_report
+else
+  # Every CI pass exercises all kernel-dispatch paths, cheaply.
+  bench_smoke
 fi
 
 echo "==> cargo fmt --check"

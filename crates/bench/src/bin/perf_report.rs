@@ -1,12 +1,22 @@
 //! Walk-throughput report: measures hit-and-run steps/sec and samples/sec on
-//! the e1 polytope, e2 ball and e7 projection workloads and writes the
+//! the e1 polytope, e2 ball and e7 projection workloads plus the structured
+//! constraint-matrix workloads (axis-aligned box stack, banded sparse
+//! intersection — each with a forced-dense twin on the *same* body, so the
+//! kernel speedup is isolated from everything else), and writes the
 //! machine-readable `BENCH_walk.json`, so every PR leaves a perf trajectory
-//! behind (`./ci.sh --bench` runs it).
+//! behind (`./ci.sh --bench` runs it; `./ci.sh --bench-quick` runs the same
+//! harness with a tiny time budget as a dispatch smoke test).
 //!
-//! The harness deliberately drives only the stable public sampler API
-//! (`DfkSampler::sample`, `ProjectionGenerator::sample`), so the same source
-//! compiles against older revisions of the workspace — that is how the
-//! pre/post numbers quoted in PR descriptions are produced.
+//! The e1/e2/e7 rows deliberately drive only the long-stable public sampler
+//! API, so pre/post comparisons against the recorded `BENCH_walk.json` of
+//! earlier revisions stay apples-to-apples; the structured rows additionally
+//! use `HPolytope::force_dense` and `cdb_workloads::structured` (PR 4+).
+//!
+//! Environment knobs: `CDB_BENCH_OUT` overrides the output path and
+//! `CDB_BENCH_QUICK=1` shrinks the warm-up/measurement windows to a few
+//! milliseconds (numbers are then meaningless — it only proves every kernel
+//! dispatch path runs — so quick output defaults to
+//! `target/BENCH_walk_quick.json`, never the recorded `BENCH_walk.json`).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -17,6 +27,7 @@ use cdb_linalg::Vector;
 use cdb_sampler::{
     ConvexBody, DfkSampler, GeneratorParams, ProjectionGenerator, RelationGenerator,
 };
+use cdb_workloads::structured;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,6 +35,9 @@ use rand::SeedableRng;
 struct Row {
     workload: &'static str,
     dim: usize,
+    /// Constraint-matrix kernel the walk dispatches to (`"oracle"`/`"mixed"`
+    /// for non-polytope bodies).
+    kernel: &'static str,
     steps_per_sec: f64,
     samples_per_sec: f64,
 }
@@ -65,34 +79,57 @@ fn cone(d: usize) -> GeneralizedTuple {
     GeneralizedTuple::new(d, atoms)
 }
 
+/// Measures one polytope-backed hit-and-run row through the public sampler
+/// API; `kernel` is taken from the polytope's detected (or forced) matrix.
+fn polytope_row(
+    workload: &'static str,
+    p: &HPolytope,
+    seed: u64,
+    params: GeneratorParams,
+    warmup: Duration,
+    window: Duration,
+) -> Row {
+    let d = p.dim();
+    let kernel = p.matrix().kind();
+    let body = ConvexBody::from_polytope(p).expect("workload polytope is well-bounded");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = DfkSampler::new(body, params, &mut rng);
+    let steps_per_sample = params.walk_steps(d) as f64;
+    let sps = measure(
+        || {
+            std::hint::black_box(sampler.sample(&mut rng));
+        },
+        warmup,
+        window,
+    );
+    Row {
+        workload,
+        dim: d,
+        kernel,
+        steps_per_sec: sps * steps_per_sample,
+        samples_per_sec: sps,
+    }
+}
+
 fn main() {
-    let warmup = Duration::from_millis(300);
-    let window = Duration::from_millis(1500);
+    let quick = std::env::var("CDB_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (warmup, window) = if quick {
+        (Duration::from_millis(5), Duration::from_millis(25))
+    } else {
+        (Duration::from_millis(300), Duration::from_millis(1500))
+    };
     let params = GeneratorParams::fast();
     let mut rows = Vec::new();
 
     // e1: hit-and-run chains on a 6-dimensional hypercube (12 constraints).
-    {
-        let d = 6;
-        let body = ConvexBody::from_polytope(&HPolytope::hypercube(d, 1.0))
-            .expect("hypercube is well-bounded");
-        let mut rng = StdRng::seed_from_u64(1001);
-        let sampler = DfkSampler::new(body, params, &mut rng);
-        let steps_per_sample = params.walk_steps(d) as f64;
-        let sps = measure(
-            || {
-                std::hint::black_box(sampler.sample(&mut rng));
-            },
-            warmup,
-            window,
-        );
-        rows.push(Row {
-            workload: "e1_polytope_hit_and_run",
-            dim: d,
-            steps_per_sec: sps * steps_per_sample,
-            samples_per_sec: sps,
-        });
-    }
+    rows.push(polytope_row(
+        "e1_polytope_hit_and_run",
+        &HPolytope::hypercube(6, 1.0),
+        1001,
+        params,
+        warmup,
+        window,
+    ));
 
     // e2: hit-and-run chains on a 6-dimensional ball behind a loose
     // certificate (the oracle-backed body of experiment E2).
@@ -113,6 +150,7 @@ fn main() {
         rows.push(Row {
             workload: "e2_ball_hit_and_run",
             dim: d,
+            kernel: "oracle",
             steps_per_sec: sps * steps_per_sample,
             samples_per_sec: sps,
         });
@@ -143,9 +181,80 @@ fn main() {
         rows.push(Row {
             workload: "e7_projection_compensated",
             dim: d,
+            kernel: "mixed",
             steps_per_sec: sps * steps_per_chain / acceptance,
             samples_per_sec: sps,
         });
+    }
+
+    // s1: a 32-dimensional axis-aligned box stack (256 one-nonzero rows) —
+    // the detected axis kernel vs the dense kernel forced on the same body.
+    // The point streams are bitwise identical; only the per-step cost moves.
+    {
+        let mut gen_rng = StdRng::seed_from_u64(2001);
+        let (stack, _volume) = structured::box_stack(32, 4, 0.5, &mut gen_rng);
+        assert_eq!(stack.matrix().kind(), "axis", "box stack must detect axis");
+        rows.push(polytope_row(
+            "s1_box_stack_axis",
+            &stack,
+            2101,
+            params,
+            warmup,
+            window,
+        ));
+        rows.push(polytope_row(
+            "s1_box_stack_forced_dense",
+            &stack.force_dense(),
+            2101,
+            params,
+            warmup,
+            window,
+        ));
+    }
+
+    // s2: a 32-dimensional banded overlay intersection (126 rows, ≤ 2
+    // nonzeros each) — the detected CSR kernel vs the dense kernel on the
+    // same body.
+    {
+        let mut gen_rng = StdRng::seed_from_u64(2002);
+        let band = structured::banded_overlay(32, 0.5, &mut gen_rng);
+        assert_eq!(band.matrix().kind(), "sparse", "overlay must detect sparse");
+        rows.push(polytope_row(
+            "s2_banded_overlay_sparse",
+            &band,
+            2102,
+            params,
+            warmup,
+            window,
+        ));
+        rows.push(polytope_row(
+            "s2_banded_overlay_forced_dense",
+            &band.force_dense(),
+            2102,
+            params,
+            warmup,
+            window,
+        ));
+    }
+
+    // s3: a SAT-style sparse cut system (64 box rows + 48 three-literal
+    // cuts) through the CSR kernel — the Section 4.1.3 relaxation shape.
+    {
+        let mut gen_rng = StdRng::seed_from_u64(2003);
+        let sat = structured::sat_sparse_system(32, 48, 3, 0.1, &mut gen_rng);
+        assert_eq!(
+            sat.matrix().kind(),
+            "sparse",
+            "SAT system must detect sparse"
+        );
+        rows.push(polytope_row(
+            "s3_sat_sparse_cuts",
+            &sat,
+            2103,
+            params,
+            warmup,
+            window,
+        ));
     }
 
     let unix_time = std::time::SystemTime::now()
@@ -154,8 +263,9 @@ fn main() {
         .unwrap_or(0);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"cdb-perf-report/v1\",\n");
+    json.push_str("  \"schema\": \"cdb-perf-report/v2\",\n");
     json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!(
         "  \"walk_steps_factor\": {},\n",
         params.walk_steps_factor
@@ -163,9 +273,10 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"dim\": {}, \"steps_per_sec\": {:.0}, \"samples_per_sec\": {:.1}}}{}\n",
+            "    {{\"workload\": \"{}\", \"dim\": {}, \"kernel\": \"{}\", \"steps_per_sec\": {:.0}, \"samples_per_sec\": {:.1}}}{}\n",
             r.workload,
             r.dim,
+            r.kernel,
             r.steps_per_sec,
             r.samples_per_sec,
             if i + 1 == rows.len() { "" } else { "," }
@@ -173,7 +284,14 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let out = std::env::var("CDB_BENCH_OUT").unwrap_or_else(|_| "BENCH_walk.json".into());
+    // Quick-mode numbers are meaningless, so they must never land in the
+    // recorded BENCH_walk.json by default.
+    let default_out = if quick {
+        "target/BENCH_walk_quick.json"
+    } else {
+        "BENCH_walk.json"
+    };
+    let out = std::env::var("CDB_BENCH_OUT").unwrap_or_else(|_| default_out.into());
     std::fs::write(&out, &json).expect("write BENCH_walk.json");
     eprintln!("wrote {out}:");
     print!("{json}");

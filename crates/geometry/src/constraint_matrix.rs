@@ -1,0 +1,553 @@
+//! Structure-aware constraint matrices.
+//!
+//! The walk engine spends almost all of its time in one place: the `A·dir`
+//! product of the incremental chord protocol, where `A` is the constraint
+//! matrix of an H-polytope. The paper's motivating workloads are mostly
+//! *structured* — GIS parcel overlays are intersections of axis-aligned
+//! boxes (one nonzero per row) and SAT-style encodings produce rows with a
+//! handful of nonzeros — so a dense row-major product does up to `d×` the
+//! necessary work on them.
+//!
+//! [`ConstraintMatrix`] stores the matrix in one of three representations,
+//! chosen automatically by [`ConstraintMatrix::detect`] at
+//! [`crate::HPolytope`] construction:
+//!
+//! * [`ConstraintMatrix::Dense`] — the row-major flat buffer, reduced with
+//!   the 4-wide unrolled [`kernels::dot`];
+//! * [`ConstraintMatrix::Sparse`] — CSR, for systems whose rows carry few
+//!   nonzeros (banded overlays, SAT-style rows);
+//! * [`ConstraintMatrix::AxisAligned`] — one `(axis, coefficient)` pair per
+//!   row, for box/interval constraints: the chord becomes O(rows) interval
+//!   clipping with no matrix–vector product at all.
+//!
+//! Every structured kernel is **bitwise identical** to the dense path (see
+//! the reproducibility notes in [`kernels`]), so the representation is purely
+//! a performance choice: samplers, tests and pinned RNG streams observe the
+//! exact same numbers whichever variant is active.
+
+use cdb_linalg::kernels;
+
+/// Rows whose density (`nnz / (rows·cols)`) is at or below this threshold
+/// are stored as CSR; denser systems keep the flat row-major buffer, whose
+/// unrolled kernel wins once most entries are touched anyway.
+const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// Sparse storage only pays off when skipping zeros saves real work; below
+/// this column count the dense row fits in a cache line or two and the
+/// branchless unrolled kernel is faster than any gather.
+const SPARSE_MIN_COLS: usize = 8;
+
+/// A constraint matrix in one of three structure-aware representations.
+///
+/// All variants describe the same logical `rows × cols` real matrix and all
+/// operations produce bitwise-identical results across variants; see the
+/// module docs for when each is chosen.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConstraintMatrix {
+    /// Row-major flat buffer (`data.len() == rows · cols`).
+    Dense {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns (the ambient dimension).
+        cols: usize,
+        /// Row-major entries.
+        data: Vec<f64>,
+    },
+    /// Compressed sparse rows: row `i` owns `cols_idx/vals[row_ptr[i]..row_ptr[i+1]]`,
+    /// column indices strictly increasing within a row.
+    Sparse {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns (the ambient dimension).
+        cols: usize,
+        /// `rows + 1` offsets into `col_idx`/`vals`.
+        row_ptr: Vec<usize>,
+        /// Column index of each stored entry.
+        col_idx: Vec<u32>,
+        /// Value of each stored entry (never `0.0`).
+        vals: Vec<f64>,
+    },
+    /// At most one nonzero per row: row `i` is `coeffs[i] · x[axes[i]]`.
+    /// A zero row is stored as `(axis 0, coefficient 0.0)`.
+    AxisAligned {
+        /// Number of columns (the ambient dimension).
+        cols: usize,
+        /// Column of each row's nonzero.
+        axes: Vec<u32>,
+        /// Coefficient of each row's nonzero (sign encodes upper/lower bound).
+        coeffs: Vec<f64>,
+    },
+}
+
+impl ConstraintMatrix {
+    /// Wraps a row-major flat buffer without structure detection — the
+    /// "force the dense kernel" entry point used by benchmarks and the
+    /// bitwise-equality property tests.
+    pub fn dense(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense buffer length mismatch");
+        ConstraintMatrix::Dense { rows, cols, data }
+    }
+
+    /// Appends one dense row in place, in O(`cols`), without re-running
+    /// structure detection: the row joins the *current* representation when
+    /// it fits (any row fits `Dense` or `Sparse`; a ≤ 1-nonzero row fits
+    /// `AxisAligned`), and only a multi-nonzero row pushed onto an
+    /// axis-aligned matrix demotes the whole matrix to dense (one O(rows ×
+    /// cols) expansion at the moment of demotion). Detection therefore
+    /// happens once, at [`ConstraintMatrix::detect`] time — incremental
+    /// construction stays linear, and a matrix pinned by
+    /// [`ConstraintMatrix::dense`] (see `HPolytope::force_dense`) stays
+    /// pinned. Rebuild through `detect` to re-run detection from scratch.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols(), "pushed row length mismatch");
+        match self {
+            ConstraintMatrix::Dense { rows, data, .. } => {
+                data.extend_from_slice(row);
+                *rows += 1;
+            }
+            ConstraintMatrix::Sparse {
+                rows,
+                row_ptr,
+                col_idx,
+                vals,
+                ..
+            } => {
+                for (j, &v) in row.iter().enumerate() {
+                    if v != 0.0 {
+                        col_idx.push(j as u32);
+                        vals.push(v);
+                    }
+                }
+                row_ptr.push(col_idx.len());
+                *rows += 1;
+            }
+            ConstraintMatrix::AxisAligned { axes, coeffs, .. } => {
+                let mut nonzeros = row.iter().enumerate().filter(|(_, &v)| v != 0.0);
+                match (nonzeros.next(), nonzeros.next()) {
+                    (first, None) => {
+                        let (axis, coeff) = first.map_or((0, 0.0), |(j, &v)| (j as u32, v));
+                        axes.push(axis);
+                        coeffs.push(coeff);
+                    }
+                    _ => {
+                        // The row breaks the axis structure: demote to dense.
+                        let rows = axes.len();
+                        let cols = row.len();
+                        let mut data = self.to_dense_data();
+                        data.extend_from_slice(row);
+                        *self = ConstraintMatrix::Dense {
+                            rows: rows + 1,
+                            cols,
+                            data,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Detects the structure of a row-major flat buffer and builds the
+    /// cheapest representation that can host it: axis-aligned when every row
+    /// has at most one nonzero, CSR when the density is at most
+    /// `SPARSE_DENSITY_THRESHOLD` (and there are at least `SPARSE_MIN_COLS`
+    /// columns, so skipping zeros pays for the CSR bookkeeping), dense
+    /// otherwise.
+    pub fn detect(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense buffer length mismatch");
+        if cols == 0 {
+            return ConstraintMatrix::Dense { rows, cols, data };
+        }
+        if rows == 0 {
+            // A zero-row matrix vacuously satisfies the axis invariant.
+            // Starting axis-aligned matters for incremental construction:
+            // `push_row` never re-detects, so a polytope grown from empty by
+            // pushing interval bounds keeps the O(rows) axis kernel instead
+            // of being pinned dense forever.
+            return ConstraintMatrix::AxisAligned {
+                cols,
+                axes: Vec::new(),
+                coeffs: Vec::new(),
+            };
+        }
+        let mut nnz = 0usize;
+        let mut axis_aligned = true;
+        for row in data.chunks_exact(cols) {
+            let row_nnz = row.iter().filter(|&&v| v != 0.0).count();
+            nnz += row_nnz;
+            if row_nnz > 1 {
+                axis_aligned = false;
+            }
+        }
+        if axis_aligned {
+            let mut axes = Vec::with_capacity(rows);
+            let mut coeffs = Vec::with_capacity(rows);
+            for row in data.chunks_exact(cols) {
+                match row.iter().position(|&v| v != 0.0) {
+                    Some(j) => {
+                        axes.push(j as u32);
+                        coeffs.push(row[j]);
+                    }
+                    None => {
+                        axes.push(0);
+                        coeffs.push(0.0);
+                    }
+                }
+            }
+            return ConstraintMatrix::AxisAligned { cols, axes, coeffs };
+        }
+        let density = nnz as f64 / (rows * cols) as f64;
+        if cols >= SPARSE_MIN_COLS && density <= SPARSE_DENSITY_THRESHOLD {
+            let mut row_ptr = Vec::with_capacity(rows + 1);
+            let mut col_idx = Vec::with_capacity(nnz);
+            let mut vals = Vec::with_capacity(nnz);
+            row_ptr.push(0);
+            for row in data.chunks_exact(cols) {
+                for (j, &v) in row.iter().enumerate() {
+                    if v != 0.0 {
+                        col_idx.push(j as u32);
+                        vals.push(v);
+                    }
+                }
+                row_ptr.push(col_idx.len());
+            }
+            return ConstraintMatrix::Sparse {
+                rows,
+                cols,
+                row_ptr,
+                col_idx,
+                vals,
+            };
+        }
+        ConstraintMatrix::Dense { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            ConstraintMatrix::Dense { rows, .. } | ConstraintMatrix::Sparse { rows, .. } => *rows,
+            ConstraintMatrix::AxisAligned { axes, .. } => axes.len(),
+        }
+    }
+
+    /// Number of columns (the ambient dimension).
+    pub fn cols(&self) -> usize {
+        match self {
+            ConstraintMatrix::Dense { cols, .. }
+            | ConstraintMatrix::Sparse { cols, .. }
+            | ConstraintMatrix::AxisAligned { cols, .. } => *cols,
+        }
+    }
+
+    /// Number of stored nonzeros (dense counts its actual nonzero entries).
+    pub fn nnz(&self) -> usize {
+        match self {
+            ConstraintMatrix::Dense { data, .. } => data.iter().filter(|&&v| v != 0.0).count(),
+            ConstraintMatrix::Sparse { vals, .. } => vals.len(),
+            ConstraintMatrix::AxisAligned { coeffs, .. } => {
+                coeffs.iter().filter(|&&v| v != 0.0).count()
+            }
+        }
+    }
+
+    /// A short name for the active representation — used by diagnostics and
+    /// the perf report (`"dense"`, `"sparse"`, `"axis"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConstraintMatrix::Dense { .. } => "dense",
+            ConstraintMatrix::Sparse { .. } => "sparse",
+            ConstraintMatrix::AxisAligned { .. } => "axis",
+        }
+    }
+
+    /// Matrix–vector product `out ← A·x` through the representation's
+    /// specialized kernel. `x.len() == cols`, `out.len() == rows`; never
+    /// allocates.
+    pub fn mat_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols(), "mat_vec input length mismatch");
+        match self {
+            ConstraintMatrix::Dense { rows, data, .. } => {
+                kernels::mat_vec_into(data, *rows, x, out);
+            }
+            ConstraintMatrix::Sparse {
+                row_ptr,
+                col_idx,
+                vals,
+                ..
+            } => {
+                kernels::sparse_mat_vec_into(row_ptr, col_idx, vals, x, out);
+            }
+            ConstraintMatrix::AxisAligned { axes, coeffs, .. } => {
+                kernels::axis_mat_vec_into(axes, coeffs, x, out);
+            }
+        }
+    }
+
+    /// Dot product of row `i` with `x`, through the specialized kernel.
+    pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
+        match self {
+            ConstraintMatrix::Dense { cols, data, .. } => {
+                kernels::dot(&data[i * cols..(i + 1) * cols], x)
+            }
+            ConstraintMatrix::Sparse {
+                row_ptr,
+                col_idx,
+                vals,
+                ..
+            } => {
+                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+                kernels::sparse_row_dot(&col_idx[lo..hi], &vals[lo..hi], x)
+            }
+            ConstraintMatrix::AxisAligned { axes, coeffs, .. } => {
+                coeffs[i] * x[axes[i] as usize] + 0.0
+            }
+        }
+    }
+
+    /// The row-wise membership test `A·x ≤ b + tol`, with the representation
+    /// match hoisted out of the per-row loop (one dispatch per call, not per
+    /// row — this is the cold-path sibling of the incremental walk state's
+    /// sign check). Never allocates.
+    pub fn satisfies(&self, x: &[f64], b: &[f64], tol: f64) -> bool {
+        debug_assert_eq!(x.len(), self.cols(), "membership input length mismatch");
+        assert_eq!(b.len(), self.rows(), "offset vector length mismatch");
+        match self {
+            ConstraintMatrix::Dense { cols: 0, .. } => b.iter().all(|&bi| 0.0 <= bi + tol),
+            ConstraintMatrix::Dense { cols, data, .. } => data
+                .chunks_exact(*cols)
+                .zip(b)
+                .all(|(row, &bi)| kernels::dot(row, x) <= bi + tol),
+            ConstraintMatrix::Sparse {
+                row_ptr,
+                col_idx,
+                vals,
+                ..
+            } => b.iter().enumerate().all(|(i, &bi)| {
+                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+                kernels::sparse_row_dot(&col_idx[lo..hi], &vals[lo..hi], x) <= bi + tol
+            }),
+            ConstraintMatrix::AxisAligned { axes, coeffs, .. } => axes
+                .iter()
+                .zip(coeffs)
+                .zip(b)
+                .all(|((&a, &c), &bi)| c * x[a as usize] <= bi + tol),
+        }
+    }
+
+    /// Residual update `out ← b − A·x` (the incremental walk state of the
+    /// polytope oracle), fused over the structured product. Never allocates.
+    pub fn residuals_into(&self, x: &[f64], b: &[f64], out: &mut [f64]) {
+        assert_eq!(b.len(), self.rows(), "offset vector length mismatch");
+        self.mat_vec_into(x, out);
+        for (o, &bi) in out.iter_mut().zip(b) {
+            *o = bi - *o;
+        }
+    }
+
+    /// Writes row `i` densely into `out` (`out.len() == cols`), zero-filling
+    /// the gaps — the bridge for the cold LP/vertex-enumeration paths that
+    /// genuinely need dense rows.
+    pub fn write_row_into(&self, i: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols(), "dense row buffer length mismatch");
+        match self {
+            ConstraintMatrix::Dense { cols, data, .. } => {
+                out.copy_from_slice(&data[i * cols..(i + 1) * cols]);
+            }
+            ConstraintMatrix::Sparse {
+                row_ptr,
+                col_idx,
+                vals,
+                ..
+            } => {
+                out.fill(0.0);
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    out[col_idx[k] as usize] = vals[k];
+                }
+            }
+            ConstraintMatrix::AxisAligned { axes, coeffs, .. } => {
+                out.fill(0.0);
+                if coeffs[i] != 0.0 {
+                    out[axes[i] as usize] = coeffs[i];
+                }
+            }
+        }
+    }
+
+    /// Row `i` as a freshly allocated dense vector (cold paths only).
+    pub fn row_to_vec(&self, i: usize) -> Vec<f64> {
+        let mut row = vec![0.0; self.cols()];
+        self.write_row_into(i, &mut row);
+        row
+    }
+
+    /// The whole matrix as a row-major flat buffer (cold paths only).
+    pub fn to_dense_data(&self) -> Vec<f64> {
+        match self {
+            ConstraintMatrix::Dense { data, .. } => data.clone(),
+            _ => {
+                let (rows, cols) = (self.rows(), self.cols());
+                let mut data = vec![0.0; rows * cols];
+                for i in 0..rows {
+                    self.write_row_into(i, &mut data[i * cols..(i + 1) * cols]);
+                }
+                data
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_rows(rows: &[&[f64]]) -> (usize, usize, Vec<f64>) {
+        let cols = rows[0].len();
+        let mut data = Vec::new();
+        for r in rows {
+            assert_eq!(r.len(), cols);
+            data.extend_from_slice(r);
+        }
+        (rows.len(), cols, data)
+    }
+
+    #[test]
+    fn detection_picks_the_cheapest_variant() {
+        // A 2D box: every row has one nonzero.
+        let (r, c, data) = dense_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]);
+        assert_eq!(ConstraintMatrix::detect(r, c, data).kind(), "axis");
+
+        // A banded 8-column system with 2 nonzeros per row: sparse.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..7usize {
+            let mut row = vec![0.0; 8];
+            row[i] = 1.0;
+            row[i + 1] = -1.0;
+            rows.push(row);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let (r, c, data) = dense_rows(&refs);
+        assert_eq!(ConstraintMatrix::detect(r, c, data).kind(), "sparse");
+
+        // A fully dense system stays dense.
+        let (r, c, data) = dense_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(ConstraintMatrix::detect(r, c, data).kind(), "dense");
+
+        // Few columns: even sparse-ish systems stay dense (kernel overhead).
+        let (r, c, data) = dense_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0]]);
+        assert_eq!(ConstraintMatrix::detect(r, c, data).kind(), "dense");
+    }
+
+    #[test]
+    fn all_variants_agree_bitwise() {
+        // A mixed system with axis rows, short rows and a dense-ish row.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10usize {
+            let mut row = vec![0.0; 10];
+            row[i] = if i % 2 == 0 { 1.0 } else { -2.5 };
+            if i % 3 == 0 {
+                row[(i + 5) % 10] = 0.75;
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let (r, c, data) = dense_rows(&refs);
+        let detected = ConstraintMatrix::detect(r, c, data.clone());
+        assert_eq!(detected.kind(), "sparse");
+        let dense = ConstraintMatrix::dense(r, c, data);
+
+        let x: Vec<f64> = (0..c).map(|i| (i as f64 - 4.5) * 0.3).collect();
+        let mut out_s = vec![0.0; r];
+        let mut out_d = vec![0.0; r];
+        detected.mat_vec_into(&x, &mut out_s);
+        dense.mat_vec_into(&x, &mut out_d);
+        for (s, d) in out_s.iter().zip(&out_d) {
+            assert_eq!(s.to_bits(), d.to_bits());
+        }
+        for i in 0..r {
+            assert_eq!(
+                detected.row_dot(i, &x).to_bits(),
+                dense.row_dot(i, &x).to_bits()
+            );
+            assert_eq!(detected.row_to_vec(i), dense.row_to_vec(i));
+        }
+        assert_eq!(detected.to_dense_data(), dense.to_dense_data());
+        assert_eq!(detected.nnz(), dense.nnz());
+    }
+
+    #[test]
+    fn incremental_construction_from_empty_keeps_the_axis_kernel() {
+        // detect() on zero rows starts axis-aligned, so a box grown by
+        // push_row ends up on the O(rows) kernel, not pinned dense.
+        let mut m = ConstraintMatrix::detect(0, 4, Vec::new());
+        assert_eq!((m.kind(), m.rows(), m.cols()), ("axis", 0, 4));
+        for coord in 0..4u32 {
+            let mut lo = vec![0.0; 4];
+            lo[coord as usize] = -1.0;
+            m.push_row(&lo);
+            let mut hi = vec![0.0; 4];
+            hi[coord as usize] = 1.0;
+            m.push_row(&hi);
+        }
+        assert_eq!((m.kind(), m.rows(), m.nnz()), ("axis", 8, 8));
+        // Zero columns stay dense (nothing to index an axis into).
+        assert_eq!(ConstraintMatrix::detect(0, 0, Vec::new()).kind(), "dense");
+    }
+
+    #[test]
+    fn push_row_appends_in_place_and_demotes_only_when_forced() {
+        // Axis + axis row stays axis; axis + dense row demotes to dense.
+        let (r, c, data) = dense_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        let mut m = ConstraintMatrix::detect(r, c, data.clone());
+        assert_eq!(m.kind(), "axis");
+        m.push_row(&[0.0, 2.0]);
+        assert_eq!((m.kind(), m.rows()), ("axis", 3));
+        m.push_row(&[1.0, 1.0]);
+        assert_eq!((m.kind(), m.rows()), ("dense", 4));
+        assert_eq!(m.row_to_vec(1), vec![0.0, -1.0]);
+        assert_eq!(m.row_to_vec(3), vec![1.0, 1.0]);
+
+        // A pinned dense matrix stays dense whatever the row looks like.
+        let mut pinned = ConstraintMatrix::dense(r, c, data);
+        pinned.push_row(&[0.0, 3.0]);
+        assert_eq!((pinned.kind(), pinned.rows()), ("dense", 3));
+
+        // Sparse accepts any row in place.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..8usize {
+            let mut row = vec![0.0; 8];
+            row[i] = 1.0;
+            row[(i + 1) % 8] = -1.0;
+            rows.push(row);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let (r, c, data) = dense_rows(&refs);
+        let mut m = ConstraintMatrix::detect(r, c, data);
+        assert_eq!(m.kind(), "sparse");
+        m.push_row(&[0.0, 0.5, 0.0, 0.0, -0.5, 0.0, 0.0, 0.25]);
+        assert_eq!((m.kind(), m.rows(), m.nnz()), ("sparse", 9, 19));
+        assert_eq!(
+            m.row_to_vec(8),
+            vec![0.0, 0.5, 0.0, 0.0, -0.5, 0.0, 0.0, 0.25]
+        );
+    }
+
+    #[test]
+    fn residuals_match_the_definition() {
+        let (r, c, data) = dense_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        let m = ConstraintMatrix::detect(r, c, data);
+        assert_eq!(m.kind(), "axis");
+        let mut out = vec![0.0; 2];
+        m.residuals_into(&[0.25, 0.5], &[1.0, 0.0], &mut out);
+        assert_eq!(out, vec![0.75, 0.5]);
+    }
+
+    #[test]
+    fn zero_rows_are_representable_everywhere() {
+        let (r, c, data) = dense_rows(&[&[0.0, 0.0], &[0.0, 2.0]]);
+        let m = ConstraintMatrix::detect(r, c, data);
+        assert_eq!(m.kind(), "axis");
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row_dot(0, &[3.0, 4.0]), 0.0);
+        assert_eq!(m.row_to_vec(0), vec![0.0, 0.0]);
+        assert_eq!(m.row_dot(1, &[3.0, 4.0]), 8.0);
+    }
+}

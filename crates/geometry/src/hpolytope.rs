@@ -1,9 +1,9 @@
 //! Convex polyhedra in H-representation (finite intersections of halfspaces).
 
-use cdb_linalg::{kernels, AffineMap, Matrix, Vector};
+use cdb_linalg::{AffineMap, Matrix, Vector};
 use cdb_lp::{LpOutcome, LpProblem};
 
-use crate::{Halfspace, GEOM_EPS};
+use crate::{ConstraintMatrix, Halfspace, GEOM_EPS};
 
 /// Certificate that a convex relation is *well-bounded* in the sense of the
 /// paper (Section 2): it contains a ball of radius `r_inf` and is contained
@@ -29,16 +29,18 @@ impl WellBounded {
 /// A convex polyhedron `{ x ∈ R^d : a_i·x ≤ b_i }` given by its defining
 /// halfspaces.
 ///
-/// Alongside the symbolic halfspace list the polytope caches the dense
-/// row-major constraint matrix `A` and offset vector `b` at construction
-/// (`dense_a` / `dense_b`), so the hot membership and chord paths of the
-/// samplers — and the LP setup — never rebuild per-row buffers.
+/// Alongside the symbolic halfspace list the polytope caches its constraint
+/// matrix `A` as a structure-aware [`ConstraintMatrix`] (detected once at
+/// construction: axis-aligned, CSR or dense) plus the offset vector `b`, so
+/// the hot membership and chord paths of the samplers — and the LP setup —
+/// never rebuild per-row buffers and automatically run the cheapest kernel
+/// the structure admits.
 #[derive(Clone)]
 pub struct HPolytope {
     dim: usize,
     halfspaces: Vec<Halfspace>,
-    /// Flat row-major copy of the constraint normals (`n_constraints × dim`).
-    dense_a: Vec<f64>,
+    /// Structure-aware constraint matrix (`n_constraints × dim`).
+    matrix: ConstraintMatrix,
     /// Constraint offsets, one per halfspace.
     dense_b: Vec<f64>,
 }
@@ -61,8 +63,24 @@ impl PartialEq for HPolytope {
 
 impl HPolytope {
     /// Creates a polytope from a list of halfspaces (possibly empty, meaning
-    /// the whole space).
+    /// the whole space). The constraint-matrix structure (axis-aligned, CSR
+    /// or dense) is detected here, once.
     pub fn new(dim: usize, halfspaces: Vec<Halfspace>) -> Self {
+        Self::build(dim, halfspaces, true)
+    }
+
+    /// Creates a polytope with the constraint matrix pinned to the dense
+    /// representation, skipping structure detection. For throwaway or
+    /// cold-path polytopes that are built once and queried a handful of
+    /// times (e.g. the per-attempt fiber cylinders of the projection
+    /// generator), where the detection scan and structured-storage
+    /// allocations can never amortize. Long-lived bodies that get walked
+    /// should use [`HPolytope::new`].
+    pub fn new_dense(dim: usize, halfspaces: Vec<Halfspace>) -> Self {
+        Self::build(dim, halfspaces, false)
+    }
+
+    fn build(dim: usize, halfspaces: Vec<Halfspace>, detect: bool) -> Self {
         let mut dense_a = Vec::with_capacity(halfspaces.len() * dim);
         let mut dense_b = Vec::with_capacity(halfspaces.len());
         for h in &halfspaces {
@@ -70,10 +88,15 @@ impl HPolytope {
             dense_a.extend_from_slice(h.normal().as_slice());
             dense_b.push(h.offset());
         }
+        let matrix = if detect {
+            ConstraintMatrix::detect(dense_b.len(), dim, dense_a)
+        } else {
+            ConstraintMatrix::dense(dense_b.len(), dim, dense_a)
+        };
         HPolytope {
             dim,
             halfspaces,
-            dense_a,
+            matrix,
             dense_b,
         }
     }
@@ -137,18 +160,43 @@ impl HPolytope {
         self.halfspaces.len()
     }
 
-    /// Adds one halfspace in place, keeping the dense cache in sync.
+    /// Adds one halfspace in place, keeping the constraint-matrix cache in
+    /// sync. The row is appended to the current representation in O(dim) —
+    /// structure is *not* re-detected (so repeated pushes stay linear and a
+    /// [`HPolytope::force_dense`] pin survives); the only representation
+    /// change is the forced demotion when a multi-nonzero row lands on an
+    /// axis-aligned matrix. Build via [`HPolytope::new`] to re-run
+    /// detection.
     pub fn push(&mut self, h: Halfspace) {
         assert_eq!(h.dim(), self.dim, "halfspace dimension mismatch");
-        self.dense_a.extend_from_slice(h.normal().as_slice());
+        self.matrix.push_row(h.normal().as_slice());
         self.dense_b.push(h.offset());
         self.halfspaces.push(h);
     }
 
-    /// The cached dense constraint matrix `A`, row-major with
-    /// [`HPolytope::n_constraints`] rows of [`HPolytope::dim`] entries each.
-    pub fn dense_a(&self) -> &[f64] {
-        &self.dense_a
+    /// The cached structure-aware constraint matrix `A`
+    /// ([`HPolytope::n_constraints`] rows over [`HPolytope::dim`] columns).
+    pub fn matrix(&self) -> &ConstraintMatrix {
+        &self.matrix
+    }
+
+    /// A copy of this polytope whose constraint matrix is pinned to the
+    /// [`ConstraintMatrix::Dense`] representation, bypassing structure
+    /// detection. The point set is identical and — because the structured
+    /// kernels are bitwise-reproducible against the dense one — so is every
+    /// sample drawn from it; only the per-step cost differs. Used by the
+    /// perf report and the kernel-equivalence property tests.
+    pub fn force_dense(&self) -> HPolytope {
+        HPolytope {
+            dim: self.dim,
+            halfspaces: self.halfspaces.clone(),
+            matrix: ConstraintMatrix::dense(
+                self.dense_b.len(),
+                self.dim,
+                self.matrix.to_dense_data(),
+            ),
+            dense_b: self.dense_b.clone(),
+        }
     }
 
     /// The cached constraint offsets `b`, one per halfspace.
@@ -162,12 +210,10 @@ impl HPolytope {
     }
 
     /// Membership test on a slice (allocation-free: one pass over the cached
-    /// dense constraint rows).
+    /// constraint rows through the structure-aware kernel).
     pub fn contains_slice(&self, x: &[f64], tol: f64) -> bool {
         assert_eq!(x.len(), self.dim, "membership dimension mismatch");
-        self.dense_b.iter().enumerate().all(|(i, &b)| {
-            kernels::dot(&self.dense_a[i * self.dim..(i + 1) * self.dim], x) <= b + tol
-        })
+        self.matrix.satisfies(x, &self.dense_b, tol)
     }
 
     /// Intersection with another polytope over the same space.
@@ -206,12 +252,13 @@ impl HPolytope {
         HPolytope::new(self.dim, halfspaces)
     }
 
-    /// Builds an LP over this polytope's constraints, copying rows out of the
-    /// dense cache rather than re-walking the halfspace objects.
+    /// Builds an LP over this polytope's constraints, expanding rows out of
+    /// the constraint-matrix cache rather than re-walking the halfspace
+    /// objects.
     fn lp(&self) -> LpProblem<f64> {
         let mut lp = LpProblem::new(self.dim);
         for (i, &b) in self.dense_b.iter().enumerate() {
-            lp.add_le(self.dense_a[i * self.dim..(i + 1) * self.dim].to_vec(), b);
+            lp.add_le(self.matrix.row_to_vec(i), b);
         }
         lp
     }
@@ -248,8 +295,7 @@ impl HPolytope {
         obj[self.dim] = 1.0;
         lp.set_objective(obj);
         for (i, h) in self.halfspaces.iter().enumerate() {
-            let mut row = Vec::with_capacity(self.dim + 1);
-            row.extend_from_slice(&self.dense_a[i * self.dim..(i + 1) * self.dim]);
+            let mut row = self.matrix.row_to_vec(i);
             row.push(h.normal_norm());
             lp.add_le(row, self.dense_b[i]);
         }
@@ -336,12 +382,13 @@ impl HPolytope {
         }
         let mut verts: Vec<Vector> = Vec::new();
         let mut combo: Vec<usize> = (0..d).collect();
+        // Row buffers reused across all d-combinations.
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0; d]; d];
+        let mut rhs = Vector::zeros(d);
         loop {
             // Solve the d×d system formed by the selected hyperplanes.
-            let mut rows = Vec::with_capacity(d);
-            let mut rhs = Vector::zeros(d);
             for (k, &i) in combo.iter().enumerate() {
-                rows.push(self.dense_a[i * d..(i + 1) * d].to_vec());
+                self.matrix.write_row_into(i, &mut rows[k]);
                 rhs[k] = self.dense_b[i];
             }
             let a = Matrix::from_rows(&rows);
@@ -380,17 +427,13 @@ impl HPolytope {
             let mut lp = LpProblem::new(self.dim);
             for j in 0..self.halfspaces.len() {
                 if i != j {
-                    lp.add_le(
-                        self.dense_a[j * self.dim..(j + 1) * self.dim].to_vec(),
-                        self.dense_b[j],
-                    );
+                    lp.add_le(self.matrix.row_to_vec(j), self.dense_b[j]);
                 }
             }
-            let redundant =
-                match lp.maximize(self.dense_a[i * self.dim..(i + 1) * self.dim].to_vec()) {
-                    LpOutcome::Optimal { value, .. } => value <= h.offset() + GEOM_EPS,
-                    _ => false,
-                };
+            let redundant = match lp.maximize(self.matrix.row_to_vec(i)) {
+                LpOutcome::Optimal { value, .. } => value <= h.offset() + GEOM_EPS,
+                _ => false,
+            };
             if !redundant {
                 kept.push(h.clone());
             }
@@ -523,6 +566,47 @@ mod tests {
         for probe in [[0.5, 0.5], [1.5, 0.5], [-0.1, 0.2]] {
             assert_eq!(p.contains_slice(&probe, 0.0), r.contains_slice(&probe, 0.0));
         }
+    }
+
+    #[test]
+    fn structure_detection_and_force_dense() {
+        // Boxes are axis-aligned; the cross-polytope is fully dense.
+        let b = HPolytope::axis_box(&vec![0.0; 8], &vec![1.0; 8]);
+        assert_eq!(b.matrix().kind(), "axis");
+        assert_eq!(b.matrix().rows(), 16);
+        assert_eq!(b.matrix().cols(), 8);
+        assert_eq!(HPolytope::cross_polytope(3, 1.0).matrix().kind(), "dense");
+
+        // Pushing an axis row keeps the axis representation (appended in
+        // place, no re-detection); a dense row demotes it. Membership and
+        // geometry are unchanged either way.
+        let mut cut = b.clone();
+        cut.push(Halfspace::upper_bound(8, 0, 0.95));
+        assert_eq!(cut.matrix().kind(), "axis");
+        cut.push(Halfspace::from_slice(&vec![1.0; 8], 6.0));
+        assert_eq!(cut.matrix().kind(), "dense");
+        assert!(cut.contains_slice(&[0.5; 8], 0.0));
+        assert!(!cut.contains_slice(&[0.9; 8], 1e-9));
+
+        // A force_dense pin survives push.
+        let mut pinned = b.force_dense();
+        pinned.push(Halfspace::upper_bound(8, 1, 0.75));
+        assert_eq!(pinned.matrix().kind(), "dense");
+        assert!(!pinned.contains_slice(&[0.9; 8], 1e-9));
+
+        // force_dense pins the dense kernel without touching the point set.
+        let forced = b.force_dense();
+        assert_eq!(forced.matrix().kind(), "dense");
+        assert_eq!(forced, b);
+        for probe in [[0.5; 8], [1.5; 8]] {
+            assert_eq!(
+                forced.contains_slice(&probe, 0.0),
+                b.contains_slice(&probe, 0.0)
+            );
+        }
+        let (lo, hi) = forced.bounding_box().unwrap();
+        assert_eq!(lo.as_slice(), &[0.0; 8]);
+        assert_eq!(hi.as_slice(), &[1.0; 8]);
     }
 
     #[test]

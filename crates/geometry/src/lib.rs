@@ -9,6 +9,9 @@
 //!   membership tests, emptiness and boundedness certificates (via
 //!   `cdb-lp`), Chebyshev balls, bounding boxes, affine images and vertex
 //!   enumeration;
+//! * [`ConstraintMatrix`] — the structure-aware constraint-matrix layer
+//!   (dense / CSR / axis-aligned) every polytope builds at construction; the
+//!   samplers' hot chord and membership kernels dispatch on it;
 //! * [`hull`] — convex hulls of point clouds (monotone chain in 2D, facet
 //!   enumeration in small general dimension), used by the reconstruction
 //!   algorithms of Section 4.3 of the paper;
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod ball;
+mod constraint_matrix;
 mod ellipsoid;
 mod grid;
 mod halfspace;
@@ -46,6 +50,7 @@ mod hpolytope;
 pub mod hull;
 pub mod volume;
 
+pub use constraint_matrix::ConstraintMatrix;
 pub use ellipsoid::Ellipsoid;
 pub use grid::GammaGrid;
 pub use halfspace::Halfspace;

@@ -8,6 +8,23 @@
 //! [`crate::Matrix`] temporaries, and they are written to keep the inner
 //! loops allocation-free and auto-vectorizable (four independent
 //! accumulators for the reductions).
+//!
+//! # Bitwise reproducibility across representations
+//!
+//! The structured kernels ([`sparse_row_dot`], [`sparse_mat_vec_into`],
+//! [`axis_mat_vec_into`]) skip the zero entries of a row but **replicate the
+//! dense summation order exactly**: [`dot`] accumulates index class `i % 4`
+//! of the 4-aligned prefix into its own accumulator, sums the remainder into
+//! a tail accumulator, and combines as `(acc0 + acc2) + (acc1 + acc3) +
+//! tail`. Adding a product that is exactly `±0.0` never changes a partial
+//! sum (the accumulators start at `+0.0`, and IEEE-754 addition of a signed
+//! zero to any finite value is exact), so accumulating only the stored
+//! nonzeros into the same classes and combining the same way yields the
+//! same bits as the dense reduction. The geometry layer relies on this:
+//! switching a polytope between its dense and structured constraint-matrix
+//! representations changes per-step cost, never a single sampled bit (the
+//! `structured_walk` property suite in `cdb-sampler` pins whole
+//! trajectories).
 
 /// Dot product of two equal-length slices, unrolled four-wide so the
 /// reduction runs on independent accumulators.
@@ -59,6 +76,166 @@ pub fn mat_vec_into(a: &[f64], rows: usize, x: &[f64], out: &mut [f64]) {
     }
 }
 
+/// Dot product of one CSR row (`cols[k]`/`vals[k]` pairs, columns strictly
+/// increasing) with a dense vector `x` of logical length `n`.
+///
+/// Accumulates each stored product into the class its column would occupy in
+/// the dense reduction of [`dot`] (`col % 4` within the 4-aligned prefix, a
+/// tail accumulator past it) and combines identically, so the result is
+/// bitwise equal to `dot(dense_row, x)` — see the module docs.
+///
+/// Rows with at most three nonzeros — every row of a box, banded-overlay or
+/// 3-literal SAT system — take shortcuts: the dense combine tree
+/// `(c0 + c2) + (c1 + c3) + tail` degenerates to the plain sum of the
+/// products (grouped as the tree would group them) followed by `+ 0.0`.
+/// Every other addition in the tree has a `+0.0` operand, which is exact
+/// and only ever canonicalizes `-0.0` to `+0.0` — exactly what the trailing
+/// `+ 0.0` of the shortcut reproduces — and IEEE-754 addition is commutative
+/// bitwise, so only the *grouping* of the tree is observable (and for one or
+/// two products there is none). From four nonzeros up the kernel runs the
+/// faithful per-class accumulation.
+#[inline]
+pub fn sparse_row_dot(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len(), "CSR row col/val length mismatch");
+    match cols.len() {
+        0 => 0.0,
+        1 => vals[0] * x[cols[0] as usize] + 0.0,
+        2 => (vals[0] * x[cols[0] as usize] + vals[1] * x[cols[1] as usize]) + 0.0,
+        3 => {
+            // Three products: the dense tree `(c0 + c2) + (c1 + c3) + tail`
+            // reduces two of them first — the pair sharing an accumulator
+            // slot if one exists, else the pair sharing a combine-tree group
+            // (`{c0, c2}`, `{c1, c3}` or the tail), else the two non-tail
+            // products (whose group sums `(c0 + c2)` and `(c1 + c3)` join
+            // before the tail does). All other tree operands are exactly
+            // `+0.0`, so the remaining additions collapse to `+ third` and a
+            // final canonicalizing `+ 0.0`, as in the shorter cases.
+            let n4 = x.len() - x.len() % 4;
+            let slot = |c: u32| -> u32 {
+                if (c as usize) < n4 {
+                    c & 3
+                } else {
+                    4
+                }
+            };
+            let group = |k: u32| -> u32 {
+                if k == 4 {
+                    2
+                } else {
+                    k & 1
+                }
+            };
+            let p1 = vals[0] * x[cols[0] as usize];
+            let p2 = vals[1] * x[cols[1] as usize];
+            let p3 = vals[2] * x[cols[2] as usize];
+            let (k1, k2, k3) = (slot(cols[0]), slot(cols[1]), slot(cols[2]));
+            let (pair, third) = if k1 == k2 {
+                (p1 + p2, p3)
+            } else if k1 == k3 {
+                (p1 + p3, p2)
+            } else if k2 == k3 {
+                (p2 + p3, p1)
+            } else if group(k1) == group(k2) {
+                (p1 + p2, p3)
+            } else if group(k1) == group(k3) {
+                (p1 + p3, p2)
+            } else if group(k2) == group(k3) {
+                (p2 + p3, p1)
+            } else if k3 == 4 {
+                (p1 + p2, p3)
+            } else if k2 == 4 {
+                (p1 + p3, p2)
+            } else {
+                (p2 + p3, p1)
+            };
+            (pair + third) + 0.0
+        }
+        _ => {
+            let n4 = x.len() - x.len() % 4;
+            let mut acc = [0.0f64; 4];
+            let mut tail = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                let c = c as usize;
+                if c < n4 {
+                    acc[c % 4] += v * x[c];
+                } else {
+                    tail += v * x[c];
+                }
+            }
+            (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+        }
+    }
+}
+
+/// CSR matrix–vector product `out ← A·x`. `row_ptr` has `rows + 1` entries;
+/// row `i` owns the index range `row_ptr[i]..row_ptr[i + 1]` of
+/// `cols`/`vals`. Each row reduces through [`sparse_row_dot`], so the output
+/// is bitwise equal to the dense [`mat_vec_into`] on the expanded matrix.
+#[inline]
+pub fn sparse_mat_vec_into(
+    row_ptr: &[usize],
+    cols: &[u32],
+    vals: &[f64],
+    x: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(
+        row_ptr.len(),
+        out.len() + 1,
+        "CSR row pointer length mismatch"
+    );
+    for (i, o) in out.iter_mut().enumerate() {
+        let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+        *o = sparse_row_dot(&cols[lo..hi], &vals[lo..hi], x);
+    }
+}
+
+/// Matrix–vector product for a matrix with (at most) one nonzero per row:
+/// `out[i] ← coeffs[i] · x[axes[i]]`. This is the axis-aligned fast path —
+/// O(rows) work in place of the O(rows·cols) dense product. The `+ 0.0`
+/// canonicalizes a `-0.0` product to `+0.0`, which is what the dense
+/// reduction would produce (its accumulators never hold `-0.0`), keeping the
+/// bitwise-equality contract of the module docs.
+#[inline]
+pub fn axis_mat_vec_into(axes: &[u32], coeffs: &[f64], x: &[f64], out: &mut [f64]) {
+    assert_eq!(axes.len(), out.len(), "axis row count mismatch");
+    assert_eq!(coeffs.len(), out.len(), "axis coefficient count mismatch");
+    for ((o, &axis), &coeff) in out.iter_mut().zip(axes).zip(coeffs) {
+        *o = coeff * x[axis as usize] + 0.0;
+    }
+}
+
+/// The hit-and-run ratio test over precomputed per-row growths (`A·dir`) and
+/// residuals (`b − A·x`): intersects all the constraints
+/// `growth[i]·t ≤ residual[i] + tol` into a chord interval `(lo, hi)`,
+/// possibly unbounded (callers clamp against their certificate). Returns
+/// `(0.0, 0.0)` when the intersection is empty.
+///
+/// Growths with `|g| ≤ 1e-14` are treated as parallel to the line: they
+/// either cut nothing or (negative slack) empty the chord.
+#[inline]
+pub fn chord_from_residuals(growth: &[f64], residual: &[f64], tol: f64) -> (f64, f64) {
+    assert_eq!(growth.len(), residual.len(), "ratio test length mismatch");
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for (&g, &r) in growth.iter().zip(residual) {
+        let s = r + tol;
+        if g.abs() <= 1e-14 {
+            if s < 0.0 {
+                return (0.0, 0.0);
+            }
+        } else if g > 0.0 {
+            hi = hi.min(s / g);
+        } else {
+            lo = lo.max(s / g);
+        }
+    }
+    if lo > hi {
+        return (0.0, 0.0);
+    }
+    (lo, hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +272,131 @@ mod tests {
     #[should_panic]
     fn mismatched_lengths_panic() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Expands a CSR row to dense and checks the sparse reduction is bitwise
+    /// equal to the dense one, across lengths that exercise every tail size.
+    #[test]
+    fn sparse_row_dot_is_bitwise_dense() {
+        for n in 1..13usize {
+            let x: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 1.7).collect();
+            // Nonzeros at every other column with mixed signs.
+            let cols: Vec<u32> = (0..n as u32).step_by(2).collect();
+            let vals: Vec<f64> = cols.iter().map(|&c| 1.5 - c as f64).collect();
+            let mut dense = vec![0.0; n];
+            for (&c, &v) in cols.iter().zip(&vals) {
+                dense[c as usize] = v;
+            }
+            let s = sparse_row_dot(&cols, &vals, &x);
+            let d = dot(&dense, &x);
+            assert_eq!(s.to_bits(), d.to_bits(), "n = {n}: sparse {s} vs dense {d}");
+        }
+    }
+
+    /// Exhausts every column pattern with up to three nonzeros (the shortcut
+    /// arms of [`sparse_row_dot`]) over lengths covering every tail size and
+    /// value sets that include exact signed zeros, checking bitwise equality
+    /// with the dense reduction.
+    #[test]
+    fn sparse_row_dot_shortcuts_are_bitwise_dense() {
+        let value_sets: [[f64; 3]; 5] = [
+            [1.25, -2.5, 3.75],
+            [-0.0, -0.0, -0.0],
+            [0.0, -0.0, 1.0],
+            [1e300, -1e300, 1.0],
+            [-1.5, 1.5, -0.0],
+        ];
+        for n in 1..=11usize {
+            let x: Vec<f64> = (0..n).map(|i| 0.7 * i as f64 - 2.1).collect();
+            let mut patterns: Vec<Vec<usize>> = vec![vec![]];
+            for c1 in 0..n {
+                patterns.push(vec![c1]);
+                for c2 in c1 + 1..n {
+                    patterns.push(vec![c1, c2]);
+                    for c3 in c2 + 1..n {
+                        patterns.push(vec![c1, c2, c3]);
+                    }
+                }
+            }
+            for pat in &patterns {
+                for values in &value_sets {
+                    let cols: Vec<u32> = pat.iter().map(|&c| c as u32).collect();
+                    let vals: Vec<f64> = values[..pat.len()].to_vec();
+                    let mut dense = vec![0.0; n];
+                    for (&c, &v) in pat.iter().zip(&vals) {
+                        dense[c] = v;
+                    }
+                    let s = sparse_row_dot(&cols, &vals, &x);
+                    let d = dot(&dense, &x);
+                    assert_eq!(
+                        s.to_bits(),
+                        d.to_bits(),
+                        "n = {n}, cols = {pat:?}, vals = {vals:?}: sparse {s} vs dense {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_mat_vec_matches_dense() {
+        // 3x5: rows with 0, 1 and 3 nonzeros.
+        let row_ptr = [0usize, 0, 1, 4];
+        let cols = [2u32, 0, 3, 4];
+        let vals = [2.5, -1.0, 4.0, 0.5];
+        let x = [1.0, -2.0, 3.0, 0.25, 8.0];
+        let mut dense = vec![0.0; 15];
+        dense[1 * 5 + 2] = 2.5;
+        dense[2 * 5] = -1.0;
+        dense[2 * 5 + 3] = 4.0;
+        dense[2 * 5 + 4] = 0.5;
+        let mut out_s = [0.0; 3];
+        let mut out_d = [0.0; 3];
+        sparse_mat_vec_into(&row_ptr, &cols, &vals, &x, &mut out_s);
+        mat_vec_into(&dense, 3, &x, &mut out_d);
+        for (s, d) in out_s.iter().zip(&out_d) {
+            assert_eq!(s.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn axis_mat_vec_matches_dense_including_signed_zero() {
+        let axes = [1u32, 0, 2];
+        let coeffs = [-1.0, 2.0, -3.0];
+        // x[2] = 0.0 makes the third product -0.0; the dense reduction
+        // canonicalizes it to +0.0 and the axis kernel must agree.
+        let x = [4.0, -0.5, 0.0];
+        let mut dense = vec![0.0; 9];
+        dense[1] = -1.0;
+        dense[3] = 2.0;
+        dense[8] = -3.0;
+        let mut out_a = [0.0; 3];
+        let mut out_d = [0.0; 3];
+        axis_mat_vec_into(&axes, &coeffs, &x, &mut out_a);
+        mat_vec_into(&dense, 3, &x, &mut out_d);
+        for (a, d) in out_a.iter().zip(&out_d) {
+            assert_eq!(a.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn chord_from_residuals_ratio_test() {
+        // The unit interval in 1D: x <= 1 (growth 1, residual 1 - 0.25) and
+        // -x <= 0 (growth -1, residual 0.25), from the point x = 0.25.
+        let (lo, hi) = chord_from_residuals(&[1.0, -1.0], &[0.75, 0.25], 0.0);
+        assert!((lo + 0.25).abs() < 1e-12 && (hi - 0.75).abs() < 1e-12);
+        // A parallel constraint with negative slack empties the chord.
+        assert_eq!(
+            chord_from_residuals(&[0.0, 1.0], &[-1.0, 1.0], 0.0),
+            (0.0, 0.0)
+        );
+        // Contradictory constraints empty it too.
+        assert_eq!(
+            chord_from_residuals(&[1.0, -1.0], &[-2.0, -2.0], 0.0),
+            (0.0, 0.0)
+        );
+        // No finite cuts leave the interval unbounded.
+        let (lo, hi) = chord_from_residuals(&[0.0], &[1.0], 0.0);
+        assert!(lo == f64::NEG_INFINITY && hi == f64::INFINITY);
     }
 }

@@ -122,7 +122,8 @@ impl ProjectionGenerator {
                 Halfspace::from_slice(&normal, h.offset() - fixed)
             })
             .collect();
-        HPolytope::new(fiber_dim, halfspaces)
+        // Built per attempt and queried once: skip structure detection.
+        HPolytope::new_dense(fiber_dim, halfspaces)
     }
 
     /// The paper's `ĥ`: the (estimated) number of grid points in the cylinder

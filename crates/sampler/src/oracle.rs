@@ -38,9 +38,53 @@ use cdb_linalg::{kernels, Vector};
 /// For an H-polytope the state is the residual vector `s = b − A·x`: one
 /// `A·dir` product per step replaces the two `A·x` products of the
 /// closed-form chord plus the `A·x` product of the membership test, and no
-/// intermediate vectors are allocated. Every implementation must keep all
-/// four calls allocation-free; initialization may be called at any time to
-/// refresh the state from scratch.
+/// intermediate vectors are allocated. The `A·dir` product itself dispatches
+/// on the polytope's [`cdb_geometry::ConstraintMatrix`] — axis-aligned and
+/// CSR systems run their structured kernels, which are bitwise identical to
+/// the dense path. Every implementation must keep all four calls
+/// allocation-free; initialization may be called at any time to refresh the
+/// state from scratch.
+///
+/// # Worked example: one incremental chord/advance cycle
+///
+/// Drive the protocol by hand on the unit square `[0, 1]²` (the walk engine
+/// does exactly this, millions of times per second):
+///
+/// ```
+/// use cdb_geometry::HPolytope;
+/// use cdb_sampler::MembershipOracle;
+///
+/// let square = HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+///
+/// // 1. Announce + initialize: one state slot per constraint, holding the
+/// //    residuals s = b − A·x of the current point.
+/// let len = square.walk_state_len().expect("polytopes are incremental");
+/// assert_eq!(len, 4);
+/// let mut state = vec![0.0; len];
+/// let mut dir_image = vec![0.0; len];
+/// let point = [0.25, 0.5];
+/// square.walk_state_init(&point, &mut state);
+///
+/// // 2. Chord along +x: A·dir lands in `dir_image`, and the ratio test
+/// //    over the residuals yields the exact chord — the segment from the
+/// //    left edge (t = −0.25) to the right edge (t = +0.75).
+/// let dir = [1.0, 0.0];
+/// let (lo, hi) = square.walk_state_chord(&state, &dir, &mut dir_image);
+/// assert!((lo + 0.25).abs() < 1e-6 && (hi - 0.75).abs() < 1e-6);
+///
+/// // 3. Membership of point + t·dir is an O(state) sign check — no matvec.
+/// assert!(square.walk_state_contains(&state, &dir_image, 0.5));
+/// assert!(!square.walk_state_contains(&state, &dir_image, 0.8));
+///
+/// // 4. Commit t = 0.5: one axpy pass updates the residuals in place, and
+/// //    the state now matches a fresh recompute at the new point (0.75, 0.5).
+/// square.walk_state_advance(&mut state, &dir_image, 0.5);
+/// let mut fresh = vec![0.0; len];
+/// square.walk_state_init(&[0.75, 0.5], &mut fresh);
+/// for (live, expected) in state.iter().zip(&fresh) {
+///     assert!((live - expected).abs() < 1e-12);
+/// }
+/// ```
 pub trait MembershipOracle: Send + Sync {
     /// Ambient dimension.
     fn dim(&self) -> usize;
@@ -125,16 +169,15 @@ impl MembershipOracle for HPolytope {
         self.contains_slice(x, ORACLE_TOL)
     }
     fn chord_interval(&self, point: &[f64], dir: &[f64]) -> Option<(f64, f64)> {
-        // Ratio test over the cached dense rows: each halfspace a·x ≤ b
-        // constrains t by (a·dir)·t ≤ b − a·point.
-        let d = HPolytope::dim(self);
-        let (a, b) = (self.dense_a(), self.dense_b());
+        // Ratio test over the cached constraint rows (through the
+        // structure-aware kernel): each halfspace a·x ≤ b constrains t by
+        // (a·dir)·t ≤ b − a·point.
+        let m = self.matrix();
         let mut lo = f64::NEG_INFINITY;
         let mut hi = f64::INFINITY;
-        for (i, &bi) in b.iter().enumerate() {
-            let row = &a[i * d..(i + 1) * d];
-            let growth = kernels::dot(row, dir);
-            let slack = bi - kernels::dot(row, point) + ORACLE_TOL;
+        for (i, &bi) in self.dense_b().iter().enumerate() {
+            let growth = m.row_dot(i, dir);
+            let slack = bi - m.row_dot(i, point) + ORACLE_TOL;
             if !ratio_test(growth, slack, &mut lo, &mut hi) {
                 return Some((0.0, 0.0));
             }
@@ -150,27 +193,14 @@ impl MembershipOracle for HPolytope {
         Some(self.n_constraints())
     }
     fn walk_state_init(&self, point: &[f64], state: &mut [f64]) {
-        let d = HPolytope::dim(self);
-        let a = self.dense_a();
-        for (i, (s, &b)) in state.iter_mut().zip(self.dense_b()).enumerate() {
-            *s = b - kernels::dot(&a[i * d..(i + 1) * d], point);
-        }
+        self.matrix().residuals_into(point, self.dense_b(), state);
     }
     fn walk_state_chord(&self, state: &[f64], dir: &[f64], dir_image: &mut [f64]) -> (f64, f64) {
-        // One matvec per step: dir_image = A·dir; the chord then falls out of
-        // the residuals in O(m).
-        kernels::mat_vec_into(self.dense_a(), state.len(), dir, dir_image);
-        let mut lo = f64::NEG_INFINITY;
-        let mut hi = f64::INFINITY;
-        for (&growth, &s) in dir_image.iter().zip(state) {
-            if !ratio_test(growth, s + ORACLE_TOL, &mut lo, &mut hi) {
-                return (0.0, 0.0);
-            }
-        }
-        if lo > hi {
-            return (0.0, 0.0);
-        }
-        (lo, hi)
+        // One structured matvec per step: dir_image = A·dir (O(nnz) for CSR,
+        // O(m) for axis-aligned rows); the chord then falls out of the
+        // residuals in O(m).
+        self.matrix().mat_vec_into(dir, dir_image);
+        kernels::chord_from_residuals(dir_image, state, ORACLE_TOL)
     }
     fn walk_state_contains(&self, state: &[f64], dir_image: &[f64], t: f64) -> bool {
         state

@@ -13,7 +13,11 @@
 //! * [`sat`] — the Section 4.1.3 encoding of CNF formulas as intersections of
 //!   observable unions (literal `x` ↦ `3/4 < x < 1`, literal `¬x` ↦
 //!   `0 < x < 1/4`), used to demonstrate why the poly-related restriction is
-//!   necessary.
+//!   necessary;
+//! * [`structured`] — sparse-structured H-polytope scenarios (axis-aligned
+//!   box stacks, banded overlay intersections, SAT-style sparse cut systems)
+//!   that exercise the structure-aware constraint-matrix kernels; used by
+//!   the walk perf report and the kernel-equivalence property tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,3 +25,4 @@
 pub mod gis;
 pub mod polytopes;
 pub mod sat;
+pub mod structured;

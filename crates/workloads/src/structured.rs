@@ -1,0 +1,189 @@
+//! Sparse-structured scenario generators for the constraint-matrix layer.
+//!
+//! The paper's motivating workloads are mostly *structured*: GIS parcel
+//! overlays are intersections of axis-aligned boxes (one nonzero per
+//! constraint row) and SAT-style encodings produce rows touching a handful
+//! of variables. These generators build such systems directly as
+//! [`HPolytope`]s so the structure detector at construction
+//! ([`cdb_geometry::ConstraintMatrix::detect`]) can pick its axis-aligned or
+//! CSR fast path — they are the bodies behind the structured rows of the
+//! walk perf report (`BENCH_walk.json`) and the kernel-equivalence property
+//! suite in `cdb-sampler`.
+//!
+//! Every generator documents which representation its output detects as;
+//! the unit tests pin that, so a change to the detection thresholds shows up
+//! here and not as a silent perf regression.
+
+use rand::Rng;
+
+use cdb_geometry::{HPolytope, Halfspace};
+
+/// A stack of `layers` random axis-aligned boxes intersected into one
+/// polytope, all containing the common core `[-core, core]^dim` — the
+/// H-representation of a GIS parcel-overlay query restricted to one cell.
+///
+/// Every one of the `2 · dim · layers` rows has exactly one nonzero, so the
+/// constraint matrix detects as `"axis"` and the walk's chord becomes O(rows)
+/// interval clipping with no matrix–vector product. Returns the polytope and
+/// its exact volume (the intersection is itself a box: per coordinate, the
+/// tightest of the stacked intervals).
+pub fn box_stack<R: Rng + ?Sized>(
+    dim: usize,
+    layers: usize,
+    core: f64,
+    rng: &mut R,
+) -> (HPolytope, f64) {
+    assert!(dim >= 1 && layers >= 1 && core > 0.0);
+    let mut halfspaces = Vec::with_capacity(2 * dim * layers);
+    let mut lo = vec![f64::NEG_INFINITY; dim];
+    let mut hi = vec![f64::INFINITY; dim];
+    for _ in 0..layers {
+        for coord in 0..dim {
+            // Each layer's interval strictly contains the core.
+            let l = -core - rng.gen_range(0.0..core);
+            let h = core + rng.gen_range(0.0..core);
+            halfspaces.push(Halfspace::lower_bound(dim, coord, l));
+            halfspaces.push(Halfspace::upper_bound(dim, coord, h));
+            lo[coord] = lo[coord].max(l);
+            hi[coord] = hi[coord].min(h);
+        }
+    }
+    let volume = lo.iter().zip(&hi).map(|(&l, &h)| h - l).product();
+    (HPolytope::new(dim, halfspaces), volume)
+}
+
+/// A banded "overlay intersection" system: the box `[-1, 1]^dim` coupled by
+/// the band `|x_i − x_{i+1}| ≤ c_i` for each adjacent pair, with random
+/// coupling widths `c_i ∈ [coupling/2, coupling]` — the shape of a GIS
+/// overlay where adjacent strips constrain each other.
+///
+/// Box rows carry one nonzero and band rows two, so for `dim ≥ 8` the matrix
+/// detects as `"sparse"` (CSR); the chord's `A·dir` product then costs
+/// O(nnz) ≈ 6·dim instead of the dense 4·dim². The origin is feasible with
+/// margin `min(1, coupling/2)`, so the polytope is always well-bounded.
+pub fn banded_overlay<R: Rng + ?Sized>(dim: usize, coupling: f64, rng: &mut R) -> HPolytope {
+    assert!(dim >= 2 && coupling > 0.0);
+    let mut halfspaces = Vec::with_capacity(2 * dim + 2 * (dim - 1));
+    for coord in 0..dim {
+        halfspaces.push(Halfspace::lower_bound(dim, coord, -1.0));
+        halfspaces.push(Halfspace::upper_bound(dim, coord, 1.0));
+    }
+    for i in 0..dim - 1 {
+        let c = rng.gen_range(coupling / 2.0..coupling);
+        let mut fwd = vec![0.0; dim];
+        fwd[i] = 1.0;
+        fwd[i + 1] = -1.0;
+        halfspaces.push(Halfspace::from_slice(&fwd, c));
+        let mut bwd = vec![0.0; dim];
+        bwd[i] = -1.0;
+        bwd[i + 1] = 1.0;
+        halfspaces.push(Halfspace::from_slice(&bwd, c));
+    }
+    HPolytope::new(dim, halfspaces)
+}
+
+/// A SAT-style sparse system: the box `[0, 1]^n_vars` cut by `n_rows` random
+/// `k`-literal rows `Σ ±x_j ≤ b` over `k` distinct variables each, with `b`
+/// chosen so the box center keeps slack at least `margin` — the linear
+/// relaxation shape of the Section 4.1.3 CNF encodings.
+///
+/// For `n_vars ≥ 8` and small `k` the matrix detects as `"sparse"`; each
+/// chord then touches only `k` entries per cut row.
+pub fn sat_sparse_system<R: Rng + ?Sized>(
+    n_vars: usize,
+    n_rows: usize,
+    k: usize,
+    margin: f64,
+    rng: &mut R,
+) -> HPolytope {
+    assert!(k >= 1 && k <= n_vars && margin > 0.0);
+    let mut halfspaces = Vec::with_capacity(2 * n_vars + n_rows);
+    for v in 0..n_vars {
+        halfspaces.push(Halfspace::lower_bound(n_vars, v, 0.0));
+        halfspaces.push(Halfspace::upper_bound(n_vars, v, 1.0));
+    }
+    for _ in 0..n_rows {
+        let mut normal = vec![0.0; n_vars];
+        let mut center_lhs = 0.0;
+        let mut picked = 0usize;
+        while picked < k {
+            let v = rng.gen_range(0..n_vars);
+            if normal[v] != 0.0 {
+                continue;
+            }
+            let sign = if rng.gen_range(0..2) == 0 { 1.0 } else { -1.0 };
+            normal[v] = sign;
+            center_lhs += sign * 0.5;
+            picked += 1;
+        }
+        let offset = center_lhs + margin + rng.gen_range(0.0..margin);
+        halfspaces.push(Halfspace::from_slice(&normal, offset));
+    }
+    HPolytope::new(n_vars, halfspaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn box_stack_detects_axis_and_has_the_stated_volume() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let (p, vol) = box_stack(6, 4, 0.5, &mut rng);
+        assert_eq!(p.matrix().kind(), "axis");
+        assert_eq!(p.n_constraints(), 2 * 6 * 4);
+        // The core is inside, so the volume is at least the core's.
+        assert!(vol >= 1.0 - 1e-12);
+        assert!(p.contains_slice(&[0.0; 6], 0.0));
+        // The exact volume matches the bounding box of the intersection.
+        let (lo, hi) = p.bounding_box().expect("bounded");
+        let bb_vol: f64 = lo
+            .as_slice()
+            .iter()
+            .zip(hi.as_slice())
+            .map(|(&l, &h)| h - l)
+            .product();
+        assert!((vol - bb_vol).abs() < 1e-9);
+        assert!(p.well_bounded().is_some());
+    }
+
+    #[test]
+    fn banded_overlay_detects_sparse_and_is_well_bounded() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = banded_overlay(16, 0.5, &mut rng);
+        assert_eq!(p.matrix().kind(), "sparse");
+        assert_eq!(p.n_constraints(), 2 * 16 + 2 * 15);
+        // nnz = one per box row + two per band row.
+        assert_eq!(p.matrix().nnz(), 2 * 16 + 4 * 15);
+        assert!(p.contains_slice(&[0.0; 16], 0.0));
+        assert!(p.well_bounded().is_some());
+        // The band actually cuts: a point alternating ±1 violates it.
+        let mut zigzag = [1.0; 16];
+        for (i, z) in zigzag.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                *z = -1.0;
+            }
+        }
+        assert!(!p.contains_slice(&zigzag, 1e-9));
+    }
+
+    #[test]
+    fn sat_sparse_system_detects_sparse_and_keeps_the_center_feasible() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let p = sat_sparse_system(16, 24, 3, 0.1, &mut rng);
+        assert_eq!(p.matrix().kind(), "sparse");
+        assert_eq!(p.n_constraints(), 2 * 16 + 24);
+        assert_eq!(p.matrix().nnz(), 2 * 16 + 3 * 24);
+        assert!(p.contains_slice(&[0.5; 16], 0.0));
+        assert!(p.well_bounded().is_some());
+    }
+
+    #[test]
+    fn generators_are_seed_reproducible() {
+        let a = banded_overlay(8, 0.4, &mut StdRng::seed_from_u64(7));
+        let b = banded_overlay(8, 0.4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}
