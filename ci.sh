@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate for the spatial-cdb workspace. Run from anywhere; offline-safe.
 #
-# Usage: ./ci.sh [--quick] [--bench] [--bench-quick]
+# Usage: ./ci.sh [--quick] [--bench] [--bench-quick] [--bench-compare <baseline.json>]
 #   --quick        skip the heavy statistical acceptance gates (chi-square
 #                  uniformity and (eps, delta) volume tests in
 #                  tests/statistical.rs) for fast local iteration. The full
@@ -16,6 +16,16 @@
 #                  (axis/sparse/dense/oracle) executes. The same smoke also
 #                  runs on every default CI pass; --bench replaces it with
 #                  the real measurement.
+#   --bench-compare <baseline.json>
+#                  perf-regression gate: run the REAL perf report (rewrites
+#                  BENCH_walk.json), then `bench_diff` it against the given
+#                  baseline — any shared row more than 15% slower fails CI.
+#
+# Every default pass additionally validates the quick smoke report against
+# the committed BENCH_walk.json for row coverage only (every kernel row and
+# both e7 cold/warm twins must still exist), so dispatch coverage can never
+# silently shrink. A per-stage wall-clock summary is printed at the end so
+# slow-stage creep shows up in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,14 +34,37 @@ export CARGO_NET_OFFLINE=true
 QUICK=0
 BENCH=0
 BENCH_QUICK=0
-for arg in "$@"; do
-  case "$arg" in
+BENCH_COMPARE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
     --quick) QUICK=1 ;;
     --bench) BENCH=1 ;;
     --bench-quick) BENCH_QUICK=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    --bench-compare)
+      [ $# -ge 2 ] || { echo "--bench-compare needs a baseline file" >&2; exit 2; }
+      BENCH_COMPARE="$2"
+      shift
+      ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
+  shift
 done
+
+# --- per-stage wall-clock accounting -----------------------------------------
+STAGE_SUMMARY=""
+STAGE_NAME=""
+STAGE_T0=0
+stage_begin() {
+  STAGE_NAME="$1"
+  STAGE_T0=$SECONDS
+}
+stage_end() {
+  local elapsed=$((SECONDS - STAGE_T0))
+  STAGE_SUMMARY="${STAGE_SUMMARY:+$STAGE_SUMMARY | }${STAGE_NAME} ${elapsed}s"
+}
+print_stage_summary() {
+  echo "==> stage timing: ${STAGE_SUMMARY:-none}"
+}
 
 # The perf smoke: tiny time budget, output kept out of the repo root so the
 # recorded BENCH_walk.json is never clobbered with throwaway numbers.
@@ -41,8 +74,15 @@ bench_smoke() {
     cargo run --release -p cdb-bench --bin perf_report >/dev/null
 }
 
+bench_diff() {
+  cargo run --release -p cdb-bench --bin bench_diff -- "$@"
+}
+
 if [ "$BENCH_QUICK" = "1" ]; then
+  stage_begin smoke
   bench_smoke
+  stage_end
+  print_stage_summary
   echo "==> perf smoke green"
   exit 0
 fi
@@ -53,35 +93,68 @@ if [ "$QUICK" = "1" ]; then
   echo "==> quick mode: heavy statistical gates are skipped"
 fi
 
+stage_begin build
 echo "==> cargo build --release"
 cargo build --release --workspace --all-targets
+stage_end
 
+stage_begin test
 echo "==> cargo test -q (workspace: unit + property + integration + doc tests)"
 # The heavy statistical gates are skipped inside the workspace run (they are
 # root-package integration tests, so they would execute here too) and run
 # explicitly below instead, so their cost is paid exactly once per CI pass.
 CDB_STAT_QUICK=1 cargo test -q --workspace
+stage_end
 
 if [ "$QUICK" != "1" ]; then
+  stage_begin statistical
   echo "==> statistical acceptance suite (chi-square uniformity + (eps, delta) volume gates)"
   env -u CDB_STAT_QUICK cargo test -q --test statistical
+  stage_end
 
+  stage_begin determinism
   echo "==> batch determinism suite (thread-count invariance)"
   cargo test -q --test determinism
+  stage_end
 fi
 
-if [ "$BENCH" = "1" ]; then
+if [ -n "$BENCH_COMPARE" ]; then
+  stage_begin bench
+  # Snapshot the baseline first: the natural invocation is
+  # `--bench-compare BENCH_walk.json` (the committed baseline), and the
+  # perf report is about to rewrite that very file — diffing against the
+  # live file would compare the fresh report with itself.
+  mkdir -p target
+  cp "$BENCH_COMPARE" target/bench_compare_baseline.json
   echo "==> walk perf report (rewrites BENCH_walk.json)"
   cargo run --release -p cdb-bench --bin perf_report
+  echo "==> bench_diff against $BENCH_COMPARE (tolerance 15%)"
+  bench_diff target/bench_compare_baseline.json BENCH_walk.json
+  stage_end
+elif [ "$BENCH" = "1" ]; then
+  stage_begin bench
+  echo "==> walk perf report (rewrites BENCH_walk.json)"
+  cargo run --release -p cdb-bench --bin perf_report
+  stage_end
 else
-  # Every CI pass exercises all kernel-dispatch paths, cheaply.
+  # Every CI pass exercises all kernel-dispatch paths, cheaply, and proves
+  # the smoke report still covers every recorded workload row.
+  stage_begin smoke
   bench_smoke
+  echo "==> bench_diff row coverage (target/BENCH_walk_quick.json vs BENCH_walk.json)"
+  bench_diff BENCH_walk.json target/BENCH_walk_quick.json --coverage-only
+  stage_end
 fi
 
+stage_begin fmt
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+stage_end
 
+stage_begin doc
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+stage_end
 
+print_stage_summary
 echo "==> CI green"

@@ -7,10 +7,12 @@
 //! behind (`./ci.sh --bench` runs it; `./ci.sh --bench-quick` runs the same
 //! harness with a tiny time budget as a dispatch smoke test).
 //!
-//! The e1/e2/e7 rows deliberately drive only the long-stable public sampler
+//! The e1/e2 rows deliberately drive only the long-stable public sampler
 //! API, so pre/post comparisons against the recorded `BENCH_walk.json` of
 //! earlier revisions stay apples-to-apples; the structured rows additionally
-//! use `HPolytope::force_dense` and `cdb_workloads::structured` (PR 4+).
+//! use `HPolytope::force_dense` and `cdb_workloads::structured` (PR 4+), and
+//! the e7 rows are cold/warm weight-cache twins via `ProjectionParams`
+//! (PR 5+) — the warm twin keeps the historical row name.
 //!
 //! Environment knobs: `CDB_BENCH_OUT` overrides the output path and
 //! `CDB_BENCH_QUICK=1` shrinks the warm-up/measurement windows to a few
@@ -25,7 +27,8 @@ use cdb_constraint::{Atom, GeneralizedTuple};
 use cdb_geometry::{Ellipsoid, HPolytope};
 use cdb_linalg::Vector;
 use cdb_sampler::{
-    ConvexBody, DfkSampler, GeneratorParams, ProjectionGenerator, RelationGenerator,
+    ConvexBody, DfkSampler, GeneratorParams, ProjectionGenerator, ProjectionParams,
+    RelationGenerator,
 };
 use cdb_workloads::structured;
 use rand::rngs::StdRng;
@@ -157,7 +160,12 @@ fn main() {
     }
 
     // e7: the cylinder-compensated projection generator on the 3-dimensional
-    // cone (each output point costs ~1/acceptance_rate chains).
+    // cone (each output point costs ~1/acceptance_rate chains), measured as
+    // cold/warm cache twins on the same body and seed. The warm row keeps
+    // the historical `e7_projection_compensated` name so the cross-PR perf
+    // trajectory (and `bench_diff`) stays comparable; the cold twin runs
+    // with the weight cache disabled, so every attempt pays the full
+    // fiber-volume fill.
     {
         let d = 3;
         let shape = cone(d);
@@ -165,26 +173,35 @@ fn main() {
             gamma: 0.1,
             ..params
         };
-        let mut rng = StdRng::seed_from_u64(1003);
-        let mut generator = ProjectionGenerator::new(&shape, &[0], proj_params, &mut rng)
-            .expect("cone is observable");
-        let steps_per_chain = proj_params.walk_steps(d) as f64;
-        let sps = measure(
-            || {
-                std::hint::black_box(generator.sample(&mut rng));
-            },
-            warmup,
-            window,
-        );
-        // One emitted sample costs 1/acceptance chains of walk_steps each.
-        let acceptance = generator.acceptance_rate().max(1e-12);
-        rows.push(Row {
-            workload: "e7_projection_compensated",
-            dim: d,
-            kernel: "mixed",
-            steps_per_sec: sps * steps_per_chain / acceptance,
-            samples_per_sec: sps,
-        });
+        for (workload, cache_capacity) in [
+            (
+                "e7_projection_compensated",
+                cdb_sampler::DEFAULT_WEIGHT_CACHE_CAPACITY,
+            ),
+            ("e7_projection_compensated_cold", 0usize),
+        ] {
+            let projection = ProjectionParams::new(proj_params).with_cache_capacity(cache_capacity);
+            let mut rng = StdRng::seed_from_u64(1003);
+            let mut generator = ProjectionGenerator::new_with(&shape, &[0], projection, &mut rng)
+                .expect("cone is observable");
+            let steps_per_chain = proj_params.walk_steps(d) as f64;
+            let sps = measure(
+                || {
+                    std::hint::black_box(generator.sample(&mut rng));
+                },
+                warmup,
+                window,
+            );
+            // One emitted sample costs 1/acceptance chains of walk_steps each.
+            let acceptance = generator.acceptance_rate().max(1e-12);
+            rows.push(Row {
+                workload,
+                dim: d,
+                kernel: "mixed",
+                steps_per_sec: sps * steps_per_chain / acceptance,
+                samples_per_sec: sps,
+            });
+        }
     }
 
     // s1: a 32-dimensional axis-aligned box stack (256 one-nonzero rows) —

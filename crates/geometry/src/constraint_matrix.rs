@@ -53,8 +53,17 @@ pub enum ConstraintMatrix {
         /// Row-major entries.
         data: Vec<f64>,
     },
-    /// Compressed sparse rows: row `i` owns `cols_idx/vals[row_ptr[i]..row_ptr[i+1]]`,
-    /// column indices strictly increasing within a row.
+    /// Compressed sparse rows: row `i` owns `cols_idx/vals[row_ptr[i]..row_ptr[i+1]]`.
+    ///
+    /// Entries within a row are stored in **class-major order**: the dense
+    /// reduction of [`kernels::dot`] accumulates column `c` into accumulator
+    /// class `c % 4` inside the 4-aligned prefix (and a tail accumulator past
+    /// it), so the row stores its class-0 entries first (columns ascending),
+    /// then classes 1, 2, 3, then the tail, with the four relative segment
+    /// ends in `class_ptr`. This lets the `nnz ≥ 4` kernel
+    /// ([`kernels::sparse_row_dot_classed`]) reduce contiguous segments
+    /// without recomputing each entry's class, while staying bitwise equal to
+    /// the dense reduction.
     Sparse {
         /// Number of rows.
         rows: usize,
@@ -62,10 +71,13 @@ pub enum ConstraintMatrix {
         cols: usize,
         /// `rows + 1` offsets into `col_idx`/`vals`.
         row_ptr: Vec<usize>,
-        /// Column index of each stored entry.
+        /// Column index of each stored entry (class-major within a row).
         col_idx: Vec<u32>,
         /// Value of each stored entry (never `0.0`).
         vals: Vec<f64>,
+        /// Four relative segment ends per row (ends of classes 0–3; the tail
+        /// runs to the row end), `4 · rows` entries.
+        class_ptr: Vec<u32>,
     },
     /// At most one nonzero per row: row `i` is `coeffs[i] · x[axes[i]]`.
     /// A zero row is stored as `(axis 0, coefficient 0.0)`.
@@ -77,6 +89,61 @@ pub enum ConstraintMatrix {
         /// Coefficient of each row's nonzero (sign encodes upper/lower bound).
         coeffs: Vec<f64>,
     },
+}
+
+/// Appends the nonzeros of one dense row in class-major order (see the
+/// [`ConstraintMatrix::Sparse`] docs) and records the four relative segment
+/// ends in `class_ptr`.
+fn push_class_major_row(
+    row: &[f64],
+    col_idx: &mut Vec<u32>,
+    vals: &mut Vec<f64>,
+    class_ptr: &mut Vec<u32>,
+) {
+    let n4 = row.len() - row.len() % 4;
+    let start = col_idx.len();
+    for class in 0..4usize {
+        for j in (class..n4).step_by(4) {
+            if row[j] != 0.0 {
+                col_idx.push(j as u32);
+                vals.push(row[j]);
+            }
+        }
+        class_ptr.push((col_idx.len() - start) as u32);
+    }
+    for (j, &v) in row.iter().enumerate().skip(n4) {
+        if v != 0.0 {
+            col_idx.push(j as u32);
+            vals.push(v);
+        }
+    }
+}
+
+/// Reduces one class-major CSR row against `x`: rows with at most three
+/// nonzeros take the order-insensitive shortcut arms of
+/// [`kernels::sparse_row_dot`]; longer rows run the segment reduction of
+/// [`kernels::sparse_row_dot_classed`], whose per-entry class is implied by
+/// position instead of recomputed.
+#[inline]
+fn sparse_row_reduce(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    vals: &[f64],
+    class_ptr: &[u32],
+    i: usize,
+    x: &[f64],
+) -> f64 {
+    let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+    let cols = &col_idx[lo..hi];
+    let v = &vals[lo..hi];
+    if cols.len() <= 3 {
+        kernels::sparse_row_dot(cols, v, x)
+    } else {
+        let seg: &[u32; 4] = class_ptr[4 * i..4 * i + 4]
+            .try_into()
+            .expect("class_ptr holds four segment ends per row");
+        kernels::sparse_row_dot_classed(cols, v, seg, x)
+    }
 }
 
 impl ConstraintMatrix {
@@ -110,14 +177,10 @@ impl ConstraintMatrix {
                 row_ptr,
                 col_idx,
                 vals,
+                class_ptr,
                 ..
             } => {
-                for (j, &v) in row.iter().enumerate() {
-                    if v != 0.0 {
-                        col_idx.push(j as u32);
-                        vals.push(v);
-                    }
-                }
+                push_class_major_row(row, col_idx, vals, class_ptr);
                 row_ptr.push(col_idx.len());
                 *rows += 1;
             }
@@ -200,14 +263,10 @@ impl ConstraintMatrix {
             let mut row_ptr = Vec::with_capacity(rows + 1);
             let mut col_idx = Vec::with_capacity(nnz);
             let mut vals = Vec::with_capacity(nnz);
+            let mut class_ptr = Vec::with_capacity(4 * rows);
             row_ptr.push(0);
             for row in data.chunks_exact(cols) {
-                for (j, &v) in row.iter().enumerate() {
-                    if v != 0.0 {
-                        col_idx.push(j as u32);
-                        vals.push(v);
-                    }
-                }
+                push_class_major_row(row, &mut col_idx, &mut vals, &mut class_ptr);
                 row_ptr.push(col_idx.len());
             }
             return ConstraintMatrix::Sparse {
@@ -216,6 +275,7 @@ impl ConstraintMatrix {
                 row_ptr,
                 col_idx,
                 vals,
+                class_ptr,
             };
         }
         ConstraintMatrix::Dense { rows, cols, data }
@@ -264,6 +324,7 @@ impl ConstraintMatrix {
     /// allocates.
     pub fn mat_vec_into(&self, x: &[f64], out: &mut [f64]) {
         debug_assert_eq!(x.len(), self.cols(), "mat_vec input length mismatch");
+        assert_eq!(out.len(), self.rows(), "mat_vec output length mismatch");
         match self {
             ConstraintMatrix::Dense { rows, data, .. } => {
                 kernels::mat_vec_into(data, *rows, x, out);
@@ -272,9 +333,12 @@ impl ConstraintMatrix {
                 row_ptr,
                 col_idx,
                 vals,
+                class_ptr,
                 ..
             } => {
-                kernels::sparse_mat_vec_into(row_ptr, col_idx, vals, x, out);
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = sparse_row_reduce(row_ptr, col_idx, vals, class_ptr, i, x);
+                }
             }
             ConstraintMatrix::AxisAligned { axes, coeffs, .. } => {
                 kernels::axis_mat_vec_into(axes, coeffs, x, out);
@@ -292,11 +356,9 @@ impl ConstraintMatrix {
                 row_ptr,
                 col_idx,
                 vals,
+                class_ptr,
                 ..
-            } => {
-                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
-                kernels::sparse_row_dot(&col_idx[lo..hi], &vals[lo..hi], x)
-            }
+            } => sparse_row_reduce(row_ptr, col_idx, vals, class_ptr, i, x),
             ConstraintMatrix::AxisAligned { axes, coeffs, .. } => {
                 coeffs[i] * x[axes[i] as usize] + 0.0
             }
@@ -320,10 +382,10 @@ impl ConstraintMatrix {
                 row_ptr,
                 col_idx,
                 vals,
+                class_ptr,
                 ..
             } => b.iter().enumerate().all(|(i, &bi)| {
-                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
-                kernels::sparse_row_dot(&col_idx[lo..hi], &vals[lo..hi], x) <= bi + tol
+                sparse_row_reduce(row_ptr, col_idx, vals, class_ptr, i, x) <= bi + tol
             }),
             ConstraintMatrix::AxisAligned { axes, coeffs, .. } => axes
                 .iter()
@@ -528,6 +590,79 @@ mod tests {
             m.row_to_vec(8),
             vec![0.0, 0.5, 0.0, 0.0, -0.5, 0.0, 0.0, 0.25]
         );
+    }
+
+    /// Class-major invariant: within a row, entries appear as class-0 columns
+    /// ascending, then classes 1–3, then the tail, with `class_ptr` marking
+    /// the segment ends — whether the row came from `detect` or `push_row`.
+    #[test]
+    fn sparse_rows_are_class_major() {
+        let cols_total = 16usize;
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..6usize {
+            let mut row = vec![0.0; cols_total];
+            for k in 0..4 {
+                row[(i + 3 * k) % cols_total] = 1.0 + i as f64 + k as f64;
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let (r, c, data) = dense_rows(&refs);
+        let mut m = ConstraintMatrix::detect(r, c, data);
+        assert_eq!(m.kind(), "sparse");
+        // Push one more ≥ 4-nonzero row through the incremental path.
+        let mut pushed = vec![0.0; cols_total];
+        for (k, slot) in [0usize, 2, 4, 6, 8, 13, 15].iter().enumerate() {
+            pushed[*slot] = 0.5 + k as f64;
+        }
+        m.push_row(&pushed);
+        let ConstraintMatrix::Sparse {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            class_ptr,
+            ..
+        } = &m
+        else {
+            panic!("expected the sparse representation");
+        };
+        assert_eq!(class_ptr.len(), 4 * rows);
+        let n4 = cols - cols % 4;
+        for i in 0..*rows {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            let row_cols = &col_idx[lo..hi];
+            let seg = &class_ptr[4 * i..4 * i + 4];
+            let class_of = |c: u32| -> usize {
+                if (c as usize) < n4 {
+                    (c % 4) as usize
+                } else {
+                    4
+                }
+            };
+            let mut bounds = vec![0usize];
+            bounds.extend(seg.iter().map(|&e| e as usize));
+            bounds.push(row_cols.len());
+            for class in 0..5usize {
+                let segment = &row_cols[bounds[class]..bounds[class + 1]];
+                for w in segment.windows(2) {
+                    assert!(w[0] < w[1], "columns not ascending within a class");
+                }
+                for &c in segment {
+                    assert_eq!(class_of(c), class, "entry stored in the wrong class");
+                }
+            }
+        }
+        // The reordering is invisible to every dense bridge.
+        let x: Vec<f64> = (0..c).map(|i| 0.4 * i as f64 - 1.1).collect();
+        let dense = ConstraintMatrix::dense(m.rows(), c, m.to_dense_data());
+        for i in 0..m.rows() {
+            assert_eq!(
+                m.row_dot(i, &x).to_bits(),
+                dense.row_dot(i, &x).to_bits(),
+                "row {i} reduction is not bitwise dense"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Fiber (cylinder) geometry for coordinate projections.
+//!
+//! Algorithm 2 of the paper compensates the projection bias of Figure 1 by
+//! weighting each projected point `y` with the size of its *fiber*
+//! `H_S(y) = S ∩ { x : proj_I(x) = y }`, expressed over the dropped
+//! coordinates `F` as the polytope `{ z : A_F·z ≤ b − A_I·y }`. The fiber's
+//! constraint *normals* (`A_F`) never change — only the offsets shift with
+//! `y` — so building a fresh [`HPolytope`] per query wastes both the
+//! structure bookkeeping and one allocation per halfspace.
+//!
+//! [`FiberTemplate`] constructs the fiber system once and re-aims it at each
+//! new base point through [`HPolytope::set_offsets`]: every subsequent query
+//! is one `rows × |I|` product plus an O(rows) offset rewrite, with zero
+//! allocations.
+
+use crate::volume::polytope_volume;
+use crate::{HPolytope, Halfspace};
+
+/// A reusable fiber (cylinder) polytope over the dropped coordinates of a
+/// projection, with offsets rewritten in place per projected point.
+#[derive(Clone, Debug)]
+pub struct FiberTemplate {
+    /// The fiber polytope, re-aimed in place by [`FiberTemplate::at`].
+    poly: HPolytope,
+    /// `rows × |keep|` row-major matrix `A_I` (the kept-coordinate columns of
+    /// the source constraint matrix).
+    a_keep: Vec<f64>,
+    /// The source offsets `b`.
+    base_b: Vec<f64>,
+    /// Number of kept (projection) coordinates.
+    keep_len: usize,
+    /// Scratch buffer for the shifted offsets `b − A_I·y`.
+    shift: Vec<f64>,
+}
+
+impl FiberTemplate {
+    /// Builds the fiber template of `proj_keep(source)`: the fiber above `y`
+    /// lives in the complement coordinates (ascending order) and is obtained
+    /// from the template by an offset rewrite. `keep` must list distinct
+    /// in-range coordinates.
+    pub fn new(source: &HPolytope, keep: &[usize]) -> Self {
+        let d = source.dim();
+        assert!(
+            keep.iter().all(|&k| k < d),
+            "projection coordinate out of range"
+        );
+        let fiber_coords: Vec<usize> = (0..d).filter(|i| !keep.contains(i)).collect();
+        let fiber_dim = fiber_coords.len();
+        let rows = source.n_constraints();
+        let mut a_keep = Vec::with_capacity(rows * keep.len());
+        let halfspaces: Vec<Halfspace> = source
+            .halfspaces()
+            .iter()
+            .map(|h| {
+                a_keep.extend(keep.iter().map(|&i| h.normal()[i]));
+                let normal: Vec<f64> = fiber_coords.iter().map(|&i| h.normal()[i]).collect();
+                Halfspace::from_slice(&normal, h.offset())
+            })
+            .collect();
+        // Re-aimed per query and scanned a handful of times each: pin the
+        // dense representation, skipping structure detection.
+        let poly = HPolytope::new_dense(fiber_dim, halfspaces);
+        FiberTemplate {
+            poly,
+            a_keep,
+            base_b: source.dense_b().to_vec(),
+            keep_len: keep.len(),
+            shift: vec![0.0; rows],
+        }
+    }
+
+    /// Dimension of the fiber (number of dropped coordinates).
+    pub fn fiber_dim(&self) -> usize {
+        self.poly.dim()
+    }
+
+    /// Re-aims the template at the projected point `y` (`|y| == |keep|`) and
+    /// returns the fiber polytope `{ z : A_F·z ≤ b − A_I·y }`. Allocation-free
+    /// after construction; the returned reference is invalidated by the next
+    /// call.
+    pub fn at(&mut self, y: &[f64]) -> &HPolytope {
+        assert_eq!(y.len(), self.keep_len, "projected point length mismatch");
+        for (i, s) in self.shift.iter_mut().enumerate() {
+            let row = &self.a_keep[i * self.keep_len..(i + 1) * self.keep_len];
+            // The iterator `sum()` reduction, matching the halfspace-by-
+            // halfspace construction of a fresh fiber polytope bit for bit
+            // (including the signed zeros its fold seed produces).
+            let fixed: f64 = row.iter().zip(y).map(|(&a, &yj)| a * yj).sum();
+            *s = self.base_b[i] - fixed;
+        }
+        self.poly.set_offsets(&self.shift);
+        &self.poly
+    }
+
+    /// Exact fiber volume above `y` by vertex enumeration — the `Exact`
+    /// entry point of the compensation-weight subsystem. Exponential in
+    /// [`FiberTemplate::fiber_dim`]; see the `Estimated` strategy in
+    /// `cdb-sampler` for higher fiber dimensions.
+    pub fn exact_volume(&mut self, y: &[f64]) -> f64 {
+        polytope_volume(self.at(y))
+    }
+
+    /// Residuals `b − A_I·y` of the kept block alone, written into `out`
+    /// with the same reduction as [`FiberTemplate::at`] — exposed for
+    /// diagnostics and tests.
+    pub fn shifted_offsets_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.keep_len, "projected point length mismatch");
+        assert_eq!(
+            out.len(),
+            self.base_b.len(),
+            "offset buffer length mismatch"
+        );
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.a_keep[i * self.keep_len..(i + 1) * self.keep_len];
+            let fixed: f64 = row.iter().zip(y).map(|(&a, &yj)| a * yj).sum();
+            *o = self.base_b[i] - fixed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-1 triangle `0 ≤ x ≤ 1, 0 ≤ y ≤ x`.
+    fn triangle() -> HPolytope {
+        HPolytope::new(
+            2,
+            vec![
+                Halfspace::lower_bound(2, 0, 0.0),
+                Halfspace::upper_bound(2, 0, 1.0),
+                Halfspace::lower_bound(2, 1, 0.0),
+                Halfspace::from_slice(&[-1.0, 1.0], 0.0), // y ≤ x
+            ],
+        )
+    }
+
+    /// A fresh fiber polytope built the slow way, for equality checks.
+    fn fresh_fiber(source: &HPolytope, keep: &[usize], y: &[f64]) -> HPolytope {
+        let d = source.dim();
+        let fiber_coords: Vec<usize> = (0..d).filter(|i| !keep.contains(i)).collect();
+        let halfspaces = source
+            .halfspaces()
+            .iter()
+            .map(|h| {
+                let normal: Vec<f64> = fiber_coords.iter().map(|&i| h.normal()[i]).collect();
+                let fixed: f64 = keep
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| h.normal()[i] * y[j])
+                    .sum();
+                Halfspace::from_slice(&normal, h.offset() - fixed)
+            })
+            .collect();
+        HPolytope::new_dense(fiber_coords.len(), halfspaces)
+    }
+
+    #[test]
+    fn template_matches_fresh_construction_exactly() {
+        let tri = triangle();
+        let mut template = FiberTemplate::new(&tri, &[0]);
+        assert_eq!(template.fiber_dim(), 1);
+        for y in [[0.0], [0.25], [0.5], [0.997], [1.0]] {
+            let fresh = fresh_fiber(&tri, &[0], &y);
+            let fiber = template.at(&y);
+            assert_eq!(fiber, &fresh, "fiber at {y:?} differs");
+            // Offsets are bitwise identical, not merely equal.
+            for (a, b) in fiber.dense_b().iter().zip(fresh.dense_b()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn template_reaiming_tracks_the_fiber_geometry() {
+        let tri = triangle();
+        let mut template = FiberTemplate::new(&tri, &[0]);
+        // At x = 0.5 the fiber is the segment 0 ≤ y ≤ 0.5.
+        let fiber = template.at(&[0.5]);
+        assert!(fiber.contains_slice(&[0.25], 1e-9));
+        assert!(!fiber.contains_slice(&[0.75], 1e-9));
+        assert!((template.exact_volume(&[0.5]) - 0.5).abs() < 1e-9);
+        // Re-aiming the same template moves the fiber.
+        assert!((template.exact_volume(&[0.1]) - 0.1).abs() < 1e-9);
+        assert!((template.exact_volume(&[0.9]) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_dimensional_fibers() {
+        // The box [0,1]^3 projected onto x0: fibers are unit squares.
+        let cube = HPolytope::axis_box(&[0.0; 3], &[1.0; 3]);
+        let mut template = FiberTemplate::new(&cube, &[0]);
+        assert_eq!(template.fiber_dim(), 2);
+        assert!((template.exact_volume(&[0.5]) - 1.0).abs() < 1e-9);
+        // Outside the projection the fiber is empty.
+        assert_eq!(template.exact_volume(&[2.0]), 0.0);
+    }
+
+    #[test]
+    fn shifted_offsets_match_the_definition() {
+        let tri = triangle();
+        let template = FiberTemplate::new(&tri, &[0]);
+        let mut out = vec![0.0; 4];
+        template.shifted_offsets_into(&[0.5], &mut out);
+        // Rows: -x ≤ 0 → 0 + 0.5; x ≤ 1 → 1 - 0.5; -y ≤ 0 → 0; -x + y ≤ 0 → 0.5.
+        assert_eq!(out, vec![0.5, 0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn keeping_every_coordinate_gives_a_zero_dimensional_template() {
+        let tri = triangle();
+        let mut template = FiberTemplate::new(&tri, &[0, 1]);
+        assert_eq!(template.fiber_dim(), 0);
+        let fiber = template.at(&[0.5, 0.25]);
+        assert_eq!(fiber.dim(), 0);
+    }
+}

@@ -46,29 +46,40 @@ impl GammaGrid {
         self.step.powi(self.dim as i32)
     }
 
+    /// Integer index of the grid point nearest to one scalar coordinate —
+    /// the single place the grid's rounding convention lives (cell `i`
+    /// covers `[(i − ½)p, (i + ½)p)`). The projection generator's weight
+    /// cache keys through this, so grid snapping, cache cells and weight
+    /// evaluation points can never diverge.
+    pub fn coord_index(&self, v: f64) -> i64 {
+        (v / self.step).round() as i64
+    }
+
+    /// The scalar coordinate of integer grid index `i`, the inverse of
+    /// [`GammaGrid::coord_index`] on exact grid points.
+    pub fn coord_at(&self, i: i64) -> f64 {
+        i as f64 * self.step
+    }
+
     /// Snaps a point to the nearest grid point.
     pub fn snap(&self, x: &Vector) -> Vector {
         assert_eq!(x.dim(), self.dim);
         Vector::from(
             x.iter()
-                .map(|v| (v / self.step).round() * self.step)
+                .map(|v| self.coord_at(self.coord_index(*v)))
                 .collect::<Vec<_>>(),
         )
     }
 
     /// Integer coordinates of the grid point nearest to `x`.
     pub fn index_of(&self, x: &Vector) -> Vec<i64> {
-        x.iter().map(|v| (v / self.step).round() as i64).collect()
+        x.iter().map(|v| self.coord_index(*v)).collect()
     }
 
     /// The grid point with the given integer coordinates.
     pub fn point_at(&self, idx: &[i64]) -> Vector {
         assert_eq!(idx.len(), self.dim);
-        Vector::from(
-            idx.iter()
-                .map(|&i| i as f64 * self.step)
-                .collect::<Vec<_>>(),
-        )
+        Vector::from(idx.iter().map(|&i| self.coord_at(i)).collect::<Vec<_>>())
     }
 
     /// Returns `true` when `x` lies on the grid (up to a relative tolerance).

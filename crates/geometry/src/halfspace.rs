@@ -57,6 +57,14 @@ impl Halfspace {
         self.offset
     }
 
+    /// Replaces the offset `b` in place, keeping the normal. This is the
+    /// cheap half of re-aiming a halfspace at a parallel translate — the
+    /// fiber templates of [`crate::fiber`] rewrite only the offsets of an
+    /// otherwise fixed constraint system for every new base point.
+    pub fn set_offset(&mut self, b: f64) {
+        self.offset = b;
+    }
+
     /// The ambient dimension.
     pub fn dim(&self) -> usize {
         self.normal.dim()

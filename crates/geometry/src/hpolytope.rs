@@ -204,6 +204,21 @@ impl HPolytope {
         &self.dense_b
     }
 
+    /// Replaces all constraint offsets `b` in place, keeping the normals and
+    /// the detected constraint-matrix structure (which depends only on the
+    /// normals). This turns the polytope into a parallel-translated sibling
+    /// of itself in O(rows) with **zero allocations** — the workhorse of the
+    /// reusable fiber templates ([`crate::fiber::FiberTemplate`]), where the
+    /// same constraint system is re-aimed at a new base point per query
+    /// instead of rebuilding an `HPolytope` from fresh halfspaces.
+    pub fn set_offsets(&mut self, b: &[f64]) {
+        assert_eq!(b.len(), self.dense_b.len(), "offset vector length mismatch");
+        self.dense_b.copy_from_slice(b);
+        for (h, &bi) in self.halfspaces.iter_mut().zip(b) {
+            h.set_offset(bi);
+        }
+    }
+
     /// Membership test with tolerance.
     pub fn contains(&self, x: &Vector, tol: f64) -> bool {
         self.contains_slice(x.as_slice(), tol)

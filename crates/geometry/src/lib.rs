@@ -19,6 +19,10 @@
 //!   (cone decomposition from an interior point over the facet lattice) and
 //!   inclusion–exclusion volumes for unions, the fixed-dimension baseline of
 //!   Section 3;
+//! * [`fiber`] — reusable fiber (cylinder) templates for coordinate
+//!   projections: the constraint normals of a projection fiber are fixed, so
+//!   [`fiber::FiberTemplate`] re-aims one polytope at each projected point by
+//!   rewriting offsets in place instead of rebuilding it;
 //! * [`GammaGrid`] — the γ-grids of Definition 2.2;
 //! * [`Ellipsoid`] and [`ball`] — smooth convex bodies for the polynomial
 //!   extension of Section 5 and for rounding diagnostics.
@@ -44,6 +48,7 @@
 pub mod ball;
 mod constraint_matrix;
 mod ellipsoid;
+pub mod fiber;
 mod grid;
 mod halfspace;
 mod hpolytope;

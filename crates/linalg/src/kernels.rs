@@ -167,10 +167,54 @@ pub fn sparse_row_dot(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
     }
 }
 
+/// Dot product of one *class-major* CSR row with a dense vector `x`.
+///
+/// The general (`nnz ≥ 4`) arm of [`sparse_row_dot`] recomputes, per stored
+/// entry, which dense accumulator class the entry belongs to (`col % 4`
+/// inside the 4-aligned prefix, the tail past it) — bookkeeping that costs
+/// as much as the multiply itself. When the row's entries are instead
+/// *reordered at construction time* into class-major order — class-0 entries
+/// first (columns ascending), then class 1, 2, 3, then the tail — the class
+/// of every entry is implied by its position, and the kernel reduces each
+/// contiguous segment with a plain accumulation.
+///
+/// `seg` holds the four relative segment ends: entries `0..seg[0]` are
+/// class 0, `seg[0]..seg[1]` class 1, `seg[1]..seg[2]` class 2,
+/// `seg[2]..seg[3]` class 3 and `seg[3]..` the tail. Within each segment the
+/// products accumulate in ascending-column order — exactly the order the
+/// dense reduction of [`dot`] feeds that accumulator — and the segment sums
+/// combine as `(s0 + s2) + (s1 + s3) + tail`, so the result is bitwise equal
+/// to the dense row reduction (see the module docs).
+#[inline]
+pub fn sparse_row_dot_classed(cols: &[u32], vals: &[f64], seg: &[u32; 4], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len(), "CSR row col/val length mismatch");
+    debug_assert!(seg[3] as usize <= vals.len(), "segment ends out of range");
+    let sum_segment = |lo: usize, hi: usize| -> f64 {
+        let mut s = 0.0;
+        for (&c, &v) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
+            s += v * x[c as usize];
+        }
+        s
+    };
+    let s0 = sum_segment(0, seg[0] as usize);
+    let s1 = sum_segment(seg[0] as usize, seg[1] as usize);
+    let s2 = sum_segment(seg[1] as usize, seg[2] as usize);
+    let s3 = sum_segment(seg[2] as usize, seg[3] as usize);
+    let tail = sum_segment(seg[3] as usize, vals.len());
+    (s0 + s2) + (s1 + s3) + tail
+}
+
 /// CSR matrix–vector product `out ← A·x`. `row_ptr` has `rows + 1` entries;
 /// row `i` owns the index range `row_ptr[i]..row_ptr[i + 1]` of
 /// `cols`/`vals`. Each row reduces through [`sparse_row_dot`], so the output
-/// is bitwise equal to the dense [`mat_vec_into`] on the expanded matrix.
+/// is bitwise equal to the dense [`mat_vec_into`] on the expanded matrix —
+/// for any within-row entry order whose classes stay ascending, including
+/// the class-major layout of `cdb-geometry`'s CSR matrices. Note that the
+/// geometry layer's hot path no longer calls this whole-matrix kernel: it
+/// dispatches per row between the ≤ 3-nonzero shortcut arms of
+/// [`sparse_row_dot`] and the class-major [`sparse_row_dot_classed`]; this
+/// remains the plain CSR reference kernel for external callers and the
+/// equivalence tests.
 #[inline]
 pub fn sparse_mat_vec_into(
     row_ptr: &[usize],
@@ -334,6 +378,61 @@ mod tests {
                         "n = {n}, cols = {pat:?}, vals = {vals:?}: sparse {s} vs dense {d}"
                     );
                 }
+            }
+        }
+    }
+
+    /// Class-major reorder of a dense row plus its four segment ends, the
+    /// construction-time transform the geometry layer applies for `nnz ≥ 4`
+    /// rows.
+    fn class_major(dense: &[f64]) -> (Vec<u32>, Vec<f64>, [u32; 4]) {
+        let n4 = dense.len() - dense.len() % 4;
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut seg = [0u32; 4];
+        for class in 0..4 {
+            for j in (class..n4).step_by(4) {
+                if dense[j] != 0.0 {
+                    cols.push(j as u32);
+                    vals.push(dense[j]);
+                }
+            }
+            seg[class] = cols.len() as u32;
+        }
+        for (j, &v) in dense.iter().enumerate().skip(n4) {
+            if v != 0.0 {
+                cols.push(j as u32);
+                vals.push(v);
+            }
+        }
+        (cols, vals, seg)
+    }
+
+    /// The classed reduction over class-major rows is bitwise equal to the
+    /// dense reduction, across lengths covering every tail size and sparsity
+    /// patterns with 4+ nonzeros (the rows the classed kernel serves).
+    #[test]
+    fn sparse_row_dot_classed_is_bitwise_dense() {
+        for n in 4..21usize {
+            let mut x: Vec<f64> = (0..n).map(|i| 0.31 * i as f64 - 2.9).collect();
+            // An exact zero in x makes some stored products signed zeros.
+            x[3] = 0.0;
+            for stride in 1..4usize {
+                let mut dense = vec![0.0; n];
+                for j in (0..n).step_by(stride) {
+                    dense[j] = 1.7 - 0.9 * j as f64;
+                }
+                let (cols, vals, seg) = class_major(&dense);
+                if cols.len() < 4 {
+                    continue;
+                }
+                let s = sparse_row_dot_classed(&cols, &vals, &seg, &x);
+                let d = dot(&dense, &x);
+                assert_eq!(
+                    s.to_bits(),
+                    d.to_bits(),
+                    "n = {n}, stride = {stride}: classed {s} vs dense {d}"
+                );
             }
         }
     }

@@ -2,6 +2,7 @@
 //! difference and projection of observable relations.
 
 pub mod difference;
+pub mod fiber_weight;
 pub mod intersection;
 pub mod projection;
 pub mod union;

@@ -7,13 +7,32 @@
 //! `H_S(y) = S ∩ {x : proj_I(x) = y}`. Algorithm 2 compensates by accepting
 //! `y` with probability `1/ĥ`, where `ĥ` is the (estimated) number of γ-grid
 //! points in the cylinder.
+//!
+//! # The compensation-weight data flow
+//!
+//! `ĥ` is a γ-grid count, so the weight of `y` *snapped to its grid cell* is
+//! an exact finite-domain memo key. The hot path therefore runs
+//! **snap → probe → fill**:
+//!
+//! 1. **snap** — the projected point is snapped to the integer coordinates
+//!    of its γ-grid cell;
+//! 2. **probe** — the per-generator [`FiberWeightCache`] is consulted; a hit
+//!    skips fiber construction entirely;
+//! 3. **fill** — on a miss the [`FiberVolume`] strategy computes the weight
+//!    at the snapped cell center: `Exact` re-aims the reusable
+//!    [`FiberTemplate`] (no allocation, no fresh polytope) and runs vertex
+//!    enumeration; `Estimated` runs the in-crate telescoping estimator with
+//!    randomness derived from the cell key, so the weight stays a pure
+//!    function of the cell and caching is invisible to the output stream.
 
 use rand::Rng;
 
 use cdb_constraint::GeneralizedTuple;
+use cdb_geometry::fiber::FiberTemplate;
 use cdb_geometry::{volume::polytope_volume, GammaGrid, HPolytope, Halfspace};
 
 use crate::batch;
+use crate::compose::fiber_weight::{FiberVolume, FiberWeightCache, ProjectionParams};
 use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
 use crate::oracle::ConvexBody;
@@ -30,7 +49,23 @@ pub struct ProjectionGenerator {
     fiber_coords: Vec<usize>,
     sampler: DfkSampler,
     grid: GammaGrid,
-    params: GeneratorParams,
+    params: ProjectionParams,
+    /// Resolved fiber-volume strategy (never [`FiberVolume::Auto`]).
+    fiber_volume: FiberVolume,
+    /// Reusable fiber system, re-aimed per cache miss.
+    fiber: FiberTemplate,
+    /// Memoized cylinder weights, one cache per generator (and so per batch
+    /// worker clone).
+    cache: FiberWeightCache,
+    /// Seed of the `Estimated` strategy's per-cell RNG streams; drawn once
+    /// at construction so every clone derives identical streams.
+    weight_seed: u64,
+    /// Volume of one γ-grid cell of the fiber, `p^{d−e}`.
+    cell: f64,
+    /// Integer grid coordinates of the snapped projected point (reused).
+    key_buf: Vec<i64>,
+    /// The snapped projected point itself (reused).
+    snap_buf: Vec<f64>,
     attempts: u64,
     accepted: u64,
     /// Per-generator walk workspace (cloned per batch worker).
@@ -38,13 +73,25 @@ pub struct ProjectionGenerator {
 }
 
 impl ProjectionGenerator {
-    /// Builds the generator for `proj_keep(tuple)`. The tuple must be a
-    /// well-bounded convex relation (a single generalized tuple), and `keep`
-    /// must list distinct coordinates.
+    /// Builds the generator for `proj_keep(tuple)` with the default
+    /// compensation-weight subsystem (see [`ProjectionParams::new`]). The
+    /// tuple must be a well-bounded convex relation (a single generalized
+    /// tuple), and `keep` must list distinct coordinates.
     pub fn new<R: Rng + ?Sized>(
         tuple: &GeneralizedTuple,
         keep: &[usize],
         params: GeneratorParams,
+        rng: &mut R,
+    ) -> Result<Self, ObservabilityError> {
+        Self::new_with(tuple, keep, ProjectionParams::new(params), rng)
+    }
+
+    /// Builds the generator with explicit [`ProjectionParams`]: fiber-volume
+    /// strategy, weight-cache capacity and estimator budget.
+    pub fn new_with<R: Rng + ?Sized>(
+        tuple: &GeneralizedTuple,
+        keep: &[usize],
+        params: ProjectionParams,
         rng: &mut R,
     ) -> Result<Self, ObservabilityError> {
         params
@@ -66,9 +113,14 @@ impl ProjectionGenerator {
             .well_bounded()
             .ok_or(ObservabilityError::NotWellBounded { index: 0 })?;
         let body = ConvexBody::from_polytope_cert(polytope.clone(), cert);
-        let grid = GammaGrid::for_well_bounded(d, params.gamma, body.r_inf());
-        let sampler = DfkSampler::new(body, params, rng);
+        let grid = GammaGrid::for_well_bounded(d, params.base.gamma, body.r_inf());
+        let sampler = DfkSampler::new(body, params.base, rng);
+        let weight_seed = rng.next_u64();
         let fiber_coords: Vec<usize> = (0..d).filter(|i| !keep.contains(i)).collect();
+        let fiber = FiberTemplate::new(&polytope, keep);
+        let fiber_volume = params.resolve_fiber_volume(fiber_coords.len());
+        let cache = FiberWeightCache::new(params.cache_capacity);
+        let cell = grid.step().powi(fiber_coords.len() as i32);
         Ok(ProjectionGenerator {
             tuple: tuple.clone(),
             polytope,
@@ -77,6 +129,13 @@ impl ProjectionGenerator {
             sampler,
             grid,
             params,
+            fiber_volume,
+            fiber,
+            cache,
+            weight_seed,
+            cell,
+            key_buf: Vec::with_capacity(keep.len()),
+            snap_buf: Vec::with_capacity(keep.len()),
             attempts: 0,
             accepted: 0,
             scratch: WalkScratch::new(),
@@ -93,6 +152,33 @@ impl ProjectionGenerator {
         &self.tuple
     }
 
+    /// The full parameter set, including the compensation-weight knobs.
+    pub fn projection_params(&self) -> &ProjectionParams {
+        &self.params
+    }
+
+    /// Dimension of the fiber (number of dropped coordinates).
+    pub fn fiber_dim(&self) -> usize {
+        self.fiber_coords.len()
+    }
+
+    /// The γ-grid the compensation weights are counted on (its step defines
+    /// both the cache cells and the weight denominator `p^{d−e}`).
+    pub fn grid(&self) -> &GammaGrid {
+        &self.grid
+    }
+
+    /// The fiber-volume strategy in effect ([`FiberVolume::Auto`] resolved
+    /// against the fiber dimension at construction).
+    pub fn resolved_fiber_volume(&self) -> FiberVolume {
+        self.fiber_volume
+    }
+
+    /// The memoized-weight cache (hit/miss statistics, occupancy).
+    pub fn weight_cache(&self) -> &FiberWeightCache {
+        &self.cache
+    }
+
     /// Observed acceptance rate of the compensation step.
     pub fn acceptance_rate(&self) -> f64 {
         if self.attempts == 0 {
@@ -104,7 +190,9 @@ impl ProjectionGenerator {
 
     /// The cylinder `H_S(y)` expressed as a polytope over the fiber
     /// coordinates: every halfspace `a·x ≤ b` of `S` becomes
-    /// `a_F·z ≤ b − a_I·y`.
+    /// `a_F·z ≤ b − a_I·y`. Builds a fresh polytope — the reference
+    /// construction; the hot path re-aims the internal [`FiberTemplate`]
+    /// instead.
     pub fn fiber_polytope(&self, y: &[f64]) -> HPolytope {
         let fiber_dim = self.fiber_coords.len();
         let halfspaces = self
@@ -122,20 +210,82 @@ impl ProjectionGenerator {
                 Halfspace::from_slice(&normal, h.offset() - fixed)
             })
             .collect();
-        // Built per attempt and queried once: skip structure detection.
+        // Built per call and queried once: skip structure detection.
         HPolytope::new_dense(fiber_dim, halfspaces)
     }
 
-    /// The paper's `ĥ`: the (estimated) number of grid points in the cylinder
-    /// above `y`, at least 1 (the sampled point itself lies in it).
+    /// The paper's `ĥ` evaluated directly at `y` (no snapping, no cache, no
+    /// template): the uncached reference implementation, exposed for the
+    /// experiments and equivalence tests. The sampling hot path uses
+    /// [`ProjectionGenerator::compensation_weight`].
     pub fn cylinder_weight(&self, y: &[f64]) -> f64 {
         if self.fiber_coords.is_empty() {
             return 1.0;
         }
         let fiber = self.fiber_polytope(y);
         let vol = polytope_volume(&fiber);
-        let cell = self.grid.step().powi(self.fiber_coords.len() as i32);
-        (vol / cell).max(1.0)
+        (vol / self.cell).max(1.0)
+    }
+
+    /// The memoized compensation weight `ĥ` of the γ-grid cell containing
+    /// `y`: snap → probe → fill (see the module docs). The weight of a cell
+    /// is a pure function of the cell (and, for the estimated strategy, the
+    /// generator's weight seed), so hits and misses produce identical
+    /// values and the cache never changes a trajectory.
+    pub fn compensation_weight(&mut self, y: &[f64]) -> f64 {
+        if self.fiber_coords.is_empty() {
+            return 1.0;
+        }
+        // Snap: integer grid coordinates of y's cell (the grid owns the
+        // rounding convention, so cache cells can never diverge from
+        // `GammaGrid::snap`). The hash is computed once and shared by the
+        // probe, the insert and the estimator's RNG-stream derivation.
+        let mut key = std::mem::take(&mut self.key_buf);
+        key.clear();
+        key.extend(y.iter().map(|&v| self.grid.coord_index(v)));
+        let hash = FiberWeightCache::key_hash(&key);
+        // Probe.
+        let weight = match self.cache.get_hashed(hash, &key) {
+            Some(w) => w,
+            None => {
+                // Fill at the cell center and memoize.
+                let w = self.fill_weight(&key, hash);
+                self.cache.insert_hashed(hash, &key, w);
+                w
+            }
+        };
+        self.key_buf = key;
+        weight
+    }
+
+    /// Computes the weight of one cell through the resolved strategy.
+    fn fill_weight(&mut self, key: &[i64], hash: u64) -> f64 {
+        let mut y = std::mem::take(&mut self.snap_buf);
+        y.clear();
+        y.extend(key.iter().map(|&k| self.grid.coord_at(k)));
+        let vol = match self.fiber_volume {
+            FiberVolume::Exact | FiberVolume::Auto => self.fiber.exact_volume(&y),
+            FiberVolume::Estimated => self.estimated_fiber_volume(&y, hash),
+        };
+        self.snap_buf = y;
+        (vol / self.cell).max(1.0)
+    }
+
+    /// The `Estimated` strategy: a telescoping `(ε, δ)` volume estimate of
+    /// the fiber, funded by an RNG stream derived from the cell-key hash so
+    /// the result is a pure function of `(weight_seed, cell)` — identical
+    /// across cache states, worker clones and thread counts.
+    fn estimated_fiber_volume(&mut self, y: &[f64], key_hash: u64) -> f64 {
+        let fiber = self.fiber.at(y).clone();
+        // Degenerate or empty fibers (cells straddling the boundary) carry
+        // no weight; the `max(1.0)` clamp in the caller handles them.
+        let Some(cert) = fiber.well_bounded() else {
+            return 0.0;
+        };
+        let body = ConvexBody::from_polytope_cert(fiber, cert);
+        let mut rng = SeedSequence::new(self.weight_seed).child(key_hash).rng();
+        let estimator = DfkSampler::new(body, self.params.estimator_params(), &mut rng);
+        estimator.estimate_volume_with(&mut rng, &mut self.scratch)
     }
 
     /// Projects a full-dimensional point onto the kept coordinates.
@@ -156,16 +306,15 @@ impl ProjectionGenerator {
             return self.sampler.estimate_volume_with(rng, &mut self.scratch);
         }
         let vol_s = self.sampler.estimate_volume_with(rng, &mut self.scratch);
-        let trials = self.params.samples_per_phase();
+        let trials = self.params.base.samples_per_phase();
         let mut sum_inv = 0.0;
         for _ in 0..trials {
             let x = self.sampler.sample_with(rng, &mut self.scratch);
             let y = self.project(&x);
-            sum_inv += 1.0 / self.cylinder_weight(&y);
+            sum_inv += 1.0 / self.compensation_weight(&y);
         }
         let mean_inv = sum_inv / trials as f64;
-        let cell = self.grid.step().powi(self.fiber_coords.len() as i32);
-        vol_s * mean_inv / cell
+        vol_s * mean_inv / self.cell
     }
 }
 
@@ -183,14 +332,14 @@ impl RelationGenerator for ProjectionGenerator {
         // Theorem 4.3, with the grid step p = γ·r_inf/d^{3/2} folded in);
         // retry accordingly, with a cap.
         let d = self.tuple.arity();
-        let rounds = ((d.pow(3) as f64 / (self.params.eps * self.params.gamma))
-            * (1.0 / self.params.delta).ln())
+        let rounds = ((d.pow(3) as f64 / (self.params.base.eps * self.params.base.gamma))
+            * (1.0 / self.params.base.delta).ln())
         .ceil() as usize;
-        let rounds = rounds.clamp(self.params.retry_rounds(), 500_000);
+        let rounds = rounds.clamp(self.params.base.retry_rounds(), 500_000);
         for _ in 0..rounds {
             let x = self.sampler.sample_with(rng, &mut self.scratch);
             let y = self.project(&x);
-            let h = self.cylinder_weight(&y);
+            let h = self.compensation_weight(&y);
             self.attempts += 1;
             if rng.gen_range(0.0..1.0) < 1.0 / h {
                 self.accepted += 1;
@@ -201,7 +350,9 @@ impl RelationGenerator for ProjectionGenerator {
     }
 
     // Setup is eager (everything happens in `new`), so the default no-op
-    // `prepare` is correct and only the fan-out is overridden.
+    // `prepare` is correct and only the fan-out is overridden. Worker clones
+    // carry the current cache contents; memoized weights are pure functions
+    // of their cells, so a warm or cold clone draws the same stream.
     fn sample_batch(
         &mut self,
         n: usize,
@@ -270,6 +421,8 @@ mod tests {
                 "outside projection: {p:?}"
             );
         }
+        // The compensation loop memoized its weights.
+        assert!(gen.weight_cache().hits() > 0, "cache never hit");
     }
 
     #[test]
@@ -316,6 +469,29 @@ mod tests {
     }
 
     #[test]
+    fn cached_weight_agrees_with_the_uncached_reference() {
+        let tri = figure1_triangle();
+        let mut rng = StdRng::seed_from_u64(57);
+        let mut gen = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
+        assert_eq!(gen.resolved_fiber_volume(), FiberVolume::Exact);
+        let step = gen.grid.step();
+        for y in [0.1, 0.33, 0.5, 0.77, 0.99] {
+            // The memoized weight is the reference weight of the snapped y.
+            let snapped = (y / step).round() * step;
+            let reference = gen.cylinder_weight(&[snapped]);
+            let first = gen.compensation_weight(&[y]);
+            let second = gen.compensation_weight(&[y]);
+            assert_eq!(first.to_bits(), second.to_bits(), "hit differs from miss");
+            assert_eq!(
+                first.to_bits(),
+                reference.to_bits(),
+                "cached weight differs from the reference at y = {y}"
+            );
+        }
+        assert!(gen.weight_cache().hits() >= 5);
+    }
+
+    #[test]
     fn projection_volume_of_square_and_triangle() {
         // Projection of the unit square onto x has length 1; same for the triangle.
         let square = GeneralizedTuple::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
@@ -356,5 +532,8 @@ mod tests {
         use cdb_constraint::Atom;
         let halfplane = GeneralizedTuple::new(2, vec![Atom::le_from_ints(&[1, 0], 0)]);
         assert!(ProjectionGenerator::new(&halfplane, &[0], params(), &mut rng).is_err());
+        // An invalid estimator budget is rejected by `new_with`.
+        let bad = ProjectionParams::new(params()).with_estimator_budget(2.0, 0.1);
+        assert!(ProjectionGenerator::new_with(&square, &[0], bad, &mut rng).is_err());
     }
 }

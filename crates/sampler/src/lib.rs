@@ -74,6 +74,10 @@ mod rejection;
 pub mod walk;
 
 pub use compose::difference::DifferenceGenerator;
+pub use compose::fiber_weight::{
+    FiberVolume, FiberWeightCache, ProjectionParams, AUTO_EXACT_MAX_FIBER_DIM,
+    DEFAULT_WEIGHT_CACHE_CAPACITY,
+};
 pub use compose::intersection::IntersectionGenerator;
 pub use compose::projection::ProjectionGenerator;
 pub use compose::union::UnionGenerator;

@@ -1,0 +1,184 @@
+//! Contract of the memoized compensation-weight subsystem: the cache is
+//! *invisible* to the output stream.
+//!
+//! The cylinder weight of a γ-grid cell is a pure function of the cell (and,
+//! for the estimated strategy, of the generator's weight seed), so a
+//! generator with memoization enabled, bounded, or disabled must produce
+//! bitwise identical trajectories from the same seeds — hits and misses
+//! differ only in cost. These tests pin that contract for both fill
+//! strategies, the auto strategy resolution, and the clone semantics the
+//! batch workers rely on.
+
+use cdb_sampler::{
+    FiberVolume, GeneratorParams, ProjectionGenerator, ProjectionParams, RelationGenerator,
+    RelationVolumeEstimator, SeedSequence,
+};
+use cdb_workloads::projection::{deep_cone, deep_cone_fiber_volume};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cdb_constraint::{Atom, GeneralizedTuple};
+
+/// The Figure-1 triangle `0 ≤ x ≤ 1, 0 ≤ y ≤ x`.
+fn figure1_triangle() -> GeneralizedTuple {
+    GeneralizedTuple::new(
+        2,
+        vec![
+            Atom::le_from_ints(&[-1, 0], 0),
+            Atom::le_from_ints(&[1, 0], -1),
+            Atom::le_from_ints(&[0, -1], 0),
+            Atom::le_from_ints(&[-1, 1], 0),
+        ],
+    )
+}
+
+fn base_params() -> GeneratorParams {
+    GeneratorParams {
+        gamma: 0.05,
+        ..GeneratorParams::fast()
+    }
+}
+
+/// Builds the triangle projection generator under the given weight params,
+/// from a fixed constructor seed.
+fn generator_with(params: ProjectionParams) -> ProjectionGenerator {
+    let mut rng = StdRng::seed_from_u64(4242);
+    ProjectionGenerator::new_with(&figure1_triangle(), &[0], params, &mut rng).unwrap()
+}
+
+/// Draws a fixed sequential stream and returns the raw bits of every sample.
+fn sample_bits(generator: &mut ProjectionGenerator, n: usize) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(999);
+    generator
+        .sample_many(n, &mut rng)
+        .into_iter()
+        .map(|p| p.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn exact_strategy_is_cache_invariant_bitwise() {
+    let base = ProjectionParams::new(base_params());
+    let mut cached = generator_with(base);
+    let mut tiny = generator_with(base.with_cache_capacity(8));
+    let mut uncached = generator_with(base.with_cache_capacity(0));
+    assert_eq!(cached.resolved_fiber_volume(), FiberVolume::Exact);
+
+    let a = sample_bits(&mut cached, 150);
+    let b = sample_bits(&mut tiny, 150);
+    let c = sample_bits(&mut uncached, 150);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "a capacity-bounded cache changed the trajectory");
+    assert_eq!(a, c, "disabling the cache changed the trajectory");
+
+    // The contract is not vacuous: the full cache actually memoized.
+    assert!(cached.weight_cache().hits() > 0, "cache never hit");
+    assert!(
+        !uncached.weight_cache().is_enabled(),
+        "capacity 0 must disable the cache"
+    );
+}
+
+#[test]
+fn estimated_strategy_is_cache_invariant_bitwise() {
+    let base = ProjectionParams::new(base_params()).with_fiber_volume(FiberVolume::Estimated);
+    let mut cached = generator_with(base);
+    let mut uncached = generator_with(base.with_cache_capacity(0));
+    assert_eq!(cached.resolved_fiber_volume(), FiberVolume::Estimated);
+
+    let a = sample_bits(&mut cached, 60);
+    let b = sample_bits(&mut uncached, 60);
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "estimated weights must be pure functions of the cell: caching them \
+         may never change the stream"
+    );
+    assert!(cached.weight_cache().hits() > 0);
+}
+
+#[test]
+fn warm_clones_draw_the_same_stream_as_cold_generators() {
+    // Batch workers clone a (possibly warmed) generator; a warm cache must
+    // not shift the worker's stream.
+    let mut original = generator_with(ProjectionParams::new(base_params()));
+    let _ = sample_bits(&mut original, 100); // warm the cache
+    assert!(original.weight_cache().len() > 0);
+    let mut warm_clone = original.clone();
+    let mut cold = generator_with(ProjectionParams::new(base_params()));
+    assert_eq!(
+        sample_bits(&mut warm_clone, 80),
+        sample_bits(&mut cold, 80),
+        "a warmed clone diverged from a cold generator"
+    );
+}
+
+#[test]
+fn batch_and_sequential_weights_agree_across_thread_counts() {
+    // End-to-end: the default projection path (cache on) is thread-count
+    // invariant, including the estimated strategy.
+    for mode in [FiberVolume::Exact, FiberVolume::Estimated] {
+        let params = ProjectionParams::new(base_params()).with_fiber_volume(mode);
+        let seq = SeedSequence::new(0xFEED);
+        let baseline = generator_with(params).sample_batch(48, &seq, 1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                baseline,
+                generator_with(params).sample_batch(48, &seq, threads),
+                "{mode:?}: sample_batch differs at {threads} threads"
+            );
+        }
+        assert!(baseline.iter().filter(|p| p.is_some()).count() > 24);
+    }
+}
+
+#[test]
+fn auto_strategy_resolves_by_fiber_dimension() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let shallow = ProjectionGenerator::new(&deep_cone(4), &[0], base_params(), &mut rng).unwrap();
+    assert_eq!(shallow.fiber_dim(), 3);
+    assert_eq!(shallow.resolved_fiber_volume(), FiberVolume::Exact);
+
+    // Fiber dimension 9: C(20, 9) ≈ 168k vertex-enumeration bases per
+    // weight — auto must pick the estimator.
+    let deep = ProjectionGenerator::new(&deep_cone(10), &[0], base_params(), &mut rng).unwrap();
+    assert_eq!(deep.fiber_dim(), 9);
+    assert_eq!(deep.resolved_fiber_volume(), FiberVolume::Estimated);
+}
+
+#[test]
+fn estimated_weights_track_the_closed_form_on_the_deep_cone() {
+    // The deep cone's fiber above x0 = t is [0, t]^{d−1} with volume
+    // t^{d−1}: the estimated weight of a cell must land within the
+    // telescoping estimator's (loose, seeded) error of the closed form.
+    let d = 10usize;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut generator =
+        ProjectionGenerator::new(&deep_cone(d), &[0], base_params(), &mut rng).unwrap();
+    assert_eq!(generator.resolved_fiber_volume(), FiberVolume::Estimated);
+    let step = generator.grid().step();
+    let cell = step.powi(d as i32 - 1);
+    for t in [0.4f64, 0.8] {
+        let snapped = (t / step).round() * step;
+        let expected = (deep_cone_fiber_volume(d, snapped) / cell).max(1.0);
+        let got = generator.compensation_weight(&[t]);
+        let ratio = got / expected;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "estimated weight at t = {t}: got {got:.3e}, closed form {expected:.3e} \
+             (ratio {ratio:.2})"
+        );
+        // And the memo returns the exact same bits on the next probe.
+        assert_eq!(generator.compensation_weight(&[t]).to_bits(), got.to_bits());
+    }
+}
+
+#[test]
+fn volume_estimates_are_cache_invariant() {
+    let base = ProjectionParams::new(base_params());
+    let seq = SeedSequence::new(0xAB);
+    let with_cache = generator_with(base).estimate_volume_batch(4, &seq, 0);
+    let without = generator_with(base.with_cache_capacity(0)).estimate_volume_batch(4, &seq, 0);
+    assert_eq!(with_cache, without);
+    assert!(with_cache.iter().all(|v| v.is_some()));
+}

@@ -17,12 +17,17 @@
 //! * [`structured`] — sparse-structured H-polytope scenarios (axis-aligned
 //!   box stacks, banded overlay intersections, SAT-style sparse cut systems)
 //!   that exercise the structure-aware constraint-matrix kernels; used by
-//!   the walk perf report and the kernel-equivalence property tests.
+//!   the walk perf report and the kernel-equivalence property tests;
+//! * [`projection`] — projection scenarios with controlled fiber dimension
+//!   and closed-form fiber/projection volumes (the deep cone, skewed
+//!   prisms), validating the `Exact` vs `Estimated` compensation-weight
+//!   strategies of the projection generator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gis;
 pub mod polytopes;
+pub mod projection;
 pub mod sat;
 pub mod structured;

@@ -1,0 +1,141 @@
+//! Projection scenarios with controlled fiber dimension.
+//!
+//! Algorithm 2's compensation weight is the volume of the fiber above each
+//! projected point. How that volume can be computed changes qualitatively
+//! with the fiber dimension: exact vertex enumeration visits `C(m, e)`
+//! constraint bases (fine for shallow fibers, hopeless for deep ones), while
+//! the telescoping estimator stays polynomial. These scenarios provide both
+//! regimes with closed-form ground truth, so the `Exact`/`Estimated`
+//! strategies of the projection generator can be validated and benchmarked
+//! against known answers.
+
+use cdb_constraint::{Atom, GeneralizedTuple};
+
+/// The e7 cone in dimension `d`: `0 ≤ x_0 ≤ 1`, `0 ≤ x_i ≤ x_0` for
+/// `i ≥ 1`. Projected onto `x_0` the fiber above `x_0 = t` is the cube
+/// `[0, t]^{d−1}` (volume `t^{d−1}`), the projection is `[0, 1]`, and the
+/// body's volume is `1/d` — every quantity of Algorithm 2 has a closed form
+/// at any dimension, which makes this the reference shape for the deep-fiber
+/// regime: at `d = 3` the fiber is a square and exact vertex enumeration is
+/// trivial, while by `d ≳ 10` enumerating `C(2d, d−1)` bases per weight is
+/// infeasible and only the estimated strategy remains.
+pub fn deep_cone(dim: usize) -> GeneralizedTuple {
+    assert!(dim >= 2, "the cone needs at least two coordinates");
+    let mut atoms = Vec::with_capacity(2 * dim);
+    let mut first_lo = vec![0i64; dim];
+    first_lo[0] = -1;
+    atoms.push(Atom::le_from_ints(&first_lo, 0)); // x_0 ≥ 0
+    let mut first_hi = vec![0i64; dim];
+    first_hi[0] = 1;
+    atoms.push(Atom::le_from_ints(&first_hi, -1)); // x_0 ≤ 1
+    for i in 1..dim {
+        let mut lo = vec![0i64; dim];
+        lo[i] = -1;
+        atoms.push(Atom::le_from_ints(&lo, 0)); // x_i ≥ 0
+        let mut hi = vec![0i64; dim];
+        hi[i] = 1;
+        hi[0] = -1;
+        atoms.push(Atom::le_from_ints(&hi, 0)); // x_i ≤ x_0
+    }
+    GeneralizedTuple::new(dim, atoms)
+}
+
+/// Exact volume of [`deep_cone`]: `∫₀¹ t^{d−1} dt = 1/d`.
+pub fn deep_cone_volume(dim: usize) -> f64 {
+    1.0 / dim as f64
+}
+
+/// Exact fiber volume of [`deep_cone`] above `x_0 = t`: `t^{d−1}`.
+pub fn deep_cone_fiber_volume(dim: usize, t: f64) -> f64 {
+    t.clamp(0.0, 1.0).powi(dim as i32 - 1)
+}
+
+/// Length of the projection of [`deep_cone`] onto `x_0` (always `[0, 1]`).
+pub fn deep_cone_projection_volume(_dim: usize) -> f64 {
+    1.0
+}
+
+/// A `base`-dimensional unit box extruded along `extra` skewed coordinates:
+/// `0 ≤ x_i ≤ 1` for `i < base`, and `0 ≤ x_j − x_0 ≤ 1` for the extruded
+/// coordinates. Projected onto the first `base` coordinates, every fiber is
+/// a translated unit cube of dimension `extra` — uniform fibers, so the
+/// corrected and uncorrected projections coincide and the projection volume
+/// is exactly 1. A harness shape for separating compensation *overhead*
+/// from compensation *effect*.
+pub fn skewed_prism(base: usize, extra: usize) -> GeneralizedTuple {
+    assert!(base >= 1, "the prism needs a base");
+    let dim = base + extra;
+    let mut atoms = Vec::with_capacity(2 * dim);
+    for i in 0..base {
+        let mut lo = vec![0i64; dim];
+        lo[i] = -1;
+        atoms.push(Atom::le_from_ints(&lo, 0));
+        let mut hi = vec![0i64; dim];
+        hi[i] = 1;
+        atoms.push(Atom::le_from_ints(&hi, -1));
+    }
+    for j in base..dim {
+        let mut lo = vec![0i64; dim];
+        lo[j] = -1;
+        lo[0] = 1;
+        atoms.push(Atom::le_from_ints(&lo, 0)); // x_j ≥ x_0
+        let mut hi = vec![0i64; dim];
+        hi[j] = 1;
+        hi[0] = -1;
+        atoms.push(Atom::le_from_ints(&hi, -1)); // x_j ≤ x_0 + 1
+    }
+    GeneralizedTuple::new(dim, atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_cone_closed_forms() {
+        for d in [2usize, 3, 8, 12] {
+            let cone = deep_cone(d);
+            assert_eq!(cone.arity(), d);
+            // The apex ray and a mid-height point.
+            assert!(cone.satisfied_f64(&vec![0.0; d], 1e-9));
+            let mut mid = vec![0.25; d];
+            mid[0] = 0.5;
+            assert!(cone.satisfied_f64(&mid, 1e-9));
+            let mut out = vec![0.75; d];
+            out[0] = 0.5;
+            if d > 1 {
+                assert!(!cone.satisfied_f64(&out, 1e-9));
+            }
+            assert!((deep_cone_volume(d) - 1.0 / d as f64).abs() < 1e-12);
+            assert!((deep_cone_fiber_volume(d, 0.5) - 0.5f64.powi(d as i32 - 1)).abs() < 1e-12);
+            assert_eq!(deep_cone_projection_volume(d), 1.0);
+        }
+    }
+
+    #[test]
+    fn deep_cone_geometry_matches_the_closed_form_in_low_dimension() {
+        use cdb_geometry::volume::polytope_volume;
+        for d in [2usize, 3] {
+            let p = deep_cone(d).to_hpolytope();
+            let v = polytope_volume(&p);
+            assert!(
+                (v - deep_cone_volume(d)).abs() < 1e-6,
+                "d = {d}: got {v}, want {}",
+                deep_cone_volume(d)
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_prism_has_unit_fibers() {
+        let prism = skewed_prism(2, 3);
+        assert_eq!(prism.arity(), 5);
+        // A point in the prism: base in the box, extruded = base + offset.
+        assert!(prism.satisfied_f64(&[0.5, 0.5, 0.7, 1.0, 1.4], 1e-9));
+        assert!(!prism.satisfied_f64(&[0.5, 0.5, 0.3, 1.0, 1.4], 1e-9));
+        // 5-dimensional volume is 1 (unit box times unit fibers).
+        use cdb_geometry::volume::polytope_volume;
+        let v = polytope_volume(&prism.to_hpolytope());
+        assert!((v - 1.0).abs() < 1e-6, "prism volume {v}");
+    }
+}

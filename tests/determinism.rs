@@ -5,8 +5,9 @@
 
 use cdb_constraint::{GeneralizedRelation, GeneralizedTuple};
 use cdb_sampler::{
-    ConvexBody, DfkSampler, DifferenceGenerator, GeneratorParams, IntersectionGenerator,
-    ProjectionGenerator, RelationGenerator, RelationVolumeEstimator, SeedSequence, UnionGenerator,
+    ConvexBody, DfkSampler, DifferenceGenerator, FiberVolume, GeneratorParams,
+    IntersectionGenerator, ProjectionGenerator, ProjectionParams, RelationGenerator,
+    RelationVolumeEstimator, SeedSequence, UnionGenerator,
 };
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 8, 0];
@@ -90,6 +91,44 @@ fn projection_generator_batches_are_thread_count_invariant() {
         },
         "projection",
     );
+}
+
+#[test]
+fn projection_weight_cache_is_thread_count_invariant_for_both_strategies() {
+    // A non-trivial fiber (the Figure-1 triangle projected onto x) drives
+    // the compensation loop through the memoized-weight path. Workers clone
+    // the generator — and with it the current cache — so thread-count
+    // invariance holds exactly because memoized weights are pure functions
+    // of their grid cell (the `Estimated` strategy derives its RNG stream
+    // from the cell key, never from the sampling stream).
+    use cdb_constraint::Atom;
+    let triangle = GeneralizedTuple::new(
+        2,
+        vec![
+            Atom::le_from_ints(&[-1, 0], 0),
+            Atom::le_from_ints(&[1, 0], -1),
+            Atom::le_from_ints(&[0, -1], 0),
+            Atom::le_from_ints(&[-1, 1], 0),
+        ],
+    );
+    for (mode, label) in [
+        (FiberVolume::Exact, "projection-exact-cache"),
+        (FiberVolume::Estimated, "projection-estimated-cache"),
+    ] {
+        let proj = ProjectionParams::new(GeneratorParams {
+            gamma: 0.05,
+            ..params()
+        })
+        .with_fiber_volume(mode)
+        .with_cache_capacity(64);
+        assert_batches_invariant(
+            || {
+                let mut rng = SeedSequence::new(13).setup_stream().rng();
+                ProjectionGenerator::new_with(&triangle, &[0], proj, &mut rng).unwrap()
+            },
+            label,
+        );
+    }
 }
 
 #[test]

@@ -26,8 +26,9 @@ use cdb_constraint::{Atom, GeneralizedRelation, GeneralizedTuple};
 use cdb_linalg::Vector;
 use cdb_sampler::diagnostics::{chi_square_loose_bound, relative_error, uniformity_chi_square};
 use cdb_sampler::{
-    ConvexBody, DfkSampler, DifferenceGenerator, GeneratorParams, IntersectionGenerator,
-    ProjectionGenerator, RelationGenerator, RelationVolumeEstimator, SeedSequence, UnionGenerator,
+    ConvexBody, DfkSampler, DifferenceGenerator, FiberVolume, GeneratorParams,
+    IntersectionGenerator, ProjectionGenerator, ProjectionParams, RelationGenerator,
+    RelationVolumeEstimator, SeedSequence, UnionGenerator,
 };
 use cdb_workloads::polytopes;
 use std::sync::Arc;
@@ -299,6 +300,46 @@ fn projection_generator_cylinder_compensation_gate() {
     // … while the cylinder-compensated generator passes it.
     let pts = successes(generator.sample_batch(n, &SeedSequence::new(7003), 0));
     assert_marginal_uniform(&pts, |p| p[0], 0.0, 1.0, 10, "projection marginal");
+}
+
+#[test]
+fn projection_estimated_strategy_passes_the_gates() {
+    if quick_mode() {
+        return;
+    }
+    // The compensation weight computed by the telescoping *estimator*
+    // (instead of exact vertex enumeration) must still flatten the Figure-1
+    // bias and reproduce the closed-form projection volume. Per-cell weight
+    // noise is deterministic (the estimator's randomness derives from the
+    // cell key), so this is a fixed-seed gate like every other.
+    let p = ProjectionParams::new(GeneratorParams {
+        gamma: 0.05,
+        ..params()
+    })
+    .with_fiber_volume(FiberVolume::Estimated);
+    let tri = figure1_triangle();
+    let mut rng = SeedSequence::new(7201).setup_stream().rng();
+    let mut generator = ProjectionGenerator::new_with(&tri, &[0], p, &mut rng).unwrap();
+    assert_eq!(generator.resolved_fiber_volume(), FiberVolume::Estimated);
+
+    let pts = successes(generator.sample_batch(1200, &SeedSequence::new(7202), 0));
+    assert_marginal_uniform(
+        &pts,
+        |p| p[0],
+        0.0,
+        1.0,
+        10,
+        "estimated-weight projection marginal",
+    );
+
+    let est = generator
+        .estimate_volume_median(5, &SeedSequence::new(7203), 0)
+        .unwrap();
+    let err = relative_error(est, 1.0);
+    assert!(
+        err < 0.30,
+        "estimated-weight projection volume {est:.3} (rel err {err:.3})"
+    );
 }
 
 #[test]
