@@ -23,9 +23,10 @@
 #
 # Every default pass additionally validates the quick smoke report against
 # the committed BENCH_walk.json for row coverage only (every kernel row and
-# both e7 cold/warm twins must still exist), so dispatch coverage can never
-# silently shrink. A per-stage wall-clock summary is printed at the end so
-# slow-stage creep shows up in CI logs.
+# all three e7 rows — warm/cold rejection twins plus the stratified selector
+# — must still exist), so dispatch coverage can never silently shrink. A
+# per-stage wall-clock summary is printed at the end so slow-stage creep
+# shows up in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -106,14 +107,22 @@ echo "==> cargo test -q (workspace: unit + property + integration + doc tests)"
 CDB_STAT_QUICK=1 cargo test -q --workspace
 stage_end
 
+stage_begin stratified
+echo "==> stratified selection property suites (alias table + cache/selector invariance)"
+cargo test -q -p cdb-sampler --test stratified_alias
+cargo test -q -p cdb-sampler --test projection_cache
+stage_end
+
 if [ "$QUICK" != "1" ]; then
   stage_begin statistical
   echo "==> statistical acceptance suite (chi-square uniformity + (eps, delta) volume gates)"
   env -u CDB_STAT_QUICK cargo test -q --test statistical
+  echo "==> stratified cell-selection gates (uniformity, volume, Poisson occupancy)"
+  env -u CDB_STAT_QUICK cargo test -q --test statistical stratified
   stage_end
 
   stage_begin determinism
-  echo "==> batch determinism suite (thread-count invariance)"
+  echo "==> batch determinism suite (thread-count invariance + rejection/stratified volume agreement)"
   cargo test -q --test determinism
   stage_end
 fi

@@ -6,7 +6,10 @@
 use cdb_bench::{experiment_criterion, rng};
 use cdb_constraint::{Atom, GeneralizedTuple};
 use cdb_sampler::diagnostics::{chi_square_loose_bound, uniformity_chi_square};
-use cdb_sampler::{GeneratorParams, ProjectionGenerator, RelationGenerator, SeedSequence};
+use cdb_sampler::{
+    CellSelection, GeneratorParams, ProjectionGenerator, ProjectionParams, RelationGenerator,
+    SeedSequence,
+};
 use criterion::{black_box, Criterion};
 
 /// The generalization of the Figure 1 triangle to dimension `d`: the cone
@@ -41,8 +44,16 @@ fn e7_projection(c: &mut Criterion) {
     for d in [2usize, 3, 4] {
         let shape = cone(d);
         let mut r = rng(700 + d as u64);
-        let mut generator =
-            ProjectionGenerator::new(&shape, &[0], params, &mut r).expect("cone is observable");
+        // Pinned to the rejection loop: these are the historical
+        // `algorithm2_projection_*` rows, and the default now resolves to
+        // the stratified selector (measured separately below).
+        let rejection = ProjectionParams::new(params).with_cell_selection(CellSelection::Rejection);
+        let mut generator = ProjectionGenerator::new_with(&shape, &[0], rejection, &mut r)
+            .expect("cone is observable");
+        let stratified =
+            ProjectionParams::new(params).with_cell_selection(CellSelection::Stratified);
+        let mut strat_generator = ProjectionGenerator::new_with(&shape, &[0], stratified, &mut r)
+            .expect("cone is observable");
 
         let n = 600;
         let biased: Vec<f64> = (0..n)
@@ -67,6 +78,9 @@ fn e7_projection(c: &mut Criterion) {
         });
         group.bench_function(format!("algorithm2_projection_d{d}"), |b| {
             b.iter(|| black_box(generator.sample(&mut r)))
+        });
+        group.bench_function(format!("stratified_projection_d{d}"), |b| {
+            b.iter(|| black_box(strat_generator.sample(&mut r)))
         });
         // The compensated generator through the parallel batch layer.
         let seq = SeedSequence::new(750 + d as u64);

@@ -27,7 +27,7 @@ use cdb_constraint::{Atom, GeneralizedTuple};
 use cdb_geometry::{Ellipsoid, HPolytope};
 use cdb_linalg::Vector;
 use cdb_sampler::{
-    ConvexBody, DfkSampler, GeneratorParams, ProjectionGenerator, ProjectionParams,
+    CellSelection, ConvexBody, DfkSampler, GeneratorParams, ProjectionGenerator, ProjectionParams,
     RelationGenerator,
 };
 use cdb_workloads::structured;
@@ -160,12 +160,15 @@ fn main() {
     }
 
     // e7: the cylinder-compensated projection generator on the 3-dimensional
-    // cone (each output point costs ~1/acceptance_rate chains), measured as
-    // cold/warm cache twins on the same body and seed. The warm row keeps
-    // the historical `e7_projection_compensated` name so the cross-PR perf
-    // trajectory (and `bench_diff`) stays comparable; the cold twin runs
-    // with the weight cache disabled, so every attempt pays the full
-    // fiber-volume fill.
+    // cone, measured three ways on the same body and seed: the rejection
+    // loop with a warm weight cache (the historical
+    // `e7_projection_compensated` name, kept so the cross-PR perf trajectory
+    // and `bench_diff` stay comparable), the rejection loop with the cache
+    // disabled (every attempt pays the full fiber-volume fill), and the
+    // stratified cell selector (alias-table draw, no chains discarded). The
+    // rejection rows pin `CellSelection::Rejection` explicitly — the default
+    // now resolves to stratified selection, which would silently stop
+    // measuring the loop these rows have always tracked.
     {
         let d = 3;
         let shape = cone(d);
@@ -173,17 +176,36 @@ fn main() {
             gamma: 0.1,
             ..params
         };
-        for (workload, cache_capacity) in [
+        for (workload, cache_capacity, selection) in [
             (
                 "e7_projection_compensated",
                 cdb_sampler::DEFAULT_WEIGHT_CACHE_CAPACITY,
+                CellSelection::Rejection,
             ),
-            ("e7_projection_compensated_cold", 0usize),
+            (
+                "e7_projection_compensated_cold",
+                0usize,
+                CellSelection::Rejection,
+            ),
+            (
+                "e7_projection_stratified",
+                cdb_sampler::DEFAULT_WEIGHT_CACHE_CAPACITY,
+                CellSelection::Stratified,
+            ),
         ] {
-            let projection = ProjectionParams::new(proj_params).with_cache_capacity(cache_capacity);
+            let projection = ProjectionParams::new(proj_params)
+                .with_cache_capacity(cache_capacity)
+                .with_cell_selection(selection);
             let mut rng = StdRng::seed_from_u64(1003);
             let mut generator = ProjectionGenerator::new_with(&shape, &[0], projection, &mut rng)
                 .expect("cone is observable");
+            // Pre-warm until at least one sample is accepted: a quick-mode
+            // window of a few milliseconds can easily close with zero
+            // acceptances from the rejection loop, and an acceptance rate
+            // measured as 0 used to turn the steps/sec column into ~1e15
+            // garbage through the `max(1e-12)` guard below.
+            let accepted = (0..1_000_000).any(|_| generator.sample(&mut rng).is_some());
+            assert!(accepted, "{workload}: generator never accepted a sample");
             let steps_per_chain = proj_params.walk_steps(d) as f64;
             let sps = measure(
                 || {
@@ -192,7 +214,8 @@ fn main() {
                 warmup,
                 window,
             );
-            // One emitted sample costs 1/acceptance chains of walk_steps each.
+            // One emitted sample costs 1/acceptance chains of walk_steps
+            // each (exactly 1 for the stratified selector).
             let acceptance = generator.acceptance_rate().max(1e-12);
             rows.push(Row {
                 workload,

@@ -33,6 +33,7 @@
 //! the in-crate Dyer–Frieze–Kannan telescoping estimator under an `(ε, δ)`
 //! budget (polynomial, the only option once the fiber dimension grows).
 
+use crate::compose::stratified::CellSelection;
 use crate::params::GeneratorParams;
 
 /// Fiber dimensions up to this bound default to exact vertex enumeration;
@@ -42,6 +43,12 @@ pub const AUTO_EXACT_MAX_FIBER_DIM: usize = 6;
 
 /// Default capacity of the per-generator [`FiberWeightCache`].
 pub const DEFAULT_WEIGHT_CACHE_CAPACITY: usize = 4096;
+
+/// Default budget of [`ProjectionParams::max_enumerated_cells`]: the largest
+/// occupied-cell enumeration [`CellSelection::Auto`] resolves to full
+/// stratified enumeration; finer grids fall back to the coarse-to-fine
+/// cascade (and its lazy per-coarse-cell tables honor the same bound).
+pub const DEFAULT_MAX_ENUMERATED_CELLS: usize = 1 << 16;
 
 /// Linear-probe window of the open-addressing table: a lookup inspects at
 /// most this many slots, and an insert evicts the least-recently-used entry
@@ -87,6 +94,14 @@ pub struct ProjectionParams {
     pub estimator_eps: f64,
     /// `δ` of the estimated-fiber-volume budget.
     pub estimator_delta: f64,
+    /// How the generator selects the γ-grid cell of each sample;
+    /// [`CellSelection::Auto`] resolves against the enumeration budget at
+    /// construction.
+    pub cell_selection: CellSelection,
+    /// Largest cell enumeration the stratified layer may build eagerly
+    /// (full enumeration under [`CellSelection::Stratified`], per-coarse-cell
+    /// fine tables under [`CellSelection::CoarseToFine`]).
+    pub max_enumerated_cells: usize,
 }
 
 impl ProjectionParams {
@@ -100,6 +115,8 @@ impl ProjectionParams {
             cache_capacity: DEFAULT_WEIGHT_CACHE_CAPACITY,
             estimator_eps: base.eps,
             estimator_delta: base.delta,
+            cell_selection: CellSelection::Auto,
+            max_enumerated_cells: DEFAULT_MAX_ENUMERATED_CELLS,
         }
     }
 
@@ -119,6 +136,18 @@ impl ProjectionParams {
     pub fn with_estimator_budget(mut self, eps: f64, delta: f64) -> Self {
         self.estimator_eps = eps;
         self.estimator_delta = delta;
+        self
+    }
+
+    /// Overrides the cell-selection strategy.
+    pub fn with_cell_selection(mut self, selection: CellSelection) -> Self {
+        self.cell_selection = selection;
+        self
+    }
+
+    /// Overrides the eager-enumeration budget of the stratified layer.
+    pub fn with_max_enumerated_cells(mut self, cells: usize) -> Self {
+        self.max_enumerated_cells = cells;
         self
     }
 
@@ -159,6 +188,9 @@ impl ProjectionParams {
             if !(0.0 < v && v < 1.0) {
                 return Err(format!("{name} must lie in (0, 1), got {v}"));
             }
+        }
+        if self.max_enumerated_cells == 0 {
+            return Err("max_enumerated_cells must be positive".into());
         }
         Ok(())
     }
@@ -306,6 +338,18 @@ impl FiberWeightCache {
     /// the probe window when it is full. No-op on a disabled cache.
     pub fn insert(&mut self, key: &[i64], weight: f64) {
         self.insert_hashed(Self::key_hash(key), key, weight);
+    }
+
+    /// Iterates over the warm cells: `(integer grid key, stored weight)` for
+    /// every occupied slot, in table order. Table order depends on the fill
+    /// history, so callers that need the canonical deterministic order must
+    /// sort by the integer key (the stratified layer enumerates cells
+    /// directly in odometer order instead and only uses the cache as a
+    /// memo, precisely to avoid that dependency).
+    pub fn iter(&self) -> impl Iterator<Item = (&[i64], f64)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|e| (e.key.as_slice(), e.weight)))
     }
 
     /// [`FiberWeightCache::insert`] with the key's hash precomputed.
@@ -469,5 +513,23 @@ mod tests {
         let from: ProjectionParams = base.into();
         assert_eq!(from.base, base);
         assert_eq!(from.fiber_volume, FiberVolume::Auto);
+        assert_eq!(from.cell_selection, CellSelection::Auto);
+        assert_eq!(from.max_enumerated_cells, DEFAULT_MAX_ENUMERATED_CELLS);
+        let strat = p.with_cell_selection(CellSelection::Stratified);
+        assert_eq!(strat.cell_selection, CellSelection::Stratified);
+        assert!(strat.with_max_enumerated_cells(0).validate().is_err());
+        assert!(strat.with_max_enumerated_cells(128).validate().is_ok());
+    }
+
+    #[test]
+    fn cache_iteration_exposes_warm_cells() {
+        let mut c = FiberWeightCache::new(64);
+        c.insert(&[3, -1], 0.25);
+        c.insert(&[0, 7], 1.5);
+        let mut cells: Vec<(Vec<i64>, f64)> = c.iter().map(|(k, w)| (k.to_vec(), w)).collect();
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(cells, vec![(vec![0, 7], 1.5), (vec![3, -1], 0.25)]);
+        // A disabled cache iterates over nothing.
+        assert_eq!(FiberWeightCache::new(0).iter().count(), 0);
     }
 }

@@ -5,6 +5,7 @@ pub mod difference;
 pub mod fiber_weight;
 pub mod intersection;
 pub mod projection;
+pub mod stratified;
 pub mod union;
 
 /// Why a relation (or a combination of relations) could not be handled by the

@@ -33,6 +33,7 @@ use cdb_geometry::{volume::polytope_volume, GammaGrid, HPolytope, Halfspace};
 
 use crate::batch;
 use crate::compose::fiber_weight::{FiberVolume, FiberWeightCache, ProjectionParams};
+use crate::compose::stratified::{CellRange, CellSelection, CoarseMap, StratifiedCells};
 use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
 use crate::oracle::ConvexBody;
@@ -62,6 +63,26 @@ pub struct ProjectionGenerator {
     weight_seed: u64,
     /// Volume of one γ-grid cell of the fiber, `p^{d−e}`.
     cell: f64,
+    /// Volume of one γ-grid cell of the projection, `p^e`.
+    cell_proj: f64,
+    /// Resolved cell-selection strategy (never [`CellSelection::Auto`]).
+    selection: CellSelection,
+    /// γ-grid index ranges of the projected bounding box on the kept
+    /// coordinates (`None` only for the identity projection).
+    range: Option<CellRange>,
+    /// Continuous kept-coordinate bounding box; within-cell jitter is
+    /// clamped into it so boundary cells cannot emit points outside the
+    /// projection's bounding box.
+    keep_lo: Vec<f64>,
+    keep_hi: Vec<f64>,
+    /// Fully-enumerated stratified selector (built lazily: enumeration costs
+    /// one weight fill per candidate cell, which callers that never sample —
+    /// e.g. weight-only diagnostics — should not pay).
+    strata: Option<StratifiedCells>,
+    /// Coarse-to-fine cascade state (lazy, same reason).
+    coarse: Option<CoarseMap>,
+    /// Whether the lazy selector state has been built.
+    selector_built: bool,
     /// Integer grid coordinates of the snapped projected point (reused).
     key_buf: Vec<i64>,
     /// The snapped projected point itself (reused).
@@ -121,6 +142,41 @@ impl ProjectionGenerator {
         let fiber_volume = params.resolve_fiber_volume(fiber_coords.len());
         let cache = FiberWeightCache::new(params.cache_capacity);
         let cell = grid.step().powi(fiber_coords.len() as i32);
+        let cell_proj = grid.step().powi(keep.len() as i32);
+        // Resolve the cell-selection strategy against the projected
+        // bounding box (cheap: one LP per coordinate bound; the expensive
+        // per-cell weight enumeration stays lazy). The identity projection
+        // keeps the direct sampler path regardless of the request.
+        let (selection, range, keep_lo, keep_hi) = if fiber_coords.is_empty() {
+            (CellSelection::Rejection, None, Vec::new(), Vec::new())
+        } else {
+            let (lo, hi) = polytope
+                .bounding_box()
+                .ok_or(ObservabilityError::NotWellBounded { index: 0 })?;
+            let keep_lo: Vec<f64> = keep.iter().map(|&i| lo[i]).collect();
+            let keep_hi: Vec<f64> = keep.iter().map(|&i| hi[i]).collect();
+            let range = CellRange::from_box(&keep_lo, &keep_hi, grid.step());
+            let budget = params.max_enumerated_cells as u64;
+            let selection = match params.cell_selection {
+                CellSelection::Auto => {
+                    if range.cell_count() <= budget {
+                        CellSelection::Stratified
+                    } else {
+                        CellSelection::CoarseToFine
+                    }
+                }
+                CellSelection::Stratified if range.cell_count() > budget => {
+                    return Err(ObservabilityError::InvalidParams(format!(
+                        "stratified enumeration needs {} cells but max_enumerated_cells is {}; \
+                         use CellSelection::Auto or CoarseToFine",
+                        range.cell_count(),
+                        budget
+                    )));
+                }
+                explicit => explicit,
+            };
+            (selection, Some(range), keep_lo, keep_hi)
+        };
         Ok(ProjectionGenerator {
             tuple: tuple.clone(),
             polytope,
@@ -134,6 +190,14 @@ impl ProjectionGenerator {
             cache,
             weight_seed,
             cell,
+            cell_proj,
+            selection,
+            range,
+            keep_lo,
+            keep_hi,
+            strata: None,
+            coarse: None,
+            selector_built: false,
             key_buf: Vec::with_capacity(keep.len()),
             snap_buf: Vec::with_capacity(keep.len()),
             attempts: 0,
@@ -172,6 +236,28 @@ impl ProjectionGenerator {
     /// against the fiber dimension at construction).
     pub fn resolved_fiber_volume(&self) -> FiberVolume {
         self.fiber_volume
+    }
+
+    /// The cell-selection strategy in effect ([`CellSelection::Auto`]
+    /// resolved against the enumeration budget at construction; the
+    /// identity projection always reports [`CellSelection::Rejection`]).
+    pub fn resolved_cell_selection(&self) -> CellSelection {
+        self.selection
+    }
+
+    /// γ-grid index ranges of the projected bounding box (`None` for the
+    /// identity projection).
+    pub fn cell_range(&self) -> Option<&CellRange> {
+        self.range.as_ref()
+    }
+
+    /// The fully-enumerated stratified selector: occupied cells in odometer
+    /// order with their `min(raw, 1)` selection weights. Builds the
+    /// enumeration on first call; `None` unless the resolved strategy is
+    /// [`CellSelection::Stratified`] (or the body has no occupied cell).
+    pub fn stratified_cells(&mut self) -> Option<&StratifiedCells> {
+        self.ensure_selector();
+        self.strata.as_ref()
     }
 
     /// The memoized-weight cache (hit/miss statistics, occupancy).
@@ -233,33 +319,50 @@ impl ProjectionGenerator {
     /// generator's weight seed), so hits and misses produce identical
     /// values and the cache never changes a trajectory.
     pub fn compensation_weight(&mut self, y: &[f64]) -> f64 {
+        self.cell_mass(y).max(1.0)
+    }
+
+    /// The unclamped cell mass `raw = vol(H_S(center)) / p^{d−e}` of the
+    /// γ-grid cell containing `y` — the quantity the cache stores. The
+    /// rejection path clamps it to `ĥ = max(raw, 1)`
+    /// ([`ProjectionGenerator::compensation_weight`]); the stratified layer
+    /// uses `min(raw, 1)` as the cell's selection weight, because the
+    /// rejection loop lands in a cell proportionally to `raw` and keeps it
+    /// with probability `1/max(raw, 1)`.
+    pub fn cell_mass(&mut self, y: &[f64]) -> f64 {
         if self.fiber_coords.is_empty() {
             return 1.0;
         }
         // Snap: integer grid coordinates of y's cell (the grid owns the
         // rounding convention, so cache cells can never diverge from
-        // `GammaGrid::snap`). The hash is computed once and shared by the
-        // probe, the insert and the estimator's RNG-stream derivation.
+        // `GammaGrid::snap`).
         let mut key = std::mem::take(&mut self.key_buf);
         key.clear();
         key.extend(y.iter().map(|&v| self.grid.coord_index(v)));
-        let hash = FiberWeightCache::key_hash(&key);
-        // Probe.
-        let weight = match self.cache.get_hashed(hash, &key) {
+        let mass = self.cell_mass_keyed(&key);
+        self.key_buf = key;
+        mass
+    }
+
+    /// [`ProjectionGenerator::cell_mass`] for an already-snapped integer
+    /// cell key: probe → fill. The hash is computed once and shared by the
+    /// probe, the insert and the estimator's RNG-stream derivation.
+    fn cell_mass_keyed(&mut self, key: &[i64]) -> f64 {
+        let hash = FiberWeightCache::key_hash(key);
+        match self.cache.get_hashed(hash, key) {
             Some(w) => w,
             None => {
                 // Fill at the cell center and memoize.
-                let w = self.fill_weight(&key, hash);
-                self.cache.insert_hashed(hash, &key, w);
+                let w = self.fill_mass(key, hash);
+                self.cache.insert_hashed(hash, key, w);
                 w
             }
-        };
-        self.key_buf = key;
-        weight
+        }
     }
 
-    /// Computes the weight of one cell through the resolved strategy.
-    fn fill_weight(&mut self, key: &[i64], hash: u64) -> f64 {
+    /// Computes the unclamped mass of one cell through the resolved
+    /// strategy.
+    fn fill_mass(&mut self, key: &[i64], hash: u64) -> f64 {
         let mut y = std::mem::take(&mut self.snap_buf);
         y.clear();
         y.extend(key.iter().map(|&k| self.grid.coord_at(k)));
@@ -268,7 +371,7 @@ impl ProjectionGenerator {
             FiberVolume::Estimated => self.estimated_fiber_volume(&y, hash),
         };
         self.snap_buf = y;
-        (vol / self.cell).max(1.0)
+        vol / self.cell
     }
 
     /// The `Estimated` strategy: a telescoping `(ε, δ)` volume estimate of
@@ -293,17 +396,139 @@ impl ProjectionGenerator {
         self.keep.iter().map(|&i| x[i]).collect()
     }
 
+    /// Retry budget of one `sample()` call: the success probability of one
+    /// round is at least ~εγ/d³ (proof of Theorem 4.3, with the grid step
+    /// p = γ·r_inf/d^{3/2} folded in); retry accordingly, with a cap.
+    fn retry_budget(&self) -> usize {
+        let d = self.tuple.arity();
+        let rounds = ((d.pow(3) as f64 / (self.params.base.eps * self.params.base.gamma))
+            * (1.0 / self.params.base.delta).ln())
+        .ceil() as usize;
+        rounds.clamp(self.params.base.retry_rounds(), 500_000)
+    }
+
+    /// Builds the lazy stratified state. Consumes **no sampling
+    /// randomness**: cells are enumerated in odometer order and their
+    /// weights are pure functions of `(weight_seed, cell)`, so a generator
+    /// that builds its selector early, late, or in a batch worker's clone
+    /// draws bitwise identical streams.
+    fn ensure_selector(&mut self) {
+        if self.selector_built {
+            return;
+        }
+        self.selector_built = true;
+        match self.selection {
+            CellSelection::Stratified => {
+                let Some(range) = self.range.clone() else {
+                    return;
+                };
+                let mut keys = Vec::new();
+                range.for_each_key(|k| keys.push(k.to_vec()));
+                let cells: Vec<(Vec<i64>, f64)> = keys
+                    .into_iter()
+                    .map(|key| {
+                        let w = self.cell_mass_keyed(&key).min(1.0);
+                        (key, w)
+                    })
+                    .collect();
+                self.strata = StratifiedCells::from_weighted_keys(cells);
+            }
+            CellSelection::CoarseToFine => {
+                if let Some(range) = self.range.clone() {
+                    self.coarse = Some(CoarseMap::new(
+                        range,
+                        self.params.max_enumerated_cells as u64,
+                    ));
+                }
+            }
+            CellSelection::Rejection | CellSelection::Auto => {}
+        }
+    }
+
+    /// Emits a uniform point of cell `key`: the cell center plus a uniform
+    /// half-cell jitter per axis, clamped into the projected bounding box.
+    /// Consumes exactly one random value per kept axis, in axis order.
+    fn jitter_cell<R: Rng + ?Sized>(&self, key: &[i64], rng: &mut R) -> Vec<f64> {
+        let step = self.grid.step();
+        key.iter()
+            .enumerate()
+            .map(|(j, &k)| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let v = self.grid.coord_at(k) + step * (u - 0.5);
+                v.clamp(self.keep_lo[j], self.keep_hi[j])
+            })
+            .collect()
+    }
+
+    /// The stratified fast path: one alias-table draw selects the cell,
+    /// then a uniform within-cell jitter emits the point. Every call
+    /// succeeds (`None` only when the enumeration found no occupied cell).
+    fn sample_stratified<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        self.ensure_selector();
+        if self.strata.is_none() {
+            return None;
+        }
+        self.attempts += 1;
+        self.accepted += 1;
+        let key = {
+            let strata = self.strata.as_ref().expect("checked above");
+            strata.sample_key(rng).to_vec()
+        };
+        Some(self.jitter_cell(&key, rng))
+    }
+
+    /// The coarse-to-fine cascade: draw a coarse cell uniformly from the
+    /// bounding-box lattice, lazily build the fine alias table inside it,
+    /// and accept it with probability `W_c / ratio^e`. Acceptance is the
+    /// occupied fraction of the bounding box — bounded by geometry rather
+    /// than by the fiber weight `ĥ`.
+    fn sample_coarse_to_fine<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        self.ensure_selector();
+        let Some(mut map) = self.coarse.take() else {
+            return None;
+        };
+        let proposal = map.proposal_mass();
+        let mut coarse_key = Vec::with_capacity(self.keep.len());
+        let mut drawn = None;
+        for _ in 0..self.retry_budget() {
+            map.sample_coarse(rng, &mut coarse_key);
+            let cell = map.fine_cell(&coarse_key, |k| self.cell_mass_keyed(k));
+            self.attempts += 1;
+            if rng.gen_range(0.0..1.0) * proposal < cell.mass {
+                if let Some(table) = &cell.table {
+                    self.accepted += 1;
+                    drawn = Some(cell.keys[table.sample(rng)].clone());
+                    break;
+                }
+            }
+        }
+        self.coarse = Some(map);
+        drawn.map(|key| self.jitter_cell(&key, rng))
+    }
+
     /// Draws a point of `S` and projects it *without* the compensation step —
     /// the biased baseline of Figure 1, exposed for the experiments.
     pub fn sample_uncorrected<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
         self.project(&self.sampler.sample(rng))
     }
 
-    /// Estimates the volume (in dimension `|I|`) of the projection `T`:
-    /// `vol(T) = vol(S) · E[1/ĥ] / p^{d−e}`.
+    /// Estimates the volume (in dimension `|I|`) of the projection `T`.
+    ///
+    /// Under [`CellSelection::Stratified`] the estimate is the
+    /// deterministic Riemann sum `Σ_c min(raw_c, 1) · p^e` over the
+    /// enumerated cells — exact at grid resolution, consuming no
+    /// randomness. The rejection and coarse-to-fine strategies use the
+    /// paper's estimator `vol(T) = vol(S) · E[1/ĥ] / p^{d−e}`.
     pub fn estimate_projection_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         if self.fiber_coords.is_empty() {
             return self.sampler.estimate_volume_with(rng, &mut self.scratch);
+        }
+        if self.selection == CellSelection::Stratified {
+            self.ensure_selector();
+            return self
+                .strata
+                .as_ref()
+                .map_or(0.0, |s| s.total_mass() * self.cell_proj);
         }
         let vol_s = self.sampler.estimate_volume_with(rng, &mut self.scratch);
         let trials = self.params.base.samples_per_phase();
@@ -328,15 +553,12 @@ impl RelationGenerator for ProjectionGenerator {
             let x = self.sampler.sample_with(rng, &mut self.scratch);
             return Some(self.project(&x));
         }
-        // The success probability of one round is at least ~εγ/d³ (proof of
-        // Theorem 4.3, with the grid step p = γ·r_inf/d^{3/2} folded in);
-        // retry accordingly, with a cap.
-        let d = self.tuple.arity();
-        let rounds = ((d.pow(3) as f64 / (self.params.base.eps * self.params.base.gamma))
-            * (1.0 / self.params.base.delta).ln())
-        .ceil() as usize;
-        let rounds = rounds.clamp(self.params.base.retry_rounds(), 500_000);
-        for _ in 0..rounds {
+        match self.selection {
+            CellSelection::Stratified => return self.sample_stratified(rng),
+            CellSelection::CoarseToFine => return self.sample_coarse_to_fine(rng),
+            CellSelection::Rejection | CellSelection::Auto => {}
+        }
+        for _ in 0..self.retry_budget() {
             let x = self.sampler.sample_with(rng, &mut self.scratch);
             let y = self.project(&x);
             let h = self.compensation_weight(&y);
@@ -349,10 +571,18 @@ impl RelationGenerator for ProjectionGenerator {
         None
     }
 
-    // Setup is eager (everything happens in `new`), so the default no-op
-    // `prepare` is correct and only the fan-out is overridden. Worker clones
-    // carry the current cache contents; memoized weights are pure functions
-    // of their cells, so a warm or cold clone draws the same stream.
+    // The stratified selector is the only lazy state; it consumes no
+    // sampling randomness and its weights are pure functions of their
+    // cells, so building it here (before worker clones fan out) is a pure
+    // warm-up — a worker that rebuilt it from scratch would draw the same
+    // stream bit for bit.
+    fn prepare(&mut self, _seq: &SeedSequence) {
+        self.ensure_selector();
+    }
+
+    // Worker clones carry the current cache contents; memoized weights are
+    // pure functions of their cells, so a warm or cold clone draws the same
+    // stream.
     fn sample_batch(
         &mut self,
         n: usize,
@@ -366,6 +596,10 @@ impl RelationGenerator for ProjectionGenerator {
 impl RelationVolumeEstimator for ProjectionGenerator {
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         Some(self.estimate_projection_volume(rng))
+    }
+
+    fn prepare_estimator(&mut self, _seq: &SeedSequence) {
+        self.ensure_selector();
     }
 
     fn estimate_volume_batch(
@@ -409,9 +643,12 @@ mod tests {
 
     #[test]
     fn samples_land_in_the_projection() {
+        // The rejection reference path: compensation loop + memoized weights.
         let tri = figure1_triangle();
         let mut rng = StdRng::seed_from_u64(51);
-        let mut gen = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
+        let proj = ProjectionParams::new(params()).with_cell_selection(CellSelection::Rejection);
+        let mut gen = ProjectionGenerator::new_with(&tri, &[0], proj, &mut rng).unwrap();
+        assert_eq!(gen.resolved_cell_selection(), CellSelection::Rejection);
         let pts = gen.sample_many(200, &mut rng);
         assert!(pts.len() > 100, "too many rejections: {}", pts.len());
         for p in &pts {
@@ -423,6 +660,76 @@ mod tests {
         }
         // The compensation loop memoized its weights.
         assert!(gen.weight_cache().hits() > 0, "cache never hit");
+    }
+
+    #[test]
+    fn auto_resolves_to_stratified_and_lands_in_the_projection() {
+        // The triangle's γ-grid fits the enumeration budget, so the default
+        // Auto policy inverts the rejection loop outright.
+        let tri = figure1_triangle();
+        let mut rng = StdRng::seed_from_u64(58);
+        let mut gen = ProjectionGenerator::new(&tri, &[0], params(), &mut rng).unwrap();
+        assert_eq!(gen.resolved_cell_selection(), CellSelection::Stratified);
+        let pts = gen.sample_many(200, &mut rng);
+        assert_eq!(pts.len(), 200, "stratified draws never fail");
+        for p in &pts {
+            assert!(
+                p[0] >= -1e-6 && p[0] <= 1.0 + 1e-6,
+                "outside projection: {p:?}"
+            );
+        }
+        // The enumeration warmed the cache (one fill per candidate cell).
+        assert!(gen.weight_cache().len() > 0, "enumeration filled nothing");
+        let strata = gen.stratified_cells().expect("occupied cells exist");
+        assert!(
+            strata.len() > 50,
+            "too few occupied cells: {}",
+            strata.len()
+        );
+        // Selection weights are min(raw, 1): never above 1, and the total
+        // mass times the cell length reproduces the projection length.
+        assert!(strata.weights().iter().all(|&w| 0.0 < w && w <= 1.0));
+        let v = strata.total_mass() * gen.grid().step();
+        assert!((v - 1.0).abs() < 0.05, "stratified projection length {v}");
+    }
+
+    #[test]
+    fn coarse_to_fine_matches_the_stratified_distribution() {
+        // Force the cascade with a tiny enumeration budget; the projected
+        // output must flatten the Figure-1 bias exactly like full
+        // enumeration does.
+        let tri = figure1_triangle();
+        let mut rng = StdRng::seed_from_u64(59);
+        let proj = ProjectionParams::new(params())
+            .with_cell_selection(CellSelection::CoarseToFine)
+            .with_max_enumerated_cells(16);
+        let mut gen = ProjectionGenerator::new_with(&tri, &[0], proj, &mut rng).unwrap();
+        assert_eq!(gen.resolved_cell_selection(), CellSelection::CoarseToFine);
+        let pts = gen.sample_many(400, &mut rng);
+        assert!(pts.len() > 350, "cascade rejected too much: {}", pts.len());
+        let left = pts.iter().filter(|p| p[0] < 0.5).count();
+        let frac = left as f64 / pts.len() as f64;
+        assert!((frac - 0.5).abs() < 0.12, "left fraction {frac}");
+        // Acceptance is the occupied fraction of the bounding box — far
+        // from the ~1e-2 of the rejection loop on this shape.
+        assert!(gen.acceptance_rate() > 0.5, "{}", gen.acceptance_rate());
+    }
+
+    #[test]
+    fn explicit_stratified_over_budget_is_rejected() {
+        let tri = figure1_triangle();
+        let mut rng = StdRng::seed_from_u64(60);
+        let proj = ProjectionParams::new(params())
+            .with_cell_selection(CellSelection::Stratified)
+            .with_max_enumerated_cells(4);
+        assert!(matches!(
+            ProjectionGenerator::new_with(&tri, &[0], proj, &mut rng),
+            Err(ObservabilityError::InvalidParams(_))
+        ));
+        // Auto degrades to the cascade instead of failing.
+        let auto = ProjectionParams::new(params()).with_max_enumerated_cells(4);
+        let gen = ProjectionGenerator::new_with(&tri, &[0], auto, &mut rng).unwrap();
+        assert_eq!(gen.resolved_cell_selection(), CellSelection::CoarseToFine);
     }
 
     #[test]

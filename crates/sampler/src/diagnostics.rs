@@ -73,6 +73,56 @@ pub fn approximates_with_ratio(estimate: f64, truth: f64, eps: f64) -> bool {
     estimate <= (1.0 + eps) * truth && estimate >= truth / (1.0 + eps)
 }
 
+/// Central Poisson count interval: the smallest `[lo, hi]` such that a
+/// `Poisson(mean)` count falls below `lo` with probability at most
+/// `tail / 2` and above `hi` with probability at most `tail / 2`.
+///
+/// This is the count-based confidence construction in the spirit of
+/// Roe–Woodroofe (as analysed by Mandelkern & Schultz, 2000): the interval
+/// is computed from the exact discrete tail sums, not a normal
+/// approximation, so it stays valid for *small* means — a cell expecting
+/// 0.3 hits gets the honest interval `[0, k]` instead of a negative-width
+/// Gaussian band, which is exactly what keeps low-count occupancy gates
+/// from flaking.
+///
+/// The pmf is accumulated in log space (`ln k!` built incrementally), so
+/// large means neither underflow `e^{-mean}` nor lose the tails.
+pub fn poisson_count_interval(mean: f64, tail: f64) -> (u64, u64) {
+    assert!(mean >= 0.0 && mean.is_finite(), "mean must be finite, >= 0");
+    assert!(0.0 < tail && tail < 1.0, "tail must lie in (0, 1)");
+    if mean == 0.0 {
+        return (0, 0);
+    }
+    let half = tail / 2.0;
+    let ln_mean = mean.ln();
+    // Scan k upward accumulating the CDF; the scan is bounded well past the
+    // upper tail (mean + 20 sqrt(mean) covers any tail over ~1e-80).
+    let k_max = (mean + 20.0 * mean.sqrt() + 50.0).ceil() as u64;
+    let mut ln_kfact = 0.0f64; // ln 0!
+    let mut cdf = 0.0f64;
+    let mut lo = 0u64;
+    let mut hi = k_max;
+    for k in 0..=k_max {
+        if k > 0 {
+            ln_kfact += (k as f64).ln();
+        }
+        let ln_pmf = -mean + k as f64 * ln_mean - ln_kfact;
+        let prev_cdf = cdf;
+        cdf += ln_pmf.exp();
+        // lo: largest k with P(X < k) <= half. The CDF is nondecreasing, so
+        // the last k whose strictly-below mass fits the budget sticks.
+        if prev_cdf <= half {
+            lo = k;
+        }
+        // hi: smallest k with P(X > k) <= half.
+        if 1.0 - cdf <= half {
+            hi = k;
+            break;
+        }
+    }
+    (lo, hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +181,50 @@ mod tests {
     #[should_panic(expected = "cell count mismatch")]
     fn mismatched_cells_panic() {
         let _ = chi_square_statistic(&[1, 2], &[1.0]);
+    }
+
+    #[test]
+    fn poisson_interval_brackets_the_mean() {
+        for mean in [0.5, 3.0, 50.0, 400.0] {
+            let (lo, hi) = poisson_count_interval(mean, 1e-6);
+            assert!((lo as f64) <= mean, "mean {mean}: lo {lo}");
+            assert!((hi as f64) >= mean, "mean {mean}: hi {hi}");
+            // Tighter tails widen, never narrow, the interval.
+            let (lo9, hi9) = poisson_count_interval(mean, 1e-9);
+            assert!(lo9 <= lo && hi9 >= hi, "mean {mean}: tails inverted");
+        }
+    }
+
+    #[test]
+    fn poisson_interval_handles_small_means_without_normal_pathology() {
+        // A normal approximation at mean 0.2 would produce a negative lower
+        // bound; the exact construction pins lo = 0 and keeps hi small.
+        let (lo, hi) = poisson_count_interval(0.2, 1e-6);
+        assert_eq!(lo, 0);
+        assert!(hi <= 10, "hi {hi}");
+        assert_eq!(poisson_count_interval(0.0, 1e-6), (0, 0));
+    }
+
+    #[test]
+    fn poisson_interval_tails_match_the_exact_cdf() {
+        // Direct check of the defining property at a moderate mean: the
+        // interval's outside mass respects the per-side budget, and the
+        // interval is minimal (shrinking either side overflows it).
+        let mean = 12.0;
+        let tail = 1e-4;
+        let (lo, hi) = poisson_count_interval(mean, tail);
+        let pmf = |k: u64| -> f64 {
+            let mut ln = -mean + k as f64 * mean.ln();
+            for i in 1..=k {
+                ln -= (i as f64).ln();
+            }
+            ln.exp()
+        };
+        let below: f64 = (0..lo).map(&pmf).sum();
+        let above: f64 = (hi + 1..hi + 200).map(&pmf).sum();
+        assert!(below <= tail / 2.0, "below {below}");
+        assert!(above <= tail / 2.0, "above {above}");
+        assert!(below + pmf(lo) > tail / 2.0, "lo not maximal");
+        assert!(above + pmf(hi) > tail / 2.0, "hi not minimal");
     }
 }

@@ -76,10 +76,11 @@ pub mod walk;
 pub use compose::difference::DifferenceGenerator;
 pub use compose::fiber_weight::{
     FiberVolume, FiberWeightCache, ProjectionParams, AUTO_EXACT_MAX_FIBER_DIM,
-    DEFAULT_WEIGHT_CACHE_CAPACITY,
+    DEFAULT_MAX_ENUMERATED_CELLS, DEFAULT_WEIGHT_CACHE_CAPACITY,
 };
 pub use compose::intersection::IntersectionGenerator;
 pub use compose::projection::ProjectionGenerator;
+pub use compose::stratified::{AliasTable, CellRange, CellSelection, StratifiedCells};
 pub use compose::union::UnionGenerator;
 pub use dfk::DfkSampler;
 pub use fixed_dim::FixedDimSampler;

@@ -10,8 +10,8 @@
 //! batch workers rely on.
 
 use cdb_sampler::{
-    FiberVolume, GeneratorParams, ProjectionGenerator, ProjectionParams, RelationGenerator,
-    RelationVolumeEstimator, SeedSequence,
+    CellSelection, FiberVolume, GeneratorParams, ProjectionGenerator, ProjectionParams,
+    RelationGenerator, RelationVolumeEstimator, SeedSequence,
 };
 use cdb_workloads::projection::{deep_cone, deep_cone_fiber_volume};
 use rand::rngs::StdRng;
@@ -58,7 +58,10 @@ fn sample_bits(generator: &mut ProjectionGenerator, n: usize) -> Vec<Vec<u64>> {
 
 #[test]
 fn exact_strategy_is_cache_invariant_bitwise() {
-    let base = ProjectionParams::new(base_params());
+    // Pinned to the rejection loop: this is the compensation hot path whose
+    // cache the test has always gated (the default now resolves to
+    // stratified selection, covered by its own invariance tests below).
+    let base = ProjectionParams::new(base_params()).with_cell_selection(CellSelection::Rejection);
     let mut cached = generator_with(base);
     let mut tiny = generator_with(base.with_cache_capacity(8));
     let mut uncached = generator_with(base.with_cache_capacity(0));
@@ -81,7 +84,9 @@ fn exact_strategy_is_cache_invariant_bitwise() {
 
 #[test]
 fn estimated_strategy_is_cache_invariant_bitwise() {
-    let base = ProjectionParams::new(base_params()).with_fiber_volume(FiberVolume::Estimated);
+    let base = ProjectionParams::new(base_params())
+        .with_fiber_volume(FiberVolume::Estimated)
+        .with_cell_selection(CellSelection::Rejection);
     let mut cached = generator_with(base);
     let mut uncached = generator_with(base.with_cache_capacity(0));
     assert_eq!(cached.resolved_fiber_volume(), FiberVolume::Estimated);
@@ -181,4 +186,101 @@ fn volume_estimates_are_cache_invariant() {
     let without = generator_with(base.with_cache_capacity(0)).estimate_volume_batch(4, &seq, 0);
     assert_eq!(with_cache, without);
     assert!(with_cache.iter().all(|v| v.is_some()));
+}
+
+#[test]
+fn stratified_output_is_cache_state_invariant_bitwise() {
+    // The stratified selector enumerates every candidate cell exactly once
+    // through the same snap→probe→fill weight path the rejection loop uses;
+    // its weights are pure functions of the cell, so a warm, bounded, or
+    // disabled cache must leave the alias table — and with it every emitted
+    // bit — unchanged.
+    let base = ProjectionParams::new(base_params()).with_cell_selection(CellSelection::Stratified);
+    let mut warm = generator_with(base);
+    let mut tiny = generator_with(base.with_cache_capacity(8));
+    let mut disabled = generator_with(base.with_cache_capacity(0));
+    assert_eq!(warm.resolved_cell_selection(), CellSelection::Stratified);
+
+    let a = sample_bits(&mut warm, 150);
+    let b = sample_bits(&mut tiny, 150);
+    let c = sample_bits(&mut disabled, 150);
+    assert_eq!(a.len(), 150, "stratified draws never fail");
+    assert_eq!(
+        a, b,
+        "a capacity-bounded cache changed the stratified stream"
+    );
+    assert_eq!(a, c, "disabling the cache changed the stratified stream");
+
+    // A warmed clone (cache + built selector) agrees with a cold build.
+    let mut warm_clone = warm.clone();
+    let mut cold = generator_with(base);
+    assert_eq!(
+        sample_bits(&mut warm_clone, 80),
+        sample_bits(&mut cold, 80),
+        "a warmed stratified clone diverged from a cold generator"
+    );
+}
+
+#[test]
+fn coarse_to_fine_output_is_cache_state_invariant_bitwise() {
+    // Same contract for the cascade, whose fine tables are *built lazily
+    // per visited coarse cell* — laziness must be as invisible as the
+    // weight cache itself.
+    let base = ProjectionParams::new(base_params())
+        .with_cell_selection(CellSelection::CoarseToFine)
+        .with_max_enumerated_cells(16);
+    let mut warm = generator_with(base);
+    let mut disabled = generator_with(base.with_cache_capacity(0));
+    assert_eq!(warm.resolved_cell_selection(), CellSelection::CoarseToFine);
+
+    let a = sample_bits(&mut warm, 120);
+    let b = sample_bits(&mut disabled, 120);
+    assert!(a.len() > 100, "cascade rejected too much: {}", a.len());
+    assert_eq!(a, b, "disabling the cache changed the cascade stream");
+}
+
+#[test]
+fn stratified_batches_are_thread_count_invariant() {
+    for (selection, budget) in [
+        (CellSelection::Stratified, 1usize << 16),
+        (CellSelection::CoarseToFine, 16),
+    ] {
+        let params = ProjectionParams::new(base_params())
+            .with_cell_selection(selection)
+            .with_max_enumerated_cells(budget);
+        let seq = SeedSequence::new(0xF00D);
+        let baseline = generator_with(params).sample_batch(48, &seq, 1);
+        for threads in [2usize, 8, 0] {
+            assert_eq!(
+                baseline,
+                generator_with(params).sample_batch(48, &seq, threads),
+                "{selection:?}: sample_batch differs at {threads} threads"
+            );
+        }
+        assert!(baseline.iter().filter(|p| p.is_some()).count() > 40);
+    }
+}
+
+#[test]
+fn rejection_and_stratified_volumes_agree_on_the_triangle() {
+    // The projection of the triangle onto x has length exactly 1. The
+    // rejection estimator is a Monte-Carlo (ε, δ) estimate; the stratified
+    // estimate is a deterministic Riemann sum at grid resolution. Both must
+    // land inside the (loose, seeded) ε-band around the truth — and
+    // therefore within the combined budget of each other.
+    let mut rng = StdRng::seed_from_u64(0x7E57);
+    let rejection =
+        ProjectionParams::new(base_params()).with_cell_selection(CellSelection::Rejection);
+    let mut gen_rej = generator_with(rejection);
+    let v_rej = gen_rej.estimate_volume(&mut rng).unwrap();
+    let stratified =
+        ProjectionParams::new(base_params()).with_cell_selection(CellSelection::Stratified);
+    let mut gen_str = generator_with(stratified);
+    let v_str = gen_str.estimate_volume(&mut rng).unwrap();
+    assert!((v_rej - 1.0).abs() < 0.45, "rejection volume {v_rej}");
+    assert!((v_str - 1.0).abs() < 0.05, "stratified volume {v_str}");
+    assert!(
+        (v_rej - v_str).abs() < 0.5,
+        "strategies disagree: rejection {v_rej} vs stratified {v_str}"
+    );
 }

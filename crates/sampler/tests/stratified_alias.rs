@@ -1,0 +1,169 @@
+//! Property tests for the stratified layer's Vose alias table.
+//!
+//! The alias table is the load-bearing piece of the stratified cell
+//! selector: if it loses probability mass, strands a positive-weight cell,
+//! or distorts the weight proportions, the projection generator's output
+//! distribution silently drifts — the statistical gates would eventually
+//! notice, but at much coarser resolution. These properties pin the table
+//! itself:
+//!
+//! * construction conserves mass: the effective per-index probabilities sum
+//!   to 1 within an ulp-scaled bound,
+//! * every positive-weight index is reachable and every zero-weight index
+//!   is unreachable (exactly — zero cells are never alias donees),
+//! * a 64-cell chi-square draw test matches the input weights,
+//! * degenerate inputs (single cell, zero-weight cells, near-equal weights)
+//!   construct without panicking and keep the proportions.
+
+use cdb_sampler::diagnostics;
+use cdb_sampler::AliasTable;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Weight vectors of 1..=64 entries in `[0, 1000)` with at least one
+/// strictly positive entry (the constructible domain).
+fn weight_vectors() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1000.0, 1..=64).prop_map(|mut w| {
+        if !w.iter().any(|&x| x > 0.0) {
+            w[0] = 1.0;
+        }
+        w
+    })
+}
+
+proptest! {
+    #[test]
+    fn construction_conserves_mass(weights in weight_vectors()) {
+        let table = AliasTable::new(&weights).expect("positive total weight");
+        let total: f64 = (0..table.len())
+            .map(|i| table.effective_probability(i))
+            .sum();
+        // Vose construction does O(n) additions per slot; allow an
+        // n-scaled ulp budget around 1.
+        let bound = weights.len() as f64 * 16.0 * f64::EPSILON;
+        prop_assert!(
+            (total - 1.0).abs() <= bound,
+            "mass {total} drifted beyond {bound}"
+        );
+    }
+
+    #[test]
+    fn effective_probabilities_match_the_weights(weights in weight_vectors()) {
+        let table = AliasTable::new(&weights).expect("positive total weight");
+        let sum: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let want = w / sum;
+            let got = table.effective_probability(i);
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * (1.0 + want),
+                "index {i}: effective {got} vs weight share {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_indices_are_unreachable(
+        weights in weight_vectors(),
+        zero_at in proptest::collection::vec(0usize..64, 1..8),
+    ) {
+        // Punch zero-weight holes into the vector (keeping index 0
+        // positive), then check the holes get *exactly* zero probability: a
+        // zero-weight slot is never an alias donee, so its threshold is 0
+        // and nothing aliases into it.
+        let mut weights = weights;
+        if weights.len() > 1 {
+            for &z in &zero_at {
+                let idx = 1 + z % (weights.len() - 1);
+                weights[idx] = 0.0;
+            }
+        }
+        weights[0] = weights[0].max(1.0);
+        let table = AliasTable::new(&weights).expect("positive total weight");
+        let mut rng = StdRng::seed_from_u64(0xA11A5);
+        for _ in 0..256 {
+            let drawn = table.sample(&mut rng);
+            prop_assert!(weights[drawn] > 0.0, "drew zero-weight index {drawn}");
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                prop_assert_eq!(table.effective_probability(i), 0.0);
+            } else {
+                prop_assert!(table.effective_probability(i) > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn chi_square_draws_match_the_weights_on_64_cells() {
+    // A fixed 64-cell weight profile with 3 orders of magnitude of spread;
+    // the empirical histogram of 64k draws must pass the loose chi-square
+    // bound against the exact expectations.
+    let weights: Vec<f64> = (0..64)
+        .map(|i| match i % 4 {
+            0 => 0.05,
+            1 => 1.0,
+            2 => 7.5,
+            _ => 40.0,
+        })
+        .collect();
+    let table = AliasTable::new(&weights).unwrap();
+    let n = 64 * 1000usize;
+    let mut rng = StdRng::seed_from_u64(0xC811);
+    let mut observed = vec![0usize; 64];
+    for _ in 0..n {
+        observed[table.sample(&mut rng)] += 1;
+    }
+    let sum: f64 = weights.iter().sum();
+    let expected: Vec<f64> = weights.iter().map(|w| w / sum * n as f64).collect();
+    let stat = diagnostics::chi_square_statistic(&observed, &expected);
+    let bound = diagnostics::chi_square_loose_bound(63);
+    assert!(stat < bound, "chi-square {stat} exceeds {bound}");
+}
+
+#[test]
+fn single_cell_tables_always_return_zero() {
+    let table = AliasTable::new(&[0.125]).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..64 {
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+    assert_eq!(table.len(), 1);
+    assert!((table.effective_probability(0) - 1.0).abs() < 1e-15);
+}
+
+#[test]
+fn near_equal_weights_stay_near_uniform() {
+    // Weights 1 ± k·ε straddle the donor/receiver threshold of the Vose
+    // scaling — the classic numerical corner. Construction must not panic
+    // and every probability must stay within ulps of uniform.
+    let n = 33usize;
+    let weights: Vec<f64> = (0..n)
+        .map(|i| 1.0 + (i as f64 - 16.0) * f64::EPSILON)
+        .collect();
+    let table = AliasTable::new(&weights).unwrap();
+    for i in 0..n {
+        let p = table.effective_probability(i);
+        assert!(
+            (p - 1.0 / n as f64).abs() < 1e-12,
+            "index {i}: probability {p}"
+        );
+    }
+    // Sampling still reaches (essentially) every index.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut seen = vec![false; n];
+    for _ in 0..20_000 {
+        seen[table.sample(&mut rng)] = true;
+    }
+    assert!(seen.iter().filter(|&&s| s).count() > n - 3);
+}
+
+#[test]
+fn degenerate_inputs_are_rejected_not_panicked() {
+    assert!(AliasTable::new(&[]).is_none());
+    assert!(AliasTable::new(&[0.0; 16]).is_none());
+    assert!(AliasTable::new(&[1.0, f64::NAN]).is_none());
+    assert!(AliasTable::new(&[1.0, -1e-12]).is_none());
+    assert!(AliasTable::new(&[f64::INFINITY, 1.0]).is_none());
+}

@@ -55,6 +55,49 @@ pub fn deep_cone_projection_volume(_dim: usize) -> f64 {
     1.0
 }
 
+/// The stratified twin of [`deep_cone`]: the same cone translated so its
+/// projection axis spans `[shift, shift + 1]`. Exercises the stratified
+/// cell-selection layer away from the origin — the enumerated γ-grid keys
+/// are large (and, for negative shifts, negative) integers instead of the
+/// benign `0..K` of the unshifted cone, which is exactly where an
+/// off-by-one in the bounding-box-to-cell-range conversion would hide. All
+/// closed forms shift with it: the fiber above `x_0 = t` is
+/// `[0, t − shift]^{d−1}`, the projection has length 1, and the volume is
+/// `1/d`.
+pub fn deep_cone_shifted(dim: usize, shift: i64) -> GeneralizedTuple {
+    assert!(dim >= 2, "the cone needs at least two coordinates");
+    let mut atoms = Vec::with_capacity(2 * dim);
+    let mut first_lo = vec![0i64; dim];
+    first_lo[0] = -1;
+    atoms.push(Atom::le_from_ints(&first_lo, shift)); // x_0 ≥ shift
+    let mut first_hi = vec![0i64; dim];
+    first_hi[0] = 1;
+    atoms.push(Atom::le_from_ints(&first_hi, -(shift + 1))); // x_0 ≤ shift + 1
+    for i in 1..dim {
+        let mut lo = vec![0i64; dim];
+        lo[i] = -1;
+        atoms.push(Atom::le_from_ints(&lo, 0)); // x_i ≥ 0
+        let mut hi = vec![0i64; dim];
+        hi[i] = 1;
+        hi[0] = -1;
+        atoms.push(Atom::le_from_ints(&hi, shift)); // x_i ≤ x_0 − shift
+    }
+    GeneralizedTuple::new(dim, atoms)
+}
+
+/// Exact fiber volume of [`deep_cone_shifted`] above `x_0 = t`:
+/// `(t − shift)^{d−1}` clamped to the cone's height.
+pub fn deep_cone_shifted_fiber_volume(dim: usize, shift: i64, t: f64) -> f64 {
+    (t - shift as f64).clamp(0.0, 1.0).powi(dim as i32 - 1)
+}
+
+/// Exact projection volume of [`skewed_prism`] onto its first `base`
+/// coordinates: the unit box, volume 1 — the closed form the stratified
+/// multi-dimensional (`e = base ≥ 2`) enumeration gates against.
+pub fn skewed_prism_projection_volume(_base: usize, _extra: usize) -> f64 {
+    1.0
+}
+
 /// A `base`-dimensional unit box extruded along `extra` skewed coordinates:
 /// `0 ≤ x_i ≤ 1` for `i < base`, and `0 ≤ x_j − x_0 ≤ 1` for the extruded
 /// coordinates. Projected onto the first `base` coordinates, every fiber is
@@ -124,6 +167,37 @@ mod tests {
                 deep_cone_volume(d)
             );
         }
+    }
+
+    #[test]
+    fn shifted_cone_closed_forms() {
+        for (d, shift) in [(2usize, -3i64), (3, 5), (4, -1)] {
+            let cone = deep_cone_shifted(d, shift);
+            assert_eq!(cone.arity(), d);
+            let s = shift as f64;
+            // Apex and a mid-height point, both translated by the shift.
+            let mut apex = vec![0.0; d];
+            apex[0] = s;
+            assert!(cone.satisfied_f64(&apex, 1e-9));
+            let mut mid = vec![0.25; d];
+            mid[0] = s + 0.5;
+            assert!(cone.satisfied_f64(&mid, 1e-9));
+            let mut out = vec![0.75; d];
+            out[0] = s + 0.5;
+            assert!(!cone.satisfied_f64(&out, 1e-9));
+            assert!(
+                (deep_cone_shifted_fiber_volume(d, shift, s + 0.5)
+                    - deep_cone_fiber_volume(d, 0.5))
+                .abs()
+                    < 1e-12
+            );
+        }
+        // shift = 0 degenerates to the plain cone.
+        use cdb_geometry::volume::polytope_volume;
+        let v = polytope_volume(&deep_cone_shifted(3, 0).to_hpolytope());
+        assert!((v - deep_cone_volume(3)).abs() < 1e-6);
+        let v_shift = polytope_volume(&deep_cone_shifted(3, -2).to_hpolytope());
+        assert!((v_shift - deep_cone_volume(3)).abs() < 1e-6);
     }
 
     #[test]

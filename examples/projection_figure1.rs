@@ -83,7 +83,8 @@ fn main() {
     println!("  uncorrected : {chi_biased:10.1}");
     println!("  Algorithm 2 : {chi_corrected:10.1}");
     println!(
-        "  acceptance rate of the compensation step: {:.3}",
+        "  cell selection: {:?}, acceptance rate of the compensation step: {:.3}",
+        generator.resolved_cell_selection(),
         generator.acceptance_rate()
     );
 }

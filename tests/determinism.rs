@@ -132,6 +132,93 @@ fn projection_weight_cache_is_thread_count_invariant_for_both_strategies() {
 }
 
 #[test]
+fn stratified_projection_batches_are_thread_count_invariant() {
+    // The stratified selector replaces the rejection loop with an alias
+    // table built once at prepare time; its construction is RNG-free and
+    // its weights are pure functions of the cell, so warm/cold selector
+    // state and worker count must both be invisible. The cascade variant
+    // exercises the lazily-memoized fine tables under batch fan-out.
+    use cdb_constraint::Atom;
+    use cdb_sampler::CellSelection;
+    let triangle = GeneralizedTuple::new(
+        2,
+        vec![
+            Atom::le_from_ints(&[-1, 0], 0),
+            Atom::le_from_ints(&[1, 0], -1),
+            Atom::le_from_ints(&[0, -1], 0),
+            Atom::le_from_ints(&[-1, 1], 0),
+        ],
+    );
+    for (selection, budget, label) in [
+        (
+            CellSelection::Stratified,
+            1usize << 16,
+            "projection-stratified",
+        ),
+        (CellSelection::CoarseToFine, 16, "projection-coarse-to-fine"),
+    ] {
+        let proj = ProjectionParams::new(GeneratorParams {
+            gamma: 0.05,
+            ..params()
+        })
+        .with_cell_selection(selection)
+        .with_max_enumerated_cells(budget);
+        assert_batches_invariant(
+            || {
+                let mut rng = SeedSequence::new(17).setup_stream().rng();
+                let g = ProjectionGenerator::new_with(&triangle, &[0], proj, &mut rng).unwrap();
+                assert_eq!(g.resolved_cell_selection(), selection);
+                g
+            },
+            label,
+        );
+    }
+}
+
+#[test]
+fn rejection_and_stratified_selection_pass_the_same_volume_gate() {
+    // Both strategies estimate the same projection length (exactly 1 for
+    // the Figure-1 triangle). The rejection path is a Monte-Carlo (ε, δ)
+    // estimate; the stratified path is a deterministic Riemann sum. Each
+    // must sit inside the fast-params ε-band, hence inside the combined
+    // budget of each other.
+    use cdb_constraint::Atom;
+    use cdb_sampler::CellSelection;
+    let triangle = GeneralizedTuple::new(
+        2,
+        vec![
+            Atom::le_from_ints(&[-1, 0], 0),
+            Atom::le_from_ints(&[1, 0], -1),
+            Atom::le_from_ints(&[0, -1], 0),
+            Atom::le_from_ints(&[-1, 1], 0),
+        ],
+    );
+    let mut estimates = Vec::new();
+    for selection in [CellSelection::Rejection, CellSelection::Stratified] {
+        let proj = ProjectionParams::new(GeneratorParams {
+            gamma: 0.05,
+            ..params()
+        })
+        .with_cell_selection(selection);
+        let mut rng = SeedSequence::new(19).setup_stream().rng();
+        let mut g = ProjectionGenerator::new_with(&triangle, &[0], proj, &mut rng).unwrap();
+        let mut sample_rng = SeedSequence::new(0x70CC).setup_stream().rng();
+        let v = g
+            .estimate_volume(&mut sample_rng)
+            .expect("volume estimate failed");
+        assert!(
+            (v - 1.0).abs() < 0.45,
+            "{selection:?}: volume {v} outside the fast-params band"
+        );
+        estimates.push(v);
+    }
+    assert!(
+        (estimates[0] - estimates[1]).abs() < 0.5,
+        "strategies disagree beyond the combined budget: {estimates:?}"
+    );
+}
+
+#[test]
 fn dfk_sampler_batches_are_thread_count_invariant() {
     let square = cdb_geometry::HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
     let body = ConvexBody::from_polytope(&square).unwrap();

@@ -24,13 +24,16 @@
 use cdb_constraint::poly::PolyBody;
 use cdb_constraint::{Atom, GeneralizedRelation, GeneralizedTuple};
 use cdb_linalg::Vector;
-use cdb_sampler::diagnostics::{chi_square_loose_bound, relative_error, uniformity_chi_square};
+use cdb_sampler::diagnostics::{
+    chi_square_loose_bound, poisson_count_interval, relative_error, uniformity_chi_square,
+};
 use cdb_sampler::{
-    ConvexBody, DfkSampler, DifferenceGenerator, FiberVolume, GeneratorParams,
+    CellSelection, ConvexBody, DfkSampler, DifferenceGenerator, FiberVolume, GeneratorParams,
     IntersectionGenerator, ProjectionGenerator, ProjectionParams, RelationGenerator,
     RelationVolumeEstimator, SeedSequence, UnionGenerator,
 };
 use cdb_workloads::polytopes;
+use cdb_workloads::projection::{deep_cone, deep_cone_shifted, skewed_prism};
 use std::sync::Arc;
 
 /// `true` when the heavy statistical gates should be skipped
@@ -339,6 +342,193 @@ fn projection_estimated_strategy_passes_the_gates() {
     assert!(
         err < 0.30,
         "estimated-weight projection volume {est:.3} (rel err {err:.3})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Stratified cell selection (the e7 acceptance wall)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stratified_selection_passes_the_figure1_gates() {
+    if quick_mode() {
+        return;
+    }
+    // The stratified selector must reproduce exactly what the rejection loop
+    // converges to: uniform mass over the projection. The *uncorrected*
+    // projection of the same generator must still fail the gate — stratified
+    // selection fixes the acceptance rate, not the Figure-1 bias itself.
+    let p = ProjectionParams::new(GeneratorParams {
+        gamma: 0.05,
+        ..params()
+    })
+    .with_cell_selection(CellSelection::Stratified);
+    let tri = figure1_triangle();
+    let mut rng = SeedSequence::new(7301).setup_stream().rng();
+    let mut generator = ProjectionGenerator::new_with(&tri, &[0], p, &mut rng).unwrap();
+    assert_eq!(
+        generator.resolved_cell_selection(),
+        CellSelection::Stratified
+    );
+
+    let n = 1500;
+    let mut sample_rng = SeedSequence::new(7302).setup_stream().rng();
+    let biased: Vec<f64> = (0..n)
+        .map(|_| generator.sample_uncorrected(&mut sample_rng)[0])
+        .collect();
+    let biased_stat = uniformity_chi_square(&biased, 0.0, 1.0, 10);
+    assert!(
+        biased_stat > chi_square_loose_bound(9),
+        "the Figure-1 bias disappeared under stratified selection: \
+         chi-square {biased_stat:.2}"
+    );
+
+    let pts = successes(generator.sample_batch(n, &SeedSequence::new(7303), 0));
+    assert_eq!(pts.len(), n, "stratified draws never fail");
+    assert_marginal_uniform(&pts, |p| p[0], 0.0, 1.0, 10, "stratified marginal");
+
+    // The stratified volume is a deterministic Riemann sum at grid
+    // resolution — tighter than the Monte-Carlo (ε, δ) budget.
+    let mut vol_rng = SeedSequence::new(7304).setup_stream().rng();
+    let est = generator.estimate_volume(&mut vol_rng).unwrap();
+    let err = relative_error(est, 1.0);
+    assert!(err < 0.05, "stratified volume {est:.4} (rel err {err:.4})");
+}
+
+#[test]
+fn stratified_selection_passes_the_deep_cone_gates() {
+    if quick_mode() {
+        return;
+    }
+    // The e7 shape itself (where the rejection loop discards ~10⁴ chains per
+    // acceptance at depth) and its shifted twin, whose enumerated grid keys
+    // are negative integers — the regime where a bounding-box-to-cell-range
+    // off-by-one would surface as a boundary bin failure.
+    let p = ProjectionParams::new(GeneratorParams {
+        gamma: 0.05,
+        ..params()
+    })
+    .with_cell_selection(CellSelection::Stratified);
+    for (label, tuple, lo) in [
+        ("deep cone", deep_cone(4), 0.0f64),
+        ("shifted cone", deep_cone_shifted(3, -2), -2.0),
+    ] {
+        let mut rng = SeedSequence::new(7401).setup_stream().rng();
+        let mut generator = ProjectionGenerator::new_with(&tuple, &[0], p, &mut rng).unwrap();
+        assert_eq!(
+            generator.resolved_cell_selection(),
+            CellSelection::Stratified
+        );
+        let pts = successes(generator.sample_batch(1500, &SeedSequence::new(7402), 0));
+        for q in &pts {
+            assert!(
+                q[0] >= lo - 1e-9 && q[0] <= lo + 1.0 + 1e-9,
+                "{label}: sample {q:?} outside the projection"
+            );
+        }
+        assert_marginal_uniform(
+            &pts,
+            |q| q[0] - lo,
+            0.0,
+            1.0,
+            10,
+            &format!("{label} stratified marginal"),
+        );
+        let mut vol_rng = SeedSequence::new(7403).setup_stream().rng();
+        let est = generator.estimate_volume(&mut vol_rng).unwrap();
+        let err = relative_error(est, 1.0);
+        assert!(err < 0.05, "{label}: volume {est:.4} (rel err {err:.4})");
+    }
+}
+
+#[test]
+fn stratified_selection_passes_the_multi_axis_prism_gate() {
+    if quick_mode() {
+        return;
+    }
+    // A two-axis projection (e = 2): the odometer enumeration and the alias
+    // table run over a genuinely multi-dimensional cell range. The prism's
+    // fibers are unit cubes, so the projection is the unit square exactly.
+    let p = ProjectionParams::new(GeneratorParams {
+        gamma: 0.4,
+        ..params()
+    })
+    .with_cell_selection(CellSelection::Stratified);
+    let prism = skewed_prism(2, 1);
+    let mut rng = SeedSequence::new(7411).setup_stream().rng();
+    let mut generator = ProjectionGenerator::new_with(&prism, &[0, 1], p, &mut rng).unwrap();
+    assert_eq!(
+        generator.resolved_cell_selection(),
+        CellSelection::Stratified
+    );
+    let pts = successes(generator.sample_batch(2500, &SeedSequence::new(7412), 0));
+    assert_marginal_uniform(&pts, |q| q[0], 0.0, 1.0, 8, "prism x-marginal");
+    assert_marginal_uniform(&pts, |q| q[1], 0.0, 1.0, 8, "prism y-marginal");
+    let mut vol_rng = SeedSequence::new(7413).setup_stream().rng();
+    let est = generator.estimate_volume(&mut vol_rng).unwrap();
+    let err = relative_error(est, 1.0);
+    assert!(
+        err < 0.10,
+        "prism projection volume {est:.4} (rel err {err:.4})"
+    );
+}
+
+#[test]
+fn stratified_per_cell_occupancy_matches_poisson_intervals() {
+    if quick_mode() {
+        return;
+    }
+    // The finest-grained gate: every enumerated cell's hit count must land in
+    // its exact central Poisson interval around `n · w / W` — computed from
+    // the discrete tail sums, not a normal approximation, so the near-empty
+    // apex cells of the triangle (expecting a fraction of a hit) get honest
+    // `[0, k]` intervals instead of negative-width Gaussian bands. The tail
+    // budget is Bonferroni-split across cells so the whole family is one
+    // fixed-seed gate.
+    let p = ProjectionParams::new(GeneratorParams {
+        gamma: 0.05,
+        ..params()
+    })
+    .with_cell_selection(CellSelection::Stratified);
+    let tri = figure1_triangle();
+    let mut rng = SeedSequence::new(7501).setup_stream().rng();
+    let mut generator = ProjectionGenerator::new_with(&tri, &[0], p, &mut rng).unwrap();
+    let (keys, weights, total) = {
+        let cells = generator.stratified_cells().expect("selector built");
+        (
+            cells.keys().to_vec(),
+            cells.weights().to_vec(),
+            cells.total_mass(),
+        )
+    };
+    let n_cells = keys.len();
+    assert!(n_cells > 50, "unexpectedly coarse grid: {n_cells} cells");
+
+    let n = 4000usize;
+    let mut sample_rng = SeedSequence::new(7502).setup_stream().rng();
+    let pts = generator.sample_many(n, &mut sample_rng);
+    assert_eq!(pts.len(), n);
+    let mut observed = std::collections::HashMap::new();
+    let grid_step = generator.grid().step();
+    for q in &pts {
+        let key = (q[0] / grid_step).round() as i64;
+        *observed.entry(key).or_insert(0u64) += 1;
+    }
+
+    // δ = 1e-6 for the whole family, split evenly across the cells.
+    let tail = 1e-6 / n_cells as f64;
+    for (key, w) in keys.iter().zip(&weights) {
+        let mean = n as f64 * w / total;
+        let (lo, hi) = poisson_count_interval(mean, tail);
+        let got = observed.remove(&key[0]).unwrap_or(0);
+        assert!(
+            (lo..=hi).contains(&got),
+            "cell {key:?}: {got} hits outside [{lo}, {hi}] (mean {mean:.2})"
+        );
+    }
+    assert!(
+        observed.is_empty(),
+        "samples landed in cells the selector never enumerated: {observed:?}"
     );
 }
 
