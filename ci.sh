@@ -22,11 +22,12 @@
 #                  baseline — any shared row more than 15% slower fails CI.
 #
 # Every default pass additionally validates the quick smoke report against
-# the committed BENCH_walk.json for row coverage only (every kernel row and
-# all three e7 rows — warm/cold rejection twins plus the stratified selector
-# — must still exist), so dispatch coverage can never silently shrink. A
-# per-stage wall-clock summary is printed at the end so slow-stage creep
-# shows up in CI logs.
+# the committed BENCH_walk.json for row coverage only (every kernel row, all
+# three e7 rows — warm/cold rejection twins plus the stratified selector —
+# and the warm/cold prepared-store twins e_shared_subrelations{,_cold} must
+# still exist), so dispatch coverage can never silently shrink. A per-stage
+# wall-clock summary is printed at the end so slow-stage creep shows up in
+# CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -111,6 +112,18 @@ stage_begin stratified
 echo "==> stratified selection property suites (alias table + cache/selector invariance)"
 cargo test -q -p cdb-sampler --test stratified_alias
 cargo test -q -p cdb-sampler --test projection_cache
+stage_end
+
+stage_begin prepared
+echo "==> prepared-relation store suites (canonicalization properties + concurrent stress)"
+# Quick mode trims the property-case count; the store invisibility contract
+# itself (bitwise equality vs the disabled-store reference) runs either way.
+if [ "$QUICK" = "1" ]; then
+  PROPTEST_CASES=16 cargo test -q -p cdb-constraint --test canonical_prop
+else
+  cargo test -q -p cdb-constraint --test canonical_prop
+fi
+cargo test -q --test prepared_store
 stage_end
 
 if [ "$QUICK" != "1" ]; then

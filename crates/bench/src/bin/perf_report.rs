@@ -10,9 +10,11 @@
 //! The e1/e2 rows deliberately drive only the long-stable public sampler
 //! API, so pre/post comparisons against the recorded `BENCH_walk.json` of
 //! earlier revisions stay apples-to-apples; the structured rows additionally
-//! use `HPolytope::force_dense` and `cdb_workloads::structured` (PR 4+), and
-//! the e7 rows are cold/warm weight-cache twins via `ProjectionParams`
-//! (PR 5+) — the warm twin keeps the historical row name.
+//! use `HPolytope::force_dense` and `cdb_workloads::structured` (PR 4+), the
+//! e7 rows are cold/warm weight-cache twins via `ProjectionParams`
+//! (PR 5+) — the warm twin keeps the historical row name — and the
+//! `e_shared_subrelations` rows are warm/cold twins of the prepared-relation
+//! store on an end-to-end `SpatialDatabase` query loop (PR 7+).
 //!
 //! Environment knobs: `CDB_BENCH_OUT` overrides the output path and
 //! `CDB_BENCH_QUICK=1` shrinks the warm-up/measurement windows to a few
@@ -23,7 +25,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cdb_constraint::{Atom, GeneralizedTuple};
+use cdb_constraint::{Atom, GeneralizedRelation, GeneralizedTuple};
+use cdb_core::SpatialDatabase;
 use cdb_geometry::{Ellipsoid, HPolytope};
 use cdb_linalg::Vector;
 use cdb_sampler::{
@@ -222,6 +225,55 @@ fn main() {
                 dim: d,
                 kernel: "mixed",
                 steps_per_sec: sps * steps_per_chain / acceptance,
+                samples_per_sec: sps,
+            });
+        }
+    }
+
+    // e_shared: end-to-end `SpatialDatabase::approx_generate` latency while
+    // cycling six relation names that map two-to-one onto three shared
+    // contents — the prepared-relation store workload. The warm row uses the
+    // default store (after the first pass every query re-attaches a cached
+    // prepared body); the cold row disables the store (capacity 0), so every
+    // query pays full canonicalization + rounding + preparation. The ratio
+    // between the two rows is the store's headline speedup.
+    {
+        let d = 2;
+        let contents = [
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 0.5]),
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[0.5, 2.0])
+                .union(&GeneralizedRelation::from_box_f64(&[2.0, 0.0], &[3.0, 1.0])),
+        ];
+        for (workload, capacity) in [
+            (
+                "e_shared_subrelations",
+                cdb_sampler::DEFAULT_PREPARED_STORE_CAPACITY,
+            ),
+            ("e_shared_subrelations_cold", 0usize),
+        ] {
+            let mut db = SpatialDatabase::with_params(params).with_store_capacity(capacity);
+            let names: Vec<String> = (0..6).map(|i| format!("Q{i}")).collect();
+            for (i, name) in names.iter().enumerate() {
+                db.insert(name.clone(), contents[i % contents.len()].clone());
+            }
+            let mut rng = StdRng::seed_from_u64(3001);
+            let mut i = 0usize;
+            let steps_per_sample = params.walk_steps(d) as f64;
+            let sps = measure(
+                || {
+                    let name = &names[i % names.len()];
+                    i += 1;
+                    std::hint::black_box(db.approx_generate(name, &mut rng).unwrap());
+                },
+                warmup,
+                window,
+            );
+            rows.push(Row {
+                workload,
+                dim: d,
+                kernel: "axis",
+                steps_per_sec: sps * steps_per_sample,
                 samples_per_sec: sps,
             });
         }

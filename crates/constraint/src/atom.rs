@@ -120,6 +120,23 @@ impl Atom {
         }
     }
 
+    /// [`Atom::normalized`] plus an orientation fix for equality atoms:
+    /// `t = 0` and `−t = 0` describe the same hyperplane, so the term of an
+    /// equality is flipped until its leading non-zero coefficient is
+    /// positive. The result is the unique representative of the atom's
+    /// positive-scaling class, which is what the canonicalization pass
+    /// (`crate::canonical`) keys on.
+    pub fn canonicalized(&self) -> Atom {
+        let n = self.normalized();
+        match n.op {
+            CompOp::Eq => Atom {
+                term: n.term.sign_oriented(),
+                op: CompOp::Eq,
+            },
+            _ => n,
+        }
+    }
+
     /// The closed halfspace `{x : term ≤ 0}` (strictness dropped), or `None`
     /// for equality atoms, which are not full-dimensional.
     ///

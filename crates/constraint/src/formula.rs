@@ -306,6 +306,18 @@ impl Formula {
         walk(self, &mut names);
         names
     }
+
+    /// The canonical representative of this formula's syntactic equivalence
+    /// class (see [`crate::canonical`] for the invariances).
+    pub fn canonicalize(&self) -> Formula {
+        crate::canonical::canonicalize(self)
+    }
+
+    /// The prepared-store cache key of this formula in the given ambient
+    /// arity: canonicalize, then render (see [`crate::canonical`]).
+    pub fn canonical_key(&self, arity: usize) -> crate::canonical::CanonicalKey {
+        crate::canonical::CanonicalKey::of_formula(self, arity)
+    }
 }
 
 impl fmt::Display for Formula {

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod atom;
+pub mod canonical;
 mod database;
 mod formula;
 mod parser;
@@ -56,6 +57,7 @@ mod term;
 mod tuple;
 
 pub use atom::{Atom, CompOp};
+pub use canonical::{canonicalize, CanonicalKey};
 pub use database::{Database, Schema};
 pub use formula::Formula;
 pub use parser::{parse_formula, ParseError};

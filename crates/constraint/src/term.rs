@@ -209,6 +209,22 @@ impl LinTerm {
         let g_r = Rational::new(BigInt::one(), BigInt::from(g));
         scaled.scale(&g_r)
     }
+
+    /// Flips the term's sign so its leading entry — the first non-zero
+    /// coefficient, or the constant when the term is constant — is positive.
+    /// `t` and `−t` have the same zero set, so equality atoms canonicalize
+    /// through this orientation (see [`crate::canonical`]).
+    pub fn sign_oriented(&self) -> LinTerm {
+        let leading = self
+            .coeffs
+            .iter()
+            .chain(std::iter::once(&self.constant))
+            .find(|c| !c.is_zero());
+        match leading {
+            Some(c) if c.is_negative() => self.neg(),
+            _ => self.clone(),
+        }
+    }
 }
 
 impl fmt::Display for LinTerm {

@@ -1,0 +1,168 @@
+//! Property suite for the canonicalization pass behind the prepared-relation
+//! store's cache keys (`cdb_constraint::canonical`).
+//!
+//! Each property throws randomized *syntactic* rewrites at a formula — atom
+//! permutation, positive coefficient scaling, `≥`/`>` orientation flips,
+//! equality sign flips, bound-variable renaming — and asserts the canonical
+//! key is unchanged, while semantically distinct perturbations must keep
+//! distinct keys. `PROPTEST_CASES` scales the case count in CI quick mode.
+
+use cdb_constraint::canonical::CanonicalKey;
+use cdb_constraint::{Atom, CompOp, Formula, LinTerm};
+use cdb_num::Rational;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const ARITY: usize = 5;
+
+/// Raw atom material: five small integer coefficients, a constant, and an
+/// operator selector.
+fn raw_atom() -> impl Strategy<Value = (Vec<i64>, i64, u8)> {
+    (vec(-4i64..5, ARITY), -6i64..7, 0u8..5)
+}
+
+fn op_of(sel: u8) -> CompOp {
+    match sel {
+        0 => CompOp::Lt,
+        1 => CompOp::Le,
+        2 => CompOp::Eq,
+        3 => CompOp::Ge,
+        _ => CompOp::Gt,
+    }
+}
+
+fn atom_of(coeffs: &[i64], constant: i64, sel: u8) -> Atom {
+    Atom::new(LinTerm::from_ints(coeffs, constant), op_of(sel))
+}
+
+fn conjunction(atoms: &[(Vec<i64>, i64, u8)]) -> Formula {
+    Formula::and(
+        atoms
+            .iter()
+            .map(|(c, k, s)| Formula::Atom(atom_of(c, *k, *s)))
+            .collect(),
+    )
+}
+
+fn key(f: &Formula) -> CanonicalKey {
+    CanonicalKey::of_formula(f, ARITY)
+}
+
+proptest! {
+    #[test]
+    fn atom_permutation_is_invisible(
+        atoms in vec(raw_atom(), 1..6),
+        rotation in 0usize..6,
+    ) {
+        let forward = conjunction(&atoms);
+        // Reverse and rotate: together these generate arbitrary orders over
+        // the small lists we draw.
+        let mut shuffled: Vec<_> = atoms.iter().cloned().rev().collect();
+        let by = rotation % shuffled.len().max(1);
+        shuffled.rotate_left(by);
+        let backward = conjunction(&shuffled);
+        prop_assert_eq!(key(&forward), key(&backward));
+    }
+
+    #[test]
+    fn positive_scaling_is_invisible(
+        atoms in vec(raw_atom(), 1..5),
+        nums in vec(1i64..6, 4),
+        dens in vec(1i64..6, 4),
+    ) {
+        let plain = conjunction(&atoms);
+        let scaled = Formula::and(
+            atoms
+                .iter()
+                .enumerate()
+                .map(|(i, (c, k, s))| {
+                    let factor = Rational::from_ratio(nums[i % nums.len()], dens[i % dens.len()]);
+                    let term = LinTerm::from_ints(c, *k).scale(&factor);
+                    Formula::Atom(Atom::new(term, op_of(*s)))
+                })
+                .collect(),
+        );
+        prop_assert_eq!(key(&plain), key(&scaled));
+    }
+
+    #[test]
+    fn orientation_flip_is_invisible(atoms in vec(raw_atom(), 1..5)) {
+        let plain = conjunction(&atoms);
+        // t op 0  ≡  (−t) flip(op) 0 for every comparison operator.
+        let flipped = Formula::and(
+            atoms
+                .iter()
+                .map(|(c, k, s)| {
+                    let term = LinTerm::from_ints(c, *k).neg();
+                    let op = match op_of(*s) {
+                        CompOp::Lt => CompOp::Gt,
+                        CompOp::Le => CompOp::Ge,
+                        CompOp::Eq => CompOp::Eq,
+                        CompOp::Ge => CompOp::Le,
+                        CompOp::Gt => CompOp::Lt,
+                    };
+                    Formula::Atom(Atom::new(term, op))
+                })
+                .collect(),
+        );
+        prop_assert_eq!(key(&plain), key(&flipped));
+    }
+
+    #[test]
+    fn bound_variable_renaming_is_invisible(
+        atoms in vec(raw_atom(), 1..5),
+        perm_sel in 0u8..6,
+    ) {
+        // ∃ x2,x3,x4 . φ(x0..x4) with the three bound columns permuted.
+        let perms: [[usize; 3]; 6] = [
+            [2, 3, 4], [2, 4, 3], [3, 2, 4], [3, 4, 2], [4, 2, 3], [4, 3, 2],
+        ];
+        let perm = perms[perm_sel as usize];
+        let plain = Formula::exists(vec![2, 3, 4], conjunction(&atoms));
+        let renamed_atoms: Vec<_> = atoms
+            .iter()
+            .map(|(c, k, s)| {
+                let mut coeffs = c.clone();
+                for (from, to) in (2..5).zip(perm) {
+                    coeffs[to] = c[from];
+                }
+                (coeffs, *k, *s)
+            })
+            .collect();
+        let renamed = Formula::exists(vec![2, 3, 4], conjunction(&renamed_atoms));
+        prop_assert_eq!(
+            CanonicalKey::of_formula(&plain, 2),
+            CanonicalKey::of_formula(&renamed, 2)
+        );
+    }
+
+    #[test]
+    fn constant_shift_changes_the_key(atoms in vec(raw_atom(), 1..4)) {
+        // Shifting the first atom's constant changes its satisfied set, so
+        // the keys must differ (guards against over-canonicalization).
+        let plain = conjunction(&atoms);
+        let mut shifted = atoms.clone();
+        shifted[0].1 += 20; // far outside the drawn range: no accidental alias
+        let moved = conjunction(&shifted);
+        prop_assert!(key(&plain) != key(&moved));
+    }
+
+    #[test]
+    fn strictness_changes_the_key(coeffs in vec(1i64..5, ARITY), constant in -6i64..7) {
+        let le = Formula::Atom(atom_of(&coeffs, constant, 1));
+        let lt = Formula::Atom(atom_of(&coeffs, constant, 0));
+        prop_assert!(key(&le) != key(&lt));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(atoms in vec(raw_atom(), 1..6)) {
+        let f = Formula::exists(vec![3, 4], conjunction(&atoms));
+        let once = f.canonicalize();
+        let twice = once.canonicalize();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(
+            CanonicalKey::of_formula(&once, ARITY),
+            CanonicalKey::of_formula(&twice, ARITY)
+        );
+    }
+}

@@ -41,13 +41,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+use std::sync::RwLock;
+
 use rand::Rng;
 
+use cdb_constraint::canonical::CanonicalKey;
 use cdb_constraint::{ConstraintError, Database, Formula, GeneralizedRelation};
 use cdb_reconstruct::{PositiveQueryEstimator, ReconstructionError};
 use cdb_sampler::compose::ObservabilityError;
 use cdb_sampler::{
-    GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence, UnionGenerator,
+    GeneratorParams, PreparedStore, PreparedStoreStats, RelationGenerator, RelationVolumeEstimator,
+    SeedSequence, UnionGenerator, WalkKind, DEFAULT_PREPARED_STORE_CAPACITY,
 };
 
 /// Errors surfaced by the high-level API.
@@ -81,13 +86,62 @@ impl std::fmt::Display for SpatialDbError {
 
 impl std::error::Error for SpatialDbError {}
 
+/// SplitMix64 finalizer: decorrelates the key hash and the parameter
+/// fingerprint before they fund a preparation seed stream.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A stable fingerprint of every [`GeneratorParams`] field that influences a
+/// prepared body, folded into the preparation seed so the same relation
+/// prepared under different parameters never shares a seed stream.
+fn params_fingerprint(p: &GeneratorParams) -> u64 {
+    let mut acc = mix(p.gamma.to_bits());
+    for word in [
+        p.eps.to_bits(),
+        p.delta.to_bits(),
+        p.walk_steps_factor as u64,
+        match p.walk {
+            WalkKind::HitAndRun => 1,
+            WalkKind::Ball => 2,
+            WalkKind::Grid { step_ratio } => mix(3 ^ step_ratio.to_bits()),
+        },
+        u64::from(p.rounding),
+    ] {
+        acc = mix(acc ^ word);
+    }
+    acc
+}
+
 /// A spatial constraint database with approximate evaluation capabilities.
+///
+/// # The prepared-relation store
+///
+/// Every `approx_*` entry point routes through a keyed, concurrency-safe
+/// [`PreparedStore`] mapping the *canonical form* of a stored relation's
+/// defining formula (see [`cdb_constraint::canonical`]) to its fully
+/// prepared generator body — certificates, pilot volume estimates, rounding
+/// transforms — so repeated and concurrent queries over overlapping
+/// relations pay preprocessing once. Preparation randomness is derived from
+/// the canonical key and a fingerprint of the generator parameters, never
+/// from the caller's stream, which makes the store *bitwise invisible*:
+/// results are identical whether the store is cold, warm, shared across
+/// threads, capacity-evicting, or disabled
+/// ([`SpatialDatabase::with_store_capacity`] with capacity `0`).
 #[derive(Debug, Default)]
 pub struct SpatialDatabase {
     database: Database,
     params: GeneratorParams,
     eps: f64,
     delta: f64,
+    /// Prepared generator bodies, keyed by canonical formula.
+    store: PreparedStore<CanonicalKey, UnionGenerator>,
+    /// Memo of name → canonical key (keys are content-derived, so this is
+    /// pure caching; invalidated when a relation is replaced).
+    keys: RwLock<HashMap<String, CanonicalKey>>,
 }
 
 impl SpatialDatabase {
@@ -98,6 +152,8 @@ impl SpatialDatabase {
             params: GeneratorParams::default(),
             eps: 0.2,
             delta: 0.1,
+            store: PreparedStore::new(DEFAULT_PREPARED_STORE_CAPACITY),
+            keys: RwLock::new(HashMap::new()),
         }
     }
 
@@ -108,11 +164,30 @@ impl SpatialDatabase {
             params,
             eps: params.eps,
             delta: params.delta,
+            store: PreparedStore::new(DEFAULT_PREPARED_STORE_CAPACITY),
+            keys: RwLock::new(HashMap::new()),
         }
     }
 
-    /// Inserts (or replaces) a relation.
+    /// Replaces the prepared-relation store with one of the given capacity.
+    /// Capacity `0` disables caching entirely — every query prepares from
+    /// scratch, which is bitwise identical to the cached paths and is the
+    /// baseline the determinism suite pins legacy behavior to.
+    pub fn with_store_capacity(mut self, capacity: usize) -> Self {
+        self.store = PreparedStore::new(capacity);
+        self
+    }
+
+    /// Inserts (or replaces) a relation. Replacing invalidates the name's
+    /// canonical-key memo; any prepared body for the *old* content stays in
+    /// the store harmlessly (keys are content-derived, so it can only be
+    /// hit again by a relation with that exact content).
     pub fn insert(&mut self, name: impl Into<String>, relation: GeneralizedRelation) -> &mut Self {
+        let name = name.into();
+        self.keys
+            .write()
+            .expect("canonical-key memo lock")
+            .remove(&name);
         self.database.insert(name, relation);
         self
     }
@@ -132,12 +207,54 @@ impl SpatialDatabase {
         &self.params
     }
 
-    fn union_generator(&self, name: &str) -> Result<UnionGenerator, SpatialDbError> {
+    /// Hit/miss/eviction counters of the prepared-relation store.
+    pub fn store_stats(&self) -> PreparedStoreStats {
+        self.store.stats()
+    }
+
+    /// Capacity of the prepared-relation store (`0` = disabled).
+    pub fn store_capacity(&self) -> usize {
+        self.store.capacity()
+    }
+
+    /// The canonical cache key of the named relation (memoized per name).
+    fn relation_key(&self, name: &str, relation: &GeneralizedRelation) -> CanonicalKey {
+        if let Some(key) = self.keys.read().expect("canonical-key memo lock").get(name) {
+            return key.clone();
+        }
+        let key = CanonicalKey::of_relation(relation);
+        self.keys
+            .write()
+            .expect("canonical-key memo lock")
+            .insert(name.to_string(), key.clone());
+        key
+    }
+
+    /// Builds (or fetches) the prepared generator body for the named
+    /// relation and attaches a private copy for this query.
+    ///
+    /// The preparation seed is derived from the canonical key and the
+    /// parameter fingerprint — never from the caller's stream — so the body
+    /// is a pure function of (relation content, parameters). That is the
+    /// whole invisibility argument: a cold build, a warm hit, a racing
+    /// rebuild and the disabled-store path all produce bitwise identical
+    /// bodies, and the caller's randomness funds only the sampling itself.
+    fn prepared_generator(&self, name: &str) -> Result<UnionGenerator, SpatialDbError> {
         let relation = self
             .database
             .relation(name)
             .ok_or_else(|| SpatialDbError::UnknownRelation(name.to_string()))?;
-        UnionGenerator::new(relation, self.params).map_err(SpatialDbError::NotObservable)
+        let key = self.relation_key(name, relation);
+        let prep_seed = mix(key.hash64() ^ params_fingerprint(&self.params));
+        let params = self.params;
+        let body = self.store.get_or_try_prepare(&key, || {
+            let mut generator = UnionGenerator::new(relation, params)?;
+            generator.prepare(&SeedSequence::new(prep_seed));
+            Ok(generator)
+        });
+        // Copy-on-attach: the stored body stays immutable; this query gets
+        // its own mutable scratch.
+        Ok((*body.map_err(SpatialDbError::NotObservable)?).clone())
     }
 
     /// Draws one almost-uniform point from the named relation.
@@ -146,7 +263,7 @@ impl SpatialDatabase {
         name: &str,
         rng: &mut R,
     ) -> Result<Vec<f64>, SpatialDbError> {
-        let mut generator = self.union_generator(name)?;
+        let mut generator = self.prepared_generator(name)?;
         generator
             .sample(rng)
             .ok_or(SpatialDbError::GenerationFailed)
@@ -160,7 +277,7 @@ impl SpatialDatabase {
         n: usize,
         rng: &mut R,
     ) -> Result<Vec<Vec<f64>>, SpatialDbError> {
-        let mut generator = self.union_generator(name)?;
+        let mut generator = self.prepared_generator(name)?;
         Ok(generator.sample_many(n, rng))
     }
 
@@ -176,7 +293,7 @@ impl SpatialDatabase {
         seq: &SeedSequence,
         threads: usize,
     ) -> Result<Vec<Option<Vec<f64>>>, SpatialDbError> {
-        let mut generator = self.union_generator(name)?;
+        let mut generator = self.prepared_generator(name)?;
         Ok(generator.sample_batch(n, seq, threads))
     }
 
@@ -190,7 +307,7 @@ impl SpatialDatabase {
         seq: &SeedSequence,
         threads: usize,
     ) -> Result<f64, SpatialDbError> {
-        let mut generator = self.union_generator(name)?;
+        let mut generator = self.prepared_generator(name)?;
         generator
             .estimate_volume_median(repeats, seq, threads)
             .ok_or(SpatialDbError::GenerationFailed)
@@ -202,7 +319,7 @@ impl SpatialDatabase {
         name: &str,
         rng: &mut R,
     ) -> Result<f64, SpatialDbError> {
-        let mut generator = self.union_generator(name)?;
+        let mut generator = self.prepared_generator(name)?;
         generator
             .estimate_volume(rng)
             .ok_or(SpatialDbError::GenerationFailed)

@@ -352,6 +352,30 @@ impl FiberWeightCache {
             .filter_map(|s| s.as_ref().map(|e| (e.key.as_slice(), e.weight)))
     }
 
+    /// Exports the warm cells in canonical order (sorted by integer grid
+    /// key) for sharing through the prepared-relation store. Table order is
+    /// fill-history dependent, so the export sorts: importing the result
+    /// yields a table state that is a pure function of the warm *set*,
+    /// independent of the insertion history that produced it.
+    pub fn export_warm(&self) -> Vec<(Vec<i64>, f64)> {
+        let mut cells: Vec<(Vec<i64>, f64)> = self.iter().map(|(k, w)| (k.to_vec(), w)).collect();
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        cells
+    }
+
+    /// Replays a warm export into this cache in its canonical (sorted)
+    /// order. Existing contents, stamps and hit/miss counters are kept;
+    /// callers wanting a deterministic table state import into a fresh
+    /// cache. No-op on a disabled cache.
+    pub fn import_warm(&mut self, cells: &[(Vec<i64>, f64)]) {
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        order.sort_by(|&a, &b| cells[a].0.cmp(&cells[b].0));
+        for i in order {
+            let (key, weight) = &cells[i];
+            self.insert(key, *weight);
+        }
+    }
+
     /// [`FiberWeightCache::insert`] with the key's hash precomputed.
     pub fn insert_hashed(&mut self, hash: u64, key: &[i64], weight: f64) {
         debug_assert_eq!(hash, Self::key_hash(key), "stale key hash");

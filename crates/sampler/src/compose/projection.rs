@@ -40,6 +40,32 @@ use crate::oracle::ConvexBody;
 use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
 use crate::walk::WalkScratch;
 
+/// Warm selector and weight-cache state captured from a
+/// [`ProjectionGenerator`], shareable between generators over the same
+/// relation and parameters (see
+/// [`ProjectionGenerator::export_warm_state`]). Opaque by design: the
+/// fields tie into the generator's lazy-selector internals.
+#[derive(Clone, Debug)]
+pub struct ProjectionWarmState {
+    /// Warm weight cells in canonical (key-sorted) order.
+    cells: Vec<(Vec<i64>, f64)>,
+    strata: Option<StratifiedCells>,
+    coarse: Option<CoarseMap>,
+    selector_built: bool,
+}
+
+impl ProjectionWarmState {
+    /// Number of warm weight cells carried by this state.
+    pub fn warm_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the lazily built cell selector is included.
+    pub fn has_selector(&self) -> bool {
+        self.selector_built
+    }
+}
+
 /// Generator and volume estimator for the projection `T = proj_I(S)` of a
 /// convex relation `S` onto the coordinates `I`.
 #[derive(Clone, Debug)]
@@ -263,6 +289,38 @@ impl ProjectionGenerator {
     /// The memoized-weight cache (hit/miss statistics, occupancy).
     pub fn weight_cache(&self) -> &FiberWeightCache {
         &self.cache
+    }
+
+    /// Exports the generator's warm selector and weight-cache state for
+    /// sharing through the prepared-relation store: the weight cells in
+    /// canonical (sorted) order, plus the lazily built stratified /
+    /// coarse-cascade selector. Estimated weights are pure functions of
+    /// `(weight_seed, cell)`, so a peer generator over the same relation and
+    /// parameters can import this state without changing any result — it
+    /// only skips the recomputation.
+    pub fn export_warm_state(&self) -> ProjectionWarmState {
+        ProjectionWarmState {
+            cells: self.cache.export_warm(),
+            strata: self.strata.clone(),
+            coarse: self.coarse.clone(),
+            selector_built: self.selector_built,
+        }
+    }
+
+    /// Installs a warm state captured by
+    /// [`ProjectionGenerator::export_warm_state`] from a generator built
+    /// over the same relation and parameters. The weight cache is rebuilt
+    /// from scratch in canonical order, so the resulting table state is a
+    /// pure function of the warm set — independent of the fill history that
+    /// produced it — and sampling after an import is bitwise identical to
+    /// sampling after recomputing every imported cell.
+    pub fn import_warm_state(&mut self, warm: &ProjectionWarmState) {
+        let mut cache = FiberWeightCache::new(self.params.cache_capacity);
+        cache.import_warm(&warm.cells);
+        self.cache = cache;
+        self.strata = warm.strata.clone();
+        self.coarse = warm.coarse.clone();
+        self.selector_built = warm.selector_built;
     }
 
     /// Observed acceptance rate of the compensation step.

@@ -70,6 +70,7 @@ mod fixed_dim;
 pub mod gauss;
 mod oracle;
 mod params;
+pub mod prepared;
 mod rejection;
 pub mod walk;
 
@@ -79,12 +80,13 @@ pub use compose::fiber_weight::{
     DEFAULT_MAX_ENUMERATED_CELLS, DEFAULT_WEIGHT_CACHE_CAPACITY,
 };
 pub use compose::intersection::IntersectionGenerator;
-pub use compose::projection::ProjectionGenerator;
+pub use compose::projection::{ProjectionGenerator, ProjectionWarmState};
 pub use compose::stratified::{AliasTable, CellRange, CellSelection, StratifiedCells};
 pub use compose::union::UnionGenerator;
 pub use dfk::DfkSampler;
 pub use fixed_dim::FixedDimSampler;
 pub use oracle::{ConvexBody, MembershipOracle};
 pub use params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
+pub use prepared::{PreparedStore, PreparedStoreStats, DEFAULT_PREPARED_STORE_CAPACITY};
 pub use rejection::RejectionSampler;
 pub use walk::{WalkKind, WalkScratch};

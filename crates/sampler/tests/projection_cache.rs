@@ -8,6 +8,14 @@
 //! differ only in cost. These tests pin that contract for both fill
 //! strategies, the auto strategy resolution, and the clone semantics the
 //! batch workers rely on.
+//!
+//! Store audit (PR 7): every generator in this file is built directly, so
+//! its weight cache and selector are *private* — equivalent to running
+//! against a disabled prepared-relation store — and the legacy cases below
+//! stay pinned to that baseline verbatim. The warm-state tests at the end
+//! cover the new sharing path: `export_warm_state` / `import_warm_state`
+//! move a warm cache + selector between generators, and must be exactly as
+//! invisible as the private caches are.
 
 use cdb_sampler::{
     CellSelection, FiberVolume, GeneratorParams, ProjectionGenerator, ProjectionParams,
@@ -282,5 +290,90 @@ fn rejection_and_stratified_volumes_agree_on_the_triangle() {
     assert!(
         (v_rej - v_str).abs() < 0.5,
         "strategies disagree: rejection {v_rej} vs stratified {v_str}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Warm-state export/import (the prepared-relation store's sharing path)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn imported_warm_state_is_bitwise_invisible() {
+    // A warm generator exports its cache + selector; a fresh peer imports
+    // them. Both the peer and an untouched cold generator must then draw
+    // bitwise identical streams: warm state only skips recomputation.
+    for (label, mode) in [
+        ("exact", FiberVolume::Exact),
+        ("estimated", FiberVolume::Estimated),
+    ] {
+        // Rejection selection: the compensation loop consults the weight
+        // cache per sample, so imported cells demonstrably get hit (the
+        // stratified selector transfer has its own test below).
+        let proj = ProjectionParams::new(base_params())
+            .with_fiber_volume(mode)
+            .with_cell_selection(CellSelection::Rejection);
+        let mut donor = generator_with(proj);
+        let _ = sample_bits(&mut donor, 256); // fill the cache and selector
+        let warm = donor.export_warm_state();
+        assert!(warm.warm_cells() > 0, "{label}: donor stayed cold");
+
+        let mut importer = generator_with(proj);
+        importer.import_warm_state(&warm);
+        let mut cold = generator_with(proj);
+        assert_eq!(
+            sample_bits(&mut importer, 192),
+            sample_bits(&mut cold, 192),
+            "{label}: imported warm state changed the output stream"
+        );
+        // The import did pay off: the importer answers from the warm cells.
+        assert!(
+            importer.weight_cache().hits() > 0,
+            "{label}: importer never hit its imported cells"
+        );
+    }
+}
+
+#[test]
+fn warm_exports_are_canonical_regardless_of_fill_history() {
+    // Two donors warm their caches through *different* sampling histories.
+    // Exports sort cells by integer key, so importing either must leave the
+    // importer in the same table state — pinned here by comparing the
+    // subsequent streams bitwise.
+    let proj = ProjectionParams::new(base_params())
+        .with_fiber_volume(FiberVolume::Exact)
+        .with_cell_selection(CellSelection::Rejection);
+    let mut donor_a = generator_with(proj);
+    let _ = sample_bits(&mut donor_a, 256);
+    let mut donor_b = generator_with(proj);
+    // Different history: two shorter, differently-seeded passes.
+    let mut rng = StdRng::seed_from_u64(0x5107);
+    let _ = donor_b.sample_many(96, &mut rng);
+    let _ = sample_bits(&mut donor_b, 96);
+
+    let mut via_a = generator_with(proj);
+    via_a.import_warm_state(&donor_a.export_warm_state());
+    let mut via_b = generator_with(proj);
+    via_b.import_warm_state(&donor_b.export_warm_state());
+    assert_eq!(
+        sample_bits(&mut via_a, 160),
+        sample_bits(&mut via_b, 160),
+        "imports from different fill histories diverged"
+    );
+}
+
+#[test]
+fn warm_state_carries_the_stratified_selector() {
+    let proj = ProjectionParams::new(base_params()).with_cell_selection(CellSelection::Stratified);
+    let mut donor = generator_with(proj);
+    let _ = sample_bits(&mut donor, 64);
+    let warm = donor.export_warm_state();
+    assert!(warm.has_selector(), "sampling must build the selector");
+    let mut importer = generator_with(proj);
+    importer.import_warm_state(&warm);
+    let mut cold = generator_with(proj);
+    assert_eq!(
+        sample_bits(&mut importer, 128),
+        sample_bits(&mut cold, 128),
+        "imported stratified selector changed the output stream"
     );
 }

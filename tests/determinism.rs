@@ -257,6 +257,284 @@ fn distinct_child_streams_never_duplicate_points() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Prepared-store state axes: cold / warm / shared / evicting / disabled.
+//
+// The store's contract is that caching prepared bodies is *bitwise
+// invisible*. The invisibility argument has two halves: (a) preparation
+// randomness is a pure function of the cache key (`SeedSequence::new(key)`),
+// never of the caller's stream, so every build of a body is identical; and
+// (b) item streams are independent of setup state, so sampling from a
+// cached body equals sampling from a fresh one. The helper below runs every
+// store state against the disabled-store single-threaded baseline, crossed
+// with the PR 6 thread-count axis.
+// ---------------------------------------------------------------------------
+
+const STORE_BATCH: usize = 48;
+const STORE_VOLS: usize = 4;
+
+/// Runs `make() -> generator` through every store state × thread count and
+/// checks both batch entry points against the disabled-store baseline.
+/// Preparation is always funded by `SeedSequence::new(key)` — the same
+/// key-derived convention `SpatialDatabase::prepared_generator` uses.
+fn assert_store_states_invariant<G, F>(make: F, key: u64, label: &str)
+where
+    G: RelationGenerator + RelationVolumeEstimator + Clone + Send + Sync,
+    F: Fn() -> G + Sync,
+{
+    use cdb_sampler::PreparedStore;
+
+    let prep = SeedSequence::new(key);
+    let seq = SeedSequence::new(0x57A7E ^ key);
+    let build = || {
+        let mut g = make();
+        g.prepare(&prep);
+        g.prepare_estimator(&prep);
+        g
+    };
+    // Baseline: disabled-store semantics (prepare from scratch), 1 thread.
+    let baseline_pts = build().sample_batch(STORE_BATCH, &seq, 1);
+    let baseline_vols = build().estimate_volume_batch(STORE_VOLS, &seq, 1);
+    assert!(
+        baseline_pts.iter().filter(|p| p.is_some()).count() * 2 > STORE_BATCH,
+        "{label}: too few successful draws"
+    );
+    assert!(
+        baseline_vols.iter().filter(|v| v.is_some()).count() > 0,
+        "{label}: no successful volume estimate"
+    );
+
+    for &threads in &THREAD_COUNTS {
+        // Disabled: capacity 0 always rebuilds.
+        let disabled = PreparedStore::<u64, G>::new(0);
+        let mut g = (*disabled.get_or_prepare(&key, &build)).clone();
+        assert_eq!(
+            baseline_pts,
+            g.sample_batch(STORE_BATCH, &seq, threads),
+            "{label}: disabled store differs at {threads} threads"
+        );
+        assert_eq!(
+            baseline_vols,
+            g.estimate_volume_batch(STORE_VOLS, &seq, threads),
+            "{label}: disabled store volumes differ at {threads} threads"
+        );
+
+        // Cold: first touch of an enabled store is a miss …
+        let store = PreparedStore::<u64, G>::new(8);
+        let mut cold = (*store.get_or_prepare(&key, &build)).clone();
+        assert_eq!(
+            baseline_pts,
+            cold.sample_batch(STORE_BATCH, &seq, threads),
+            "{label}: cold store differs at {threads} threads"
+        );
+        // … warm: the second touch must hit and attach the same body.
+        let warm_arc = store.get_or_prepare(&key, || unreachable!("{label}: warm lookup missed"));
+        let mut warm = (*warm_arc).clone();
+        assert_eq!(store.stats().hits, 1, "{label}: warm lookup did not hit");
+        assert_eq!(
+            baseline_pts,
+            warm.sample_batch(STORE_BATCH, &seq, threads),
+            "{label}: warm store differs at {threads} threads"
+        );
+        assert_eq!(
+            baseline_vols,
+            warm.estimate_volume_batch(STORE_VOLS, &seq, threads),
+            "{label}: warm store volumes differ at {threads} threads"
+        );
+
+        // Evicting: capacity 1 — a decoy key forces the body out between
+        // uses, so each round rebuilds. Held clones stay valid throughout.
+        let tiny = PreparedStore::<u64, G>::new(1);
+        for round in 0..2 {
+            let mut g = (*tiny.get_or_prepare(&key, &build)).clone();
+            tiny.get_or_prepare(&!key, &build); // evicts `key`'s body
+            assert_eq!(
+                baseline_pts,
+                g.sample_batch(STORE_BATCH, &seq, threads),
+                "{label}: evicting store differs at {threads} threads (round {round})"
+            );
+        }
+        assert!(
+            tiny.stats().evictions > 0,
+            "{label}: capacity-1 store never evicted"
+        );
+
+        // Shared: racing attachers of one body must all reproduce the
+        // baseline.
+        let shared = PreparedStore::<u64, G>::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut g = (*shared.get_or_prepare(&key, &build)).clone();
+                    assert_eq!(
+                        baseline_pts,
+                        g.sample_batch(STORE_BATCH, &seq, threads),
+                        "{label}: shared store differs at {threads} threads"
+                    );
+                });
+            }
+        });
+        assert!(
+            shared.stats().hits + shared.stats().misses == 4,
+            "{label}: shared store lookup accounting is off"
+        );
+    }
+}
+
+#[test]
+fn union_store_states_are_invisible() {
+    let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
+        .union(&GeneralizedRelation::from_box_f64(&[2.0, 0.0], &[3.0, 2.0]));
+    assert_store_states_invariant(
+        || UnionGenerator::new(&relation, params()).unwrap(),
+        0xA111CE,
+        "union-store",
+    );
+}
+
+#[test]
+fn intersection_store_states_are_invisible() {
+    let a = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 2.0]);
+    let b = GeneralizedRelation::from_box_f64(&[1.0, 1.0], &[3.0, 3.0]);
+    assert_store_states_invariant(
+        || IntersectionGenerator::new(&[a.clone(), b.clone()], params()).unwrap(),
+        0x1A7E25EC7,
+        "intersection-store",
+    );
+}
+
+#[test]
+fn difference_store_states_are_invisible() {
+    let s1 = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[3.0, 1.0]);
+    let s2 = GeneralizedRelation::from_box_f64(&[1.0, 0.0], &[2.0, 1.0]);
+    assert_store_states_invariant(
+        || DifferenceGenerator::new(&s1, &s2, params()).unwrap(),
+        0xD1FFE12,
+        "difference-store",
+    );
+}
+
+#[test]
+fn projection_store_states_are_invisible() {
+    let tuple = GeneralizedTuple::from_box_f64(&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+    // The ctor's eager setup randomness is key-derived, matching the
+    // invisibility contract (preparation is a pure function of the key).
+    let key = 0x1210_1EC7;
+    assert_store_states_invariant(
+        || {
+            let mut rng = SeedSequence::new(key).setup_stream().rng();
+            ProjectionGenerator::new(&tuple, &[0, 1], params(), &mut rng).unwrap()
+        },
+        key,
+        "projection-store",
+    );
+}
+
+#[test]
+fn dfk_sampler_store_states_are_invisible() {
+    // The fifth family has inherent `&self` batch methods, so stored bodies
+    // are sampled straight through the `Arc` — no attach clone needed.
+    use cdb_sampler::PreparedStore;
+    let square = cdb_geometry::HPolytope::axis_box(&[0.0, 0.0], &[1.0, 1.0]);
+    let body = ConvexBody::from_polytope(&square).unwrap();
+    let key = 0xDF1C;
+    let build = || {
+        let mut rng = SeedSequence::new(key).setup_stream().rng();
+        DfkSampler::new(body.clone(), params(), &mut rng)
+    };
+    let seq = SeedSequence::new(0x0DD_BA11);
+    let baseline = build().sample_batch(STORE_BATCH, &seq, 1);
+    let baseline_vols = build().estimate_volume_batch(STORE_VOLS, &seq, 1);
+    assert_eq!(baseline.len(), STORE_BATCH);
+    for &threads in &THREAD_COUNTS {
+        for capacity in [0usize, 8] {
+            let store = PreparedStore::<u64, DfkSampler>::new(capacity);
+            let first = store.get_or_prepare(&key, &build);
+            let second = store.get_or_prepare(&key, &build);
+            for sampler in [&first, &second] {
+                assert_eq!(
+                    baseline,
+                    sampler.sample_batch(STORE_BATCH, &seq, threads),
+                    "dfk-store: capacity {capacity} differs at {threads} threads"
+                );
+                assert_eq!(
+                    baseline_vols,
+                    sampler.estimate_volume_batch(STORE_VOLS, &seq, threads),
+                    "dfk-store: capacity {capacity} volumes differ at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spatial_database_store_states_are_invisible_across_thread_counts() {
+    // End-to-end axis product on the public API: (cold / warm / evicting /
+    // disabled) × (1 / 2 / 8 / auto threads), all against the
+    // disabled-store single-threaded baseline. The shared axis is covered
+    // by `tests/prepared_store.rs`.
+    use cdb_core::SpatialDatabase;
+    let populate = |db: &mut SpatialDatabase| {
+        db.insert(
+            "A",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
+                .union(&GeneralizedRelation::from_box_f64(&[2.0, 0.0], &[3.0, 2.0])),
+        );
+        db.insert(
+            "B",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+        );
+    };
+    let seq = SeedSequence::new(0xDBA1E5);
+    let mut disabled = SpatialDatabase::with_params(params()).with_store_capacity(0);
+    populate(&mut disabled);
+    let baseline = disabled.approx_generate_batch("A", 64, &seq, 1).unwrap();
+    let baseline_vol = disabled.approx_volume_batch("A", 4, &seq, 1).unwrap();
+    assert!(baseline.iter().filter(|p| p.is_some()).count() > 32);
+
+    for threads in [1usize, 2, 8, 0] {
+        // Disabled.
+        assert_eq!(
+            baseline,
+            disabled
+                .approx_generate_batch("A", 64, &seq, threads)
+                .unwrap(),
+            "disabled store differs at {threads} threads"
+        );
+        // Cold, then warm, on one db.
+        let mut db = SpatialDatabase::with_params(params());
+        populate(&mut db);
+        assert_eq!(
+            baseline,
+            db.approx_generate_batch("A", 64, &seq, threads).unwrap(),
+            "cold store differs at {threads} threads"
+        );
+        assert_eq!(
+            baseline,
+            db.approx_generate_batch("A", 64, &seq, threads).unwrap(),
+            "warm store differs at {threads} threads"
+        );
+        assert!(db.store_stats().hits > 0);
+        assert_eq!(
+            baseline_vol,
+            db.approx_volume_batch("A", 4, &seq, threads).unwrap(),
+            "warm store volume differs at {threads} threads"
+        );
+        // Evicting: capacity 1, alternating names.
+        let mut tiny = SpatialDatabase::with_params(params()).with_store_capacity(1);
+        populate(&mut tiny);
+        for _ in 0..2 {
+            assert_eq!(
+                baseline,
+                tiny.approx_generate_batch("A", 64, &seq, threads).unwrap(),
+                "evicting store differs at {threads} threads"
+            );
+            tiny.approx_generate_batch("B", 8, &seq, 1).unwrap();
+        }
+        assert!(tiny.store_stats().evictions > 0);
+    }
+}
+
 #[test]
 fn distinct_seeds_give_distinct_batches() {
     let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);

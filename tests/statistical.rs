@@ -532,6 +532,69 @@ fn stratified_per_cell_occupancy_matches_poisson_intervals() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Prepared-relation store audit (PR 7)
+//
+// Every gate above builds its generator *directly*, so it owns private
+// per-generator caches (fiber weights, alias tables) and never touches the
+// shared prepared-relation store: those cases are implicitly pinned to
+// store-disabled semantics and remain valid verbatim. The gates below run
+// the same statistics *through* the `SpatialDatabase` store instead, and
+// additionally pin the transfer argument bitwise: a warm, shared store
+// returns exactly the bytes of the disabled-store path, so every
+// statistical gate in this file transfers to the cached paths unchanged.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn warm_store_passes_the_uniformity_and_volume_gates() {
+    if quick_mode() {
+        return;
+    }
+    use cdb_core::SpatialDatabase;
+    let populate = |db: &mut SpatialDatabase| {
+        db.insert(
+            "Box",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+        );
+    };
+    let mut db = SpatialDatabase::with_params(params());
+    populate(&mut db);
+    let seq = SeedSequence::new(8201);
+    // Warm the store first, so the gated batch below runs entirely on the
+    // cache-hit path.
+    db.approx_generate_batch("Box", 8, &seq, 1).unwrap();
+    assert!(db.store_stats().misses > 0);
+    let batch = db.approx_generate_batch("Box", 4096, &seq, 0).unwrap();
+    assert!(
+        db.store_stats().hits > 0,
+        "gate did not exercise the warm path"
+    );
+    let pts = successes(batch.clone());
+    assert_marginal_uniform(&pts, |p| p[0], 0.0, 2.0, 16, "warm-store x0");
+    assert_marginal_uniform(&pts, |p| p[1], 0.0, 1.0, 16, "warm-store x1");
+    // (ε, δ)-volume gate through the warm store: |V̂/V − 1| within the
+    // fast-params budget for the 2×1 box.
+    let est = db.approx_volume_batch("Box", 9, &seq, 0).unwrap();
+    let err = relative_error(est, 2.0);
+    assert!(err < 0.30, "warm-store volume {est:.3} (rel err {err:.3})");
+    // Transfer pin: the disabled-store path returns the same bytes, so the
+    // two gates above are statements about *both* paths.
+    let mut disabled = SpatialDatabase::with_params(params()).with_store_capacity(0);
+    populate(&mut disabled);
+    assert_eq!(
+        batch,
+        disabled
+            .approx_generate_batch("Box", 4096, &seq, 0)
+            .unwrap(),
+        "warm-store batch is not bitwise equal to the disabled-store batch"
+    );
+    assert_eq!(
+        db.store_capacity(),
+        cdb_sampler::DEFAULT_PREPARED_STORE_CAPACITY
+    );
+    assert_eq!(disabled.store_stats().hits, 0);
+}
+
 #[test]
 fn projection_volume_eps_delta_gate() {
     if quick_mode() {

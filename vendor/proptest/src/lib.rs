@@ -438,8 +438,15 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
+                // `PROPTEST_CASES` overrides the case count (mirrors upstream
+                // proptest's env handling) so CI quick modes can dial suites
+                // down without touching each test.
+                let cases = ::std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .unwrap_or(config.cases);
                 let mut rng = $crate::test_runner::rng_for(line!() as u64);
-                for case in 0..config.cases {
+                for case in 0..cases {
                     // The body runs inside a `Result` closure so that
                     // `prop_assert!` and `return Ok(())` behave as in
                     // upstream proptest.
@@ -449,7 +456,7 @@ macro_rules! __proptest_items {
                         Ok(())
                     })();
                     if let Err(message) = outcome {
-                        panic!("property failed at case {case}/{}: {message}", config.cases);
+                        panic!("property failed at case {case}/{cases}: {message}");
                     }
                 }
             }
