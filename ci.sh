@@ -126,6 +126,17 @@ fi
 cargo test -q --test prepared_store
 stage_end
 
+stage_begin resilience
+echo "==> resilience suite (budgets, cancellation, fault injection, panic containment)"
+# Quick mode runs the same faults against smaller batches and fewer thread
+# counts (tests/resilience.rs reads CDB_RESILIENCE_QUICK).
+if [ "$QUICK" = "1" ]; then
+  CDB_RESILIENCE_QUICK=1 cargo test -q --test resilience
+else
+  cargo test -q --test resilience
+fi
+stage_end
+
 if [ "$QUICK" != "1" ]; then
   stage_begin statistical
   echo "==> statistical acceptance suite (chi-square uniformity + (eps, delta) volume gates)"

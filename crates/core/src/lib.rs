@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use rand::Rng;
@@ -51,9 +52,32 @@ use cdb_constraint::{ConstraintError, Database, Formula, GeneralizedRelation};
 use cdb_reconstruct::{PositiveQueryEstimator, ReconstructionError};
 use cdb_sampler::compose::ObservabilityError;
 use cdb_sampler::{
-    GeneratorParams, PreparedStore, PreparedStoreStats, RelationGenerator, RelationVolumeEstimator,
-    SeedSequence, UnionGenerator, WalkKind, DEFAULT_PREPARED_STORE_CAPACITY,
+    batch, BudgetTrip, GeneratorParams, PreparedStore, PreparedStoreStats, QueryBudget,
+    RelationGenerator, RelationVolumeEstimator, SeedSequence, UnionGenerator, WalkKind,
+    DEFAULT_PREPARED_STORE_CAPACITY,
 };
+
+/// The phase of query evaluation in which a failure occurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// Building the prepared generator body (certificates, pilot volume
+    /// estimates, rounding transforms).
+    Preparation,
+    /// Drawing almost-uniform points.
+    Sampling,
+    /// Estimating an `(ε, δ)` volume.
+    VolumeEstimation,
+}
+
+impl std::fmt::Display for QueryPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryPhase::Preparation => write!(f, "preparation"),
+            QueryPhase::Sampling => write!(f, "sampling"),
+            QueryPhase::VolumeEstimation => write!(f, "volume estimation"),
+        }
+    }
+}
 
 /// Errors surfaced by the high-level API.
 #[derive(Debug)]
@@ -61,9 +85,41 @@ pub enum SpatialDbError {
     /// The named relation is not stored in the database.
     UnknownRelation(String),
     /// The relation is not observable (Section 4 conditions violated).
-    NotObservable(ObservabilityError),
-    /// The generator failed (probability ≤ δ per attempt).
-    GenerationFailed,
+    NotObservable {
+        /// Name of the offending relation.
+        relation: String,
+        /// The underlying observability failure.
+        source: ObservabilityError,
+    },
+    /// The generator failed (probability ≤ δ per attempt) with no budget
+    /// involved: a genuine statistical failure, not resource exhaustion.
+    GenerationFailed {
+        /// Name of the relation being queried.
+        relation: String,
+        /// Attempts charged by the failing call before it gave up.
+        attempts: u64,
+        /// The phase that failed.
+        phase: QueryPhase,
+    },
+    /// An installed [`QueryBudget`] tripped before the query finished.
+    BudgetExhausted {
+        /// Name of the relation being queried.
+        relation: String,
+        /// Which limit tripped (steps, attempts, deadline or cancellation).
+        cause: BudgetTrip,
+        /// Batch items completed before the budget tripped (`0` for
+        /// single-draw entry points).
+        completed: usize,
+    },
+    /// A batch worker panicked; the panic was contained at the worker
+    /// boundary and surviving workers completed (see
+    /// [`SpatialDatabase::approx_generate_batch_partial`]).
+    WorkerPanicked {
+        /// Index of the panicking worker.
+        worker: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
     /// The query could not be estimated.
     Reconstruction(ReconstructionError),
     /// The symbolic evaluation failed.
@@ -74,9 +130,29 @@ impl std::fmt::Display for SpatialDbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SpatialDbError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
-            SpatialDbError::NotObservable(e) => write!(f, "relation is not observable: {e}"),
-            SpatialDbError::GenerationFailed => {
-                write!(f, "the generator failed to produce a point")
+            SpatialDbError::NotObservable { relation, source } => {
+                write!(f, "relation {relation} is not observable: {source}")
+            }
+            SpatialDbError::GenerationFailed {
+                relation,
+                attempts,
+                phase,
+            } => write!(
+                f,
+                "the generator for relation {relation} failed during {phase} \
+                 after {attempts} attempts"
+            ),
+            SpatialDbError::BudgetExhausted {
+                relation,
+                cause,
+                completed,
+            } => write!(
+                f,
+                "query budget exhausted for relation {relation}: {cause} \
+                 ({completed} items completed)"
+            ),
+            SpatialDbError::WorkerPanicked { worker, payload } => {
+                write!(f, "batch worker {worker} panicked: {payload}")
             }
             SpatialDbError::Reconstruction(e) => write!(f, "query estimation failed: {e}"),
             SpatialDbError::Symbolic(e) => write!(f, "symbolic evaluation failed: {e}"),
@@ -84,7 +160,54 @@ impl std::fmt::Display for SpatialDbError {
     }
 }
 
-impl std::error::Error for SpatialDbError {}
+impl std::error::Error for SpatialDbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpatialDbError::NotObservable { source, .. } => Some(source),
+            SpatialDbError::Reconstruction(e) => Some(e),
+            SpatialDbError::Symbolic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a `*_batch_partial` entry point produced before (and after)
+/// its first failure: partial results are first-class, not discarded.
+#[derive(Debug)]
+pub struct PartialBatch<T> {
+    /// Per-item outcomes, index-aligned with the batch seed streams. `None`
+    /// marks items whose draw failed or whose worker panicked.
+    pub results: Vec<Option<T>>,
+    /// Number of `Some` entries in `results`.
+    pub completed: usize,
+    /// The first failure encountered, if any (`None` means every item
+    /// completed).
+    pub error: Option<SpatialDbError>,
+}
+
+/// Maps a failed draw to the right error: a tripped budget is resource
+/// exhaustion ([`SpatialDbError::BudgetExhausted`]); no trip means the
+/// generator genuinely failed its δ-bounded attempt
+/// ([`SpatialDbError::GenerationFailed`]).
+fn draw_failure(
+    name: &str,
+    generator: &UnionGenerator,
+    phase: QueryPhase,
+    completed: usize,
+) -> SpatialDbError {
+    match generator.budget_trip() {
+        Some(cause) => SpatialDbError::BudgetExhausted {
+            relation: name.to_string(),
+            cause,
+            completed,
+        },
+        None => SpatialDbError::GenerationFailed {
+            relation: name.to_string(),
+            attempts: generator.budget_meter().attempts_used(),
+            phase,
+        },
+    }
+}
 
 /// SplitMix64 finalizer: decorrelates the key hash and the parameter
 /// fingerprint before they fund a preparation seed stream.
@@ -142,6 +265,9 @@ pub struct SpatialDatabase {
     /// Memo of name → canonical key (keys are content-derived, so this is
     /// pure caching; invalidated when a relation is replaced).
     keys: RwLock<HashMap<String, CanonicalKey>>,
+    /// Worker panics contained by the partial batch entry points; merged
+    /// into [`SpatialDatabase::store_stats`] as `panics_recovered`.
+    contained_panics: AtomicU64,
 }
 
 impl SpatialDatabase {
@@ -154,6 +280,7 @@ impl SpatialDatabase {
             delta: 0.1,
             store: PreparedStore::new(DEFAULT_PREPARED_STORE_CAPACITY),
             keys: RwLock::new(HashMap::new()),
+            contained_panics: AtomicU64::new(0),
         }
     }
 
@@ -166,6 +293,7 @@ impl SpatialDatabase {
             delta: params.delta,
             store: PreparedStore::new(DEFAULT_PREPARED_STORE_CAPACITY),
             keys: RwLock::new(HashMap::new()),
+            contained_panics: AtomicU64::new(0),
         }
     }
 
@@ -207,9 +335,15 @@ impl SpatialDatabase {
         &self.params
     }
 
-    /// Hit/miss/eviction counters of the prepared-relation store.
+    /// Hit/miss/eviction counters of the prepared-relation store, with this
+    /// database's containment counters merged in: `panics_recovered` counts
+    /// worker panics contained by the partial batch entry points and
+    /// `shards_rebuilt` counts poisoned store shards that were discarded and
+    /// rebuilt.
     pub fn store_stats(&self) -> PreparedStoreStats {
-        self.store.stats()
+        let mut stats = self.store.stats();
+        stats.panics_recovered = self.contained_panics.load(Ordering::Relaxed);
+        stats
     }
 
     /// Capacity of the prepared-relation store (`0` = disabled).
@@ -254,7 +388,11 @@ impl SpatialDatabase {
         });
         // Copy-on-attach: the stored body stays immutable; this query gets
         // its own mutable scratch.
-        Ok((*body.map_err(SpatialDbError::NotObservable)?).clone())
+        Ok((*body.map_err(|source| SpatialDbError::NotObservable {
+            relation: name.to_string(),
+            source,
+        })?)
+        .clone())
     }
 
     /// Draws one almost-uniform point from the named relation.
@@ -263,10 +401,27 @@ impl SpatialDatabase {
         name: &str,
         rng: &mut R,
     ) -> Result<Vec<f64>, SpatialDbError> {
+        self.approx_generate_budgeted(name, &QueryBudget::unlimited(), rng)
+    }
+
+    /// [`SpatialDatabase::approx_generate`] under an explicit
+    /// [`QueryBudget`]: the walk and retry loops check the budget's
+    /// deterministic counters at chunk boundaries and its advisory deadline
+    /// and cancellation token at the same points. A tripped budget surfaces
+    /// as [`SpatialDbError::BudgetExhausted`] naming the cause; an
+    /// un-tripped failure stays [`SpatialDbError::GenerationFailed`].
+    pub fn approx_generate_budgeted<R: Rng + ?Sized>(
+        &self,
+        name: &str,
+        budget: &QueryBudget,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, SpatialDbError> {
         let mut generator = self.prepared_generator(name)?;
-        generator
-            .sample(rng)
-            .ok_or(SpatialDbError::GenerationFailed)
+        generator.set_budget(budget.clone());
+        match generator.sample(rng) {
+            Some(point) => Ok(point),
+            None => Err(draw_failure(name, &generator, QueryPhase::Sampling, 0)),
+        }
     }
 
     /// Draws `n` almost-uniform points from the named relation (failed draws
@@ -297,6 +452,82 @@ impl SpatialDatabase {
         Ok(generator.sample_batch(n, seq, threads))
     }
 
+    /// Panic-contained, budget-aware variant of
+    /// [`SpatialDatabase::approx_generate_batch`]: every batch worker runs
+    /// behind a panic boundary, so one poisoned item cannot take down the
+    /// others — surviving workers complete, their results are returned, and
+    /// the first failure (a contained [`SpatialDbError::WorkerPanicked`], a
+    /// per-item [`SpatialDbError::BudgetExhausted`] or a genuine
+    /// [`SpatialDbError::GenerationFailed`]) rides alongside them in the
+    /// [`PartialBatch`]. The budget applies to each item independently, so
+    /// the outcome vector is identical for every thread count.
+    pub fn approx_generate_batch_partial(
+        &self,
+        name: &str,
+        n: usize,
+        seq: &SeedSequence,
+        threads: usize,
+        budget: &QueryBudget,
+    ) -> Result<PartialBatch<Vec<f64>>, SpatialDbError> {
+        let mut generator = self.prepared_generator(name)?;
+        generator.set_budget(budget.clone());
+        let report = batch::fan_out_contained(
+            n,
+            threads,
+            || generator.clone(),
+            |g, i| {
+                let mut rng = seq.item_stream(i).rng();
+                let point = g.sample(&mut rng);
+                let trip = g.budget_trip();
+                let attempts = g.budget_meter().attempts_used();
+                (point, trip, attempts)
+            },
+        );
+        self.contained_panics
+            .fetch_add(report.panics.len() as u64, Ordering::Relaxed);
+        let mut error = report
+            .panics
+            .first()
+            .map(|p| SpatialDbError::WorkerPanicked {
+                worker: p.worker,
+                payload: p.payload.clone(),
+            });
+        let mut results = Vec::with_capacity(n);
+        let mut completed = 0usize;
+        for slot in report.slots {
+            match slot {
+                Some((Some(point), _, _)) => {
+                    completed += 1;
+                    results.push(Some(point));
+                }
+                Some((None, trip, attempts)) => {
+                    if error.is_none() {
+                        error = Some(match trip {
+                            Some(cause) => SpatialDbError::BudgetExhausted {
+                                relation: name.to_string(),
+                                cause,
+                                completed,
+                            },
+                            None => SpatialDbError::GenerationFailed {
+                                relation: name.to_string(),
+                                attempts,
+                                phase: QueryPhase::Sampling,
+                            },
+                        });
+                    }
+                    results.push(None);
+                }
+                // The slot was lost to a contained worker panic.
+                None => results.push(None),
+            }
+        }
+        Ok(PartialBatch {
+            results,
+            completed,
+            error,
+        })
+    }
+
     /// Median of `repeats` parallel independent volume estimates of the named
     /// relation — the batched, thread-count-independent counterpart of
     /// [`SpatialDatabase::approx_volume`].
@@ -308,9 +539,88 @@ impl SpatialDatabase {
         threads: usize,
     ) -> Result<f64, SpatialDbError> {
         let mut generator = self.prepared_generator(name)?;
-        generator
-            .estimate_volume_median(repeats, seq, threads)
-            .ok_or(SpatialDbError::GenerationFailed)
+        match generator.estimate_volume_median(repeats, seq, threads) {
+            Some(v) => Ok(v),
+            None => Err(draw_failure(
+                name,
+                &generator,
+                QueryPhase::VolumeEstimation,
+                0,
+            )),
+        }
+    }
+
+    /// Panic-contained, budget-aware variant of
+    /// [`SpatialDatabase::approx_volume_batch`]: returns every independent
+    /// volume estimate that completed (index-aligned with the seed streams)
+    /// alongside the first failure, instead of collapsing to a median or a
+    /// single error. See
+    /// [`SpatialDatabase::approx_generate_batch_partial`] for the
+    /// containment and budget semantics.
+    pub fn approx_volume_batch_partial(
+        &self,
+        name: &str,
+        repeats: usize,
+        seq: &SeedSequence,
+        threads: usize,
+        budget: &QueryBudget,
+    ) -> Result<PartialBatch<f64>, SpatialDbError> {
+        let mut generator = self.prepared_generator(name)?;
+        generator.set_budget(budget.clone());
+        let report = batch::fan_out_contained(
+            repeats,
+            threads,
+            || generator.clone(),
+            |g, i| {
+                let mut rng = seq.item_stream(i).rng();
+                let volume = g.estimate_volume(&mut rng);
+                let trip = g.budget_trip();
+                let attempts = g.budget_meter().attempts_used();
+                (volume, trip, attempts)
+            },
+        );
+        self.contained_panics
+            .fetch_add(report.panics.len() as u64, Ordering::Relaxed);
+        let mut error = report
+            .panics
+            .first()
+            .map(|p| SpatialDbError::WorkerPanicked {
+                worker: p.worker,
+                payload: p.payload.clone(),
+            });
+        let mut results = Vec::with_capacity(repeats);
+        let mut completed = 0usize;
+        for slot in report.slots {
+            match slot {
+                Some((Some(volume), _, _)) => {
+                    completed += 1;
+                    results.push(Some(volume));
+                }
+                Some((None, trip, attempts)) => {
+                    if error.is_none() {
+                        error = Some(match trip {
+                            Some(cause) => SpatialDbError::BudgetExhausted {
+                                relation: name.to_string(),
+                                cause,
+                                completed,
+                            },
+                            None => SpatialDbError::GenerationFailed {
+                                relation: name.to_string(),
+                                attempts,
+                                phase: QueryPhase::VolumeEstimation,
+                            },
+                        });
+                    }
+                    results.push(None);
+                }
+                None => results.push(None),
+            }
+        }
+        Ok(PartialBatch {
+            results,
+            completed,
+            error,
+        })
     }
 
     /// Estimates the volume of the named relation.
@@ -319,10 +629,29 @@ impl SpatialDatabase {
         name: &str,
         rng: &mut R,
     ) -> Result<f64, SpatialDbError> {
+        self.approx_volume_budgeted(name, &QueryBudget::unlimited(), rng)
+    }
+
+    /// [`SpatialDatabase::approx_volume`] under an explicit [`QueryBudget`]
+    /// (see [`SpatialDatabase::approx_generate_budgeted`] for the trip
+    /// semantics).
+    pub fn approx_volume_budgeted<R: Rng + ?Sized>(
+        &self,
+        name: &str,
+        budget: &QueryBudget,
+        rng: &mut R,
+    ) -> Result<f64, SpatialDbError> {
         let mut generator = self.prepared_generator(name)?;
-        generator
-            .estimate_volume(rng)
-            .ok_or(SpatialDbError::GenerationFailed)
+        generator.set_budget(budget.clone());
+        match generator.estimate_volume(rng) {
+            Some(v) => Ok(v),
+            None => Err(draw_failure(
+                name,
+                &generator,
+                QueryPhase::VolumeEstimation,
+                0,
+            )),
+        }
     }
 
     /// Estimates the result set of a positive existential query (free
@@ -445,7 +774,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(204);
         assert!(matches!(
             db.approx_volume("Half", &mut rng),
-            Err(SpatialDbError::NotObservable(_))
+            Err(SpatialDbError::NotObservable { .. })
         ));
     }
 }

@@ -40,46 +40,163 @@ fn resolve_threads(threads: usize, items: usize) -> usize {
     t.clamp(1, items.max(1))
 }
 
+/// A worker panic contained by [`fan_out_contained`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the worker thread that panicked.
+    pub worker: usize,
+    /// The panic payload, rendered as a string (`"non-string panic payload"`
+    /// when the payload was neither `&str` nor `String`).
+    pub payload: String,
+}
+
+/// The outcome of a contained fan-out: per-index result slots (a slot is
+/// `None` when its worker panicked before reaching it) and the contained
+/// panics in worker order.
+#[derive(Debug)]
+pub struct FanOutReport<T> {
+    /// Result of item `i`, or `None` when worker panic aborted the item.
+    pub slots: Vec<Option<T>>,
+    /// The panics contained during the fan-out, ordered by worker index.
+    pub panics: Vec<WorkerPanic>,
+}
+
+impl<T> FanOutReport<T> {
+    /// Number of items that completed.
+    pub fn completed(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `task(state, i)` for every `i in 0..n` across up to `threads` scoped
+/// worker threads, containing per-worker panics.
+///
+/// Each worker builds its own state once via `init` (typically a clone of a
+/// prepared generator) and processes a contiguous chunk of indices. A panic
+/// inside `init` or `task` is caught at the worker boundary
+/// (`catch_unwind` + `AssertUnwindSafe`): the panicking worker's remaining
+/// items stay `None`, **every surviving worker runs to completion**, and the
+/// panic surfaces as a structured [`WorkerPanic`] instead of unwinding the
+/// scope. Provided `task`'s output depends only on the index (and immutable
+/// parts of the state), the filled slots are independent of the thread count.
+pub fn fan_out_contained<T, S, I, F>(n: usize, threads: usize, init: I, task: F) -> FanOutReport<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let threads = resolve_threads(threads, n);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut panics: Vec<WorkerPanic> = Vec::new();
+    if threads == 1 {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut state = init();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                crate::faults::before_item(i);
+                *slot = Some(task(&mut state, i));
+            }
+        }));
+        if let Err(payload) = outcome {
+            panics.push(WorkerPanic {
+                worker: 0,
+                payload: payload_string(payload),
+            });
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, piece) in slots.chunks_mut(chunk).enumerate() {
+                let init = &init;
+                let task = &task;
+                handles.push((
+                    w,
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut state = init();
+                            for (k, slot) in piece.iter_mut().enumerate() {
+                                let i = w * chunk + k;
+                                crate::faults::before_item(i);
+                                *slot = Some(task(&mut state, i));
+                            }
+                        }))
+                        .err()
+                        .map(payload_string)
+                    }),
+                ));
+            }
+            for (w, handle) in handles {
+                match handle.join() {
+                    Ok(Some(payload)) => panics.push(WorkerPanic { worker: w, payload }),
+                    Ok(None) => {}
+                    // The worker itself cannot unwind past catch_unwind, so
+                    // a join error only happens on a non-unwinding abort path;
+                    // record it defensively.
+                    Err(payload) => panics.push(WorkerPanic {
+                        worker: w,
+                        payload: payload_string(payload),
+                    }),
+                }
+            }
+        });
+    }
+    FanOutReport { slots, panics }
+}
+
+/// [`fan_out_contained`] for infallible tasks: returns the results in index
+/// order, or the first contained [`WorkerPanic`] if any worker panicked
+/// (surviving workers still run to completion first).
+pub fn try_fan_out<T, S, I, F>(
+    n: usize,
+    threads: usize,
+    init: I,
+    task: F,
+) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let report = fan_out_contained(n, threads, init, task);
+    if let Some(panic) = report.panics.into_iter().next() {
+        return Err(panic);
+    }
+    Ok(report
+        .slots
+        .into_iter()
+        .map(|s| s.expect("every slot is filled by exactly one worker"))
+        .collect())
+}
+
 /// Runs `task(state, i)` for every `i in 0..n` across up to `threads` scoped
 /// worker threads and returns the results in index order.
 ///
-/// Each worker builds its own state once via `init` (typically a clone of a
-/// prepared generator) and processes a contiguous chunk of indices. Provided
-/// `task`'s output depends only on the index (and immutable parts of the
-/// state), the result vector is independent of the thread count.
+/// Infallible convenience wrapper over [`fan_out_contained`]: a worker panic
+/// is re-raised on the calling thread (with the worker index and payload in
+/// the message) after the surviving workers have completed. Callers that
+/// need partial results instead of a propagated panic use
+/// [`fan_out_contained`] or [`try_fan_out`].
 pub fn fan_out<T, S, I, F>(n: usize, threads: usize, init: I, task: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    let threads = resolve_threads(threads, n);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    if threads == 1 {
-        let mut state = init();
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(task(&mut state, i));
-        }
-    } else {
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (w, piece) in slots.chunks_mut(chunk).enumerate() {
-                let init = &init;
-                let task = &task;
-                scope.spawn(move || {
-                    let mut state = init();
-                    for (k, slot) in piece.iter_mut().enumerate() {
-                        *slot = Some(task(&mut state, w * chunk + k));
-                    }
-                });
-            }
-        });
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot is filled by exactly one worker"))
-        .collect()
+    try_fan_out(n, threads, init, task)
+        .unwrap_or_else(|p| panic!("batch worker {} panicked: {}", p.worker, p.payload))
 }
 
 /// Parallel counterpart of [`RelationGenerator::sample_batch`] for a
@@ -172,5 +289,68 @@ mod tests {
     #[test]
     fn auto_threads_is_positive() {
         assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn contained_fan_out_completes_surviving_workers() {
+        // The empty-plan guard serializes fault tests and silences the
+        // deliberate "injected…" panic messages in the test logs.
+        let _quiet = crate::faults::FaultPlan::new(0).install();
+        // Worker 0 (items 0..4) panics at item 1; the other workers must
+        // still fill every one of their slots.
+        let report = fan_out_contained(
+            16,
+            4,
+            || (),
+            |_, i| {
+                if i == 1 {
+                    panic!("injected: boom at {i}");
+                }
+                i * 3
+            },
+        );
+        assert_eq!(report.panics.len(), 1);
+        assert_eq!(report.panics[0].worker, 0);
+        assert!(report.panics[0].payload.contains("boom at 1"));
+        assert_eq!(report.slots[0], Some(0));
+        assert_eq!(report.slots[1], None);
+        for i in 4..16 {
+            assert_eq!(report.slots[i], Some(i * 3), "slot {i}");
+        }
+        assert_eq!(report.completed(), 13);
+    }
+
+    #[test]
+    fn contained_fan_out_single_thread_contains_too() {
+        let _quiet = crate::faults::FaultPlan::new(0).install();
+        let report = fan_out_contained(
+            4,
+            1,
+            || (),
+            |_, i| {
+                assert!(i != 2, "injected: dead item");
+                i
+            },
+        );
+        assert_eq!(report.panics.len(), 1);
+        assert_eq!(report.slots, vec![Some(0), Some(1), None, None]);
+    }
+
+    #[test]
+    fn try_fan_out_surfaces_the_first_panic() {
+        let _quiet = crate::faults::FaultPlan::new(0).install();
+        let err = try_fan_out(
+            8,
+            2,
+            || (),
+            |_, i| {
+                assert!(i != 6, "injected: item six");
+                i
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.worker, 1);
+        assert!(err.payload.contains("item six"));
+        assert_eq!(try_fan_out(3, 2, || (), |_, i| i).unwrap(), vec![0, 1, 2]);
     }
 }

@@ -1,0 +1,351 @@
+//! Query budgets and cooperative cancellation.
+//!
+//! A [`QueryBudget`] bounds the work a single draw or volume estimate may
+//! perform. It separates two kinds of limits explicitly:
+//!
+//! * **Deterministic counters** — [`QueryBudget::max_steps`] (walk steps) and
+//!   [`QueryBudget::max_attempts`] (retry-loop iterations). These are counted
+//!   per query call, never consult the clock, and never consume randomness,
+//!   so a budgeted run either finishes identically to an unbudgeted one or
+//!   trips at exactly the same step for every thread count. They are the
+//!   limits to use when reproducibility matters (tests, replayable traces).
+//! * **Advisory limits** — a wall-clock [`QueryBudget::deadline`] and a
+//!   shareable [`CancelToken`]. These depend on real time and on when another
+//!   thread flips the token, so *where* they trip is not reproducible; they
+//!   exist for operational control (request timeouts, client disconnects).
+//!
+//! All four are checked cooperatively at the same coarse boundaries: walk
+//! loops check once per granted chunk (at most
+//! [`crate::WalkScratch::REFRESH_PERIOD`] steps) and retry loops check once
+//! per attempt. There are **zero** budget checks on the hot path between
+//! those boundaries, and with no budget installed the checks reduce to one
+//! branch per boundary — the unbudgeted path is bitwise identical to a build
+//! without this module (gated by `tests/determinism.rs`).
+//!
+//! The module also owns the documented attempt-ceiling defaults that were
+//! previously scattered across `rejection.rs`, `projection.rs`,
+//! `intersection.rs` and `difference.rs`, so there is one place to tune them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default cap on rejection attempts per sample for the bounding-box
+/// baseline ([`crate::RejectionSampler`]): generous enough for the benchmark
+/// workloads whose acceptance rate the experiments measure, small enough that
+/// a pathological body fails in milliseconds instead of spinning.
+pub const DEFAULT_REJECTION_ATTEMPT_CAP: usize = 100_000;
+
+/// Default number of bounding-box Monte-Carlo trials per rejection volume
+/// estimate (the [`crate::RejectionSampler`] volume path).
+pub const DEFAULT_REJECTION_VOLUME_TRIALS: usize = 4_000;
+
+/// Hard clamp on the projection rejection budget `d³/(ε·γ)·ln(1/δ)`
+/// (Algorithm 2's retry bound grows cubically with the fiber dimension; past
+/// this many attempts the acceptance rate is hopeless and the query should
+/// fail rather than spin).
+pub const PROJECTION_RETRY_CAP: usize = 500_000;
+
+/// Multiplier applied to `GeneratorParams::retry_rounds()` by the
+/// intersection and difference generators, whose acceptance rate is the
+/// volume *ratio* of the operands rather than a per-component constant.
+pub const COMPOSE_ATTEMPT_FACTOR: usize = 32;
+
+/// A shareable cancellation flag.
+///
+/// Clone the token, hand one clone to the query (via
+/// [`QueryBudget::with_cancel`]) and keep the other; calling
+/// [`CancelToken::cancel`] from any thread makes the query trip with
+/// [`BudgetTrip::Cancelled`] at its next cooperative check point.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a budgeted query stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetTrip {
+    /// The deterministic walk-step counter ran out.
+    Steps,
+    /// The deterministic attempt counter ran out.
+    Attempts,
+    /// The advisory wall-clock deadline passed.
+    Deadline,
+    /// The query's [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl std::fmt::Display for BudgetTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetTrip::Steps => write!(f, "walk-step budget exhausted"),
+            BudgetTrip::Attempts => write!(f, "attempt budget exhausted"),
+            BudgetTrip::Deadline => write!(f, "deadline passed"),
+            BudgetTrip::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Work limits for one query (one draw, or one volume estimate).
+///
+/// The default budget is unlimited. Limits compose: the query trips on
+/// whichever limit is reached first. In a batch, the budget applies **per
+/// item** — each item's draw re-arms the counters, so an item's outcome is a
+/// pure function of its seed stream and the budget, independent of thread
+/// count.
+#[derive(Clone, Debug, Default)]
+pub struct QueryBudget {
+    /// Deterministic cap on walk steps per query call (`None` = unlimited).
+    pub max_steps: Option<u64>,
+    /// Deterministic cap on retry-loop attempts per query call.
+    pub max_attempts: Option<u64>,
+    /// Advisory wall-clock deadline, checked at the cooperative boundaries.
+    pub deadline: Option<Instant>,
+    /// Advisory cancellation token, checked at the cooperative boundaries.
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryBudget {
+    /// A budget with no limits: bitwise identical to running without one.
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Whether no limit of any kind is installed.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none()
+            && self.max_attempts.is_none()
+            && self.deadline.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Sets the deterministic walk-step cap.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Sets the deterministic attempt cap.
+    pub fn with_max_attempts(mut self, attempts: u64) -> Self {
+        self.max_attempts = Some(attempts);
+        self
+    }
+
+    /// Sets the advisory wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the advisory deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Per-call runtime state of a [`QueryBudget`]: remaining counters, usage
+/// tallies and the first trip. Re-armed at the head of every query call;
+/// the default meter is unlimited and its checks are a single branch.
+#[derive(Clone, Debug, Default)]
+pub struct BudgetMeter {
+    limited: bool,
+    steps_left: u64,
+    attempts_left: u64,
+    steps_used: u64,
+    attempts_used: u64,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    trip: Option<BudgetTrip>,
+}
+
+impl BudgetMeter {
+    /// Arms a meter for one query call under `budget`.
+    pub fn new(budget: &QueryBudget) -> Self {
+        BudgetMeter {
+            limited: !budget.is_unlimited(),
+            steps_left: budget.max_steps.unwrap_or(u64::MAX),
+            attempts_left: budget.max_attempts.unwrap_or(u64::MAX),
+            steps_used: 0,
+            attempts_used: 0,
+            deadline: budget.deadline,
+            cancel: budget.cancel.clone(),
+            trip: None,
+        }
+    }
+
+    /// An unlimited meter (the no-budget fast path).
+    pub fn unlimited() -> Self {
+        BudgetMeter::default()
+    }
+
+    /// Whether any limit is installed.
+    pub fn is_limited(&self) -> bool {
+        self.limited
+    }
+
+    /// The first limit that tripped, if any.
+    pub fn trip(&self) -> Option<BudgetTrip> {
+        self.trip
+    }
+
+    /// Walk steps granted so far this call.
+    pub fn steps_used(&self) -> u64 {
+        self.steps_used
+    }
+
+    /// Attempts charged so far this call.
+    pub fn attempts_used(&self) -> u64 {
+        self.attempts_used
+    }
+
+    fn check_advisory(&mut self) {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                self.trip = Some(BudgetTrip::Cancelled);
+                return;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.trip = Some(BudgetTrip::Deadline);
+            }
+        }
+    }
+
+    /// Grants up to `want` walk steps, returning how many the caller may run
+    /// before checking in again. Returns `0` once any limit has tripped; on
+    /// the unlimited path this is a single branch and grants `want` whole.
+    pub fn grant_steps(&mut self, want: usize) -> usize {
+        if !self.limited {
+            return want;
+        }
+        if self.trip.is_some() {
+            return 0;
+        }
+        self.check_advisory();
+        if self.trip.is_some() {
+            return 0;
+        }
+        let granted = (want as u64).min(self.steps_left);
+        if granted == 0 && want > 0 {
+            self.trip = Some(BudgetTrip::Steps);
+            return 0;
+        }
+        self.steps_left -= granted;
+        self.steps_used += granted;
+        granted as usize
+    }
+
+    /// Charges one retry-loop attempt, returning `false` once any limit has
+    /// tripped (the caller must abandon the loop).
+    pub fn charge_attempt(&mut self) -> bool {
+        if self.limited {
+            if self.trip.is_some() {
+                return false;
+            }
+            self.check_advisory();
+            if self.trip.is_some() {
+                return false;
+            }
+            if self.attempts_left == 0 {
+                self.trip = Some(BudgetTrip::Attempts);
+                return false;
+            }
+            self.attempts_left -= 1;
+        }
+        self.attempts_used += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_meter_grants_everything() {
+        let mut m = BudgetMeter::unlimited();
+        assert!(!m.is_limited());
+        assert_eq!(m.grant_steps(1024), 1024);
+        assert!(m.charge_attempt());
+        assert_eq!(m.trip(), None);
+        assert_eq!(m.attempts_used(), 1);
+    }
+
+    #[test]
+    fn step_budget_trips_at_the_exact_step() {
+        let budget = QueryBudget::unlimited().with_max_steps(1500);
+        let mut m = BudgetMeter::new(&budget);
+        assert_eq!(m.grant_steps(1024), 1024);
+        assert_eq!(m.grant_steps(1024), 476);
+        assert_eq!(m.trip(), None);
+        assert_eq!(m.grant_steps(1024), 0);
+        assert_eq!(m.trip(), Some(BudgetTrip::Steps));
+        assert_eq!(m.steps_used(), 1500);
+    }
+
+    #[test]
+    fn attempt_budget_trips_after_the_cap() {
+        let budget = QueryBudget::unlimited().with_max_attempts(2);
+        let mut m = BudgetMeter::new(&budget);
+        assert!(m.charge_attempt());
+        assert!(m.charge_attempt());
+        assert!(!m.charge_attempt());
+        assert_eq!(m.trip(), Some(BudgetTrip::Attempts));
+        assert_eq!(m.attempts_used(), 2);
+    }
+
+    #[test]
+    fn cancel_token_trips_every_clone() {
+        let token = CancelToken::new();
+        let budget = QueryBudget::unlimited().with_cancel(token.clone());
+        let mut m = BudgetMeter::new(&budget);
+        assert_eq!(m.grant_steps(64), 64);
+        token.cancel();
+        assert_eq!(m.grant_steps(64), 0);
+        assert_eq!(m.trip(), Some(BudgetTrip::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_trips_immediately() {
+        let budget =
+            QueryBudget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        let mut m = BudgetMeter::new(&budget);
+        assert!(!m.charge_attempt());
+        assert_eq!(m.trip(), Some(BudgetTrip::Deadline));
+    }
+
+    #[test]
+    fn trips_are_sticky() {
+        let budget = QueryBudget::unlimited().with_max_steps(10);
+        let mut m = BudgetMeter::new(&budget);
+        assert_eq!(m.grant_steps(10), 10);
+        assert_eq!(m.grant_steps(1), 0);
+        assert_eq!(m.grant_steps(1), 0);
+        assert!(!m.charge_attempt());
+        assert_eq!(m.trip(), Some(BudgetTrip::Steps));
+    }
+}

@@ -7,6 +7,7 @@ use rand::Rng;
 use cdb_constraint::GeneralizedRelation;
 
 use crate::batch;
+use crate::budget::{BudgetMeter, BudgetTrip, QueryBudget, COMPOSE_ATTEMPT_FACTOR};
 use crate::compose::union::UnionGenerator;
 use crate::compose::ObservabilityError;
 use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
@@ -20,6 +21,12 @@ pub struct DifferenceGenerator {
     attempts: u64,
     accepted: u64,
     min_acceptance: f64,
+    /// Work limits installed by [`RelationGenerator::set_budget`]; forwarded
+    /// to the minuend so each constituent draw is individually bounded, while
+    /// this generator's own rejection loop charges `meter`.
+    budget: QueryBudget,
+    /// Per-call attempt meter of the rejection loop.
+    meter: BudgetMeter,
 }
 
 impl DifferenceGenerator {
@@ -38,6 +45,8 @@ impl DifferenceGenerator {
             attempts: 0,
             accepted: 0,
             min_acceptance: 1e-4,
+            budget: QueryBudget::unlimited(),
+            meter: BudgetMeter::unlimited(),
         })
     }
 
@@ -62,8 +71,12 @@ impl RelationGenerator for DifferenceGenerator {
     }
 
     fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
-        let max_attempts = self.params.retry_rounds() * 32;
+        self.meter = BudgetMeter::new(&self.budget);
+        let max_attempts = self.params.retry_rounds() * COMPOSE_ATTEMPT_FACTOR;
         for _ in 0..max_attempts {
+            if !self.meter.charge_attempt() {
+                return None;
+            }
             let x = self.minuend.sample(rng)?;
             self.attempts += 1;
             if !self.subtrahend.contains_f64(&x) {
@@ -76,6 +89,15 @@ impl RelationGenerator for DifferenceGenerator {
 
     fn prepare(&mut self, seq: &SeedSequence) {
         self.minuend.prepare(seq);
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        self.minuend.set_budget(budget.clone());
+        self.budget = budget;
+    }
+
+    fn budget_trip(&self) -> Option<BudgetTrip> {
+        self.meter.trip().or_else(|| self.minuend.budget_trip())
     }
 
     fn sample_batch(
@@ -105,11 +127,15 @@ impl RelationVolumeEstimator for DifferenceGenerator {
     }
 
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        self.meter = BudgetMeter::new(&self.budget);
         let mu1 = self.minuend.estimate_volume(rng)?;
         let trials = self.params.samples_per_phase();
         let mut hits = 0usize;
         let mut produced = 0usize;
         for _ in 0..trials {
+            if !self.meter.charge_attempt() {
+                return None;
+            }
             if let Some(x) = self.minuend.sample(rng) {
                 produced += 1;
                 self.attempts += 1;
@@ -117,6 +143,10 @@ impl RelationVolumeEstimator for DifferenceGenerator {
                     hits += 1;
                     self.accepted += 1;
                 }
+            } else if self.minuend.budget_trip().is_some() {
+                // Once the minuend's budget trips, every further draw would
+                // re-exhaust it; give up instead of burning the trials.
+                return None;
             }
         }
         if produced == 0 {

@@ -13,6 +13,7 @@ use rand::Rng;
 use cdb_constraint::GeneralizedRelation;
 
 use crate::batch;
+use crate::budget::{BudgetMeter, BudgetTrip, QueryBudget, COMPOSE_ATTEMPT_FACTOR};
 use crate::compose::union::UnionGenerator;
 use crate::compose::ObservabilityError;
 use crate::params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};
@@ -30,6 +31,12 @@ pub struct IntersectionGenerator {
     accepted: u64,
     /// Acceptance rate below which the operands are declared not poly-related.
     min_acceptance: f64,
+    /// Work limits installed by [`RelationGenerator::set_budget`]; forwarded
+    /// to every operand generator, so each constituent draw is individually
+    /// bounded while this generator's own rejection loop charges `meter`.
+    budget: QueryBudget,
+    /// Per-call attempt meter of the rejection loop.
+    meter: BudgetMeter,
 }
 
 impl IntersectionGenerator {
@@ -59,6 +66,8 @@ impl IntersectionGenerator {
             // between the volumes; operationally we flag anything below this
             // floor as "not poly-related" evidence.
             min_acceptance: 1e-4,
+            budget: QueryBudget::unlimited(),
+            meter: BudgetMeter::unlimited(),
         })
     }
 
@@ -82,10 +91,17 @@ impl IntersectionGenerator {
         if let Some(j) = self.smallest {
             return j;
         }
+        let budget = self.budget.clone();
         let mut best = 0usize;
         let mut best_vol = f64::INFINITY;
         for (i, g) in self.generators.iter_mut().enumerate() {
+            // The pilot estimates are one-time setup: running them under a
+            // query budget could cache a garbage "smallest" choice that
+            // contaminates every later query, so they run unbudgeted and the
+            // operand budget is restored afterwards.
+            g.set_budget(QueryBudget::unlimited());
             let v = g.estimate_volume(rng).unwrap_or(f64::INFINITY);
+            g.set_budget(budget.clone());
             if v < best_vol {
                 best_vol = v;
                 best = i;
@@ -110,9 +126,13 @@ impl RelationGenerator for IntersectionGenerator {
     }
 
     fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        self.meter = BudgetMeter::new(&self.budget);
         let j = self.ensure_smallest(rng);
-        let max_attempts = self.params.retry_rounds() * 32;
+        let max_attempts = self.params.retry_rounds() * COMPOSE_ATTEMPT_FACTOR;
         for _ in 0..max_attempts {
+            if !self.meter.charge_attempt() {
+                return None;
+            }
             let x = self.generators[j].sample(rng)?;
             self.attempts += 1;
             if self.in_all_others(&x, j) {
@@ -139,6 +159,19 @@ impl RelationGenerator for IntersectionGenerator {
         self.prepare(seq);
         batch::sample_batch_prepared(self, n, seq, threads)
     }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        for g in &mut self.generators {
+            g.set_budget(budget.clone());
+        }
+        self.budget = budget;
+    }
+
+    fn budget_trip(&self) -> Option<BudgetTrip> {
+        self.meter
+            .trip()
+            .or_else(|| self.generators.iter().find_map(|g| g.budget_trip()))
+    }
 }
 
 impl RelationVolumeEstimator for IntersectionGenerator {
@@ -157,12 +190,16 @@ impl RelationVolumeEstimator for IntersectionGenerator {
     }
 
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        self.meter = BudgetMeter::new(&self.budget);
         let j = self.ensure_smallest(rng);
         let mu_j = self.generators[j].estimate_volume(rng)?;
         let trials = self.params.samples_per_phase();
         let mut hits = 0usize;
         let mut produced = 0usize;
         for _ in 0..trials {
+            if !self.meter.charge_attempt() {
+                return None;
+            }
             if let Some(x) = self.generators[j].sample(rng) {
                 produced += 1;
                 self.attempts += 1;
@@ -170,6 +207,11 @@ impl RelationVolumeEstimator for IntersectionGenerator {
                     hits += 1;
                     self.accepted += 1;
                 }
+            } else if self.generators[j].budget_trip().is_some() {
+                // Each failed draw would re-arm and re-exhaust the operand's
+                // budget; once one trips there is no point burning the rest
+                // of the trials.
+                return None;
             }
         }
         if produced == 0 {

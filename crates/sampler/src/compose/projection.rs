@@ -32,6 +32,7 @@ use cdb_geometry::fiber::FiberTemplate;
 use cdb_geometry::{volume::polytope_volume, GammaGrid, HPolytope, Halfspace};
 
 use crate::batch;
+use crate::budget::{BudgetTrip, QueryBudget, PROJECTION_RETRY_CAP};
 use crate::compose::fiber_weight::{FiberVolume, FiberWeightCache, ProjectionParams};
 use crate::compose::stratified::{CellRange, CellSelection, CoarseMap, StratifiedCells};
 use crate::compose::ObservabilityError;
@@ -117,6 +118,12 @@ pub struct ProjectionGenerator {
     accepted: u64,
     /// Per-generator walk workspace (cloned per batch worker).
     scratch: WalkScratch,
+    /// Work limits installed by [`RelationGenerator::set_budget`]; armed on
+    /// the scratch meter at each query-call head. Fiber-weight cache fills
+    /// are deliberately exempt (see
+    /// [`ProjectionGenerator::estimated_fiber_volume`]): a truncated fill
+    /// would poison the memo table for every later query.
+    budget: QueryBudget,
 }
 
 impl ProjectionGenerator {
@@ -229,6 +236,7 @@ impl ProjectionGenerator {
             attempts: 0,
             accepted: 0,
             scratch: WalkScratch::new(),
+            budget: QueryBudget::unlimited(),
         })
     }
 
@@ -436,6 +444,12 @@ impl ProjectionGenerator {
     /// the fiber, funded by an RNG stream derived from the cell-key hash so
     /// the result is a pure function of `(weight_seed, cell)` — identical
     /// across cache states, worker clones and thread counts.
+    ///
+    /// The fill runs with the query budget meter set aside: a memoized
+    /// weight must stay a pure function of its cell, and a fill truncated by
+    /// a budget would be cached and poison every later query — including
+    /// unbudgeted ones. Budgets bound the query's own walks and attempts;
+    /// weight fills are store-level setup work.
     fn estimated_fiber_volume(&mut self, y: &[f64], key_hash: u64) -> f64 {
         let fiber = self.fiber.at(y).clone();
         // Degenerate or empty fibers (cells straddling the boundary) carry
@@ -446,7 +460,10 @@ impl ProjectionGenerator {
         let body = ConvexBody::from_polytope_cert(fiber, cert);
         let mut rng = SeedSequence::new(self.weight_seed).child(key_hash).rng();
         let estimator = DfkSampler::new(body, self.params.estimator_params(), &mut rng);
-        estimator.estimate_volume_with(&mut rng, &mut self.scratch)
+        let saved = self.scratch.take_meter();
+        let vol = estimator.estimate_volume_with(&mut rng, &mut self.scratch);
+        self.scratch.restore_meter(saved);
+        vol
     }
 
     /// Projects a full-dimensional point onto the kept coordinates.
@@ -462,7 +479,7 @@ impl ProjectionGenerator {
         let rounds = ((d.pow(3) as f64 / (self.params.base.eps * self.params.base.gamma))
             * (1.0 / self.params.base.delta).ln())
         .ceil() as usize;
-        rounds.clamp(self.params.base.retry_rounds(), 500_000)
+        rounds.clamp(self.params.base.retry_rounds(), PROJECTION_RETRY_CAP)
     }
 
     /// Builds the lazy stratified state. Consumes **no sampling
@@ -526,6 +543,11 @@ impl ProjectionGenerator {
         if self.strata.is_none() {
             return None;
         }
+        // One alias draw per call: charge one attempt so cancellation and
+        // deadlines still reach the (otherwise loop-free) fast path.
+        if !self.scratch.budget_meter_mut().charge_attempt() {
+            return None;
+        }
         self.attempts += 1;
         self.accepted += 1;
         let key = {
@@ -549,6 +571,9 @@ impl ProjectionGenerator {
         let mut coarse_key = Vec::with_capacity(self.keep.len());
         let mut drawn = None;
         for _ in 0..self.retry_budget() {
+            if !self.scratch.budget_meter_mut().charge_attempt() {
+                break;
+            }
             map.sample_coarse(rng, &mut coarse_key);
             let cell = map.fine_cell(&coarse_key, |k| self.cell_mass_keyed(k));
             self.attempts += 1;
@@ -577,7 +602,12 @@ impl ProjectionGenerator {
     /// enumerated cells — exact at grid resolution, consuming no
     /// randomness. The rejection and coarse-to-fine strategies use the
     /// paper's estimator `vol(T) = vol(S) · E[1/ĥ] / p^{d−e}`.
+    /// Note on budgets: when a [`QueryBudget`] installed through
+    /// [`RelationGenerator::set_budget`] trips mid-estimate, the returned
+    /// value is truncated garbage; the [`RelationVolumeEstimator`] wrapper
+    /// detects the trip and reports `None` instead.
     pub fn estimate_projection_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.scratch.arm_budget(&self.budget);
         if self.fiber_coords.is_empty() {
             return self.sampler.estimate_volume_with(rng, &mut self.scratch);
         }
@@ -592,7 +622,14 @@ impl ProjectionGenerator {
         let trials = self.params.base.samples_per_phase();
         let mut sum_inv = 0.0;
         for _ in 0..trials {
+            if !self.scratch.budget_meter_mut().charge_attempt() {
+                return 0.0;
+            }
             let x = self.sampler.sample_with(rng, &mut self.scratch);
+            if self.scratch.budget_trip().is_some() {
+                // The walk was truncated: x is not almost-uniform on S.
+                return 0.0;
+            }
             let y = self.project(&x);
             sum_inv += 1.0 / self.compensation_weight(&y);
         }
@@ -607,8 +644,13 @@ impl RelationGenerator for ProjectionGenerator {
     }
 
     fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        self.scratch.arm_budget(&self.budget);
         if self.fiber_coords.is_empty() {
             let x = self.sampler.sample_with(rng, &mut self.scratch);
+            if self.scratch.budget_trip().is_some() {
+                // The walk was truncated: x is not almost-uniform.
+                return None;
+            }
             return Some(self.project(&x));
         }
         match self.selection {
@@ -617,7 +659,13 @@ impl RelationGenerator for ProjectionGenerator {
             CellSelection::Rejection | CellSelection::Auto => {}
         }
         for _ in 0..self.retry_budget() {
+            if !self.scratch.budget_meter_mut().charge_attempt() {
+                return None;
+            }
             let x = self.sampler.sample_with(rng, &mut self.scratch);
+            if self.scratch.budget_trip().is_some() {
+                return None;
+            }
             let y = self.project(&x);
             let h = self.compensation_weight(&y);
             self.attempts += 1;
@@ -635,7 +683,18 @@ impl RelationGenerator for ProjectionGenerator {
     // warm-up — a worker that rebuilt it from scratch would draw the same
     // stream bit for bit.
     fn prepare(&mut self, _seq: &SeedSequence) {
+        // Setup work is store-charged: never let a stale query meter (or an
+        // armed budget) truncate the selector build.
+        self.scratch.disarm_budget();
         self.ensure_selector();
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    fn budget_trip(&self) -> Option<BudgetTrip> {
+        self.scratch.budget_trip()
     }
 
     // Worker clones carry the current cache contents; memoized weights are
@@ -653,10 +712,16 @@ impl RelationGenerator for ProjectionGenerator {
 
 impl RelationVolumeEstimator for ProjectionGenerator {
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
-        Some(self.estimate_projection_volume(rng))
+        let v = self.estimate_projection_volume(rng);
+        if self.scratch.budget_trip().is_some() {
+            // A tripped budget leaves a truncated (garbage) estimate.
+            return None;
+        }
+        Some(v)
     }
 
     fn prepare_estimator(&mut self, _seq: &SeedSequence) {
+        self.scratch.disarm_budget();
         self.ensure_selector();
     }
 

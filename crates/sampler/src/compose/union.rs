@@ -13,6 +13,7 @@ use rand::Rng;
 use cdb_constraint::GeneralizedRelation;
 
 use crate::batch;
+use crate::budget::{BudgetTrip, QueryBudget};
 use crate::compose::ObservabilityError;
 use crate::dfk::DfkSampler;
 use crate::oracle::ConvexBody;
@@ -33,6 +34,9 @@ pub struct UnionGenerator {
     /// estimate (each batch worker clones the generator and with it gets its
     /// own scratch).
     scratch: WalkScratch,
+    /// Work limits installed by [`RelationGenerator::set_budget`]; the
+    /// scratch meter is re-armed from this at the head of every query call.
+    budget: QueryBudget,
 }
 
 impl UnionGenerator {
@@ -84,6 +88,7 @@ impl UnionGenerator {
             params,
             initialized: false,
             scratch: WalkScratch::new(),
+            budget: QueryBudget::unlimited(),
         })
     }
 
@@ -118,6 +123,27 @@ impl UnionGenerator {
         self.initialized = true;
     }
 
+    /// If the armed budget tripped during lazy initialization, the pilot
+    /// volumes are truncated garbage: throw the half-built setup away so the
+    /// next (budgeted or not) call rebuilds it cleanly instead of sampling
+    /// against corrupt component weights. Returns `true` when it rolled back.
+    fn rollback_if_init_tripped(&mut self) -> bool {
+        if self.scratch.budget_trip().is_some() {
+            self.samplers.clear();
+            self.volumes.clear();
+            self.initialized = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Usage tallies of the most recent budgeted query call (diagnostics and
+    /// the determinism suite's exhaustion-point assertions).
+    pub fn budget_meter(&self) -> &crate::budget::BudgetMeter {
+        self.scratch.budget_meter()
+    }
+
     /// Chooses a component index with probability proportional to `μ̂_i`
     /// (step (3) of Algorithm 1).
     fn choose_component<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
@@ -144,11 +170,25 @@ impl RelationGenerator for UnionGenerator {
     }
 
     fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        if crate::faults::forced_draw_failure() {
+            return None;
+        }
+        self.scratch.arm_budget(&self.budget);
         self.ensure_initialized(rng);
+        if self.rollback_if_init_tripped() {
+            return None;
+        }
         // Repeat k = 4 ln(1/δ) times (the proof of Theorem 4.1).
         for _ in 0..self.params.retry_rounds() {
+            if !self.scratch.budget_meter_mut().charge_attempt() {
+                return None;
+            }
             let j = self.choose_component(rng);
             let x = self.samplers[j].sample_with(rng, &mut self.scratch);
+            if self.scratch.budget_trip().is_some() {
+                // The walk was truncated mid-chain; x is not almost-uniform.
+                return None;
+            }
             // Accept only when j is the first component containing x, so the
             // output distribution is uniform on the union rather than on the
             // disjoint sum of the components.
@@ -160,7 +200,19 @@ impl RelationGenerator for UnionGenerator {
     }
 
     fn prepare(&mut self, seq: &SeedSequence) {
+        // Setup is charged to the preparation phase, never to a query budget
+        // (and a meter left tripped by a previous budgeted call must not
+        // truncate it), so the meter is explicitly disarmed first.
+        self.scratch.disarm_budget();
         self.ensure_initialized(&mut seq.setup_stream().rng());
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    fn budget_trip(&self) -> Option<BudgetTrip> {
+        self.scratch.budget_trip()
     }
 
     fn sample_batch(
@@ -190,7 +242,14 @@ impl RelationVolumeEstimator for UnionGenerator {
     }
 
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        if crate::faults::forced_draw_failure() {
+            return None;
+        }
+        self.scratch.arm_budget(&self.budget);
         self.ensure_initialized(rng);
+        if self.rollback_if_init_tripped() {
+            return None;
+        }
         let total: f64 = self.volumes.iter().sum();
         if total <= 0.0 {
             return Some(0.0);
@@ -199,8 +258,14 @@ impl RelationVolumeEstimator for UnionGenerator {
         let trials = self.params.samples_per_phase();
         let mut accepted = 0usize;
         for _ in 0..trials {
+            if !self.scratch.budget_meter_mut().charge_attempt() {
+                return None;
+            }
             let j = self.choose_component(rng);
             let x = self.samplers[j].sample_with(rng, &mut self.scratch);
+            if self.scratch.budget_trip().is_some() {
+                return None;
+            }
             if self.first_index(&x) == Some(j) {
                 accepted += 1;
             }

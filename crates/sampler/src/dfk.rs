@@ -232,12 +232,24 @@ impl DfkSampler {
         let mut volume = ball_volume(d, r0);
         let center = self.rounded.center().clone();
         for i in 1..radii.len() {
+            // Budget check at the phase boundary: once the scratch meter has
+            // tripped, every further walk would be a zero-step no-op, so bail
+            // out of the telescoping product immediately. The caller detects
+            // the truncation (and discards the garbage value) through
+            // [`WalkScratch::budget_trip`]; without an armed budget this
+            // check never fires and the loop is unchanged.
+            if scratch.budget_trip().is_some() {
+                return volume * self.to_original.det_abs();
+            }
             let outer = self.rounded.intersect_ball(radii[i]);
             let inner_radius = radii[i - 1];
             let mut inside = 0usize;
             let mut current = center.clone();
             for _ in 0..n {
                 current = walk(&outer, &current, self.params.walk, steps, rng, scratch);
+                if scratch.budget_trip().is_some() {
+                    return volume * self.to_original.det_abs();
+                }
                 if current.distance(&center) <= inner_radius {
                     inside += 1;
                 }

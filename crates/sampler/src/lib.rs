@@ -63,9 +63,11 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod budget;
 pub mod compose;
 mod dfk;
 pub mod diagnostics;
+pub mod faults;
 mod fixed_dim;
 pub mod gauss;
 mod oracle;
@@ -74,6 +76,8 @@ pub mod prepared;
 mod rejection;
 pub mod walk;
 
+pub use batch::{FanOutReport, WorkerPanic};
+pub use budget::{BudgetMeter, BudgetTrip, CancelToken, QueryBudget};
 pub use compose::difference::DifferenceGenerator;
 pub use compose::fiber_weight::{
     FiberVolume, FiberWeightCache, ProjectionParams, AUTO_EXACT_MAX_FIBER_DIM,
@@ -84,6 +88,7 @@ pub use compose::projection::{ProjectionGenerator, ProjectionWarmState};
 pub use compose::stratified::{AliasTable, CellRange, CellSelection, StratifiedCells};
 pub use compose::union::UnionGenerator;
 pub use dfk::DfkSampler;
+pub use faults::{FaultGuard, FaultPlan};
 pub use fixed_dim::FixedDimSampler;
 pub use oracle::{ConvexBody, MembershipOracle};
 pub use params::{GeneratorParams, RelationGenerator, RelationVolumeEstimator, SeedSequence};

@@ -4,6 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::budget::{BudgetTrip, QueryBudget};
 use crate::walk::WalkKind;
 
 /// A deterministic tree of random-number streams, the backbone of the
@@ -192,6 +193,22 @@ pub trait RelationGenerator {
     /// Idempotent; called implicitly by the batch entry points.
     fn prepare(&mut self, seq: &SeedSequence) {
         let _ = seq;
+    }
+
+    /// Installs a [`QueryBudget`] that every subsequent `sample` /
+    /// `estimate_volume` call runs under (the counters re-arm per call, so in
+    /// a batch the budget applies per item). The default implementation
+    /// ignores the budget — implementors without unbounded loops need no
+    /// limits.
+    fn set_budget(&mut self, budget: QueryBudget) {
+        let _ = budget;
+    }
+
+    /// Why the most recent `sample` / `estimate_volume` call stopped early,
+    /// or `None` when it ran to completion (a `None` result with a `None`
+    /// trip is a genuine δ-failure, not budget exhaustion).
+    fn budget_trip(&self) -> Option<BudgetTrip> {
+        None
     }
 
     /// Draws `n` points, one per child stream of `seq` (item `i` uses

@@ -34,11 +34,22 @@
 //! for a racing insert (first writer wins; both bodies are identical by the
 //! purity contract) and evict the least-recently-used entry if the shard is
 //! over its share of the capacity.
+//!
+//! # Poison recovery
+//!
+//! A panic inside a lock-holding critical section poisons that shard's
+//! [`RwLock`]. Because every resident body is re-derivable from its key by
+//! the purity contract, the store never needs to propagate that poison: the
+//! next lookup discards the poisoned shard's contents, clears the poison
+//! flag and rebuilds on demand, bumping
+//! [`PreparedStoreStats::shards_rebuilt`]. A poisoned shard therefore costs
+//! re-preparation, never correctness — cross-query state cannot be
+//! corrupted by a contained worker panic.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Default total capacity (prepared bodies, across all shards) of a
 /// [`PreparedStore`]. Prepared bodies are per-relation, so this comfortably
@@ -61,6 +72,13 @@ pub struct PreparedStoreStats {
     pub evictions: u64,
     /// Prepared bodies currently resident.
     pub len: usize,
+    /// Lock shards whose contents were discarded and rebuilt after a panic
+    /// poisoned them (see the module docs on poison recovery).
+    pub shards_rebuilt: u64,
+    /// Worker panics contained by the owning database's batch layer. The
+    /// store itself never increments this; `cdb-core` merges its own
+    /// containment counter into the snapshot it exposes.
+    pub panics_recovered: u64,
 }
 
 struct StoreEntry<T> {
@@ -82,6 +100,8 @@ pub struct PreparedStore<K, T> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Poisoned shards discarded and rebuilt (see the module docs).
+    rebuilt: AtomicU64,
 }
 
 impl<T> std::fmt::Debug for StoreEntry<T> {
@@ -105,6 +125,7 @@ impl<K: Hash + Eq + Clone, T> PreparedStore<K, T> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rebuilt: AtomicU64::new(0),
         }
     }
 
@@ -123,12 +144,46 @@ impl<K: Hash + Eq + Clone, T> PreparedStore<K, T> {
         self.capacity > 0
     }
 
+    /// Takes a shard's write lock, recovering from poison by discarding the
+    /// shard's contents: every body is re-derivable from its key, so an
+    /// empty shard is always a correct (if cold) state, while a shard whose
+    /// mutation was interrupted mid-panic is not trustworthy.
+    fn write_shard<'a>(
+        &self,
+        shard: &'a RwLock<HashMap<K, StoreEntry<T>>>,
+    ) -> RwLockWriteGuard<'a, HashMap<K, StoreEntry<T>>> {
+        match shard.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                shard.clear_poison();
+                self.rebuilt.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Takes a shard's read lock, recovering from poison by first rebuilding
+    /// the shard under the write lock (see [`PreparedStore::write_shard`]).
+    fn read_shard<'a>(
+        &self,
+        shard: &'a RwLock<HashMap<K, StoreEntry<T>>>,
+    ) -> RwLockReadGuard<'a, HashMap<K, StoreEntry<T>>> {
+        if let Ok(guard) = shard.read() {
+            return guard;
+        }
+        drop(self.write_shard(shard));
+        // A racer could re-poison in the re-acquire window; the shard was
+        // just cleared, so its (empty) contents are safe to read either way.
+        shard
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Number of prepared bodies currently resident.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("prepared-store lock").len())
-            .sum()
+        self.shards.iter().map(|s| self.read_shard(s).len()).sum()
     }
 
     /// Whether the store currently holds no bodies.
@@ -143,6 +198,8 @@ impl<K: Hash + Eq + Clone, T> PreparedStore<K, T> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             len: self.len(),
+            shards_rebuilt: self.rebuilt.load(Ordering::Relaxed),
+            panics_recovered: 0,
         }
     }
 
@@ -150,17 +207,27 @@ impl<K: Hash + Eq + Clone, T> PreparedStore<K, T> {
     /// leaves the counters untouched.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("prepared-store lock").clear();
+            self.write_shard(shard).clear();
         }
     }
 
     /// Whether a body for `key` is resident (test hook; does not touch the
     /// LRU stamp or the counters).
     pub fn contains(&self, key: &K) -> bool {
-        self.shard_of(key)
-            .read()
-            .expect("prepared-store lock")
-            .contains_key(key)
+        self.read_shard(self.shard_of(key)).contains_key(key)
+    }
+
+    /// Deliberately poisons the shard holding `key` by panicking while its
+    /// write lock is held (the panic is caught here). Fault-injection hook
+    /// for the resilience suite: the next operation touching the shard must
+    /// discard it, clear the poison and carry on.
+    pub fn poison_shard(&self, key: &K) {
+        let shard = self.shard_of(key);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.write().expect("prepared-store lock");
+            panic!("injected fault: prepared-store shard poison");
+        }));
+        debug_assert!(result.is_err());
     }
 
     /// Returns the shared body for `key`, building it with `build` on a
@@ -176,7 +243,7 @@ impl<K: Hash + Eq + Clone, T> PreparedStore<K, T> {
     ) -> Result<Arc<T>, E> {
         if self.is_enabled() {
             let shard = self.shard_of(key);
-            if let Some(entry) = shard.read().expect("prepared-store lock").get(key) {
+            if let Some(entry) = self.read_shard(shard).get(key) {
                 entry.stamp.store(
                     self.clock.fetch_add(1, Ordering::Relaxed),
                     Ordering::Relaxed,
@@ -191,7 +258,7 @@ impl<K: Hash + Eq + Clone, T> PreparedStore<K, T> {
             return Ok(body);
         }
         let shard = self.shard_of(key);
-        let mut table = shard.write().expect("prepared-store lock");
+        let mut table = self.write_shard(shard);
         if let Some(entry) = table.get(key) {
             // A racer inserted while we were building: keep theirs so every
             // current and future caller shares one allocation.
@@ -302,6 +369,25 @@ mod tests {
         assert!(!store.contains(&9));
         let ok = store.get_or_try_prepare::<&str>(&9, || Ok(5)).unwrap();
         assert_eq!(*ok, 5);
+    }
+
+    #[test]
+    fn poisoned_shard_is_discarded_and_rebuilt() {
+        let _quiet = crate::faults::FaultPlan::new(0).install();
+        let store: PreparedStore<u64, u64> = PreparedStore::new(4);
+        store.get_or_prepare(&1, || 100);
+        assert!(store.contains(&1));
+        store.poison_shard(&1);
+        // The next lookup recovers: the shard is discarded (cold miss) and
+        // the store keeps serving.
+        let body = store.get_or_prepare(&1, || 100);
+        assert_eq!(*body, 100);
+        let stats = store.stats();
+        assert!(stats.shards_rebuilt >= 1, "no shard rebuild recorded");
+        assert_eq!(stats.panics_recovered, 0);
+        // Steady state afterwards: hits work again.
+        let again = store.get_or_prepare(&1, || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&body, &again));
     }
 
     #[test]

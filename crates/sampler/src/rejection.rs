@@ -10,6 +10,10 @@ use rand::Rng;
 
 use cdb_linalg::Vector;
 
+use crate::budget::{
+    BudgetMeter, BudgetTrip, QueryBudget, DEFAULT_REJECTION_ATTEMPT_CAP,
+    DEFAULT_REJECTION_VOLUME_TRIALS,
+};
 use crate::oracle::ConvexBody;
 use crate::params::{RelationGenerator, RelationVolumeEstimator};
 
@@ -23,6 +27,12 @@ pub struct RejectionSampler {
     volume_trials: usize,
     attempts: u64,
     accepted: u64,
+    /// Work limits installed by [`RelationGenerator::set_budget`]; this
+    /// sampler runs no walks, so only the attempt counter and the advisory
+    /// limits apply (each box draw charges one attempt).
+    budget: QueryBudget,
+    /// Per-call attempt meter of the rejection loop.
+    meter: BudgetMeter,
 }
 
 impl RejectionSampler {
@@ -34,10 +44,12 @@ impl RejectionSampler {
             body,
             lo,
             hi,
-            max_attempts_per_sample: 100_000,
-            volume_trials: 4_000,
+            max_attempts_per_sample: DEFAULT_REJECTION_ATTEMPT_CAP,
+            volume_trials: DEFAULT_REJECTION_VOLUME_TRIALS,
             attempts: 0,
             accepted: 0,
+            budget: QueryBudget::unlimited(),
+            meter: BudgetMeter::unlimited(),
         }
     }
 
@@ -113,7 +125,11 @@ impl RelationGenerator for RejectionSampler {
     }
 
     fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Vec<f64>> {
+        self.meter = BudgetMeter::new(&self.budget);
         for _ in 0..self.max_attempts_per_sample {
+            if !self.meter.charge_attempt() {
+                return None;
+            }
             let p = self.draw_box_point(rng);
             self.attempts += 1;
             if self.body.contains(&p) {
@@ -123,12 +139,24 @@ impl RelationGenerator for RejectionSampler {
         }
         None
     }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    fn budget_trip(&self) -> Option<BudgetTrip> {
+        self.meter.trip()
+    }
 }
 
 impl RelationVolumeEstimator for RejectionSampler {
     fn estimate_volume<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        self.meter = BudgetMeter::new(&self.budget);
         let mut hits = 0usize;
         for _ in 0..self.volume_trials {
+            if !self.meter.charge_attempt() {
+                return None;
+            }
             let p = self.draw_box_point(rng);
             self.attempts += 1;
             if self.body.contains(&p) {

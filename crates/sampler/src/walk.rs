@@ -26,6 +26,7 @@ use rand::Rng;
 
 use cdb_linalg::Vector;
 
+use crate::budget::{BudgetMeter, BudgetTrip, QueryBudget};
 use crate::oracle::ConvexBody;
 
 /// The random walk used to generate almost-uniform points in a convex body.
@@ -67,6 +68,7 @@ pub struct WalkScratch {
     dir_image: Vec<f64>,
     incremental: bool,
     accepted_since_refresh: usize,
+    meter: BudgetMeter,
 }
 
 impl WalkScratch {
@@ -160,6 +162,51 @@ impl WalkScratch {
             body.dim(),
             "WalkScratch is not bound to this body: call begin() first"
         );
+    }
+
+    /// Arms the budget meter for one query call. The meter deliberately
+    /// survives [`WalkScratch::begin`]/`bind` — a single query (one draw or
+    /// one volume estimate) runs many walks through the same scratch, and the
+    /// deterministic counters must span all of them. Arming with an unlimited
+    /// budget is the no-budget fast path: every walk chunk then costs one
+    /// extra branch per [`WalkScratch::REFRESH_PERIOD`] steps and nothing
+    /// else.
+    pub fn arm_budget(&mut self, budget: &QueryBudget) {
+        self.meter = BudgetMeter::new(budget);
+    }
+
+    /// Removes any armed budget (the meter becomes unlimited).
+    pub fn disarm_budget(&mut self) {
+        self.meter = BudgetMeter::unlimited();
+    }
+
+    /// Why the armed budget tripped, if it did.
+    pub fn budget_trip(&self) -> Option<BudgetTrip> {
+        self.meter.trip()
+    }
+
+    /// Read access to the armed meter (usage tallies for diagnostics).
+    pub fn budget_meter(&self) -> &BudgetMeter {
+        &self.meter
+    }
+
+    /// Mutable access to the armed meter, for charging retry attempts from
+    /// the composed generators' loop heads.
+    pub fn budget_meter_mut(&mut self) -> &mut BudgetMeter {
+        &mut self.meter
+    }
+
+    /// Detaches the armed meter, leaving the scratch unlimited. Paired with
+    /// [`WalkScratch::restore_meter`] around work that must not be charged to
+    /// the query (memoized fiber-weight fills, whose cached values have to be
+    /// pure functions of the cell).
+    pub fn take_meter(&mut self) -> BudgetMeter {
+        std::mem::take(&mut self.meter)
+    }
+
+    /// Re-attaches a meter detached by [`WalkScratch::take_meter`].
+    pub fn restore_meter(&mut self, meter: BudgetMeter) {
+        self.meter = meter;
     }
 
     /// Re-initializes the incremental state after the point moved outside the
@@ -359,6 +406,14 @@ pub fn grid_walk_step<R: Rng + ?Sized>(
 
 /// Runs `steps` steps of the chosen walk from `start` using (and re-binding)
 /// the given scratch, returning the final point.
+///
+/// The step loops consult the scratch's armed [`BudgetMeter`] once per chunk
+/// of at most [`WalkScratch::REFRESH_PERIOD`] steps: each chunk is granted up
+/// front and runs unchecked, so an unarmed (unlimited) meter adds one branch
+/// per chunk and the walk is bitwise identical to an uncheckered loop. When
+/// the deterministic step budget runs out mid-walk the remaining steps are
+/// skipped and the current point is returned; callers observe the truncation
+/// through [`WalkScratch::budget_trip`].
 pub fn walk<R: Rng + ?Sized>(
     body: &ConvexBody,
     start: &Vector,
@@ -373,14 +428,34 @@ pub fn walk<R: Rng + ?Sized>(
     scratch.bind(body, start, !matches!(kind, WalkKind::Grid { .. }));
     match kind {
         WalkKind::HitAndRun => {
-            for _ in 0..steps {
-                hit_and_run_step(body, scratch, rng);
+            let mut left = steps;
+            while left > 0 {
+                let run = scratch
+                    .meter
+                    .grant_steps(left.min(WalkScratch::REFRESH_PERIOD));
+                if run == 0 {
+                    break;
+                }
+                for _ in 0..run {
+                    hit_and_run_step(body, scratch, rng);
+                }
+                left -= run;
             }
         }
         WalkKind::Ball => {
             let delta = body.r_inf() / (body.dim() as f64).sqrt();
-            for _ in 0..steps {
-                ball_walk_step(body, scratch, delta, rng);
+            let mut left = steps;
+            while left > 0 {
+                let run = scratch
+                    .meter
+                    .grant_steps(left.min(WalkScratch::REFRESH_PERIOD));
+                if run == 0 {
+                    break;
+                }
+                for _ in 0..run {
+                    ball_walk_step(body, scratch, delta, rng);
+                }
+                left -= run;
             }
         }
         WalkKind::Grid { step_ratio } => {
@@ -393,8 +468,18 @@ pub fn walk<R: Rng + ?Sized>(
             if body.contains_vec(&scratch.candidate) {
                 scratch.point.copy_from(&scratch.candidate);
             }
-            for _ in 0..steps {
-                grid_walk_step(body, scratch, p, rng);
+            let mut left = steps;
+            while left > 0 {
+                let run = scratch
+                    .meter
+                    .grant_steps(left.min(WalkScratch::REFRESH_PERIOD));
+                if run == 0 {
+                    break;
+                }
+                for _ in 0..run {
+                    grid_walk_step(body, scratch, p, rng);
+                }
+                left -= run;
             }
         }
     }

@@ -21,12 +21,16 @@
 //! * [`projection`] — projection scenarios with controlled fiber dimension
 //!   and closed-form fiber/projection volumes (the deep cone, skewed
 //!   prisms), validating the `Exact` vs `Estimated` compensation-weight
-//!   strategies of the projection generator.
+//!   strategies of the projection generator;
+//! * [`pathological`] — adversarial zero-acceptance compositions (sliver
+//!   intersections, vanishing differences, needle-in-haystack rejection)
+//!   that drive the resilience suite's budget and fault-injection tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gis;
+pub mod pathological;
 pub mod polytopes;
 pub mod projection;
 pub mod sat;

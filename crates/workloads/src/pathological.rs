@@ -1,0 +1,89 @@
+//! Adversarial workloads for the resilience suite: relations whose
+//! composed queries are *structurally* hopeless, so rejection loops spin at
+//! (near-)zero acceptance until something bounds them.
+//!
+//! The paper's poly-related restriction (Proposition 4.1) exists precisely
+//! because these inputs are easy to write down: an intersection or
+//! difference exponentially smaller than its operands defeats any
+//! rejection-based estimator. The resilience layer must turn that infinite
+//! grind into a prompt, typed error — these constructors supply the grind.
+
+use cdb_constraint::{GeneralizedRelation, GeneralizedTuple};
+
+/// Two unit squares overlapping in a vertical sliver of the given `width`
+/// (e.g. `1e-6`): the intersection generator samples the smaller operand
+/// and accepts with probability ≈ `width`, so with the default acceptance
+/// floor the poly-related check fails — and with a budget installed the
+/// attempt counter trips long before the retry cap is reached.
+pub fn sliver_intersection(width: f64) -> [GeneralizedRelation; 2] {
+    assert!(width > 0.0 && width < 1.0, "sliver width must be in (0, 1)");
+    [
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+        GeneralizedRelation::from_box_f64(&[1.0 - width, 0.0], &[2.0 - width, 1.0]),
+    ]
+}
+
+/// A unit square and a subtrahend covering all but a vertical sliver of
+/// `width` of it: `S₁ − S₂` is not poly-related to `S₁`, so the difference
+/// generator's rejection loop accepts with probability ≈ `width`.
+pub fn vanishing_difference(width: f64) -> (GeneralizedRelation, GeneralizedRelation) {
+    assert!(width > 0.0 && width < 1.0, "sliver width must be in (0, 1)");
+    (
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+        GeneralizedRelation::from_box_f64(&[width, 0.0], &[2.0, 1.0]),
+    )
+}
+
+/// A tiny axis-aligned box of side `side` at the center of the huge cube
+/// `[0, extent]^d`, returned with that cube's corner coordinates: the
+/// bounding-box rejection baseline accepts with probability
+/// `(side / extent)^d`, the paper's motivating collapse. Feed the tuple and
+/// the box to a rejection sampler to exercise attempt-budget trips.
+pub fn needle_in_haystack(
+    d: usize,
+    side: f64,
+    extent: f64,
+) -> (GeneralizedTuple, Vec<f64>, Vec<f64>) {
+    assert!(d > 0, "dimension must be positive");
+    assert!(
+        side > 0.0 && side < extent,
+        "the needle must fit inside the haystack"
+    );
+    let mid = extent / 2.0;
+    let lo: Vec<f64> = vec![mid - side / 2.0; d];
+    let hi: Vec<f64> = vec![mid + side / 2.0; d];
+    let needle = GeneralizedTuple::from_box_f64(&lo, &hi);
+    (needle, vec![0.0; d], vec![extent; d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliver_intersection_geometry() {
+        let [a, b] = sliver_intersection(1e-6);
+        // The sliver itself belongs to both operands...
+        assert!(a.contains_f64(&[1.0 - 5e-7, 0.5]));
+        assert!(b.contains_f64(&[1.0 - 5e-7, 0.5]));
+        // ...but the bulk of either operand does not intersect the other.
+        assert!(!b.contains_f64(&[0.5, 0.5]));
+        assert!(!a.contains_f64(&[1.5, 0.5]));
+    }
+
+    #[test]
+    fn vanishing_difference_geometry() {
+        let (s1, s2) = vanishing_difference(1e-6);
+        // Only the sliver survives the subtraction.
+        assert!(s1.contains_f64(&[5e-7, 0.5]) && !s2.contains_f64(&[5e-7, 0.5]));
+        assert!(s2.contains_f64(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn needle_geometry() {
+        let (needle, lo, hi) = needle_in_haystack(2, 1e-4, 100.0);
+        assert!(needle.satisfied_f64(&[50.0, 50.0], 1e-12));
+        assert!(!needle.satisfied_f64(&[50.1, 50.0], 1e-12));
+        assert_eq!((lo, hi), (vec![0.0, 0.0], vec![100.0, 100.0]));
+    }
+}

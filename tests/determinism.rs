@@ -535,6 +535,99 @@ fn spatial_database_store_states_are_invisible_across_thread_counts() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Query-budget axes: (no budget / huge budget / exactly-exhausting budget)
+// × thread count. The resilience layer's contract is that budget checks
+// consume no randomness: a budget that never trips is bitwise invisible,
+// and one that does trip does so at the same deterministic step count for
+// every thread count.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unexhausted_budgets_are_bitwise_invisible() {
+    use cdb_sampler::QueryBudget;
+    let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
+        .union(&GeneralizedRelation::from_box_f64(&[2.0, 0.0], &[3.0, 2.0]));
+    let seq = SeedSequence::new(0xB0D6E7);
+    let make = |budget: QueryBudget| {
+        let mut g = UnionGenerator::new(&relation, params()).unwrap();
+        g.set_budget(budget);
+        g
+    };
+    let baseline_pts = make(QueryBudget::unlimited()).sample_batch(64, &seq, 1);
+    let baseline_vols = make(QueryBudget::unlimited()).estimate_volume_batch(4, &seq, 1);
+    assert!(baseline_pts.iter().filter(|p| p.is_some()).count() > 32);
+    // A budget far above what any draw needs must change nothing — on any
+    // thread count, through both batch entry points.
+    let huge = || {
+        QueryBudget::unlimited()
+            .with_max_steps(1 << 40)
+            .with_max_attempts(1 << 40)
+    };
+    for &threads in &THREAD_COUNTS {
+        assert_eq!(
+            baseline_pts,
+            make(huge()).sample_batch(64, &seq, threads),
+            "huge budget perturbed sample_batch at {threads} threads"
+        );
+        assert_eq!(
+            baseline_vols,
+            make(huge()).estimate_volume_batch(4, &seq, threads),
+            "huge budget perturbed estimate_volume_batch at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_deterministic_across_thread_counts() {
+    use cdb_sampler::{BudgetTrip, QueryBudget};
+    let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);
+    let seq = SeedSequence::new(0xE4A057);
+    // Probe how many walk steps one *prepared* draw needs (a large limited
+    // budget tracks usage; an unlimited meter deliberately skips the
+    // bookkeeping). Preparation runs first, exactly as sample_batch does,
+    // so setup walks are excluded from the measurement.
+    let mut probe = UnionGenerator::new(&relation, params()).unwrap();
+    probe.prepare(&seq);
+    probe.set_budget(QueryBudget::unlimited().with_max_steps(1 << 40));
+    let mut rng = seq.item_stream(0).rng();
+    assert!(probe.sample(&mut rng).is_some());
+    let need = probe.budget_meter().steps_used();
+    assert!(need > 0);
+
+    let make = |budget: QueryBudget| {
+        let mut g = UnionGenerator::new(&relation, params()).unwrap();
+        g.set_budget(budget);
+        g
+    };
+    // Exactly enough steps: the draw completes and is bitwise identical to
+    // the unlimited baseline (the final chunk consumes the last step and no
+    // further grant is requested).
+    let baseline = make(QueryBudget::unlimited()).sample_batch(32, &seq, 1);
+    for &threads in &THREAD_COUNTS {
+        assert_eq!(
+            baseline,
+            make(QueryBudget::unlimited().with_max_steps(need)).sample_batch(32, &seq, threads),
+            "exactly-sufficient budget perturbed the batch at {threads} threads"
+        );
+        // One step short: every item trips — the same outcome vector for
+        // every thread count.
+        let starved =
+            make(QueryBudget::unlimited().with_max_steps(need - 1)).sample_batch(32, &seq, threads);
+        assert!(
+            starved.iter().all(|p| p.is_none()),
+            "a draw survived an insufficient step budget at {threads} threads"
+        );
+    }
+    // Sequential exhaustion stops at the same step count every time.
+    let mut a = make(QueryBudget::unlimited().with_max_steps(need - 1));
+    let mut b = make(QueryBudget::unlimited().with_max_steps(need - 1));
+    assert!(a.sample(&mut seq.item_stream(0).rng()).is_none());
+    assert!(b.sample(&mut seq.item_stream(0).rng()).is_none());
+    assert_eq!(a.budget_trip(), Some(BudgetTrip::Steps));
+    assert_eq!(a.budget_meter().steps_used(), b.budget_meter().steps_used());
+}
+
 #[test]
 fn distinct_seeds_give_distinct_batches() {
     let relation = GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]);

@@ -1,0 +1,294 @@
+//! The resilience suite: every injected fault must map to a typed error —
+//! never a hang, an abort, or poisoned cross-query state.
+//!
+//! Faults are injected through the deterministic [`FaultPlan`] harness
+//! (worker panics, forced draw failures), through adversarial
+//! zero-acceptance workloads from `cdb-workloads::pathological`, and through
+//! artificially starved [`QueryBudget`]s. Each test asserts three things:
+//! the fault surfaces as the *right* [`SpatialDbError`] variant, unaffected
+//! work completes, and the shared database keeps answering correctly
+//! afterwards.
+//!
+//! Set `CDB_RESILIENCE_QUICK=1` (the `ci.sh --quick` default) to run a
+//! reduced plan: smaller batches, fewer thread counts.
+
+use cdb_constraint::GeneralizedRelation;
+use cdb_core::{QueryPhase, SpatialDatabase, SpatialDbError};
+use cdb_sampler::{
+    BudgetTrip, CancelToken, DifferenceGenerator, FaultPlan, GeneratorParams,
+    IntersectionGenerator, PreparedStore, QueryBudget, RelationGenerator, SeedSequence,
+};
+use cdb_workloads::pathological;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick() -> bool {
+    std::env::var("CDB_RESILIENCE_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn batch_n() -> usize {
+    if quick() {
+        16
+    } else {
+        48
+    }
+}
+
+fn thread_counts() -> &'static [usize] {
+    if quick() {
+        &[1, 4]
+    } else {
+        &[1, 2, 8, 0]
+    }
+}
+
+fn params() -> GeneratorParams {
+    GeneratorParams::fast()
+}
+
+fn sample_db() -> SpatialDatabase {
+    let mut db = SpatialDatabase::with_params(params());
+    db.insert(
+        "R",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+    );
+    db.insert(
+        "U",
+        GeneralizedRelation::from_box_f64(&[0.0], &[1.0])
+            .union(&GeneralizedRelation::from_box_f64(&[3.0], &[4.0])),
+    );
+    db
+}
+
+/// An injected worker panic is contained: it surfaces as
+/// [`SpatialDbError::WorkerPanicked`], the surviving workers' items all
+/// complete, the containment is counted, and the same database keeps
+/// serving afterwards.
+#[test]
+fn injected_worker_panic_is_contained_and_typed() {
+    let db = sample_db();
+    let seq = SeedSequence::new(0xFA117);
+    let n = 16;
+    {
+        let _plan = FaultPlan::new(1).with_worker_panic_at(5).install();
+        let batch = db
+            .approx_generate_batch_partial("R", n, &seq, 4, &QueryBudget::unlimited())
+            .expect("the relation itself is fine");
+        match &batch.error {
+            Some(SpatialDbError::WorkerPanicked { payload, .. }) => {
+                assert!(
+                    payload.starts_with("injected"),
+                    "unexpected payload: {payload}"
+                );
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // Worker 1 owns items 4..8 (chunked fan-out) and dies at item 5:
+        // item 4 completed first, items 5..8 are lost, everyone else runs
+        // to completion.
+        assert_eq!(batch.completed, n - 3, "survivors did not complete");
+        assert!(batch.results[4].is_some());
+        assert!(batch.results[5].is_none() && batch.results[7].is_none());
+        assert!(db.store_stats().panics_recovered >= 1);
+    }
+    // The fault plan is gone; the shared database is not poisoned.
+    let mut rng = StdRng::seed_from_u64(3);
+    let p = db.approx_generate("R", &mut rng).unwrap();
+    assert!(db.relation("R").unwrap().contains_f64(&p));
+    let clean = db
+        .approx_generate_batch_partial("R", n, &seq, 4, &QueryBudget::unlimited())
+        .unwrap();
+    assert!(clean.error.is_none());
+    assert_eq!(clean.completed, n);
+}
+
+/// A forced draw failure (the oracle/LP-failure stand-in) maps to
+/// [`SpatialDbError::GenerationFailed`] with the relation name and phase —
+/// never to a panic or a budget error.
+#[test]
+fn forced_draw_failure_is_a_typed_generation_failure() {
+    let db = sample_db();
+    let mut rng = StdRng::seed_from_u64(5);
+    // Warm the prepared store first, so the forced failure hits the draw
+    // itself rather than being consumed during preparation.
+    db.approx_generate("R", &mut rng).unwrap();
+    {
+        let _plan = FaultPlan::new(2).with_forced_draw_failures(1).install();
+        match db.approx_generate("R", &mut rng) {
+            Err(SpatialDbError::GenerationFailed {
+                relation, phase, ..
+            }) => {
+                assert_eq!(relation, "R");
+                assert_eq!(phase, QueryPhase::Sampling);
+            }
+            other => panic!("expected GenerationFailed, got {other:?}"),
+        }
+    }
+    // The single injected failure is consumed; the next draw succeeds.
+    db.approx_generate("R", &mut rng).unwrap();
+}
+
+/// A zero-acceptance composition under an attempt budget gives up promptly
+/// with a typed trip instead of grinding through the full retry cap.
+#[test]
+fn zero_acceptance_intersection_trips_the_attempt_budget() {
+    let [a, b] = pathological::sliver_intersection(1e-6);
+    let mut gen = IntersectionGenerator::new(&[a, b], params()).unwrap();
+    gen.set_budget(QueryBudget::unlimited().with_max_attempts(200));
+    let mut rng = StdRng::seed_from_u64(7);
+    assert!(gen.sample(&mut rng).is_none());
+    assert_eq!(gen.budget_trip(), Some(BudgetTrip::Attempts));
+}
+
+/// The vanishing difference trips the attempt budget long before the
+/// `retry_rounds × COMPOSE_ATTEMPT_FACTOR` loop cap would give up.
+#[test]
+fn vanishing_difference_trips_the_attempt_budget() {
+    let (s1, s2) = pathological::vanishing_difference(1e-7);
+    let mut gen = DifferenceGenerator::new(&s1, &s2, params()).unwrap();
+    gen.set_budget(QueryBudget::unlimited().with_max_attempts(64));
+    let mut rng = StdRng::seed_from_u64(9);
+    assert!(gen.sample(&mut rng).is_none());
+    assert_eq!(gen.budget_trip(), Some(BudgetTrip::Attempts));
+}
+
+/// The public budgeted entry point reports attempt exhaustion with the
+/// relation's name and the trip cause.
+#[test]
+fn budgeted_generate_reports_attempt_exhaustion() {
+    let db = sample_db();
+    let budget = QueryBudget::unlimited().with_max_attempts(0);
+    let mut rng = StdRng::seed_from_u64(13);
+    match db.approx_generate_budgeted("R", &budget, &mut rng) {
+        Err(SpatialDbError::BudgetExhausted {
+            relation, cause, ..
+        }) => {
+            assert_eq!(relation, "R");
+            assert_eq!(cause, BudgetTrip::Attempts);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+}
+
+/// A cancelled token is observed at the next cooperative boundary and
+/// reported as a cancellation, not as a generic failure.
+#[test]
+fn cancelled_token_is_reported_as_cancellation() {
+    let db = sample_db();
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = QueryBudget::unlimited().with_cancel(token);
+    let mut rng = StdRng::seed_from_u64(11);
+    match db.approx_generate_budgeted("R", &budget, &mut rng) {
+        Err(SpatialDbError::BudgetExhausted { cause, .. }) => {
+            assert_eq!(cause, BudgetTrip::Cancelled);
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    // Volume estimation observes the same token.
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = QueryBudget::unlimited().with_cancel(token);
+    match db.approx_volume_budgeted("R", &budget, &mut rng) {
+        Err(SpatialDbError::BudgetExhausted { cause, .. }) => {
+            assert_eq!(cause, BudgetTrip::Cancelled);
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+}
+
+/// A step budget too small for a single walk chunk exhausts identically —
+/// same outcome vector, same typed error — for every thread count.
+#[test]
+fn starved_step_budget_exhausts_identically_across_thread_counts() {
+    let db = sample_db();
+    let seq = SeedSequence::new(0x57A2);
+    let budget = QueryBudget::unlimited().with_max_steps(3);
+    let n = batch_n();
+    let baseline = db
+        .approx_generate_batch_partial("R", n, &seq, 1, &budget)
+        .unwrap();
+    assert_eq!(baseline.completed, 0);
+    assert!(baseline.results.iter().all(|r| r.is_none()));
+    match &baseline.error {
+        Some(SpatialDbError::BudgetExhausted {
+            cause, completed, ..
+        }) => {
+            assert_eq!(*cause, BudgetTrip::Steps);
+            assert_eq!(*completed, 0);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    for &threads in thread_counts() {
+        let run = db
+            .approx_generate_batch_partial("R", n, &seq, threads, &budget)
+            .unwrap();
+        assert_eq!(
+            baseline.results, run.results,
+            "starved batch differs at {threads} threads"
+        );
+        assert_eq!(run.completed, 0);
+    }
+}
+
+/// A poisoned prepared-store shard is discarded and rebuilt: the next
+/// lookup succeeds and the rebuild is counted.
+#[test]
+fn poisoned_store_shard_is_rebuilt_not_propagated() {
+    let _quiet = FaultPlan::new(0).install();
+    let store: PreparedStore<u64, u64> = PreparedStore::new(8);
+    store.get_or_prepare(&1, || 111);
+    store.get_or_prepare(&2, || 222);
+    store.poison_shard(&1);
+    // Recovery is on-demand and local to the poisoned shard.
+    assert_eq!(*store.get_or_prepare(&1, || 111), 111);
+    assert_eq!(*store.get_or_prepare(&2, || 222), 222);
+    let stats = store.stats();
+    assert!(stats.shards_rebuilt >= 1, "rebuild not recorded: {stats:?}");
+}
+
+/// The fault harness itself is bitwise invisible: installing and dropping
+/// an empty plan changes nothing about a batch.
+#[test]
+fn empty_fault_plan_is_bitwise_invisible() {
+    let db = sample_db();
+    let seq = SeedSequence::new(0x1D1E);
+    let n = batch_n();
+    let baseline = db.approx_generate_batch("U", n, &seq, 4).unwrap();
+    let observed = {
+        let _plan = FaultPlan::new(3).install();
+        db.approx_generate_batch("U", n, &seq, 4).unwrap()
+    };
+    assert_eq!(baseline, observed, "an empty fault plan perturbed a batch");
+    let after = db.approx_generate_batch("U", n, &seq, 4).unwrap();
+    assert_eq!(baseline, after);
+}
+
+/// Partial volume batches carry every completed estimate alongside the
+/// first failure under budget pressure.
+#[test]
+fn partial_volume_batch_returns_completed_estimates() {
+    let db = sample_db();
+    let seq = SeedSequence::new(0x70CC5);
+    // Unlimited: everything completes.
+    let full = db
+        .approx_volume_batch_partial("R", 4, &seq, 2, &QueryBudget::unlimited())
+        .unwrap();
+    assert!(full.error.is_none());
+    assert_eq!(full.completed, 4);
+    for v in full.results.iter().flatten() {
+        assert!((v - 2.0).abs() < 1.0, "volume {v} far off");
+    }
+    // Starved: nothing completes, and the error is a typed trip.
+    let starved = db
+        .approx_volume_batch_partial("R", 4, &seq, 2, &QueryBudget::unlimited().with_max_steps(1))
+        .unwrap();
+    assert_eq!(starved.completed, 0);
+    assert!(matches!(
+        starved.error,
+        Some(SpatialDbError::BudgetExhausted {
+            cause: BudgetTrip::Steps,
+            ..
+        })
+    ));
+}
