@@ -1,15 +1,22 @@
-//! Perf-regression gate over two `BENCH_walk.json`-schema reports.
+//! Perf-regression gate over two `BENCH_*.json`-schema reports.
 //!
 //! Compares a candidate report row by row against a baseline and exits
 //! nonzero when any *shared* row regresses beyond the tolerance (default
 //! 15% — wide enough to absorb the ~10% machine drift ROADMAP documents
 //! between sessions, tight enough to catch real hot-path regressions).
-//! Rows present on only one side are reported but never fail the gate, so
-//! adding workloads is painless; `--coverage-only` instead checks that every
+//! Both report schemas are accepted, in either position and mixed:
+//! `cdb-perf-report/v*` rows gate on `samples_per_sec` (lower is worse),
+//! `cdb-load-report/v*` rows on `throughput_rps` (lower is worse) plus the
+//! `p50_ms`/`p95_ms`/`p99_ms` latency percentiles (higher is worse, with
+//! `LATENCY_SLACK_MS` of absolute slack so sub-10ms tail jitter cannot
+//! flake the gate); `max_ms` is displayed by the load report but never
+//! gated. Rows present
+//! on only one side are reported but never fail the gate, so adding
+//! workloads is painless; `--coverage-only` instead checks that every
 //! baseline row still exists in the candidate (and skips the numeric
 //! comparison entirely) — the mode `ci.sh` runs on every default pass
-//! against the quick smoke report, whose numbers are meaningless but whose
-//! row set proves every kernel-dispatch path still executes.
+//! against the quick smoke reports, whose numbers are meaningless but whose
+//! row sets prove every dispatch path still executes.
 //!
 //! ```text
 //! bench_diff <baseline.json> <candidate.json> [--tolerance 0.15] [--coverage-only]
@@ -18,85 +25,12 @@
 //! Exit codes: `0` pass, `1` regression or lost coverage, `2` usage or
 //! parse error.
 //!
-//! The parser is deliberately minimal (the workspace is offline — no serde):
-//! it scans for the `"workload"` keys the perf report writes and extracts
-//! the sibling numeric fields of each row object. It accepts any report the
-//! in-repo `perf_report` binary (schema `cdb-perf-report/v1+`) produced.
+//! Parsing and the metric-direction table live in `cdb_bench::report`, where
+//! they are unit-tested and shared with `tests/load.rs`.
 
 use std::process::ExitCode;
 
-/// One parsed report row.
-#[derive(Clone, Debug, PartialEq)]
-struct Row {
-    workload: String,
-    dim: Option<f64>,
-    kernel: Option<String>,
-    steps_per_sec: Option<f64>,
-    samples_per_sec: Option<f64>,
-}
-
-/// Extracts the string value following `"field":` inside `object`.
-fn string_field(object: &str, field: &str) -> Option<String> {
-    let needle = format!("\"{field}\"");
-    let after = &object[object.find(&needle)? + needle.len()..];
-    let after = after.trim_start().strip_prefix(':')?.trim_start();
-    let rest = after.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-/// Extracts the numeric value following `"field":` inside `object`.
-fn number_field(object: &str, field: &str) -> Option<f64> {
-    let needle = format!("\"{field}\"");
-    let after = &object[object.find(&needle)? + needle.len()..];
-    let after = after.trim_start().strip_prefix(':')?.trim_start();
-    let end = after
-        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        .unwrap_or(after.len());
-    after[..end].parse().ok()
-}
-
-/// Parses every `{... "workload": ...}` object of a report.
-fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
-    let mut rows = Vec::new();
-    let mut rest = text;
-    while let Some(pos) = rest.find("\"workload\"") {
-        // The row object spans from the `{` before the key to the next `}`
-        // (row objects are flat — the perf report writes one per line).
-        let open = rest[..pos]
-            .rfind('{')
-            .ok_or("malformed report: workload key outside an object")?;
-        let close = rest[pos..]
-            .find('}')
-            .ok_or("malformed report: unterminated row object")?
-            + pos;
-        let object = &rest[open..close];
-        rows.push(Row {
-            workload: string_field(object, "workload")
-                .ok_or("malformed report: unreadable workload name")?,
-            dim: number_field(object, "dim"),
-            kernel: string_field(object, "kernel"),
-            steps_per_sec: number_field(object, "steps_per_sec"),
-            samples_per_sec: number_field(object, "samples_per_sec"),
-        });
-        rest = &rest[close..];
-    }
-    if rows.is_empty() {
-        return Err("no workload rows found (is this a cdb-perf-report file?)".into());
-    }
-    Ok(rows)
-}
-
-fn load(path: &str) -> Result<Vec<Row>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if !text.contains("cdb-perf-report/") {
-        return Err(format!("{path}: missing the cdb-perf-report schema marker"));
-    }
-    parse_rows(&text).map_err(|e| format!("{path}: {e}"))
-}
-
-fn find<'a>(rows: &'a [Row], name: &str) -> Option<&'a Row> {
-    rows.iter().find(|r| r.workload == name)
-}
+use cdb_bench::report::{compare_row, find, load};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -174,95 +108,61 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
 
-    // Full comparison: gate on samples_per_sec of the shared rows (the
-    // end-to-end metric every workload reports); steps_per_sec is shown for
-    // context.
+    // Full comparison: one line per gated metric the shared rows both carry.
     let mut regressions = 0usize;
     println!(
-        "{:<36} {:>14} {:>14} {:>9}  {}",
-        "workload", "base sps", "cand sps", "delta", "verdict"
+        "{:<36} {:<16} {:>14} {:>14} {:>9}  {}",
+        "workload", "metric", "baseline", "candidate", "delta", "verdict"
     );
     for b in &baseline {
         let Some(c) = find(&candidate, &b.workload) else {
             println!(
-                "{:<36} {:>14} {:>14} {:>9}  only-in-baseline",
-                b.workload, "-", "-", "-"
+                "{:<36} {:<16} {:>14} {:>14} {:>9}  only-in-baseline",
+                b.workload, "-", "-", "-", "-"
             );
             continue;
         };
-        let (Some(base_sps), Some(cand_sps)) = (b.samples_per_sec, c.samples_per_sec) else {
+        let deltas = compare_row(b, c, tolerance);
+        if deltas.is_empty() {
             println!(
-                "{:<36} {:>14} {:>14} {:>9}  unreadable",
-                b.workload, "-", "-", "-"
+                "{:<36} {:<16} {:>14} {:>14} {:>9}  unreadable",
+                b.workload, "-", "-", "-", "-"
             );
             continue;
-        };
-        let delta = if base_sps > 0.0 {
-            cand_sps / base_sps - 1.0
-        } else {
-            0.0
-        };
-        let regressed = delta < -tolerance;
-        if regressed {
-            regressions += 1;
         }
-        println!(
-            "{:<36} {:>14.1} {:>14.1} {:>+8.1}%  {}",
-            b.workload,
-            base_sps,
-            cand_sps,
-            delta * 100.0,
-            if regressed { "REGRESSED" } else { "ok" }
-        );
+        for d in deltas {
+            if d.regressed {
+                regressions += 1;
+            }
+            println!(
+                "{:<36} {:<16} {:>14.2} {:>14.2} {:>+8.1}%  {}",
+                b.workload,
+                d.metric,
+                d.base,
+                d.cand,
+                d.delta * 100.0,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
     }
     for c in &candidate {
         if find(&baseline, &c.workload).is_none() {
             println!(
-                "{:<36} {:>14} {:>14} {:>9}  new-row",
-                c.workload, "-", "-", "-"
+                "{:<36} {:<16} {:>14} {:>14} {:>9}  new-row",
+                c.workload, "-", "-", "-", "-"
             );
         }
     }
     if regressions > 0 {
         eprintln!(
-            "bench_diff: {regressions} row(s) regressed beyond {:.0}%",
+            "bench_diff: {regressions} metric(s) regressed beyond {:.0}%",
             tolerance * 100.0
         );
         return ExitCode::from(1);
     }
     println!(
-        "bench_diff: no shared row regressed beyond {:.0}%",
+        "bench_diff: no shared metric regressed beyond {:.0}%",
         tolerance * 100.0
     );
     ExitCode::SUCCESS
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const SAMPLE: &str = r#"{
-  "schema": "cdb-perf-report/v2",
-  "workloads": [
-    {"workload": "e1", "dim": 6, "kernel": "axis", "steps_per_sec": 700, "samples_per_sec": 150.5},
-    {"workload": "e7_cold", "dim": 3, "kernel": "mixed", "steps_per_sec": 31e6, "samples_per_sec": 133.5}
-  ]
-}"#;
-
-    #[test]
-    fn rows_parse_with_names_and_numbers() {
-        let rows = parse_rows(SAMPLE).unwrap();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].workload, "e1");
-        assert_eq!(rows[0].samples_per_sec, Some(150.5));
-        assert_eq!(rows[0].kernel.as_deref(), Some("axis"));
-        assert_eq!(rows[1].steps_per_sec, Some(31e6));
-        assert_eq!(rows[1].dim, Some(3.0));
-    }
-
-    #[test]
-    fn malformed_reports_are_rejected() {
-        assert!(parse_rows("{}").is_err());
-        assert!(parse_rows("\"workload\": \"loose\"").is_err());
-    }
 }

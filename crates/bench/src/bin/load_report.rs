@@ -1,0 +1,159 @@
+//! Traffic-shaped load report: replays deterministic open-loop query mixes
+//! against `SpatialDatabase` from N client threads and writes the
+//! machine-readable `BENCH_load.json` (`cdb-load-report/v1` schema), so
+//! every PR leaves a latency trajectory behind next to the walk-throughput
+//! one (`./ci.sh --bench-load` runs it; the default `ci.sh` pass runs the
+//! quick variant as a dispatch smoke test and coverage-checks its rows).
+//!
+//! Three mixes, one per workload family of the scenario-diversity roadmap
+//! item:
+//!
+//! * `sessions` — a shared-content polytope soup under a read-heavy
+//!   sample/volume/reconstruction session blend: many names collapse onto
+//!   few canonical keys, so the prepared-relation store serves concurrent
+//!   hits on shared entries;
+//! * `moving_overlay` — time-sliced moving-object GIS layers under a
+//!   sample/volume blend, queries spread across the time slices;
+//! * `degenerate` — needle boxes and squeezed simplices (rounding enabled)
+//!   under a sample/volume blend.
+//!
+//! Every row reports throughput plus p50/p95/p99/max open-loop latency
+//! (completion − *scheduled* arrival: the schedule is fixed up front and
+//! never slows down with the server, so coordinated omission cannot hide a
+//! stall). Requests run under a generous deterministic `QueryBudget`, so a
+//! pathological query degrades into a typed `BudgetExhausted` row-side
+//! error instead of wedging the run.
+//!
+//! Environment knobs: `CDB_LOAD_OUT` overrides the output path,
+//! `CDB_LOAD_REQUESTS` scales every mix's request count, `CDB_LOAD_THREADS`
+//! fixes the client-thread count (default: one per core), and
+//! `CDB_LOAD_QUICK=1` shrinks the request counts ~20× (numbers are then
+//! meaningless — it only proves the harness paths run — so quick output
+//! defaults to `target/BENCH_load_quick.json`, never the recorded
+//! `BENCH_load.json`).
+
+use cdb_bench::load::{class_stats, render_report, run, schedule, ClassStats, LoadSpec};
+use cdb_core::SpatialDatabase;
+use cdb_sampler::{GeneratorParams, QueryBudget};
+use cdb_workloads::sessions::SessionMix;
+use cdb_workloads::{degenerate, gis, sessions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds, schedules and runs one mix, returning its named class rows.
+fn run_mix(
+    label: &str,
+    db: &SpatialDatabase,
+    names: &[String],
+    spec: &LoadSpec,
+) -> Vec<(String, ClassStats)> {
+    let sched = schedule(spec, names);
+    let report = run(db, spec, &sched);
+    assert!(
+        report.panics.is_empty() && report.lost() == 0,
+        "{label}: load run lost requests: {:?}",
+        report.panics
+    );
+    class_stats(&sched, &report)
+        .into_iter()
+        .map(|s| (format!("load_{label}.{}", s.class.label()), s))
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::var("CDB_LOAD_QUICK").is_ok_and(|v| v == "1");
+    let scale: f64 = std::env::var("CDB_LOAD_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|n| n / 600.0)
+        .unwrap_or(if quick { 0.05 } else { 1.0 });
+    let threads: usize = std::env::var("CDB_LOAD_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let count = |base: usize| ((base as f64 * scale).round() as usize).max(20);
+    // Arrival rates put the full run around the engine's mixed-traffic
+    // capacity so queueing is visible in the percentiles without the
+    // schedule running far ahead of the servers.
+    let budget = QueryBudget::unlimited()
+        .with_max_steps(50_000_000)
+        .with_max_attempts(100_000);
+    let mut rows: Vec<(String, ClassStats)> = Vec::new();
+
+    // Mix 1: shared-content polytope soup, read-heavy session blend.
+    {
+        let soup = sessions::polytope_soup(
+            &sessions::SoupSpec::default(),
+            &mut StdRng::seed_from_u64(2026),
+        );
+        let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+        for (name, relation) in &soup.entries {
+            db.insert(name.clone(), relation.clone());
+        }
+        let spec = LoadSpec::new(
+            count(600),
+            900.0 * scale.min(1.0),
+            901,
+            SessionMix::read_heavy(),
+        )
+        .with_threads(threads)
+        .with_budget(budget.clone());
+        rows.extend(run_mix("sessions", &db, &soup.names(), &spec));
+    }
+
+    // Mix 2: time-sliced moving-object overlays, sample/volume blend.
+    {
+        let mo = gis::moving_overlay(
+            &gis::MovingOverlaySpec::default(),
+            &mut StdRng::seed_from_u64(2027),
+        );
+        let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+        let mut names = Vec::new();
+        for (j, slice) in mo.slices.iter().enumerate() {
+            let name = format!("Slice{j}");
+            db.insert(name.clone(), slice.relation.clone());
+            names.push(name);
+        }
+        let spec = LoadSpec::new(
+            count(400),
+            700.0 * scale.min(1.0),
+            902,
+            SessionMix::no_reconstruction(0.7, 0.3),
+        )
+        .with_threads(threads)
+        .with_budget(budget.clone());
+        rows.extend(run_mix("moving_overlay", &db, &names, &spec));
+    }
+
+    // Mix 3: degenerate high-aspect bodies through the rounding path.
+    {
+        let mut params = GeneratorParams::fast();
+        params.rounding = true;
+        let mut db = SpatialDatabase::with_params(params);
+        let mut names = Vec::new();
+        for body in degenerate::suite(3, 16) {
+            db.insert(body.name, body.relation.clone());
+            names.push(body.name.to_string());
+        }
+        let spec = LoadSpec::new(
+            count(300),
+            300.0 * scale.min(1.0),
+            903,
+            SessionMix::no_reconstruction(0.6, 0.4),
+        )
+        .with_threads(threads)
+        .with_budget(budget);
+        rows.extend(run_mix("degenerate", &db, &names, &spec));
+    }
+
+    let json = render_report(&rows, quick);
+    let default_out = if quick {
+        "target/BENCH_load_quick.json"
+    } else {
+        "BENCH_load.json"
+    };
+    let out = std::env::var("CDB_LOAD_OUT").unwrap_or_else(|_| default_out.into());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprint!("{json}");
+    eprintln!("load report written to {out}");
+}

@@ -7,6 +7,9 @@
 
 use criterion::Criterion;
 
+pub mod load;
+pub mod report;
+
 /// Criterion configuration shared by all experiment benches: small sample
 /// counts and short measurement windows, because a single iteration already
 /// aggregates many random-walk steps.

@@ -118,6 +118,141 @@ pub fn overlay_scenario<R: Rng + ?Sized>(rng: &mut R) -> OverlayScenario {
     }
 }
 
+/// Parameters of a time-sliced moving-object overlay.
+#[derive(Clone, Debug)]
+pub struct MovingOverlaySpec {
+    /// Number of moving objects (unit squares, one per lane). Capped at 16
+    /// by the inclusion–exclusion exact-area computation.
+    pub objects: usize,
+    /// Number of time slices to materialize.
+    pub slices: usize,
+    /// Width of the map; object x-origins bounce inside `[0, width - 1]`.
+    pub width: f64,
+    /// Width of the static north–south corridor the slices are overlaid on.
+    pub corridor_width: f64,
+    /// Time step between consecutive slices.
+    pub dt: f64,
+}
+
+impl Default for MovingOverlaySpec {
+    fn default() -> Self {
+        MovingOverlaySpec {
+            objects: 5,
+            slices: 6,
+            width: 8.0,
+            corridor_width: 1.0,
+            dt: 0.6,
+        }
+    }
+}
+
+/// A time-sliced moving-object overlay scenario.
+///
+/// Each object is a unit square confined to its own horizontal lane
+/// (lane `i` is `y ∈ [2i + 0.5, 2i + 1.5]`), so every slice is a union of
+/// *disjoint* unit squares with exact area `objects` — uniformity gates can
+/// fold a sample to its offset inside the owning object. Objects move with
+/// constant per-object velocity, bouncing elastically off the map edges; the
+/// overlay against the static corridor has a closed-form area per slice.
+#[derive(Clone, Debug)]
+pub struct MovingOverlay {
+    /// One layer per time slice (`slices[j]` is time `j·dt`).
+    pub slices: Vec<GisLayer>,
+    /// The static corridor layer (a vertical strip spanning all lanes).
+    pub corridor: GisLayer,
+    /// Exact area of `slices[j] ∩ corridor` for each slice.
+    pub overlay_areas: Vec<f64>,
+    /// Per-slice object x-origins: `object_x[j][i]` is the left edge of
+    /// object `i` at slice `j` (its lane fixes the y-extent).
+    pub object_x: Vec<Vec<f64>>,
+    /// Low edge of each object's lane (`lane_y[i]` to `lane_y[i] + 1`).
+    pub lane_y: Vec<f64>,
+}
+
+/// Position of a bouncing point starting at `x0` with velocity `v` after
+/// time `t`, confined to `[0, span]` (triangle-wave fold of the free path).
+fn bounce(x0: f64, v: f64, t: f64, span: f64) -> f64 {
+    let period = 2.0 * span;
+    let m = (x0 + v * t).rem_euclid(period);
+    if m <= span {
+        m
+    } else {
+        period - m
+    }
+}
+
+/// Builds a moving-object overlay scenario from a seed-controlled RNG:
+/// random initial positions and velocities, then deterministic closed-form
+/// motion across `spec.slices` time slices.
+pub fn moving_overlay<R: Rng + ?Sized>(spec: &MovingOverlaySpec, rng: &mut R) -> MovingOverlay {
+    assert!(
+        spec.objects >= 1 && spec.objects <= 16,
+        "inclusion-exclusion needs few regions"
+    );
+    assert!(spec.slices >= 1 && spec.width > 2.0 && spec.corridor_width > 0.0);
+    let span = spec.width - 1.0;
+    let height = 2.0 * spec.objects as f64 + 1.0;
+    let lane_y: Vec<f64> = (0..spec.objects).map(|i| 2.0 * i as f64 + 0.5).collect();
+    let x0: Vec<f64> = (0..spec.objects)
+        .map(|_| rng.gen_range(0.0..span))
+        .collect();
+    let velocity: Vec<f64> = (0..spec.objects)
+        .map(|_| {
+            let speed: f64 = rng.gen_range(0.5..2.5);
+            if rng.gen_bool(0.5) {
+                speed
+            } else {
+                -speed
+            }
+        })
+        .collect();
+
+    let corridor_lo = (spec.width - spec.corridor_width) / 2.0;
+    let corridor_hi = corridor_lo + spec.corridor_width;
+    let corridor_relation = GeneralizedRelation::from_tuple(GeneralizedTuple::from_box_f64(
+        &[corridor_lo, 0.0],
+        &[corridor_hi, height],
+    ));
+    let corridor = GisLayer {
+        exact_area: spec.corridor_width * height,
+        relation: corridor_relation,
+    };
+
+    let mut slices = Vec::with_capacity(spec.slices);
+    let mut overlay_areas = Vec::with_capacity(spec.slices);
+    let mut object_x = Vec::with_capacity(spec.slices);
+    for j in 0..spec.slices {
+        let t = j as f64 * spec.dt;
+        let xs: Vec<f64> = (0..spec.objects)
+            .map(|i| bounce(x0[i], velocity[i], t, span))
+            .collect();
+        let tuples: Vec<GeneralizedTuple> = xs
+            .iter()
+            .zip(&lane_y)
+            .map(|(&x, &y)| GeneralizedTuple::from_box_f64(&[x, y], &[x + 1.0, y + 1.0]))
+            .collect();
+        let relation = GeneralizedRelation::from_tuples(2, tuples);
+        let exact_area = union_volume(&relation.to_polytopes());
+        let overlay: f64 = xs
+            .iter()
+            .map(|&x| (corridor_hi.min(x + 1.0) - corridor_lo.max(x)).max(0.0))
+            .sum();
+        slices.push(GisLayer {
+            relation,
+            exact_area,
+        });
+        overlay_areas.push(overlay);
+        object_x.push(xs);
+    }
+    MovingOverlay {
+        slices,
+        corridor,
+        overlay_areas,
+        object_x,
+        lane_y,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +296,58 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(13);
         let sc2 = overlay_scenario(&mut rng2);
         assert!((sc.exact_overlay_area - sc2.exact_overlay_area).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_overlay_slices_are_disjoint_unit_squares() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let spec = MovingOverlaySpec::default();
+        let mo = moving_overlay(&spec, &mut rng);
+        assert_eq!(mo.slices.len(), spec.slices);
+        for (j, slice) in mo.slices.iter().enumerate() {
+            // Lanes keep the objects disjoint, so the union area is exactly
+            // the object count.
+            assert!(
+                (slice.exact_area - spec.objects as f64).abs() < 1e-9,
+                "slice {j}: area {}",
+                slice.exact_area
+            );
+            for &x in &mo.object_x[j] {
+                assert!((0.0..=spec.width - 1.0).contains(&x), "slice {j}: x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn moving_overlay_areas_match_the_polytope_integrator() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mo = moving_overlay(&MovingOverlaySpec::default(), &mut rng);
+        for (j, slice) in mo.slices.iter().enumerate() {
+            let exact = cdb_geometry::volume::union_intersection_volume(
+                &slice.relation.to_polytopes(),
+                &mo.corridor.relation.to_polytopes(),
+            );
+            assert!(
+                (exact - mo.overlay_areas[j]).abs() < 1e-9,
+                "slice {j}: integrator {exact} vs closed form {}",
+                mo.overlay_areas[j]
+            );
+        }
+    }
+
+    #[test]
+    fn moving_overlay_is_reproducible_and_actually_moves() {
+        let mo1 = moving_overlay(
+            &MovingOverlaySpec::default(),
+            &mut StdRng::seed_from_u64(17),
+        );
+        let mo2 = moving_overlay(
+            &MovingOverlaySpec::default(),
+            &mut StdRng::seed_from_u64(17),
+        );
+        assert_eq!(mo1.object_x, mo2.object_x);
+        // Objects are in motion: at least one position differs across slices.
+        assert_ne!(mo1.object_x[0], mo1.object_x[1]);
     }
 
     #[test]

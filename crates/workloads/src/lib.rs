@@ -9,7 +9,8 @@
 //!   volumes where closed forms exist;
 //! * [`gis`] — a synthetic Geographical Information System layer generator
 //!   (unions of convex regions with controlled overlap), standing in for the
-//!   GIS applications that motivate the paper;
+//!   GIS applications that motivate the paper, including time-sliced
+//!   moving-object overlays ([`gis::moving_overlay`]);
 //! * [`sat`] — the Section 4.1.3 encoding of CNF formulas as intersections of
 //!   observable unions (literal `x` ↦ `3/4 < x < 1`, literal `¬x` ↦
 //!   `0 < x < 1/4`), used to demonstrate why the poly-related restriction is
@@ -24,14 +25,22 @@
 //!   strategies of the projection generator;
 //! * [`pathological`] — adversarial zero-acceptance compositions (sliver
 //!   intersections, vanishing differences, needle-in-haystack rejection)
-//!   that drive the resilience suite's budget and fault-injection tests.
+//!   that drive the resilience suite's budget and fault-injection tests;
+//! * [`degenerate`] — high-aspect bodies (needle boxes, squeezed simplices)
+//!   with closed-form volumes, stressing the rounding path;
+//! * [`sessions`] — polytope soups whose named relations share structurally
+//!   identical bodies (stressing the prepared-relation store under
+//!   contention) plus the [`sessions::SessionMix`] read/volume/reconstruction
+//!   blends consumed by the `cdb-bench` load harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degenerate;
 pub mod gis;
 pub mod pathological;
 pub mod polytopes;
 pub mod projection;
 pub mod sat;
+pub mod sessions;
 pub mod structured;

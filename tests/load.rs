@@ -1,0 +1,163 @@
+//! End-to-end tests of the traffic-shaped load harness (`cdb_bench::load`).
+//!
+//! A quick mixed-session run must complete with every request *resolved* —
+//! a payload or a typed error, never a silent drop — with per-class request
+//! counts exactly matching the schedule, and the emitted
+//! `cdb-load-report/v1` document must parse back with every expected row.
+//!
+//! Sizes honor `CDB_LOAD_QUICK=1` / `CDB_LOAD_REQUESTS=<n>` (the `ci.sh`
+//! `--quick` path) but are modest even at the default.
+
+use cdb_bench::load::{class_stats, render_report, run, schedule, LoadSpec, Payload, QueryClass};
+use cdb_bench::report;
+use cdb_core::SpatialDatabase;
+use cdb_sampler::{GeneratorParams, QueryBudget};
+use cdb_workloads::sessions::{polytope_soup, SessionMix, SoupSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Request count for the mixed-session run: 150 by default, 60 under
+/// `CDB_LOAD_QUICK=1`, or an explicit `CDB_LOAD_REQUESTS`.
+fn requests() -> usize {
+    if let Ok(n) = std::env::var("CDB_LOAD_REQUESTS") {
+        return n.parse().expect("CDB_LOAD_REQUESTS must be a count");
+    }
+    if std::env::var("CDB_LOAD_QUICK").is_ok_and(|v| v == "1") {
+        60
+    } else {
+        150
+    }
+}
+
+fn soup_db() -> (SpatialDatabase, Vec<String>) {
+    let soup = polytope_soup(&SoupSpec::default(), &mut StdRng::seed_from_u64(77));
+    let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+    for (name, relation) in &soup.entries {
+        db.insert(name.clone(), relation.clone());
+    }
+    let names = soup.names();
+    (db, names)
+}
+
+#[test]
+fn mixed_session_run_resolves_every_request() {
+    let (db, names) = soup_db();
+    let spec = LoadSpec::new(requests(), 2000.0, 4242, SessionMix::read_heavy())
+        .with_threads(4)
+        .with_budget(
+            QueryBudget::unlimited()
+                .with_max_steps(50_000_000)
+                .with_max_attempts(100_000),
+        );
+    let sched = schedule(&spec, &names);
+    assert_eq!(sched.requests.len(), spec.requests);
+    let counts = sched.class_counts();
+    assert!(
+        counts.iter().all(|&c| c > 0),
+        "the read-heavy mix must schedule all three classes: {counts:?}"
+    );
+
+    let report = run(&db, &spec, &sched);
+    assert_eq!(report.outcomes.len(), spec.requests);
+    assert!(report.panics.is_empty());
+    assert_eq!(report.lost(), 0);
+
+    // Every request resolves to a class-appropriate payload or a typed
+    // error, and its latency was recorded.
+    let mut resolved = [0usize; 3];
+    for (slot, req) in report.outcomes.iter().zip(&sched.requests) {
+        let outcome = slot.as_ref().expect("no request may be lost");
+        assert_eq!(outcome.class, req.class);
+        assert_eq!(outcome.relation, req.relation);
+        match (&outcome.result, req.class) {
+            (Ok(Payload::Point(p)), QueryClass::Sample) => {
+                assert_eq!(p.len(), 2);
+                let relation = &db.relation(&req.relation).unwrap();
+                assert!(relation.contains_f64(p), "sample outside {}", req.relation);
+            }
+            (Ok(Payload::Estimate(v)), QueryClass::Volume) => {
+                assert!(v.is_finite() && *v > 0.0);
+            }
+            (Ok(Payload::Relation { .. }), QueryClass::Reconstruction) => {}
+            (Err(_), _) => {}
+            (payload, class) => panic!("class {class:?} resolved to {payload:?}"),
+        }
+        resolved[QueryClass::ALL
+            .iter()
+            .position(|c| *c == req.class)
+            .unwrap()] += 1;
+    }
+    // Per-class request counts are exact: scheduled == resolved.
+    assert_eq!(resolved, counts);
+
+    // The emitted report parses and contains every expected row with the
+    // latency percentile fields filled.
+    let stats = class_stats(&sched, &report);
+    assert_eq!(stats.len(), 3);
+    let rows: Vec<(String, _)> = stats
+        .into_iter()
+        .map(|s| (format!("load_sessions.{}", s.class.label()), s))
+        .collect();
+    let text = render_report(&rows, false);
+    let parsed = report::parse_report(&text).expect("rendered report must parse");
+    for class in ["sample", "volume", "reconstruction"] {
+        let row = report::find(&parsed, &format!("load_sessions.{class}"))
+            .unwrap_or_else(|| panic!("missing row for class {class}"));
+        for (metric, value) in [
+            ("requests", row.requests),
+            ("throughput_rps", row.throughput_rps),
+            ("p50_ms", row.p50_ms),
+            ("p95_ms", row.p95_ms),
+            ("p99_ms", row.p99_ms),
+            ("max_ms", row.max_ms),
+        ] {
+            let v = value.unwrap_or_else(|| panic!("{class}: missing {metric}"));
+            assert!(v.is_finite() && v >= 0.0, "{class}.{metric} = {v}");
+        }
+        // p50 ≤ p95 ≤ p99 ≤ max by construction.
+        assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
+        assert!(row.p99_ms <= row.max_ms);
+    }
+}
+
+#[test]
+fn committed_baseline_gates_against_a_fresh_quick_run() {
+    // The committed BENCH_load.json and a fresh harness run must agree on
+    // row coverage — the same check `ci.sh` performs, but in-process and
+    // against whatever the current source emits.
+    let baseline_text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_load.json"))
+            .expect("committed BENCH_load.json baseline must exist");
+    let baseline = report::parse_report(&baseline_text).expect("baseline must parse");
+    assert!(
+        baseline.len() >= 4,
+        "the baseline must keep at least 4 workload-mix rows"
+    );
+    for row in &baseline {
+        assert!(row.workload.starts_with("load_"));
+        assert!(row.throughput_rps.is_some() && row.p99_ms.is_some());
+    }
+
+    // A tiny sessions run emits rows whose names match the baseline's
+    // sessions rows, so coverage of the committed schema cannot rot even if
+    // the bin and the test drift apart.
+    let (db, names) = soup_db();
+    let spec = LoadSpec::new(40, 2000.0, 11, SessionMix::read_heavy()).with_threads(2);
+    let sched = schedule(&spec, &names);
+    let rep = run(&db, &spec, &sched);
+    let rows: Vec<(String, _)> = class_stats(&sched, &rep)
+        .into_iter()
+        .map(|s| (format!("load_sessions.{}", s.class.label()), s))
+        .collect();
+    let fresh = report::parse_report(&render_report(&rows, true)).unwrap();
+    for row in baseline
+        .iter()
+        .filter(|r| r.workload.starts_with("load_sessions."))
+    {
+        assert!(
+            report::find(&fresh, &row.workload).is_some(),
+            "fresh run lost baseline row {}",
+            row.workload
+        );
+    }
+}

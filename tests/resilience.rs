@@ -12,6 +12,8 @@
 //! Set `CDB_RESILIENCE_QUICK=1` (the `ci.sh --quick` default) to run a
 //! reduced plan: smaller batches, fewer thread counts.
 
+use cdb_bench::load::{class_stats, render_report, run, schedule, LoadError, LoadSpec};
+use cdb_bench::report;
 use cdb_constraint::GeneralizedRelation;
 use cdb_core::{QueryPhase, SpatialDatabase, SpatialDbError};
 use cdb_sampler::{
@@ -19,6 +21,7 @@ use cdb_sampler::{
     IntersectionGenerator, PreparedStore, QueryBudget, RelationGenerator, SeedSequence,
 };
 use cdb_workloads::pathological;
+use cdb_workloads::sessions::SessionMix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -291,4 +294,135 @@ fn partial_volume_batch_returns_completed_estimates() {
             ..
         })
     ));
+}
+
+// ---------------------------------------------------------------------------
+// The load harness under faults
+// ---------------------------------------------------------------------------
+
+fn load_db() -> (SpatialDatabase, Vec<String>) {
+    let mut db = SpatialDatabase::with_params(params());
+    db.insert(
+        "Fast",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+    );
+    db.insert(
+        "Starved",
+        GeneralizedRelation::from_box_f64(&[2.0, 0.0], &[3.0, 1.0]),
+    );
+    (db, vec!["Fast".into(), "Starved".into()])
+}
+
+/// A worker panic injected mid-load-run is contained by the harness: the
+/// dead worker's remaining requests are reported as *lost* (never silently
+/// dropped, never double-counted), every survivor's latency is recorded,
+/// and the emitted report stays well-formed.
+#[test]
+fn load_run_contains_an_injected_worker_panic() {
+    let (db, names) = load_db();
+    let n = 32;
+    // 4 client threads over 32 requests → worker 1 owns items 8..16. The
+    // panic fires at item 10, so 8 and 9 complete and 10..16 are lost.
+    let spec =
+        LoadSpec::new(n, 8000.0, 0xFA17, SessionMix::no_reconstruction(0.7, 0.3)).with_threads(4);
+    let sched = schedule(&spec, &names);
+    let rep = {
+        let _plan = FaultPlan::new(4).with_worker_panic_at(10).install();
+        run(&db, &spec, &sched)
+    };
+    assert_eq!(rep.panics.len(), 1, "exactly one contained panic");
+    assert_eq!(rep.panics[0].worker, 1);
+    assert!(rep.panics[0].payload.starts_with("injected"));
+    assert_eq!(rep.lost(), 6);
+    for (i, slot) in rep.outcomes.iter().enumerate() {
+        assert_eq!(
+            slot.is_none(),
+            (10..16).contains(&i),
+            "request {i}: wrong lost/survivor state"
+        );
+    }
+
+    // Per-class accounting is exact: scheduled == completed + lost, so no
+    // request is dropped or double-counted, and survivors' percentiles are
+    // computable.
+    let stats = class_stats(&sched, &rep);
+    let counts = sched.class_counts();
+    assert_eq!(stats.iter().map(|s| s.lost).sum::<usize>(), 6);
+    for s in &stats {
+        assert_eq!(s.scheduled, s.completed + s.lost);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
+    }
+    assert_eq!(
+        stats.iter().map(|s| s.scheduled).sum::<usize>(),
+        counts.iter().sum::<usize>()
+    );
+
+    // The report still renders and parses with the lost count visible.
+    let rows: Vec<(String, _)> = stats
+        .into_iter()
+        .map(|s| (format!("load_faulted.{}", s.class.label()), s))
+        .collect();
+    let parsed = report::parse_report(&render_report(&rows, true)).unwrap();
+    assert_eq!(parsed.iter().filter_map(|r| r.lost).sum::<f64>(), 6.0);
+
+    // The plan is gone: the same schedule replays clean on the shared db.
+    let clean = run(&db, &spec, &sched);
+    assert!(clean.panics.is_empty());
+    assert_eq!(clean.lost(), 0);
+}
+
+/// A starved per-request budget on one relation degrades that relation's
+/// requests into typed `BudgetExhausted` errors mid-run while the other
+/// relation keeps serving; every request still resolves with a recorded
+/// latency and exact per-class error accounting.
+#[test]
+fn load_run_survives_a_starved_per_relation_budget() {
+    let (db, names) = load_db();
+    let spec = LoadSpec::new(40, 8000.0, 0xB0D6, SessionMix::no_reconstruction(0.6, 0.4))
+        .with_threads(2)
+        .with_budget(QueryBudget::unlimited().with_max_steps(50_000_000))
+        .with_budget_override("Starved", QueryBudget::unlimited().with_max_steps(3));
+    let sched = schedule(&spec, &names);
+    let rep = run(&db, &spec, &sched);
+    assert!(rep.panics.is_empty());
+    assert_eq!(rep.lost(), 0);
+
+    let mut starved = 0usize;
+    for (slot, req) in rep.outcomes.iter().zip(&sched.requests) {
+        let outcome = slot.as_ref().expect("budget trips lose no requests");
+        match (&outcome.result, req.relation.as_str()) {
+            (Err(LoadError::Budget(BudgetTrip::Steps)), "Starved") => starved += 1,
+            (Ok(_), "Fast") => {}
+            (result, relation) => panic!("{relation} resolved to {result:?}"),
+        }
+    }
+    assert!(starved > 0, "the schedule must hit the starved relation");
+
+    // Error accounting matches exactly and the report stays well-formed.
+    let stats = class_stats(&sched, &rep);
+    assert_eq!(stats.iter().map(|s| s.errors).sum::<usize>(), starved);
+    for s in &stats {
+        assert_eq!(s.scheduled, s.completed);
+        assert_eq!(s.lost, 0);
+    }
+    let rows: Vec<(String, _)> = stats
+        .into_iter()
+        .map(|s| (format!("load_starved.{}", s.class.label()), s))
+        .collect();
+    let parsed = report::parse_report(&render_report(&rows, true)).unwrap();
+    assert_eq!(
+        parsed.iter().filter_map(|r| r.errors).sum::<f64>(),
+        starved as f64
+    );
+
+    // Lifting the override restores full service on the shared database.
+    let healed = LoadSpec {
+        budget_overrides: Default::default(),
+        ..spec
+    };
+    let clean = run(&db, &healed, &sched);
+    assert!(clean
+        .outcomes
+        .iter()
+        .all(|s| s.as_ref().is_some_and(|o| o.result.is_ok())));
 }

@@ -625,3 +625,187 @@ fn projection_volume_eps_delta_gate() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Degenerate high-aspect bodies (the rounding path)
+// ---------------------------------------------------------------------------
+
+/// Parameters with the well-rounding transform enabled — the degenerate
+/// families are the bodies that *need* it, so their gates pin the rounding
+/// path specifically.
+fn rounding_params() -> GeneratorParams {
+    let mut p = params();
+    p.rounding = true;
+    p
+}
+
+#[test]
+fn degenerate_needle_box_passes_uniformity_and_volume_gates_through_rounding() {
+    if quick_mode() {
+        return;
+    }
+    // [0, 1/16]² × [0, 1]: aspect 16, exact volume 16⁻².
+    let body = cdb_workloads::degenerate::needle_box(3, 16);
+    let mut generator = UnionGenerator::new(&body.relation, rounding_params()).unwrap();
+    let pts = successes(generator.sample_batch(3000, &SeedSequence::new(9001), 0));
+    for p in &pts {
+        assert!(body.relation.contains_f64(p), "sample left the needle");
+    }
+    // The long axis is uniform on [0, 1]; a thin axis, rescaled by the
+    // aspect, is uniform on [0, 1] too.
+    assert_marginal_uniform(&pts, |p| p[2], 0.0, 1.0, 10, "needle long-axis marginal");
+    assert_marginal_uniform(
+        &pts,
+        |p| p[0] * 16.0,
+        0.0,
+        1.0,
+        8,
+        "needle thin-axis marginal",
+    );
+    // Volume gate through the median-of-repeats (ε, δ) estimator. A
+    // single-tuple union's `estimate_volume_median` reuses the one
+    // preparation-time pilot estimate, so repeats are a no-op there; run the
+    // telescoping estimator directly, where each repeat is independent.
+    let tuple = &body.relation.tuples()[0];
+    let convex = ConvexBody::from_tuple(tuple).unwrap();
+    let mut rng = SeedSequence::new(9002).setup_stream().rng();
+    let sampler = DfkSampler::new(convex, rounding_params(), &mut rng);
+    let est = sampler.estimate_volume_median_batch(9, &SeedSequence::new(9005), 0);
+    let err = relative_error(est, body.exact_volume);
+    assert!(
+        err < 0.30,
+        "needle volume {est:.6} vs {:.6} (rel err {err:.3})",
+        body.exact_volume
+    );
+}
+
+#[test]
+fn degenerate_thin_simplex_passes_the_volume_gate_through_rounding() {
+    if quick_mode() {
+        return;
+    }
+    // {x ≥ 0, 16·x₀ + x₁ + x₂ ≤ 1}: exact volume 1/(16·3!).
+    let body = cdb_workloads::degenerate::thin_simplex(3, 16);
+    let mut generator = UnionGenerator::new(&body.relation, rounding_params()).unwrap();
+    let pts = successes(generator.sample_batch(2000, &SeedSequence::new(9003), 0));
+    for p in &pts {
+        assert!(body.relation.contains_f64(p), "sample left the simplex");
+    }
+    // The squeezed axis stays inside [0, 1/16], and rescaling the simplex by
+    // (16, 1, 1) maps the sample to the standard simplex, whose coordinate
+    // sum has CDF t³ on [0, 1] — fold through it for a uniformity gate.
+    for p in &pts {
+        assert!(p[0] <= 1.0 / 16.0 + 1e-9);
+    }
+    assert_marginal_uniform(
+        &pts,
+        |p| {
+            let s = (16.0 * p[0] + p[1] + p[2]).clamp(0.0, 1.0);
+            s * s * s
+        },
+        0.0,
+        1.0,
+        8,
+        "thin-simplex radial CDF fold",
+    );
+    // Same median-of-independent-repeats gate as the needle (see above).
+    let tuple = &body.relation.tuples()[0];
+    let convex = ConvexBody::from_tuple(tuple).unwrap();
+    let mut rng = SeedSequence::new(9004).setup_stream().rng();
+    let sampler = DfkSampler::new(convex, rounding_params(), &mut rng);
+    let est = sampler.estimate_volume_median_batch(9, &SeedSequence::new(9006), 0);
+    let err = relative_error(est, body.exact_volume);
+    assert!(
+        err < 0.30,
+        "thin-simplex volume {est:.6} vs {:.6} (rel err {err:.3})",
+        body.exact_volume
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Moving-object overlay slices
+// ---------------------------------------------------------------------------
+
+#[test]
+fn moving_overlay_slices_pass_uniformity_and_volume_gates() {
+    if quick_mode() {
+        return;
+    }
+    let spec = cdb_workloads::gis::MovingOverlaySpec::default();
+    let mut rng = SeedSequence::new(9100).setup_stream().rng();
+    let mo = cdb_workloads::gis::moving_overlay(&spec, &mut rng);
+    // Gate the first and last slices: same machinery, maximally separated
+    // object positions.
+    for (gate, &j) in [0usize, spec.slices - 1].iter().enumerate() {
+        let slice = &mo.slices[j];
+        let mut generator = UnionGenerator::new(&slice.relation, params()).unwrap();
+        let pts =
+            successes(generator.sample_batch(3000, &SeedSequence::new(9101 + gate as u64), 0));
+        let lane_of = |p: &[f64]| {
+            let lane = ((p[1] - 0.5) / 2.0).floor();
+            assert!(
+                lane >= 0.0 && (lane as usize) < spec.objects,
+                "off-lane sample"
+            );
+            lane as usize
+        };
+        // Offset inside the owning object is uniform on [0, 1]² — objects
+        // are disjoint unit squares, so the fold is exact.
+        assert_marginal_uniform(
+            &pts,
+            |p| p[0] - mo.object_x[j][lane_of(p)],
+            0.0,
+            1.0,
+            10,
+            &format!("slice {j} in-object x offset"),
+        );
+        assert_marginal_uniform(
+            &pts,
+            |p| p[1] - mo.lane_y[lane_of(p)],
+            0.0,
+            1.0,
+            10,
+            &format!("slice {j} in-object y offset"),
+        );
+        // Equal-area objects receive (near-)equal mass. The union selects
+        // tuples proportionally to *estimated* tuple volumes, so the split
+        // carries a small pilot-estimate skew; gate each lane's mass with
+        // the same 0.05 absolute tolerance the union uniformity gate uses
+        // rather than a chi-square that amplifies the shared bias.
+        let mut lane_mass = vec![0usize; spec.objects];
+        for p in &pts {
+            lane_mass[lane_of(p)] += 1;
+        }
+        for (lane, &hits) in lane_mass.iter().enumerate() {
+            let mass = hits as f64 / pts.len() as f64;
+            let expected = 1.0 / spec.objects as f64;
+            assert!(
+                (mass - expected).abs() < 0.05,
+                "slice {j} lane {lane}: mass {mass:.3} vs {expected:.3}"
+            );
+        }
+        // Corridor occupancy matches the closed-form overlay fraction.
+        let corridor_lo = (spec.width - spec.corridor_width) / 2.0;
+        let corridor_hi = corridor_lo + spec.corridor_width;
+        let hit = pts
+            .iter()
+            .filter(|p| p[0] >= corridor_lo && p[0] <= corridor_hi)
+            .count() as f64
+            / pts.len() as f64;
+        let expected = mo.overlay_areas[j] / slice.exact_area;
+        assert!(
+            (hit - expected).abs() < 0.05,
+            "slice {j}: corridor occupancy {hit:.3} vs overlay fraction {expected:.3}"
+        );
+        // (ε, δ) volume gate against the closed-form slice area.
+        let est = generator
+            .estimate_volume_median(5, &SeedSequence::new(9111 + gate as u64), 0)
+            .unwrap();
+        let err = relative_error(est, slice.exact_area);
+        assert!(
+            err < 0.25,
+            "slice {j}: volume {est:.3} vs {:.3} (rel err {err:.3})",
+            slice.exact_area
+        );
+    }
+}
