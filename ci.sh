@@ -113,7 +113,9 @@ echo "==> cargo test -q (workspace: unit + property + integration + doc tests)"
 # The heavy statistical gates are skipped inside the workspace run (they are
 # root-package integration tests, so they would execute here too) and run
 # explicitly below instead, so their cost is paid exactly once per CI pass.
-CDB_STAT_QUICK=1 cargo test -q --workspace
+# The server loopback suite likewise runs shrunk here and at full size in its
+# own stage.
+CDB_STAT_QUICK=1 CDB_SERVER_QUICK=1 cargo test -q --workspace
 stage_end
 
 stage_begin stratified
@@ -145,6 +147,22 @@ else
 fi
 stage_end
 
+stage_begin server
+echo "==> cdb-server stage (loopback smoke: every endpoint, error→status table, seeded reproducibility)"
+# The suite starts real servers on 127.0.0.1:0 and drives them over HTTP:
+# every endpoint end-to-end, the complete SpatialDbError→status mapping
+# (including malformed JSON / oversized body / unknown route), byte-for-byte
+# seeded reproducibility, concurrent clients, and graceful shutdown. Quick
+# mode shrinks the concurrency sweep (tests/server.rs reads
+# CDB_SERVER_QUICK).
+cargo test -q -p cdb-server
+if [ "$QUICK" = "1" ]; then
+  CDB_SERVER_QUICK=1 cargo test -q --test server
+else
+  cargo test -q --test server
+fi
+stage_end
+
 stage_begin load
 echo "==> traffic-shaped load harness (open-loop latency rows + bench_diff coverage)"
 if [ "$BENCH_LOAD" = "1" ]; then
@@ -158,7 +176,8 @@ if [ "$BENCH_LOAD" = "1" ]; then
   echo "==> bench_diff against the previous BENCH_load.json (tolerance 15%)"
   bench_diff target/load_compare_baseline.json BENCH_load.json
 else
-  # Every CI pass replays all three mixes with ~20x fewer requests: numbers
+  # Every CI pass replays all four mixes (including the HTTP loopback smoke
+  # mix) with ~20x fewer requests: numbers
   # are meaningless, but every dispatch path runs and the emitted rows must
   # still cover the committed baseline's row set.
   echo "==> load smoke (CDB_LOAD_QUICK=1, target/BENCH_load_quick.json)"

@@ -5,8 +5,8 @@
 //! one (`./ci.sh --bench-load` runs it; the default `ci.sh` pass runs the
 //! quick variant as a dispatch smoke test and coverage-checks its rows).
 //!
-//! Three mixes, one per workload family of the scenario-diversity roadmap
-//! item:
+//! Four mixes — one per workload family of the scenario-diversity roadmap
+//! item, plus an HTTP loopback smoke:
 //!
 //! * `sessions` — a shared-content polytope soup under a read-heavy
 //!   sample/volume/reconstruction session blend: many names collapse onto
@@ -15,7 +15,10 @@
 //! * `moving_overlay` — time-sliced moving-object GIS layers under a
 //!   sample/volume blend, queries spread across the time slices;
 //! * `degenerate` — needle boxes and squeezed simplices (rounding enabled)
-//!   under a sample/volume blend.
+//!   under a sample/volume blend;
+//! * `http_sessions` — a small sessions blend replayed over a loopback
+//!   `cdb-server` through the harness's HTTP transport, proving the report
+//!   schema is transport-agnostic.
 //!
 //! Every row reports throughput plus p50/p95/p99/max open-loop latency
 //! (completion − *scheduled* arrival: the schedule is fixed up front and
@@ -32,9 +35,12 @@
 //! defaults to `target/BENCH_load_quick.json`, never the recorded
 //! `BENCH_load.json`).
 
-use cdb_bench::load::{class_stats, render_report, run, schedule, ClassStats, LoadSpec};
+use cdb_bench::load::{
+    class_stats, render_report, run, run_over, schedule, ClassStats, LoadSpec, Transport,
+};
 use cdb_core::SpatialDatabase;
 use cdb_sampler::{GeneratorParams, QueryBudget};
+use cdb_server::{Server, ServerConfig};
 use cdb_workloads::sessions::SessionMix;
 use cdb_workloads::{degenerate, gis, sessions};
 use rand::rngs::StdRng;
@@ -142,8 +148,46 @@ fn main() {
             SessionMix::no_reconstruction(0.6, 0.4),
         )
         .with_threads(threads)
-        .with_budget(budget);
+        .with_budget(budget.clone());
         rows.extend(run_mix("degenerate", &db, &names, &spec));
+    }
+
+    // Mix 4: HTTP loopback smoke — a small sessions blend served by a real
+    // `cdb-server` over 127.0.0.1, proving the report schema is
+    // transport-agnostic (the rows carry the same fields as the in-process
+    // mixes; see `Transport` in `cdb_bench::load` for the parity contract).
+    {
+        let soup = sessions::polytope_soup(
+            &sessions::SoupSpec::default(),
+            &mut StdRng::seed_from_u64(2026),
+        );
+        let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+        for (name, relation) in &soup.entries {
+            db.insert(name.clone(), relation.clone());
+        }
+        let names = soup.names();
+        let server =
+            Server::start_with_db(ServerConfig::default(), db).expect("loopback server starts");
+        let spec = LoadSpec::new(
+            count(200),
+            400.0 * scale.min(1.0),
+            904,
+            SessionMix::read_heavy(),
+        )
+        .with_threads(threads)
+        .with_budget(budget);
+        let sched = schedule(&spec, &names);
+        let report = run_over(&Transport::Http(server.addr()), &spec, &sched);
+        assert!(
+            report.panics.is_empty() && report.lost() == 0,
+            "http_sessions: load run lost requests: {:?}",
+            report.panics
+        );
+        rows.extend(
+            class_stats(&sched, &report)
+                .into_iter()
+                .map(|s| (format!("load_http_sessions.{}", s.class.label()), s)),
+        );
     }
 
     let json = render_report(&rows, quick);

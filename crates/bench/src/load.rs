@@ -338,65 +338,116 @@ impl RunReport {
     }
 }
 
-/// Replays `schedule` against `db` from `spec.threads` client threads.
+/// Where the harness sends its traffic.
 ///
-/// Reconstruction requests project their binary relation onto its first
-/// coordinate (`∃x₁. R(x₀, x₁)`); scheduling a reconstruction against a
-/// relation that is not binary is a caller error and panics here, before
-/// any traffic is issued.
+/// Both transports follow one seed discipline — request `i` is funded by
+/// `SeedSequence::new(spec.seed).item_stream(i)` (sent over the wire as
+/// `"seed"`/`"stream"` for HTTP) — so, given the same schedule, their
+/// [`RunReport::result_bits`] are **bitwise identical**: the report schema
+/// is transport-agnostic. The one caveat is budgets: only the
+/// deterministic counters (`max_steps`, `max_attempts`) cross the wire; an
+/// armed deadline or cancellation token is a process-local handle and is
+/// dropped by the HTTP transport.
+pub enum Transport<'a> {
+    /// Direct calls into an in-process [`SpatialDatabase`].
+    InProcess(&'a SpatialDatabase),
+    /// HTTP/JSON requests against a `cdb-server` instance (usually
+    /// loopback), one keep-alive connection per client thread.
+    Http(std::net::SocketAddr),
+}
+
+/// Replays `schedule` against `db` from `spec.threads` client threads —
+/// [`run_over`] with [`Transport::InProcess`].
 pub fn run(db: &SpatialDatabase, spec: &LoadSpec, schedule: &Schedule) -> RunReport {
-    let n = schedule.requests.len();
-    let mut queries: BTreeMap<String, Formula> = BTreeMap::new();
-    for req in &schedule.requests {
-        if req.class == QueryClass::Reconstruction && !queries.contains_key(&req.relation) {
-            let text = format!("exists x1. {}(x0, x1)", req.relation);
-            let formula = parse_formula(&text, 2)
-                .unwrap_or_else(|e| panic!("reconstruction query {text:?} does not parse: {e:?}"));
-            queries.insert(req.relation.clone(), formula);
-        }
+    run_over(&Transport::InProcess(db), spec, schedule)
+}
+
+/// The reconstruction query each scheduled reconstruction issues: project
+/// the binary relation onto its first coordinate (`∃x₁. R(x₀, x₁)`).
+/// Scheduling a reconstruction against a relation that is not binary is a
+/// caller error and panics at parse/evaluation time.
+fn reconstruction_text(relation: &str) -> String {
+    format!("exists x1. {relation}(x0, x1)")
+}
+
+/// Sleeps until request `i`'s scheduled arrival (open-loop pacing).
+fn pace(schedule: &Schedule, i: usize, epoch: Instant) {
+    let arrival = schedule.requests[i].arrival();
+    let now = epoch.elapsed();
+    if now < arrival {
+        std::thread::sleep(arrival - now);
     }
+}
+
+/// Replays `schedule` over the given [`Transport`] from `spec.threads`
+/// client threads.
+pub fn run_over(transport: &Transport<'_>, spec: &LoadSpec, schedule: &Schedule) -> RunReport {
+    let n = schedule.requests.len();
     let seq = SeedSequence::new(spec.seed);
     let epoch = Instant::now();
-    let fan_out = fan_out_contained_timed(
-        n,
-        spec.threads,
-        epoch,
-        || (),
-        |_, i| {
-            let req = &schedule.requests[i];
-            let arrival = req.arrival();
-            let now = epoch.elapsed();
-            if now < arrival {
-                std::thread::sleep(arrival - now);
+    let fan_out = match transport {
+        Transport::InProcess(db) => {
+            let mut queries: BTreeMap<String, Formula> = BTreeMap::new();
+            for req in &schedule.requests {
+                if req.class == QueryClass::Reconstruction && !queries.contains_key(&req.relation) {
+                    let text = reconstruction_text(&req.relation);
+                    let formula = parse_formula(&text, 2).unwrap_or_else(|e| {
+                        panic!("reconstruction query {text:?} does not parse: {e:?}")
+                    });
+                    queries.insert(req.relation.clone(), formula);
+                }
             }
-            let budget = spec
-                .budget_overrides
-                .get(&req.relation)
-                .unwrap_or(&spec.budget);
-            let mut rng = seq.item_stream(i).rng();
-            match req.class {
-                QueryClass::Sample => db
-                    .approx_generate_budgeted(&req.relation, budget, &mut rng)
-                    .map(Payload::Point)
-                    .map_err(|e| LoadError::from(&e)),
-                QueryClass::Volume => db
-                    .approx_volume_budgeted(&req.relation, budget, &mut rng)
-                    .map(Payload::Estimate)
-                    .map_err(|e| LoadError::from(&e)),
-                QueryClass::Reconstruction => db
-                    .approx_query(&queries[&req.relation], 1, &mut rng)
-                    .map(|rel| {
-                        let mut digest = FNV_OFFSET;
-                        fnv(&mut digest, format!("{rel:?}").as_bytes());
-                        Payload::Relation {
-                            tuples: rel.tuples().len(),
-                            digest,
-                        }
-                    })
-                    .map_err(|e| LoadError::from(&e)),
-            }
-        },
-    );
+            fan_out_contained_timed(
+                n,
+                spec.threads,
+                epoch,
+                || (),
+                |_, i| {
+                    pace(schedule, i, epoch);
+                    let req = &schedule.requests[i];
+                    let budget = spec
+                        .budget_overrides
+                        .get(&req.relation)
+                        .unwrap_or(&spec.budget);
+                    let mut rng = seq.item_stream(i).rng();
+                    match req.class {
+                        QueryClass::Sample => db
+                            .approx_generate_budgeted(&req.relation, budget, &mut rng)
+                            .map(Payload::Point)
+                            .map_err(|e| LoadError::from(&e)),
+                        QueryClass::Volume => db
+                            .approx_volume_budgeted(&req.relation, budget, &mut rng)
+                            .map(Payload::Estimate)
+                            .map_err(|e| LoadError::from(&e)),
+                        QueryClass::Reconstruction => db
+                            .approx_query(&queries[&req.relation], 1, &mut rng)
+                            .map(|rel| {
+                                let mut digest = FNV_OFFSET;
+                                fnv(&mut digest, format!("{rel:?}").as_bytes());
+                                Payload::Relation {
+                                    tuples: rel.tuples().len(),
+                                    digest,
+                                }
+                            })
+                            .map_err(|e| LoadError::from(&e)),
+                    }
+                },
+            )
+        }
+        Transport::Http(addr) => {
+            let addr = *addr;
+            fan_out_contained_timed(
+                n,
+                spec.threads,
+                epoch,
+                move || cdb_server::client::Client::new(addr),
+                |client, i| {
+                    pace(schedule, i, epoch);
+                    http_request(client, spec, &schedule.requests[i], i)
+                },
+            )
+        }
+    };
     let wall = epoch.elapsed();
     let outcomes = fan_out
         .slots
@@ -415,6 +466,125 @@ pub fn run(db: &SpatialDatabase, spec: &LoadSpec, schedule: &Schedule) -> RunRep
         outcomes,
         panics: fan_out.panics,
         wall,
+    }
+}
+
+/// Issues scheduled request `i` over HTTP and decodes the response into
+/// the same [`Payload`] / [`LoadError`] values the in-process transport
+/// produces (see [`Transport`] for the parity contract).
+fn http_request(
+    client: &mut cdb_server::client::Client,
+    spec: &LoadSpec,
+    req: &Request,
+    i: usize,
+) -> Result<Payload, LoadError> {
+    use cdb_server::json::Json;
+
+    let budget = spec
+        .budget_overrides
+        .get(&req.relation)
+        .unwrap_or(&spec.budget);
+    let mut fields = vec![
+        ("seed".to_string(), Json::u64_str(spec.seed)),
+        ("stream".to_string(), Json::count(i)),
+    ];
+    // Only the deterministic counters cross the wire; a deadline or cancel
+    // token is process-local and silently dropped here.
+    let mut budget_fields = Vec::new();
+    if let Some(steps) = budget.max_steps {
+        budget_fields.push(("max_steps".to_string(), Json::u64_str(steps)));
+    }
+    if let Some(attempts) = budget.max_attempts {
+        budget_fields.push(("max_attempts".to_string(), Json::u64_str(attempts)));
+    }
+    let path = match req.class {
+        QueryClass::Sample | QueryClass::Volume => {
+            fields.push(("relation".to_string(), Json::str(req.relation.clone())));
+            if !budget_fields.is_empty() {
+                fields.push(("budget".to_string(), Json::Object(budget_fields)));
+            }
+            if req.class == QueryClass::Sample {
+                "/v1/sample"
+            } else {
+                "/v1/volume"
+            }
+        }
+        QueryClass::Reconstruction => {
+            fields.push((
+                "query".to_string(),
+                Json::str(reconstruction_text(&req.relation)),
+            ));
+            fields.push(("arity".to_string(), Json::count(2)));
+            fields.push(("output_arity".to_string(), Json::count(1)));
+            "/v1/reconstruct"
+        }
+    };
+    let body = Json::Object(fields);
+    let (status, response) = client
+        .request_json("POST", path, Some(&body))
+        .map_err(|e| LoadError::Other(format!("transport: {e}")))?;
+    if status != 200 {
+        return Err(decode_http_error(status, &response));
+    }
+    match req.class {
+        QueryClass::Sample => {
+            let point = response
+                .get("point")
+                .and_then(Json::as_array)
+                .ok_or_else(|| LoadError::Other("sample response without a point".into()))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| LoadError::Other("non-numeric coordinate".into()))
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok(Payload::Point(point))
+        }
+        QueryClass::Volume => response
+            .get("volume")
+            .and_then(Json::as_f64)
+            .map(Payload::Estimate)
+            .ok_or_else(|| LoadError::Other("volume response without an estimate".into())),
+        QueryClass::Reconstruction => {
+            let tuples = response.get("tuples").and_then(Json::as_usize);
+            let digest = response.get("digest").and_then(Json::as_u64);
+            match (tuples, digest) {
+                (Some(tuples), Some(digest)) => Ok(Payload::Relation { tuples, digest }),
+                _ => Err(LoadError::Other(
+                    "reconstruct response without tuples/digest".into(),
+                )),
+            }
+        }
+    }
+}
+
+/// Maps a `cdb-server` error envelope back onto the [`LoadError`] the
+/// in-process transport would have produced for the same engine failure.
+fn decode_http_error(status: u16, response: &cdb_server::json::Json) -> LoadError {
+    let error = response.get("error");
+    let code = error
+        .and_then(|e| e.get("code"))
+        .and_then(cdb_server::json::Json::as_str)
+        .unwrap_or("");
+    match (status, code) {
+        (429, _) => {
+            let cause = error
+                .and_then(|e| e.get("cause"))
+                .and_then(cdb_server::json::Json::as_str)
+                .unwrap_or("");
+            match cause {
+                "steps" => LoadError::Budget(BudgetTrip::Steps),
+                "attempts" => LoadError::Budget(BudgetTrip::Attempts),
+                "deadline" => LoadError::Budget(BudgetTrip::Deadline),
+                "cancelled" => LoadError::Budget(BudgetTrip::Cancelled),
+                other => LoadError::Other(format!("budget exhausted, unknown cause {other:?}")),
+            }
+        }
+        (_, "generation_failed") => LoadError::GenerationFailed,
+        (_, "unknown_relation") => LoadError::UnknownRelation,
+        (_, "not_observable") => LoadError::NotObservable,
+        (_, "not_estimable") => LoadError::Reconstruction,
+        _ => LoadError::Other(format!("http {status} {code}")),
     }
 }
 

@@ -41,6 +41,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod query;
+
+pub use query::{FailureMode, QueryKind, QueryOptions, QueryOutcome, QuerySpec, QueryValue};
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -49,12 +53,11 @@ use rand::Rng;
 
 use cdb_constraint::canonical::CanonicalKey;
 use cdb_constraint::{ConstraintError, Database, Formula, GeneralizedRelation};
-use cdb_reconstruct::{PositiveQueryEstimator, ReconstructionError};
+use cdb_reconstruct::ReconstructionError;
 use cdb_sampler::compose::ObservabilityError;
 use cdb_sampler::{
-    batch, BudgetTrip, GeneratorParams, PreparedStore, PreparedStoreStats, QueryBudget,
-    RelationGenerator, RelationVolumeEstimator, SeedSequence, UnionGenerator, WalkKind,
-    DEFAULT_PREPARED_STORE_CAPACITY,
+    BudgetTrip, GeneratorParams, PreparedStore, PreparedStoreStats, QueryBudget, RelationGenerator,
+    SeedSequence, UnionGenerator, WalkKind, DEFAULT_PREPARED_STORE_CAPACITY,
 };
 
 /// The phase of query evaluation in which a failure occurred.
@@ -84,6 +87,10 @@ impl std::fmt::Display for QueryPhase {
 pub enum SpatialDbError {
     /// The named relation is not stored in the database.
     UnknownRelation(String),
+    /// The query specification itself is invalid (e.g. a seeded
+    /// [`SpatialDatabase::query`] without a seed) — a caller error, distinct
+    /// from any engine failure.
+    InvalidParams(String),
     /// The relation is not observable (Section 4 conditions violated).
     NotObservable {
         /// Name of the offending relation.
@@ -130,6 +137,7 @@ impl std::fmt::Display for SpatialDbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SpatialDbError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            SpatialDbError::InvalidParams(msg) => write!(f, "invalid query parameters: {msg}"),
             SpatialDbError::NotObservable { relation, source } => {
                 write!(f, "relation {relation} is not observable: {source}")
             }
@@ -396,6 +404,9 @@ impl SpatialDatabase {
     }
 
     /// Draws one almost-uniform point from the named relation.
+    ///
+    /// Thin wrapper over [`SpatialDatabase::query_with_rng`] with
+    /// [`QueryKind::Sample`]`{ n: 1 }`.
     pub fn approx_generate<R: Rng + ?Sized>(
         &self,
         name: &str,
@@ -416,24 +427,43 @@ impl SpatialDatabase {
         budget: &QueryBudget,
         rng: &mut R,
     ) -> Result<Vec<f64>, SpatialDbError> {
-        let mut generator = self.prepared_generator(name)?;
-        generator.set_budget(budget.clone());
-        match generator.sample(rng) {
-            Some(point) => Ok(point),
-            None => Err(draw_failure(name, &generator, QueryPhase::Sampling, 0)),
-        }
+        let spec = QuerySpec::sample(name, 1).with_budget(budget);
+        let outcome = self.query_with_rng(&spec, rng)?;
+        Ok(outcome
+            .into_points_batch()
+            .results
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("a fail-fast sample query that returned Ok holds its point"))
     }
 
-    /// Draws `n` almost-uniform points from the named relation (failed draws
-    /// are skipped).
+    /// Draws `n` almost-uniform points from the named relation.
+    ///
+    /// **Skip semantics.** Failed draws are silently dropped: the returned
+    /// vector can be shorter than `n`, and callers cannot tell *which*
+    /// draws failed. This is the right shape for statistical consumers
+    /// (histograms, hull reconstruction) where only the collected sample
+    /// matters; callers that must distinguish 100-requested/97-returned use
+    /// [`SpatialDatabase::query`] in [`FailureMode::Partial`] (or the
+    /// [`SpatialDatabase::approx_generate_batch_partial`] wrapper), whose
+    /// outcome keeps failed slots as `None` alongside the typed first
+    /// failure. Internally this wrapper routes through exactly that partial
+    /// machinery and then drops the `None`s.
     pub fn approx_generate_many<R: Rng + ?Sized>(
         &self,
         name: &str,
         n: usize,
         rng: &mut R,
     ) -> Result<Vec<Vec<f64>>, SpatialDbError> {
-        let mut generator = self.prepared_generator(name)?;
-        Ok(generator.sample_many(n, rng))
+        let spec = QuerySpec::sample(name, n).partial();
+        let outcome = self.query_with_rng(&spec, rng)?;
+        Ok(outcome
+            .into_points_batch()
+            .results
+            .into_iter()
+            .flatten()
+            .collect())
     }
 
     /// Draws `n` almost-uniform points from the named relation in parallel:
@@ -448,8 +478,11 @@ impl SpatialDatabase {
         seq: &SeedSequence,
         threads: usize,
     ) -> Result<Vec<Option<Vec<f64>>>, SpatialDbError> {
-        let mut generator = self.prepared_generator(name)?;
-        Ok(generator.sample_batch(n, seq, threads))
+        let spec = QuerySpec::sample(name, n)
+            .with_seed_sequence(*seq)
+            .with_threads(threads)
+            .partial();
+        Ok(self.query(&spec)?.into_points_batch().results)
     }
 
     /// Panic-contained, budget-aware variant of
@@ -469,63 +502,12 @@ impl SpatialDatabase {
         threads: usize,
         budget: &QueryBudget,
     ) -> Result<PartialBatch<Vec<f64>>, SpatialDbError> {
-        let mut generator = self.prepared_generator(name)?;
-        generator.set_budget(budget.clone());
-        let report = batch::fan_out_contained(
-            n,
-            threads,
-            || generator.clone(),
-            |g, i| {
-                let mut rng = seq.item_stream(i).rng();
-                let point = g.sample(&mut rng);
-                let trip = g.budget_trip();
-                let attempts = g.budget_meter().attempts_used();
-                (point, trip, attempts)
-            },
-        );
-        self.contained_panics
-            .fetch_add(report.panics.len() as u64, Ordering::Relaxed);
-        let mut error = report
-            .panics
-            .first()
-            .map(|p| SpatialDbError::WorkerPanicked {
-                worker: p.worker,
-                payload: p.payload.clone(),
-            });
-        let mut results = Vec::with_capacity(n);
-        let mut completed = 0usize;
-        for slot in report.slots {
-            match slot {
-                Some((Some(point), _, _)) => {
-                    completed += 1;
-                    results.push(Some(point));
-                }
-                Some((None, trip, attempts)) => {
-                    if error.is_none() {
-                        error = Some(match trip {
-                            Some(cause) => SpatialDbError::BudgetExhausted {
-                                relation: name.to_string(),
-                                cause,
-                                completed,
-                            },
-                            None => SpatialDbError::GenerationFailed {
-                                relation: name.to_string(),
-                                attempts,
-                                phase: QueryPhase::Sampling,
-                            },
-                        });
-                    }
-                    results.push(None);
-                }
-                // The slot was lost to a contained worker panic.
-                None => results.push(None),
-            }
-        }
-        Ok(PartialBatch {
-            results,
-            completed,
-            error,
-        })
+        let spec = QuerySpec::sample(name, n)
+            .with_seed_sequence(*seq)
+            .with_threads(threads)
+            .with_budget(budget)
+            .partial();
+        Ok(self.query(&spec)?.into_points_batch())
     }
 
     /// Median of `repeats` parallel independent volume estimates of the named
@@ -538,15 +520,16 @@ impl SpatialDatabase {
         seq: &SeedSequence,
         threads: usize,
     ) -> Result<f64, SpatialDbError> {
-        let mut generator = self.prepared_generator(name)?;
-        match generator.estimate_volume_median(repeats, seq, threads) {
+        let spec = QuerySpec::volume(name, repeats)
+            .with_seed_sequence(*seq)
+            .with_threads(threads)
+            .partial();
+        let outcome = self.query(&spec)?;
+        match outcome.volume() {
             Some(v) => Ok(v),
-            None => Err(draw_failure(
-                name,
-                &generator,
-                QueryPhase::VolumeEstimation,
-                0,
-            )),
+            None => Err(outcome
+                .error
+                .expect("an all-failed volume batch records its first failure")),
         }
     }
 
@@ -565,65 +548,18 @@ impl SpatialDatabase {
         threads: usize,
         budget: &QueryBudget,
     ) -> Result<PartialBatch<f64>, SpatialDbError> {
-        let mut generator = self.prepared_generator(name)?;
-        generator.set_budget(budget.clone());
-        let report = batch::fan_out_contained(
-            repeats,
-            threads,
-            || generator.clone(),
-            |g, i| {
-                let mut rng = seq.item_stream(i).rng();
-                let volume = g.estimate_volume(&mut rng);
-                let trip = g.budget_trip();
-                let attempts = g.budget_meter().attempts_used();
-                (volume, trip, attempts)
-            },
-        );
-        self.contained_panics
-            .fetch_add(report.panics.len() as u64, Ordering::Relaxed);
-        let mut error = report
-            .panics
-            .first()
-            .map(|p| SpatialDbError::WorkerPanicked {
-                worker: p.worker,
-                payload: p.payload.clone(),
-            });
-        let mut results = Vec::with_capacity(repeats);
-        let mut completed = 0usize;
-        for slot in report.slots {
-            match slot {
-                Some((Some(volume), _, _)) => {
-                    completed += 1;
-                    results.push(Some(volume));
-                }
-                Some((None, trip, attempts)) => {
-                    if error.is_none() {
-                        error = Some(match trip {
-                            Some(cause) => SpatialDbError::BudgetExhausted {
-                                relation: name.to_string(),
-                                cause,
-                                completed,
-                            },
-                            None => SpatialDbError::GenerationFailed {
-                                relation: name.to_string(),
-                                attempts,
-                                phase: QueryPhase::VolumeEstimation,
-                            },
-                        });
-                    }
-                    results.push(None);
-                }
-                None => results.push(None),
-            }
-        }
-        Ok(PartialBatch {
-            results,
-            completed,
-            error,
-        })
+        let spec = QuerySpec::volume(name, repeats)
+            .with_seed_sequence(*seq)
+            .with_threads(threads)
+            .with_budget(budget)
+            .partial();
+        Ok(self.query(&spec)?.into_volumes_batch())
     }
 
     /// Estimates the volume of the named relation.
+    ///
+    /// Thin wrapper over [`SpatialDatabase::query_with_rng`] with
+    /// [`QueryKind::Volume`]`{ repeats: 1 }`.
     pub fn approx_volume<R: Rng + ?Sized>(
         &self,
         name: &str,
@@ -641,31 +577,29 @@ impl SpatialDatabase {
         budget: &QueryBudget,
         rng: &mut R,
     ) -> Result<f64, SpatialDbError> {
-        let mut generator = self.prepared_generator(name)?;
-        generator.set_budget(budget.clone());
-        match generator.estimate_volume(rng) {
-            Some(v) => Ok(v),
-            None => Err(draw_failure(
-                name,
-                &generator,
-                QueryPhase::VolumeEstimation,
-                0,
-            )),
-        }
+        let spec = QuerySpec::volume(name, 1).with_budget(budget);
+        let outcome = self.query_with_rng(&spec, rng)?;
+        Ok(outcome
+            .volume()
+            .expect("a fail-fast volume query that returned Ok holds its estimate"))
     }
 
     /// Estimates the result set of a positive existential query (free
     /// variables `x_0 … x_{output_arity−1}`) as a generalized relation.
+    ///
+    /// Thin wrapper over the [`QueryKind::Reconstruct`] arm of
+    /// [`SpatialDatabase::query_with_rng`].
     pub fn approx_query<R: Rng + ?Sized>(
         &self,
         query: &Formula,
         output_arity: usize,
         rng: &mut R,
     ) -> Result<GeneralizedRelation, SpatialDbError> {
-        let estimator = PositiveQueryEstimator::new(self.params, self.eps, self.delta);
-        estimator
-            .estimate(&self.database, query, output_arity, rng)
-            .map_err(SpatialDbError::Reconstruction)
+        let outcome = self.run_reconstruct(query, output_arity, rng)?;
+        match outcome.value {
+            QueryValue::Relation(relation) => Ok(relation),
+            other => unreachable!("reconstruction produced a non-relation value {other:?}"),
+        }
     }
 
     /// Evaluates a query exactly through the symbolic pipeline (resolution,

@@ -1,0 +1,663 @@
+//! The unified query surface: one entry point for every approximate query.
+//!
+//! Historically the [`SpatialDatabase`] surface grew one `approx_*` method
+//! per (query kind × execution mode) combination — budgeted or not, batched
+//! or sequential, partial or fail-fast — ten entry points that any service
+//! layer had to bind one by one. This module collapses them into a single
+//! declarative call:
+//!
+//! ```
+//! use cdb_core::{QueryOutcome, QuerySpec, SpatialDatabase};
+//! use cdb_constraint::GeneralizedRelation;
+//! use cdb_sampler::GeneratorParams;
+//!
+//! let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+//! db.insert("Zone", GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]));
+//!
+//! let spec = QuerySpec::sample("Zone", 8).with_seed(7).with_threads(2);
+//! let outcome = db.query(&spec).unwrap();
+//! assert_eq!(outcome.completed, 8);
+//! for p in outcome.points().iter().flatten() {
+//!     assert!(db.relation("Zone").unwrap().contains_f64(p));
+//! }
+//! ```
+//!
+//! A [`QuerySpec`] is a relation name plus a [`QueryKind`]
+//! (`Sample { n }` / `Volume { repeats }` / `Reconstruct { .. }`) plus
+//! [`QueryOptions`] — budget, thread count, seed, and the
+//! partial-vs-fail-fast switch. Execution is randomness-explicit:
+//!
+//! * [`SpatialDatabase::query`] runs a **seeded** query: batch item `i`
+//!   draws from [`SeedSequence::item_stream`]`(i)` of the spec's seed
+//!   sequence, so the outcome is bitwise identical for any thread count and
+//!   reproducible from the seed alone — the mode a network service needs.
+//! * [`SpatialDatabase::query_with_rng`] runs the query **sequentially**
+//!   from a caller-supplied RNG stream, the classical library mode.
+//!
+//! The legacy `approx_*` entry points survive as thin wrappers over these
+//! two methods (the determinism suite pins new-vs-old bitwise equality), so
+//! existing callers keep working while new layers — `cdb-server` foremost —
+//! bind only this surface.
+
+use std::sync::atomic::Ordering;
+
+use rand::Rng;
+
+use cdb_constraint::{Formula, GeneralizedRelation};
+use cdb_sampler::{
+    batch, BudgetTrip, QueryBudget, RelationGenerator, RelationVolumeEstimator, SeedSequence,
+};
+
+use crate::{draw_failure, PartialBatch, QueryPhase, SpatialDatabase, SpatialDbError};
+
+/// What a query computes.
+#[derive(Clone, Debug)]
+pub enum QueryKind {
+    /// Draw `n` almost-uniform points from the relation.
+    Sample {
+        /// Number of points requested.
+        n: usize,
+    },
+    /// Run `repeats` independent `(ε, δ)`-volume estimates; the outcome's
+    /// [`QueryOutcome::volume`] is the median of the successful repeats
+    /// (`repeats` is clamped to at least 1).
+    Volume {
+        /// Number of independent estimates.
+        repeats: usize,
+    },
+    /// Estimate the result set of a positive existential query as a
+    /// generalized relation (Theorem 4.4).
+    Reconstruct {
+        /// The positive existential formula to estimate.
+        query: Formula,
+        /// Arity of the result relation (free variables `x_0 …`).
+        output_arity: usize,
+    },
+}
+
+/// What to do when an item of a multi-item query fails.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Return the first failure as an `Err`, discarding partial results.
+    #[default]
+    Fail,
+    /// Return every completed item; the first failure rides alongside them
+    /// in [`QueryOutcome::error`] and failed slots stay `None`.
+    Partial,
+}
+
+/// Execution options of a query: budget, parallelism, randomness, and the
+/// partial-vs-fail switch. Built fluently via the [`QuerySpec`] builder
+/// methods.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOptions {
+    /// Per-item work limits (see [`QueryBudget`]); unlimited by default.
+    /// Currently ignored by [`QueryKind::Reconstruct`], which has no
+    /// budgeted evaluation path yet.
+    pub budget: QueryBudget,
+    /// Worker threads for seeded batch execution (`0` = one per core).
+    /// Thread count never changes results, only wall-clock time.
+    pub threads: usize,
+    /// Root seed sequence for [`SpatialDatabase::query`]: item `i` draws
+    /// from its [`SeedSequence::item_stream`]`(i)`. `None` restricts the
+    /// spec to [`SpatialDatabase::query_with_rng`].
+    pub seed: Option<SeedSequence>,
+    /// Partial-vs-fail-fast behavior for multi-item queries.
+    pub failure: FailureMode,
+}
+
+/// A complete query description: target relation, kind, and options.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Name of the target relation (informational for
+    /// [`QueryKind::Reconstruct`], whose formula names its own relations).
+    pub relation: String,
+    /// What to compute.
+    pub kind: QueryKind,
+    /// How to execute it.
+    pub options: QueryOptions,
+}
+
+impl QuerySpec {
+    /// A spec that draws `n` points from `relation` (fail-fast, unlimited
+    /// budget, auto threads).
+    pub fn sample(relation: impl Into<String>, n: usize) -> Self {
+        QuerySpec {
+            relation: relation.into(),
+            kind: QueryKind::Sample { n },
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// A spec that estimates the volume of `relation` as the median of
+    /// `repeats` independent estimates.
+    pub fn volume(relation: impl Into<String>, repeats: usize) -> Self {
+        QuerySpec {
+            relation: relation.into(),
+            kind: QueryKind::Volume { repeats },
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// A spec that reconstructs the result set of `query` (output arity
+    /// `output_arity`). `relation` is informational — it names the spec in
+    /// errors and lets service layers key budget overrides.
+    pub fn reconstruct(relation: impl Into<String>, query: Formula, output_arity: usize) -> Self {
+        QuerySpec {
+            relation: relation.into(),
+            kind: QueryKind::Reconstruct {
+                query,
+                output_arity,
+            },
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Sets the per-item [`QueryBudget`].
+    pub fn with_budget(mut self, budget: &QueryBudget) -> Self {
+        self.options.budget = budget.clone();
+        self
+    }
+
+    /// Sets the worker-thread count for seeded batch execution (`0` = one
+    /// per core; results never depend on it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Funds the query from `SeedSequence::new(seed)` (see
+    /// [`QueryOptions::seed`]).
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.with_seed_sequence(SeedSequence::new(seed))
+    }
+
+    /// Funds the query from an explicit [`SeedSequence`] root — the form the
+    /// batch wrappers use so `query` consumes exactly the streams the legacy
+    /// `approx_*_batch` entry points consumed.
+    pub fn with_seed_sequence(mut self, seq: SeedSequence) -> Self {
+        self.options.seed = Some(seq);
+        self
+    }
+
+    /// Switches to [`FailureMode::Partial`]: completed items are returned
+    /// and the first failure is reported alongside them instead of as `Err`.
+    pub fn partial(mut self) -> Self {
+        self.options.failure = FailureMode::Partial;
+        self
+    }
+
+    /// Switches (back) to [`FailureMode::Fail`].
+    pub fn fail_fast(mut self) -> Self {
+        self.options.failure = FailureMode::Fail;
+        self
+    }
+}
+
+/// The kind-specific payload of a [`QueryOutcome`].
+#[derive(Clone, Debug)]
+pub enum QueryValue {
+    /// Sampled points, index-aligned with the item seed streams; `None`
+    /// marks a failed draw (see [`QueryOutcome::error`]).
+    Points(Vec<Option<Vec<f64>>>),
+    /// Independent volume estimates, index-aligned with the item seed
+    /// streams; `None` marks a failed repeat.
+    Volumes(Vec<Option<f64>>),
+    /// The reconstructed relation.
+    Relation(GeneralizedRelation),
+}
+
+/// What a query produced: the kind-specific value, how many items
+/// completed, and (under [`FailureMode::Partial`]) the first failure.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The kind-specific payload.
+    pub value: QueryValue,
+    /// Number of completed items (`Some` slots; `1` for a reconstruction).
+    pub completed: usize,
+    /// First failure of a partial-mode query (`None` means every item
+    /// completed, and always `None` under [`FailureMode::Fail`], where the
+    /// first failure is returned as `Err` instead).
+    pub error: Option<SpatialDbError>,
+}
+
+/// Median of the values by `partial_cmp` (all estimates are finite);
+/// `None` for an empty iterator.
+fn median(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("volume estimates are finite"));
+    Some(v[v.len() / 2])
+}
+
+impl QueryOutcome {
+    /// The sampled points (empty for non-sample outcomes).
+    pub fn points(&self) -> &[Option<Vec<f64>>] {
+        match &self.value {
+            QueryValue::Points(p) => p,
+            _ => &[],
+        }
+    }
+
+    /// The first successfully sampled point, if any.
+    pub fn point(&self) -> Option<&[f64]> {
+        self.points().iter().flatten().next().map(|p| p.as_slice())
+    }
+
+    /// The individual volume estimates (empty for non-volume outcomes).
+    pub fn volumes(&self) -> &[Option<f64>] {
+        match &self.value {
+            QueryValue::Volumes(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// Median of the successful volume estimates — the classical
+    /// `O(ln 1/δ)` amplification — or `None` when every repeat failed (or
+    /// the outcome is not a volume query).
+    pub fn volume(&self) -> Option<f64> {
+        median(self.volumes().iter().flatten().copied())
+    }
+
+    /// The reconstructed relation, if this outcome holds one.
+    pub fn relation(&self) -> Option<&GeneralizedRelation> {
+        match &self.value {
+            QueryValue::Relation(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Converts a sample outcome into the legacy [`PartialBatch`] shape.
+    ///
+    /// # Panics
+    /// If the outcome is not a [`QueryValue::Points`] value.
+    pub fn into_points_batch(self) -> PartialBatch<Vec<f64>> {
+        match self.value {
+            QueryValue::Points(results) => PartialBatch {
+                results,
+                completed: self.completed,
+                error: self.error,
+            },
+            other => panic!("expected a sample outcome, got {other:?}"),
+        }
+    }
+
+    /// Converts a volume outcome into the legacy [`PartialBatch`] shape.
+    ///
+    /// # Panics
+    /// If the outcome is not a [`QueryValue::Volumes`] value.
+    pub fn into_volumes_batch(self) -> PartialBatch<f64> {
+        match self.value {
+            QueryValue::Volumes(results) => PartialBatch {
+                results,
+                completed: self.completed,
+                error: self.error,
+            },
+            other => panic!("expected a volume outcome, got {other:?}"),
+        }
+    }
+}
+
+/// Folds a contained fan-out's per-item `(value, trip, attempts)` slots into
+/// the index-aligned result vector, the completed count, and the first
+/// failure (a contained worker panic outranks per-item failures, mirroring
+/// the legacy `*_batch_partial` collection order).
+fn collect_slots<T>(
+    relation: &str,
+    phase: QueryPhase,
+    report: batch::FanOutReport<(Option<T>, Option<BudgetTrip>, u64)>,
+) -> (Vec<Option<T>>, usize, Option<SpatialDbError>) {
+    let mut error = report
+        .panics
+        .first()
+        .map(|p| SpatialDbError::WorkerPanicked {
+            worker: p.worker,
+            payload: p.payload.clone(),
+        });
+    let mut results = Vec::with_capacity(report.slots.len());
+    let mut completed = 0usize;
+    for slot in report.slots {
+        match slot {
+            Some((Some(value), _, _)) => {
+                completed += 1;
+                results.push(Some(value));
+            }
+            Some((None, trip, attempts)) => {
+                if error.is_none() {
+                    error = Some(match trip {
+                        Some(cause) => SpatialDbError::BudgetExhausted {
+                            relation: relation.to_string(),
+                            cause,
+                            completed,
+                        },
+                        None => SpatialDbError::GenerationFailed {
+                            relation: relation.to_string(),
+                            attempts,
+                            phase,
+                        },
+                    });
+                }
+                results.push(None);
+            }
+            // The slot was lost to a contained worker panic.
+            None => results.push(None),
+        }
+    }
+    (results, completed, error)
+}
+
+impl SpatialDatabase {
+    /// Runs a **seeded** query: the outcome is a pure function of the spec
+    /// (relation content, parameters, seed, budget), bitwise identical for
+    /// any thread count. Batch item `i` draws from
+    /// [`SeedSequence::item_stream`]`(i)` of the spec's seed; a
+    /// reconstruction draws from item stream `0`.
+    ///
+    /// Requires [`QueryOptions::seed`] (set via [`QuerySpec::with_seed`]);
+    /// use [`SpatialDatabase::query_with_rng`] to fund a query from a
+    /// caller-supplied RNG instead. Under [`FailureMode::Fail`] the first
+    /// item failure is returned as `Err`; under [`FailureMode::Partial`]
+    /// completed items are returned with the first failure alongside.
+    pub fn query(&self, spec: &QuerySpec) -> Result<QueryOutcome, SpatialDbError> {
+        let seq = spec.options.seed.ok_or_else(|| {
+            SpatialDbError::InvalidParams(
+                "seeded query needs QuerySpec::with_seed; \
+                 use query_with_rng for caller-supplied randomness"
+                    .to_string(),
+            )
+        })?;
+        match &spec.kind {
+            QueryKind::Sample { n } => self.seeded_samples(spec, *n, &seq),
+            QueryKind::Volume { repeats } => self.seeded_volumes(spec, (*repeats).max(1), &seq),
+            QueryKind::Reconstruct {
+                query,
+                output_arity,
+            } => self.run_reconstruct(query, *output_arity, &mut seq.item_stream(0).rng()),
+        }
+    }
+
+    /// Runs a query **sequentially** from a caller-supplied RNG stream: item
+    /// `i + 1` continues the stream where item `i` left off, exactly like
+    /// the classical library entry points. [`QueryOptions::seed`] and
+    /// [`QueryOptions::threads`] are ignored.
+    pub fn query_with_rng<R: Rng + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        rng: &mut R,
+    ) -> Result<QueryOutcome, SpatialDbError> {
+        match &spec.kind {
+            QueryKind::Sample { n } => self.sequential_samples(spec, *n, rng),
+            QueryKind::Volume { repeats } => self.sequential_volumes(spec, (*repeats).max(1), rng),
+            QueryKind::Reconstruct {
+                query,
+                output_arity,
+            } => self.run_reconstruct(query, *output_arity, rng),
+        }
+    }
+
+    fn seeded_samples(
+        &self,
+        spec: &QuerySpec,
+        n: usize,
+        seq: &SeedSequence,
+    ) -> Result<QueryOutcome, SpatialDbError> {
+        let mut generator = self.prepared_generator(&spec.relation)?;
+        generator.set_budget(spec.options.budget.clone());
+        let report = batch::fan_out_contained(
+            n,
+            spec.options.threads,
+            || generator.clone(),
+            |g, i| {
+                let mut rng = seq.item_stream(i).rng();
+                let point = g.sample(&mut rng);
+                let trip = g.budget_trip();
+                let attempts = g.budget_meter().attempts_used();
+                (point, trip, attempts)
+            },
+        );
+        self.note_contained_panics(report.panics.len());
+        let (results, completed, error) =
+            collect_slots(&spec.relation, QueryPhase::Sampling, report);
+        finish(spec, QueryValue::Points(results), completed, error)
+    }
+
+    fn seeded_volumes(
+        &self,
+        spec: &QuerySpec,
+        repeats: usize,
+        seq: &SeedSequence,
+    ) -> Result<QueryOutcome, SpatialDbError> {
+        let mut generator = self.prepared_generator(&spec.relation)?;
+        generator.set_budget(spec.options.budget.clone());
+        let report = batch::fan_out_contained(
+            repeats,
+            spec.options.threads,
+            || generator.clone(),
+            |g, i| {
+                let mut rng = seq.item_stream(i).rng();
+                let volume = g.estimate_volume(&mut rng);
+                let trip = g.budget_trip();
+                let attempts = g.budget_meter().attempts_used();
+                (volume, trip, attempts)
+            },
+        );
+        self.note_contained_panics(report.panics.len());
+        let (results, completed, error) =
+            collect_slots(&spec.relation, QueryPhase::VolumeEstimation, report);
+        finish(spec, QueryValue::Volumes(results), completed, error)
+    }
+
+    fn sequential_samples<R: Rng + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<QueryOutcome, SpatialDbError> {
+        let mut generator = self.prepared_generator(&spec.relation)?;
+        generator.set_budget(spec.options.budget.clone());
+        let mut results = Vec::with_capacity(n);
+        let mut completed = 0usize;
+        let mut error = None;
+        for _ in 0..n {
+            match generator.sample(rng) {
+                Some(point) => {
+                    completed += 1;
+                    results.push(Some(point));
+                }
+                None => {
+                    let failure =
+                        draw_failure(&spec.relation, &generator, QueryPhase::Sampling, completed);
+                    if spec.options.failure == FailureMode::Fail {
+                        return Err(failure);
+                    }
+                    if error.is_none() {
+                        error = Some(failure);
+                    }
+                    results.push(None);
+                }
+            }
+        }
+        Ok(QueryOutcome {
+            value: QueryValue::Points(results),
+            completed,
+            error,
+        })
+    }
+
+    fn sequential_volumes<R: Rng + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        repeats: usize,
+        rng: &mut R,
+    ) -> Result<QueryOutcome, SpatialDbError> {
+        let mut generator = self.prepared_generator(&spec.relation)?;
+        generator.set_budget(spec.options.budget.clone());
+        let mut results = Vec::with_capacity(repeats);
+        let mut completed = 0usize;
+        let mut error = None;
+        for _ in 0..repeats {
+            match generator.estimate_volume(rng) {
+                Some(volume) => {
+                    completed += 1;
+                    results.push(Some(volume));
+                }
+                None => {
+                    let failure = draw_failure(
+                        &spec.relation,
+                        &generator,
+                        QueryPhase::VolumeEstimation,
+                        completed,
+                    );
+                    if spec.options.failure == FailureMode::Fail {
+                        return Err(failure);
+                    }
+                    if error.is_none() {
+                        error = Some(failure);
+                    }
+                    results.push(None);
+                }
+            }
+        }
+        Ok(QueryOutcome {
+            value: QueryValue::Volumes(results),
+            completed,
+            error,
+        })
+    }
+
+    /// The reconstruction arm shared by both execution modes and the legacy
+    /// [`SpatialDatabase::approx_query`] wrapper. No budgeted evaluation
+    /// path exists for the estimator yet, so [`QueryOptions::budget`] is not
+    /// consulted here.
+    pub(crate) fn run_reconstruct<R: Rng + ?Sized>(
+        &self,
+        query: &Formula,
+        output_arity: usize,
+        rng: &mut R,
+    ) -> Result<QueryOutcome, SpatialDbError> {
+        let estimator =
+            cdb_reconstruct::PositiveQueryEstimator::new(self.params, self.eps, self.delta);
+        let relation = estimator
+            .estimate(&self.database, query, output_arity, rng)
+            .map_err(SpatialDbError::Reconstruction)?;
+        Ok(QueryOutcome {
+            value: QueryValue::Relation(relation),
+            completed: 1,
+            error: None,
+        })
+    }
+
+    /// Merges contained worker panics into the database's
+    /// `panics_recovered` counter (surfaced by
+    /// [`SpatialDatabase::store_stats`]).
+    fn note_contained_panics(&self, count: usize) {
+        if count > 0 {
+            self.contained_panics
+                .fetch_add(count as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Applies the spec's [`FailureMode`] to a collected multi-item outcome.
+fn finish(
+    spec: &QuerySpec,
+    value: QueryValue,
+    completed: usize,
+    error: Option<SpatialDbError>,
+) -> Result<QueryOutcome, SpatialDbError> {
+    match spec.options.failure {
+        FailureMode::Fail => match error {
+            Some(e) => Err(e),
+            None => Ok(QueryOutcome {
+                value,
+                completed,
+                error: None,
+            }),
+        },
+        FailureMode::Partial => Ok(QueryOutcome {
+            value,
+            completed,
+            error,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_sampler::GeneratorParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_db() -> SpatialDatabase {
+        let mut db = SpatialDatabase::with_params(GeneratorParams::fast());
+        db.insert(
+            "R",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+        );
+        db
+    }
+
+    #[test]
+    fn seeded_query_is_reproducible() {
+        let db = demo_db();
+        let spec = QuerySpec::sample("R", 16).with_seed(11).with_threads(2);
+        let a = db.query(&spec).unwrap();
+        let b = db.query(&spec).unwrap();
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.completed, 16);
+        assert!(a.point().is_some());
+    }
+
+    #[test]
+    fn query_without_seed_is_invalid() {
+        let db = demo_db();
+        let spec = QuerySpec::sample("R", 1);
+        assert!(matches!(
+            db.query(&spec),
+            Err(SpatialDbError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn volume_query_reports_median() {
+        let db = demo_db();
+        let spec = QuerySpec::volume("R", 5).with_seed(3);
+        let outcome = db.query(&spec).unwrap();
+        assert_eq!(outcome.volumes().len(), 5);
+        let v = outcome.volume().unwrap();
+        assert!((v - 2.0).abs() < 0.7, "volume {v}");
+        assert!(outcome.relation().is_none());
+    }
+
+    #[test]
+    fn rng_mode_matches_sequential_draws() {
+        let db = demo_db();
+        let spec = QuerySpec::sample("R", 4).partial();
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = db.query_with_rng(&spec, &mut rng).unwrap();
+        let mut reference = StdRng::seed_from_u64(5);
+        let expected: Vec<Vec<f64>> = db.approx_generate_many("R", 4, &mut reference).unwrap();
+        let got: Vec<Vec<f64>> = outcome.points().iter().flatten().cloned().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let db = demo_db();
+        let spec = QuerySpec::volume("Nope", 1).with_seed(1);
+        assert!(matches!(
+            db.query(&spec),
+            Err(SpatialDbError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn median_is_the_legacy_one() {
+        assert_eq!(median([3.0, 1.0, 2.0].into_iter()), Some(2.0));
+        assert_eq!(median([2.0, 1.0].into_iter()), Some(2.0));
+        assert_eq!(median(std::iter::empty()), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! `cdb_server`: run the HTTP/JSON query service from the command line.
+//!
+//! ```text
+//! cdb_server [--bind ADDR] [--workers N] [--store-capacity N]
+//!            [--max-body BYTES] [--max-steps N] [--max-attempts N]
+//!            [--timeout-ms N] [--relation-budget NAME:STEPS:ATTEMPTS]
+//!            [--demo]
+//! ```
+//!
+//! `--demo` preloads three relations (`square`, `diamond`, `union`) so the
+//! README quickstart works against an empty store. The process serves
+//! until stdin reaches EOF (or the terminal sends `^D`), then shuts down
+//! gracefully — a shape that composes with shell pipelines and CI.
+
+use std::io::Read;
+
+use cdb_constraint::{parse_formula, GeneralizedRelation};
+use cdb_core::SpatialDatabase;
+use cdb_server::{Server, ServerConfig};
+
+fn demo_database() -> SpatialDatabase {
+    let mut db = SpatialDatabase::new();
+    db.insert(
+        "square",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0]),
+    );
+    let diamond = parse_formula(
+        "x0 + x1 <= 1 and x0 - x1 <= 1 and -1*x0 + x1 <= 1 and -1*x0 - x1 <= 1",
+        2,
+    )
+    .expect("demo diamond formula parses");
+    db.insert(
+        "diamond",
+        GeneralizedRelation::from_formula(2, &diamond).expect("demo diamond compiles"),
+    );
+    db.insert(
+        "union",
+        GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
+            .union(&GeneralizedRelation::from_box_f64(&[2.0, 0.0], &[3.0, 2.0])),
+    );
+    db
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let demo = args.iter().any(|a| a == "--demo");
+    args.retain(|a| a != "--demo");
+
+    let config = match ServerConfig::from_args(args.into_iter()) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("cdb_server: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let result = if demo {
+        Server::start_with_db(config, demo_database())
+    } else {
+        Server::start(config)
+    };
+    let mut server = match result {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cdb_server: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("cdb_server listening on http://{}", server.addr());
+    if demo {
+        println!("demo relations loaded: square, diamond, union");
+    }
+    println!("serving until stdin closes (^D to stop)");
+
+    // Block until stdin EOF, then shut down gracefully.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+    println!("cdb_server: shut down cleanly");
+}

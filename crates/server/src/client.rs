@@ -1,0 +1,216 @@
+//! A minimal blocking HTTP/1.1 JSON client for loopback use: the
+//! integration tests and the bench harness's HTTP transport.
+//!
+//! Keep-alive by default; a send on a connection the server has since
+//! closed is retried once on a fresh connection (the standard keep-alive
+//! race). Not a general-purpose client — no TLS, no redirects, no chunked
+//! responses (the server never sends them).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{parse, Json, DEFAULT_MAX_DEPTH};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or talking to the server failed.
+    Io(std::io::Error),
+    /// The response was not HTTP/1.1 as this client understands it.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o failed: {e}"),
+            ClientError::BadResponse(msg) => write!(f, "bad response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A server response: status code and raw body text.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw body bytes as text.
+    pub body: String,
+}
+
+impl Response {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Json, ClientError> {
+        parse(&self.body, DEFAULT_MAX_DEPTH)
+            .map_err(|e| ClientError::BadResponse(format!("unparseable body: {e}")))
+    }
+}
+
+/// A blocking keep-alive client bound to one server address.
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    connection: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr` with a 30 s I/O timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+            connection: None,
+        }
+    }
+
+    /// Overrides the per-operation I/O timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> Result<BufReader<TcpStream>, ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// Sends `body` (rendered JSON, or `None` for a body-less GET) and
+    /// reads the response. Retries once on a fresh connection if the
+    /// kept-alive one turns out dead.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<Response, ClientError> {
+        let payload = body.map(Json::render);
+        let reused = self.connection.is_some();
+        let mut conn = match self.connection.take() {
+            Some(conn) => conn,
+            None => self.connect()?,
+        };
+        match exchange(&mut conn, method, path, payload.as_deref()) {
+            Ok((response, keep)) => {
+                if keep {
+                    self.connection = Some(conn);
+                }
+                Ok(response)
+            }
+            Err(ClientError::Io(_)) if reused => {
+                // Keep-alive race: the server closed between requests.
+                let mut conn = self.connect()?;
+                let (response, keep) = exchange(&mut conn, method, path, payload.as_deref())?;
+                if keep {
+                    self.connection = Some(conn);
+                }
+                Ok(response)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Convenience: request + parse the body as JSON.
+    pub fn request_json(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), ClientError> {
+        let response = self.request(method, path, body)?;
+        let json = response.json()?;
+        Ok((response.status, json))
+    }
+}
+
+fn exchange(
+    conn: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    payload: Option<&str>,
+) -> Result<(Response, bool), ClientError> {
+    let body = payload.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: loopback\r\ncontent-length: {}\r\n{}\r\n",
+        body.len(),
+        if payload.is_some() {
+            "content-type: application/json\r\n"
+        } else {
+            ""
+        },
+    );
+    {
+        // One write per request (see `http::write_response` for why).
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        let stream = conn.get_mut();
+        stream.write_all(&wire)?;
+        stream.flush()?;
+    }
+
+    let status_line = read_line(conn)?;
+    let mut parts = status_line.split(' ');
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| ClientError::BadResponse(format!("bad status line {status_line:?}")))?,
+        _ => {
+            return Err(ClientError::BadResponse(format!(
+                "bad status line {status_line:?}"
+            )))
+        }
+    };
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let line = read_line(conn)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ClientError::BadResponse(format!("bad header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| ClientError::BadResponse(format!("bad content-length {value:?}")))?;
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ClientError::BadResponse("body is not UTF-8".into()))?;
+    Ok((Response { status, body }, !close))
+}
+
+fn read_line(conn: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut line = String::new();
+    let n = conn.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed",
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}

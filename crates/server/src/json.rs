@@ -1,0 +1,495 @@
+//! Hand-rolled JSON: a value tree, a serializer, and a recursive-descent
+//! parser with depth and size limits.
+//!
+//! The build environment has no crates.io access, so `serde_json` is not an
+//! option; the service needs only a small, predictable subset of JSON:
+//!
+//! * Objects preserve **insertion order** (they are association vectors, not
+//!   hash maps), so a serialized response is byte-for-byte reproducible —
+//!   the property the seeded-determinism tests pin.
+//! * Numbers are `f64`, serialized through Rust's shortest-roundtrip
+//!   `{:?}` formatting, so a finite double survives a
+//!   serialize → parse → serialize cycle bit-for-bit. Values that must
+//!   carry all 64 bits (seeds, digests) travel as decimal **strings**;
+//!   [`Json::as_u64`] accepts both forms.
+//! * The parser enforces a maximum nesting depth and is driven by an input
+//!   that the HTTP layer has already size-capped, so malicious bodies are
+//!   rejected before they can exhaust the stack or the heap.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (always an `f64`; non-finite values serialize as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, preserving insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// Builds a number value.
+    pub fn num(n: f64) -> Json {
+        Json::Number(n)
+    }
+
+    /// Builds a number from an integer count (exact below 2^53).
+    pub fn count(n: usize) -> Json {
+        Json::Number(n as f64)
+    }
+
+    /// Renders a `u64` losslessly as a decimal string (JSON numbers are
+    /// doubles, which cannot carry 64-bit seeds or digests exactly).
+    pub fn u64_str(n: u64) -> Json {
+        Json::String(n.to_string())
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`: either a non-negative integral number within
+    /// the exact-double range, or a decimal string (the lossless form used
+    /// for seeds and digests).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) => {
+                if n.fract() == 0.0 && *n >= 0.0 && *n <= 9_007_199_254_740_992.0 {
+                    Some(*n as u64)
+                } else {
+                    None
+                }
+            }
+            Json::String(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize` (via [`Json::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's field list.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes into a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => {
+                if n.is_finite() {
+                    // `{:?}` is Rust's shortest representation that parses
+                    // back to the same bits; it always contains a '.' or an
+                    // 'e', both valid JSON.
+                    let _ = write!(out, "{n:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset and a human-readable reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Default nesting-depth cap for [`parse`].
+pub const DEFAULT_MAX_DEPTH: usize = 32;
+
+/// Parses a complete JSON document, rejecting nesting deeper than
+/// `max_depth` and trailing garbage. The caller is responsible for capping
+/// the input *size* (the HTTP layer enforces the body limit before the text
+/// reaches this function).
+pub fn parse(input: &str, max_depth: usize) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        max_depth,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    max_depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > self.max_depth {
+            return Err(self.err(format!("nesting deeper than {} levels", self.max_depth)));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("malformed number '{text}'")))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Number(n))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("malformed \\u escape"))?;
+                            // Surrogates are rejected rather than paired: the
+                            // service's own payloads never emit them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input came from a &str,
+                    // so boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked byte exists");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_values() {
+        let text = r#"{"a":[1.5,true,null,"x\ny"],"b":{"c":-2.25e3},"d":""}"#;
+        let v = parse(text, DEFAULT_MAX_DEPTH).unwrap();
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_f64(),
+            Some(-2250.0)
+        );
+        let again = parse(&v.render(), DEFAULT_MAX_DEPTH).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bitwise() {
+        for x in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -0.0, 123456.789] {
+            let rendered = Json::num(x).render();
+            let back = parse(&rendered, 4).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn u64_travels_as_string() {
+        let n = u64::MAX - 7;
+        let v = parse(&Json::u64_str(n).render(), 4).unwrap();
+        assert_eq!(v.as_u64(), Some(n));
+        // Small integers are accepted as plain numbers too.
+        assert_eq!(parse("42", 4).unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5", 4).unwrap().as_u64(), None);
+        assert_eq!(parse("-1", 4).unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn depth_limit_trips() {
+        let deep = format!("{}1{}", "[".repeat(40), "]".repeat(40));
+        assert!(parse(&deep, 39).is_err());
+        assert!(parse(&deep, 64).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "\"\\q\"",
+            "\"\u{1}\"",
+        ] {
+            assert!(parse(bad, DEFAULT_MAX_DEPTH).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn object_preserves_order_and_escapes() {
+        let v = Json::Object(vec![
+            ("z".into(), Json::count(1)),
+            ("a\"b".into(), Json::str("line\nbreak")),
+        ]);
+        assert_eq!(v.render(), "{\"z\":1.0,\"a\\\"b\":\"line\\nbreak\"}");
+        assert_eq!(parse(&v.render(), 4).unwrap(), v);
+    }
+}

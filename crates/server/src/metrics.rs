@@ -1,0 +1,129 @@
+//! Per-endpoint request counters and latency accumulators, surfaced at
+//! `/v1/stats` alongside the engine's `store_stats()`.
+//!
+//! All counters are relaxed atomics: `/v1/stats` is an observability
+//! endpoint, and a snapshot that is a few requests stale under concurrent
+//! load is fine. Latency is accumulated in integer microseconds so the
+//! counters stay lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// The instrumented endpoints, in stable display order.
+pub const ENDPOINTS: [&str; 7] = [
+    "health",
+    "stats",
+    "insert_relation",
+    "sample",
+    "sample_batch",
+    "volume",
+    "reconstruct",
+];
+
+#[derive(Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+/// Request metrics for every endpoint.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: [EndpointCounters; ENDPOINTS.len()],
+    /// Requests rejected before they resolved to an endpoint (unknown
+    /// route, wrong method, oversized body, malformed head).
+    rejected: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one request against `endpoint` (an [`ENDPOINTS`] name).
+    /// Unknown names are counted as rejections, so a routing bug shows up
+    /// in `/v1/stats` instead of disappearing.
+    pub fn record(&self, endpoint: &str, started: Instant, ok: bool) {
+        let Some(index) = ENDPOINTS.iter().position(|e| *e == endpoint) else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let c = &self.endpoints[index];
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        c.total_micros.fetch_add(micros, Ordering::Relaxed);
+        c.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Counts a request rejected before routing (bad head, oversized body,
+    /// unknown route, wrong method).
+    pub fn record_rejection(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `"endpoints"` object for `/v1/stats`.
+    pub fn snapshot_json(&self) -> Json {
+        let mut fields = Vec::with_capacity(ENDPOINTS.len() + 1);
+        for (name, c) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let requests = c.requests.load(Ordering::Relaxed);
+            let total = c.total_micros.load(Ordering::Relaxed);
+            let mean = if requests > 0 {
+                total as f64 / requests as f64
+            } else {
+                0.0
+            };
+            fields.push((
+                name.to_string(),
+                Json::Object(vec![
+                    ("requests".to_string(), Json::u64_str(requests)),
+                    (
+                        "errors".to_string(),
+                        Json::u64_str(c.errors.load(Ordering::Relaxed)),
+                    ),
+                    ("total_micros".to_string(), Json::u64_str(total)),
+                    (
+                        "max_micros".to_string(),
+                        Json::u64_str(c.max_micros.load(Ordering::Relaxed)),
+                    ),
+                    ("mean_micros".to_string(), Json::num(mean)),
+                ]),
+            ));
+        }
+        fields.push((
+            "rejected".to_string(),
+            Json::u64_str(self.rejected.load(Ordering::Relaxed)),
+        ));
+        Json::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let m = Metrics::default();
+        let t = Instant::now();
+        m.record("sample", t, true);
+        m.record("sample", t, false);
+        m.record("nonexistent", t, true);
+        m.record_rejection();
+        let snap = m.snapshot_json();
+        let sample = snap.get("sample").unwrap();
+        assert_eq!(sample.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(sample.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(snap.get("rejected").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            snap.get("health")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+}

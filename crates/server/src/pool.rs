@@ -1,0 +1,130 @@
+//! A fixed-size worker threadpool over an `mpsc` channel.
+//!
+//! Accepted connections are jobs; each worker owns one connection at a
+//! time (keep-alive sessions pin a worker until the client closes or
+//! idles out, which is the right trade for a loopback/bench service).
+//! Dropping the [`Pool`] closes the channel; workers finish their current
+//! job and exit, so shutdown is graceful by construction.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool.
+pub struct Pool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `size` workers (`0` = one per core).
+    pub fn new(size: usize) -> Self {
+        let size = if size == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            size
+        };
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("cdb-server-worker-{i}"))
+                    .spawn(move || loop {
+                        // A worker panic poisons nothing: the job itself
+                        // catches panics (see handlers); if one escapes
+                        // anyway, only this worker dies and the lock is
+                        // recovered by the next receiver.
+                        let job = {
+                            let guard = match receiver.lock() {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: shutdown
+                        }
+                    })
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Pool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; returns `false` if the pool is shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(sender) => sender.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the queue and joins every worker.
+    pub fn join(&mut self) {
+        self.sender.take(); // close the channel: workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_and_joins() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = Pool::new(3);
+        assert_eq!(pool.size(), 3);
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        // After join, submissions are refused rather than lost silently.
+        assert!(!pool.submit(|| {}));
+    }
+
+    #[test]
+    fn survives_a_panicking_job() {
+        let mut pool = Pool::new(1);
+        pool.submit(|| {
+            // Silence the default panic hook noise for this expected panic.
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let _ = std::panic::catch_unwind(|| panic!("contained"));
+            std::panic::set_hook(prev);
+        });
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -675,6 +675,173 @@ fn load_harness_results_are_thread_count_invariant() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Unified-query parity: the legacy `approx_*` names are thin wrappers over
+// `SpatialDatabase::query` / `query_with_rng`. This suite pins that a
+// directly-built `QuerySpec` reproduces each legacy entry point **bitwise**
+// across the store-state × thread-count axis product, so neither surface
+// can drift from the other (the server binds only the new surface; the
+// legacy names are what every pre-existing caller holds).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unified_query_matches_legacy_entry_points_bitwise() {
+    use cdb_constraint::parse_formula;
+    use cdb_core::{QuerySpec, SpatialDatabase};
+    use cdb_sampler::QueryBudget;
+
+    let populate = |db: &mut SpatialDatabase| {
+        db.insert(
+            "A",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[1.0, 1.0])
+                .union(&GeneralizedRelation::from_box_f64(&[2.0, 0.0], &[3.0, 2.0])),
+        );
+        db.insert(
+            "B",
+            GeneralizedRelation::from_box_f64(&[0.0, 0.0], &[2.0, 1.0]),
+        );
+    };
+    // Both sides of every comparison get their own database, driven through
+    // the identical call sequence, so their store trajectories (cold → warm,
+    // evictions) match call for call.
+    let fresh = |capacity: Option<usize>| {
+        let mut db = match capacity {
+            Some(c) => SpatialDatabase::with_params(params()).with_store_capacity(c),
+            None => SpatialDatabase::with_params(params()),
+        };
+        populate(&mut db);
+        db
+    };
+    let seq = SeedSequence::new(0x5EC7_1E6A);
+    let conjunction = parse_formula("A(x0, x1) and B(x0, x1)", 2).unwrap();
+
+    // Store states: disabled (always rebuilds), default (cold → warm), and
+    // capacity-1 (evicting between rounds).
+    for capacity in [Some(0), None, Some(1)] {
+        for &threads in &THREAD_COUNTS {
+            let legacy_db = fresh(capacity);
+            let unified_db = fresh(capacity);
+
+            // Two rounds: under the default store the first is cold and the
+            // second warm; under capacity 1 the interleaved touch of "B"
+            // evicts "A" between rounds.
+            for round in 0..2 {
+                let label = format!("capacity {capacity:?}, {threads} threads, round {round}");
+                let legacy = legacy_db
+                    .approx_generate_batch("A", 32, &seq, threads)
+                    .unwrap();
+                let unified = unified_db
+                    .query(
+                        &QuerySpec::sample("A", 32)
+                            .with_seed_sequence(seq)
+                            .with_threads(threads)
+                            .partial(),
+                    )
+                    .unwrap()
+                    .into_points_batch()
+                    .results;
+                assert!(legacy.iter().filter(|p| p.is_some()).count() > 16);
+                assert_eq!(legacy, unified, "sample batch drifted ({label})");
+
+                let legacy_vol = legacy_db
+                    .approx_volume_batch("A", 4, &seq, threads)
+                    .unwrap();
+                let unified_vol = unified_db
+                    .query(
+                        &QuerySpec::volume("A", 4)
+                            .with_seed_sequence(seq)
+                            .with_threads(threads)
+                            .partial(),
+                    )
+                    .unwrap()
+                    .volume()
+                    .expect("volume batch produced no estimate");
+                assert_eq!(
+                    legacy_vol.to_bits(),
+                    unified_vol.to_bits(),
+                    "volume median drifted ({label})"
+                );
+
+                legacy_db.approx_generate_batch("B", 4, &seq, 1).unwrap();
+                unified_db
+                    .query(&QuerySpec::sample("B", 4).with_seed_sequence(seq).partial())
+                    .unwrap();
+            }
+
+            // Sequential budgeted entry points under an identical rng stream.
+            let budget = QueryBudget::unlimited().with_max_steps(1 << 40);
+            let legacy_pt = legacy_db
+                .approx_generate_budgeted("A", &budget, &mut seq.item_stream(3).rng())
+                .unwrap();
+            let unified_pt = unified_db
+                .query_with_rng(
+                    &QuerySpec::sample("A", 1).with_budget(&budget),
+                    &mut seq.item_stream(3).rng(),
+                )
+                .unwrap()
+                .into_points_batch()
+                .results
+                .into_iter()
+                .flatten()
+                .next()
+                .unwrap();
+            assert_eq!(legacy_pt, unified_pt, "budgeted draw drifted");
+
+            let legacy_vol = legacy_db
+                .approx_volume_budgeted("A", &budget, &mut seq.item_stream(4).rng())
+                .unwrap();
+            let unified_vol = unified_db
+                .query_with_rng(
+                    &QuerySpec::volume("A", 1).with_budget(&budget),
+                    &mut seq.item_stream(4).rng(),
+                )
+                .unwrap()
+                .volume()
+                .unwrap();
+            assert_eq!(legacy_vol.to_bits(), unified_vol.to_bits());
+
+            // `approx_generate_many` (skip semantics) = partial query with
+            // the `None` slots dropped.
+            let legacy_many = legacy_db
+                .approx_generate_many("A", 12, &mut seq.item_stream(5).rng())
+                .unwrap();
+            let unified_many: Vec<Vec<f64>> = unified_db
+                .query_with_rng(
+                    &QuerySpec::sample("A", 12).partial(),
+                    &mut seq.item_stream(5).rng(),
+                )
+                .unwrap()
+                .into_points_batch()
+                .results
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(legacy_many, unified_many, "generate_many drifted");
+
+            // Reconstruction: compare the relations' full debug renderings
+            // (floats print shortest-roundtrip, so textual equality is
+            // bitwise equality).
+            let legacy_rel = legacy_db
+                .approx_query(&conjunction, 2, &mut seq.item_stream(6).rng())
+                .unwrap();
+            let unified_outcome = unified_db
+                .query_with_rng(
+                    &QuerySpec::reconstruct("A", conjunction.clone(), 2),
+                    &mut seq.item_stream(6).rng(),
+                )
+                .unwrap();
+            let unified_rel = unified_outcome
+                .relation()
+                .expect("reconstruction outcome holds a relation");
+            assert_eq!(
+                format!("{legacy_rel:?}"),
+                format!("{unified_rel:?}"),
+                "reconstruction drifted"
+            );
+        }
+    }
+}
+
 /// The arrival schedule is bitwise stable for a fixed seed: rebuilding it
 /// reproduces it exactly, and the leading arrival offsets match pinned bit
 /// patterns (so any change to the interarrival derivation is a visible,

@@ -8,10 +8,13 @@
 //! Sizes honor `CDB_LOAD_QUICK=1` / `CDB_LOAD_REQUESTS=<n>` (the `ci.sh`
 //! `--quick` path) but are modest even at the default.
 
-use cdb_bench::load::{class_stats, render_report, run, schedule, LoadSpec, Payload, QueryClass};
+use cdb_bench::load::{
+    class_stats, render_report, run, run_over, schedule, LoadSpec, Payload, QueryClass, Transport,
+};
 use cdb_bench::report;
 use cdb_core::SpatialDatabase;
 use cdb_sampler::{GeneratorParams, QueryBudget};
+use cdb_server::{Server, ServerConfig};
 use cdb_workloads::sessions::{polytope_soup, SessionMix, SoupSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -117,6 +120,64 @@ fn mixed_session_run_resolves_every_request() {
         // p50 ≤ p95 ≤ p99 ≤ max by construction.
         assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
         assert!(row.p99_ms <= row.max_ms);
+    }
+}
+
+#[test]
+fn http_transport_matches_in_process_bitwise() {
+    // The same spec + schedule replayed in-process and over a loopback
+    // `cdb-server` must resolve to bitwise-identical result fingerprints:
+    // both transports fund request `i` from
+    // `SeedSequence::new(spec.seed).item_stream(i)`, and only deterministic
+    // budget counters cross the HTTP wire (see `Transport`'s parity
+    // contract in `cdb_bench::load`).
+    let (db, names) = soup_db();
+    let (server_db, _) = soup_db();
+    let spec = LoadSpec::new(
+        (requests() / 2).max(30),
+        2000.0,
+        515,
+        SessionMix::read_heavy(),
+    )
+    .with_threads(3)
+    .with_budget(
+        QueryBudget::unlimited()
+            .with_max_steps(50_000_000)
+            .with_max_attempts(100_000),
+    );
+    let sched = schedule(&spec, &names);
+
+    let in_process = run(&db, &spec, &sched);
+    let server =
+        Server::start_with_db(ServerConfig::default(), server_db).expect("loopback server starts");
+    let http = run_over(&Transport::Http(server.addr()), &spec, &sched);
+
+    for rep in [&in_process, &http] {
+        assert!(rep.panics.is_empty());
+        assert_eq!(rep.lost(), 0);
+    }
+    let local_bits = in_process.result_bits();
+    let wire_bits = http.result_bits();
+    assert!(
+        local_bits.iter().any(|b| b.is_some()),
+        "parity run produced no successful payloads to compare"
+    );
+    assert_eq!(
+        local_bits, wire_bits,
+        "HTTP transport drifted from the in-process results"
+    );
+
+    // The report schema is transport-agnostic: rows rendered from the HTTP
+    // run parse back with the same fields as in-process rows.
+    let rows: Vec<(String, _)> = class_stats(&sched, &http)
+        .into_iter()
+        .map(|s| (format!("load_http_sessions.{}", s.class.label()), s))
+        .collect();
+    let parsed = report::parse_report(&render_report(&rows, true)).unwrap();
+    for class in ["sample", "volume", "reconstruction"] {
+        let row = report::find(&parsed, &format!("load_http_sessions.{class}"))
+            .unwrap_or_else(|| panic!("missing HTTP row for class {class}"));
+        assert!(row.requests.is_some() && row.throughput_rps.is_some() && row.p99_ms.is_some());
     }
 }
 
